@@ -1,0 +1,101 @@
+// Shared synthetic-workload generators for the llhsc benchmarks. Each
+// generator scales the paper's running-example shapes to arbitrary sizes so
+// the benches can sweep where the paper only shows a single point.
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "checkers/semantic.hpp"
+#include "dts/tree.hpp"
+#include "feature/model.hpp"
+
+namespace llhsc::benchgen {
+
+/// A CustomSBC-style feature model scaled up: `cpus` XOR-group CPUs,
+/// `uarts` OR-group UARTs (mandatory), one optional XOR vEthernet per CPU
+/// with the veth->cpu cross-requirement.
+inline feature::FeatureModel scaled_model(int num_cpus, int num_uarts) {
+  feature::FeatureModel m;
+  feature::FeatureId root = m.add_root("SBC");
+  m.add_feature(root, "memory", /*mandatory=*/true);
+  feature::FeatureId cpus = m.add_feature(root, "cpus", true);
+  m.set_group(cpus, feature::GroupKind::kXor);
+  std::vector<feature::FeatureId> cpu_ids;
+  for (int i = 0; i < num_cpus; ++i) {
+    cpu_ids.push_back(m.add_feature(cpus, "cpu@" + std::to_string(i)));
+  }
+  feature::FeatureId uarts = m.add_feature(root, "uarts", true, true);
+  m.set_group(uarts, feature::GroupKind::kOr);
+  for (int i = 0; i < num_uarts; ++i) {
+    m.add_feature(uarts, "uart@" + std::to_string(i));
+  }
+  feature::FeatureId veth = m.add_feature(root, "vEthernet", false, true);
+  m.set_group(veth, feature::GroupKind::kXor);
+  for (int i = 0; i < num_cpus; ++i) {
+    feature::FeatureId v = m.add_feature(veth, "veth" + std::to_string(i));
+    m.add_requires(v, cpu_ids[static_cast<size_t>(i)]);
+  }
+  return m;
+}
+
+/// CPUs of a scaled model (the exclusive resources).
+inline std::vector<feature::FeatureId> scaled_model_cpus(
+    const feature::FeatureModel& m, int num_cpus) {
+  std::vector<feature::FeatureId> out;
+  for (int i = 0; i < num_cpus; ++i) {
+    out.push_back(*m.find("cpu@" + std::to_string(i)));
+  }
+  return out;
+}
+
+/// Disjoint device regions laid out back-to-back with gaps; `overlapping`
+/// optionally injects one collision so SAT and UNSAT paths are both timed.
+inline std::vector<checkers::MemRegion> synthetic_regions(int count,
+                                                          bool overlapping) {
+  std::vector<checkers::MemRegion> regions;
+  uint64_t base = 0x10000000;
+  for (int i = 0; i < count; ++i) {
+    checkers::MemRegion r;
+    r.path = "/dev@" + std::to_string(i);
+    r.base = base;
+    r.size = 0x1000;
+    r.region_class = checkers::RegionClass::kDevice;
+    regions.push_back(std::move(r));
+    base += 0x2000;
+  }
+  if (overlapping && count >= 2) {
+    regions.back().base = regions.front().base + 0x800;
+  }
+  return regions;
+}
+
+/// A synthetic SBC tree: one memory node with `banks` banks plus `devices`
+/// MMIO devices, all disjoint, 32-bit addressing.
+inline std::unique_ptr<dts::Tree> synthetic_tree(int banks, int devices) {
+  auto tree = std::make_unique<dts::Tree>();
+  dts::Node& root = tree->root();
+  root.set_property(dts::Property::cells("#address-cells", {1}));
+  root.set_property(dts::Property::cells("#size-cells", {1}));
+  std::vector<uint64_t> reg;
+  uint64_t base = 0x80000000;
+  for (int i = 0; i < banks; ++i) {
+    reg.push_back(base);
+    reg.push_back(0x100000);
+    base += 0x200000;
+  }
+  dts::Node& mem = root.get_or_create_child("memory@80000000");
+  mem.set_property(dts::Property::string("device_type", "memory"));
+  mem.set_property(dts::Property::cells("reg", std::move(reg)));
+  base = 0x10000000;
+  for (int i = 0; i < devices; ++i) {
+    dts::Node& dev = root.get_or_create_child(
+        "uart@" + std::to_string(base));
+    dev.set_property(dts::Property::string("compatible", "ns16550a"));
+    dev.set_property(dts::Property::cells("reg", {base, 0x1000}));
+    base += 0x2000;
+  }
+  return tree;
+}
+
+}  // namespace llhsc::benchgen

@@ -1,0 +1,131 @@
+// E7 — the delta engine: parsing the Listing 4 module set, computing the
+// application order, and deriving products. Sweep: derivation cost vs the
+// number of delta modules.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/running_example.hpp"
+#include "dts/overlay.hpp"
+#include "delta/delta.hpp"
+#include "dts/parser.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+void BM_ParseListing4Deltas(benchmark::State& state) {
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    benchmark::DoNotOptimize(delta::parse_deltas(
+        core::running_example_deltas(), "deltas", diags));
+  }
+}
+BENCHMARK(BM_ParseListing4Deltas);
+
+void BM_ApplicationOrder(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  auto pl = core::running_example_product_line(diags);
+  auto features = core::fig1b_features();
+  for (auto _ : state) {
+    support::DiagnosticEngine d;
+    benchmark::DoNotOptimize(pl->application_order(features, d));
+  }
+}
+BENCHMARK(BM_ApplicationOrder);
+
+void BM_DeriveFig1b(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  auto pl = core::running_example_product_line(diags);
+  auto features = core::fig1b_features();
+  for (auto _ : state) {
+    support::DiagnosticEngine d;
+    benchmark::DoNotOptimize(pl->derive(features, d));
+  }
+}
+BENCHMARK(BM_DeriveFig1b);
+
+// Synthetic chain: N deltas, each after its predecessor, each touching one
+// node — measures ordering + application scaling.
+std::unique_ptr<delta::ProductLine> chain_product_line(int n) {
+  std::ostringstream core;
+  core << "/ {\n";
+  for (int i = 0; i < n; ++i) {
+    core << "  dev" << i << " { v = <0>; };\n";
+  }
+  core << "};\n";
+  std::ostringstream deltas;
+  for (int i = 0; i < n; ++i) {
+    deltas << "delta d" << i;
+    if (i > 0) deltas << " after d" << (i - 1);
+    deltas << " { modifies dev" << i << " { v = <" << i + 1 << ">; } }\n";
+  }
+  support::DiagnosticEngine diags;
+  auto tree = dts::parse_dts(core.str(), "core.dts", diags);
+  auto ds = delta::parse_deltas(deltas.str(), "deltas", diags);
+  return std::make_unique<delta::ProductLine>(std::move(tree), std::move(ds));
+}
+
+void BM_DeltaChainDerive(benchmark::State& state) {
+  auto pl = chain_product_line(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    support::DiagnosticEngine d;
+    benchmark::DoNotOptimize(pl->derive({}, d));
+  }
+  state.counters["deltas"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DeltaChainDerive)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// Delta modules vs DeviceTree overlays — the two composition mechanisms
+// applied to the same change (enable a UART + set a property). Overlays are
+// the mainline alternative the paper's related work positions DOP against.
+void BM_DeltaVsOverlay(benchmark::State& state) {
+  const bool use_overlay = state.range(0) == 1;
+  const char* base_src = R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    soc {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        u0: uart@1000 { compatible = "ns16550a"; reg = <0x1000 0x100>;
+                        status = "disabled"; };
+    };
+};
+)";
+  support::DiagnosticEngine diags;
+  auto base = dts::parse_dts(base_src, "base.dts", diags);
+
+  dts::SourceManager sm;
+  auto overlay = dts::parse_overlay(R"(
+/dts-v1/;
+/plugin/;
+&u0 { status = "okay"; current-speed = <115200>; };
+)",
+                                    "enable.dtso", sm, diags);
+  auto deltas = delta::parse_deltas(R"(
+delta enable {
+    modifies uart@1000 {
+        status = "okay";
+        current-speed = <115200>;
+    }
+}
+)",
+                                    "enable.deltas", diags);
+
+  for (auto _ : state) {
+    auto tree = base->clone();
+    support::DiagnosticEngine d;
+    if (use_overlay) {
+      benchmark::DoNotOptimize(dts::apply_overlay(*tree, *overlay, d));
+    } else {
+      benchmark::DoNotOptimize(delta::apply_delta(*tree, deltas[0], d));
+    }
+  }
+  state.SetLabel(use_overlay ? "overlay" : "delta");
+}
+BENCHMARK(BM_DeltaVsOverlay)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Substrate benches: DTS parsing/printing throughput and FDT (DTB)
+// emit/read/verify, swept over tree size. These back the DESIGN.md choices
+// (single-pass lexer with textual include splicing; deduplicated strings
+// block).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "dts/parser.hpp"
+#include "dts/printer.hpp"
+#include "fdt/fdt.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+std::string synthetic_dts(int devices) {
+  std::ostringstream os;
+  os << "/dts-v1/;\n/ {\n  #address-cells = <1>;\n  #size-cells = <1>;\n";
+  os << "  memory@80000000 { device_type = \"memory\"; "
+        "reg = <0x80000000 0x40000000>; };\n";
+  uint64_t base = 0x10000000;
+  for (int i = 0; i < devices; ++i) {
+    os << "  uart" << i << ": uart@" << std::hex << base << std::dec
+       << " {\n    compatible = \"ns16550a\";\n    reg = <0x" << std::hex
+       << base << std::dec << " 0x1000>;\n    interrupts = <" << (i + 1)
+       << ">;\n    names = \"a\", \"b\";\n    mac = [de ad be ef];\n  };\n";
+    base += 0x2000;
+  }
+  os << "};\n";
+  return os.str();
+}
+
+void BM_DtsParse(benchmark::State& state) {
+  std::string src = synthetic_dts(static_cast<int>(state.range(0)));
+  size_t nodes = 0;
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    auto tree = dts::parse_dts(src, "synthetic.dts", diags);
+    nodes = tree->node_count();
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_DtsParse)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DtsPrint(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  auto tree = dts::parse_dts(synthetic_dts(static_cast<int>(state.range(0))),
+                             "synthetic.dts", diags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dts::print_dts(*tree));
+  }
+  state.counters["nodes"] = static_cast<double>(tree->node_count());
+}
+BENCHMARK(BM_DtsPrint)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FdtEmit(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  auto tree = dts::parse_dts(synthetic_dts(static_cast<int>(state.range(0))),
+                             "synthetic.dts", diags);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto blob = fdt::emit(*tree, diags);
+    bytes = blob ? blob->size() : 0;
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["dtb_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FdtEmit)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FdtRead(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  auto tree = dts::parse_dts(synthetic_dts(static_cast<int>(state.range(0))),
+                             "synthetic.dts", diags);
+  auto blob = fdt::emit(*tree, diags);
+  for (auto _ : state) {
+    support::DiagnosticEngine d;
+    benchmark::DoNotOptimize(fdt::read(*blob, d));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob->size()));
+}
+BENCHMARK(BM_FdtRead)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FdtVerify(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  auto tree = dts::parse_dts(synthetic_dts(static_cast<int>(state.range(0))),
+                             "synthetic.dts", diags);
+  auto blob = fdt::emit(*tree, diags);
+  for (auto _ : state) {
+    support::DiagnosticEngine d;
+    benchmark::DoNotOptimize(fdt::verify(*blob, d));
+  }
+}
+BENCHMARK(BM_FdtVerify)->Arg(8)->Arg(64)->Arg(512);
+
+// Include splicing cost: one include per device vs monolithic.
+void BM_DtsParseWithIncludes(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  dts::SourceManager sm;
+  std::ostringstream main_dts;
+  main_dts << "/dts-v1/;\n/ {\n";
+  uint64_t base = 0x10000000;
+  for (int i = 0; i < devices; ++i) {
+    std::ostringstream frag;
+    frag << "uart@" << std::hex << base << std::dec
+         << " { compatible = \"ns16550a\"; reg = <0x" << std::hex << base
+         << std::dec << " 0x1000>; };\n";
+    std::string name = "dev" + std::to_string(i) + ".dtsi";
+    sm.register_file(name, frag.str());
+    main_dts << "  /include/ \"" << name << "\"\n";
+    base += 0x2000;
+  }
+  main_dts << "};\n";
+  std::string src = main_dts.str();
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    benchmark::DoNotOptimize(dts::parse_dts(src, "main.dts", sm, diags));
+  }
+  state.counters["includes"] = static_cast<double>(devices);
+}
+BENCHMARK(BM_DtsParseWithIncludes)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// E1 + E11 — feature-model analyses. The fixed point the paper reports:
+// the running example has 12 valid products. The sweeps back the paper's
+// claim that feature-model allocation "is efficiently handled by the
+// SAT-solver" (§VI): product counting and validity checking stay fast as the
+// model grows, on both backends.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "feature/analysis.hpp"
+#include "feature/configurator.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+smt::Backend backend_of(int64_t i) {
+  return i == 0 ? smt::Backend::kBuiltin : smt::Backend::kZ3;
+}
+
+// Paper fixed point: count the 12 products of Fig. 1a.
+void BM_RunningExampleProductCount(benchmark::State& state) {
+  feature::FeatureModel m = feature::running_example_model();
+  uint64_t count = 0;
+  for (auto _ : state) {
+    smt::Solver solver(backend_of(state.range(0)));
+    count = feature::count_products(m, solver);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["products"] = static_cast<double>(count);
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(0)))));
+}
+BENCHMARK(BM_RunningExampleProductCount)->Arg(0)->Arg(1);
+
+// Sweep: product counting as the model grows (CPUs x UARTs).
+void BM_ProductCountScaling(benchmark::State& state) {
+  int cpus = static_cast<int>(state.range(0));
+  int uarts = static_cast<int>(state.range(1));
+  feature::FeatureModel m = benchgen::scaled_model(cpus, uarts);
+  uint64_t count = 0;
+  for (auto _ : state) {
+    smt::Solver solver(backend_of(state.range(2)));
+    count = feature::count_products(m, solver);
+  }
+  state.counters["features"] = static_cast<double>(m.size());
+  state.counters["products"] = static_cast<double>(count);
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(2)))));
+}
+BENCHMARK(BM_ProductCountScaling)
+    ->Args({2, 2, 0})
+    ->Args({4, 4, 0})
+    ->Args({8, 6, 0})
+    ->Args({2, 2, 1})
+    ->Args({4, 4, 1})
+    ->Args({8, 6, 1});
+
+// Validity of one product — the interactive-configuration operation.
+void BM_ValidProductCheck(benchmark::State& state) {
+  int cpus = static_cast<int>(state.range(0));
+  feature::FeatureModel m = benchgen::scaled_model(cpus, cpus);
+  feature::Selection sel(m.size(), false);
+  sel[m.root().index] = true;
+  sel[m.find("memory")->index] = true;
+  sel[m.find("cpus")->index] = true;
+  sel[m.find("cpu@0")->index] = true;
+  sel[m.find("uarts")->index] = true;
+  sel[m.find("uart@0")->index] = true;
+  for (auto _ : state) {
+    smt::Solver solver(backend_of(state.range(1)));
+    benchmark::DoNotOptimize(feature::is_valid_product(m, solver, sel));
+  }
+  state.counters["features"] = static_cast<double>(m.size());
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(1)))));
+}
+BENCHMARK(BM_ValidProductCheck)
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({64, 1});
+
+// Dead-feature analysis: one solver call per feature.
+void BM_DeadFeatureAnalysis(benchmark::State& state) {
+  int cpus = static_cast<int>(state.range(0));
+  feature::FeatureModel m = benchgen::scaled_model(cpus, cpus);
+  for (auto _ : state) {
+    smt::Solver solver(backend_of(state.range(1)));
+    benchmark::DoNotOptimize(feature::dead_features(m, solver));
+  }
+  state.counters["features"] = static_cast<double>(m.size());
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(1)))));
+}
+BENCHMARK(BM_DeadFeatureAnalysis)
+    ->Args({8, 0})
+    ->Args({32, 0})
+    ->Args({8, 1})
+    ->Args({32, 1});
+
+// Interactive-configuration latency: one user decision triggers a full
+// propagation pass (2 solver queries per undecided feature) — the number the
+// paper's cloud UI would feel.
+void BM_ConfiguratorDecision(benchmark::State& state) {
+  int cpus = static_cast<int>(state.range(0));
+  feature::FeatureModel m = benchgen::scaled_model(cpus, cpus);
+  auto veth0 = m.find("veth0");
+  for (auto _ : state) {
+    feature::Configurator cfg(m, backend_of(state.range(1)));
+    benchmark::DoNotOptimize(cfg.select(*veth0));
+  }
+  state.counters["features"] = static_cast<double>(m.size());
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(1)))));
+}
+BENCHMARK(BM_ConfiguratorDecision)
+    ->Args({2, 0})
+    ->Args({8, 0})
+    ->Args({16, 0})
+    ->Args({2, 1})
+    ->Args({8, 1})
+    ->Args({16, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

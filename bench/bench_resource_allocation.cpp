@@ -1,0 +1,90 @@
+// E3 — the §IV-A resource-allocation checker. Fixed point: the running
+// example supports at most 2 VMs. Sweeps: feasibility checking as VM count
+// and CPU pool grow (the cross-product XOR constraint is quadratic in VMs).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "checkers/resource_allocation.hpp"
+#include "core/running_example.hpp"
+#include "feature/multivm.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+smt::Backend backend_of(int64_t i) {
+  return i == 0 ? smt::Backend::kBuiltin : smt::Backend::kZ3;
+}
+
+// Paper fixed point: max VMs = 2.
+void BM_RunningExampleMaxVms(benchmark::State& state) {
+  feature::FeatureModel m = feature::running_example_model();
+  auto cpus = core::exclusive_cpus(m);
+  int max_vms = 0;
+  for (auto _ : state) {
+    max_vms = feature::max_feasible_vms(m, backend_of(state.range(0)), cpus);
+  }
+  state.counters["max_vms"] = max_vms;
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(0)))));
+}
+BENCHMARK(BM_RunningExampleMaxVms)->Arg(0)->Arg(1);
+
+// Feasibility query scaling: n CPUs, n VMs (the feasible boundary).
+void BM_AllocationFeasibility(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  feature::FeatureModel m = benchgen::scaled_model(n, 2);
+  auto cpus = benchgen::scaled_model_cpus(m, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        feature::allocation_feasible(m, backend_of(state.range(1)), n, cpus));
+  }
+  state.counters["vms"] = n;
+  state.counters["features"] = static_cast<double>(m.size());
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(1)))));
+}
+BENCHMARK(BM_AllocationFeasibility)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
+
+// The infeasible side (n+1 VMs over n CPUs) — the UNSAT proof the checker
+// relies on for the m = 2 bound.
+void BM_AllocationInfeasibility(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  feature::FeatureModel m = benchgen::scaled_model(n, 2);
+  auto cpus = benchgen::scaled_model_cpus(m, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feature::allocation_feasible(
+        m, backend_of(state.range(1)), n + 1, cpus));
+  }
+  state.counters["vms"] = n + 1;
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(1)))));
+}
+BENCHMARK(BM_AllocationInfeasibility)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
+
+// The full checker on the paper's configuration.
+void BM_CheckerOnPaperConfig(benchmark::State& state) {
+  feature::FeatureModel m = feature::running_example_model();
+  auto cpus = core::exclusive_cpus(m);
+  for (auto _ : state) {
+    checkers::ResourceAllocationChecker checker(m, cpus,
+                                                backend_of(state.range(0)));
+    benchmark::DoNotOptimize(
+        checker.check({core::fig1b_features(), core::fig1c_features()}));
+  }
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(0)))));
+}
+BENCHMARK(BM_CheckerOnPaperConfig)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,194 @@
+// SAT substrate benches: the CDCL solver on classic instance families
+// (implication chains for propagation, pigeonhole for clause learning,
+// random 3-SAT near the phase transition) plus the Tseitin + bit-blasting
+// layers. These are the ablation data for the builtin backend.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "logic/bitvector.hpp"
+#include "logic/cnf.hpp"
+#include "sat/solver.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+void BM_SatChainPropagation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<sat::Var> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    for (int i = 0; i + 1 < n; ++i) {
+      s.add_clause(sat::Lit::negative(vars[static_cast<size_t>(i)]),
+                   sat::Lit::positive(vars[static_cast<size_t>(i + 1)]));
+    }
+    s.add_clause(sat::Lit::positive(vars[0]));
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.counters["vars"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SatChainPropagation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  int pigeons = static_cast<int>(state.range(0));
+  int holes = pigeons - 1;
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<sat::Var>> p(
+        static_cast<size_t>(pigeons),
+        std::vector<sat::Var>(static_cast<size_t>(holes)));
+    for (auto& row : p) {
+      for (sat::Var& v : row) v = s.new_var();
+    }
+    for (int i = 0; i < pigeons; ++i) {
+      std::vector<sat::Lit> clause;
+      for (int h = 0; h < holes; ++h) {
+        clause.push_back(sat::Lit::positive(
+            p[static_cast<size_t>(i)][static_cast<size_t>(h)]));
+      }
+      s.add_clause(std::move(clause));
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int i = 0; i < pigeons; ++i) {
+        for (int j = i + 1; j < pigeons; ++j) {
+          s.add_clause(sat::Lit::negative(
+                           p[static_cast<size_t>(i)][static_cast<size_t>(h)]),
+                       sat::Lit::negative(
+                           p[static_cast<size_t>(j)][static_cast<size_t>(h)]));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.counters["pigeons"] = static_cast<double>(pigeons);
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(6)->Arg(7)->Arg(8)->Arg(9);
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int clauses = static_cast<int>(4.2 * n);
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> var_dist(0, n - 1);
+  std::uniform_int_distribution<int> sign(0, 1);
+  std::vector<std::vector<std::pair<int, bool>>> instance;
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<std::pair<int, bool>> c;
+    for (int j = 0; j < 3; ++j) c.emplace_back(var_dist(rng), sign(rng) == 1);
+    instance.push_back(std::move(c));
+  }
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<sat::Var> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    bool ok = true;
+    for (const auto& c : instance) {
+      std::vector<sat::Lit> lits;
+      for (auto [v, neg] : c) {
+        lits.push_back(sat::Lit(vars[static_cast<size_t>(v)], neg));
+      }
+      ok = s.add_clause(std::move(lits)) && ok;
+    }
+    benchmark::DoNotOptimize(ok ? s.solve() : sat::SolveResult::kUnsat);
+  }
+  state.counters["vars"] = static_cast<double>(n);
+  state.counters["clauses"] = static_cast<double>(clauses);
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+// Bit-blasting: solve x + y == C with x < y, sweeping width.
+void BM_BitBlastAddition(benchmark::State& state) {
+  uint32_t width = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    logic::FormulaArena formulas;
+    logic::BvArena bv(formulas);
+    sat::Solver s;
+    logic::CnfEncoder enc(formulas, s, &bv);
+    auto x = bv.bv_var("x", width);
+    auto y = bv.bv_var("y", width);
+    enc.assert_formula(bv.eq(bv.bv_add(x, y),
+                             bv.bv_const(0x1234 & ((1ull << width) - 1), width)));
+    enc.assert_formula(bv.ult(x, y));
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.counters["width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_BitBlastAddition)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Bit-blasting a multiplier (quadratic circuit): factor a constant.
+void BM_BitBlastFactoring(benchmark::State& state) {
+  uint32_t width = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    logic::FormulaArena formulas;
+    logic::BvArena bv(formulas);
+    sat::Solver s;
+    logic::CnfEncoder enc(formulas, s, &bv);
+    auto x = bv.bv_var("x", width);
+    auto y = bv.bv_var("y", width);
+    enc.assert_formula(
+        bv.eq(bv.bv_mul(x, y), bv.bv_const(143 /* = 11 * 13 */, width)));
+    enc.assert_formula(bv.ugt(x, bv.bv_const(1, width)));
+    enc.assert_formula(bv.ugt(y, bv.bv_const(1, width)));
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.counters["width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_BitBlastFactoring)->Arg(8)->Arg(12)->Arg(16);
+
+// At-most-one encoding ablation: pairwise (quadratic clauses) vs sequential
+// counter (linear, auxiliary variables) — the dispatch behind XOR feature
+// groups. Workload: assert AMO over n vars plus "at least one", enumerate
+// all n models.
+void BM_AmoEncodings(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool sequential = state.range(1) == 1;
+  for (auto _ : state) {
+    logic::FormulaArena arena;
+    sat::Solver s;
+    logic::CnfEncoder enc(arena, s);
+    std::vector<logic::BoolVar> vars;
+    std::vector<logic::Formula> fs;
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(arena.new_bool_var("x" + std::to_string(i)));
+      fs.push_back(arena.var(vars.back()));
+    }
+    logic::Formula amo = sequential ? arena.mk_at_most_one_sequential(fs)
+                                    : arena.mk_at_most_one_pairwise(fs);
+    enc.assert_formula(amo);
+    enc.assert_formula(arena.mk_or(fs));
+    std::vector<sat::Var> projection;
+    for (logic::BoolVar v : vars) projection.push_back(enc.sat_var(v));
+    benchmark::DoNotOptimize(s.count_models(projection));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(sequential ? "sequential" : "pairwise");
+}
+BENCHMARK(BM_AmoEncodings)
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({256, 1});
+
+// All-SAT enumeration throughput (backs the product-counting analyses).
+void BM_SatModelEnumeration(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<sat::Var> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    // at-least-one constraint: 2^n - 1 models
+    std::vector<sat::Lit> clause;
+    for (sat::Var v : vars) clause.push_back(sat::Lit::positive(v));
+    s.add_clause(std::move(clause));
+    benchmark::DoNotOptimize(s.count_models(vars));
+  }
+  state.counters["models"] = static_cast<double>((1u << n) - 1);
+}
+BENCHMARK(BM_SatModelEnumeration)->Arg(4)->Arg(8)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E6 — the §IV-B syntactic checker: dt-schema constraints discharged as SMT
+// proof obligations. Fixed point: the running example passes all checks.
+// Sweep: checking cost vs tree size, per backend.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "checkers/syntactic.hpp"
+#include "core/running_example.hpp"
+#include "dts/parser.hpp"
+#include "schema/builtin_schemas.hpp"
+#include "schema/yaml_lite.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+smt::Backend backend_of(int64_t i) {
+  return i == 0 ? smt::Backend::kBuiltin : smt::Backend::kZ3;
+}
+
+void BM_RunningExampleSyntactic(benchmark::State& state) {
+  support::DiagnosticEngine diags;
+  dts::SourceManager sm = core::running_example_sources();
+  auto tree = dts::parse_dts(core::running_example_core_dts(), "sbc.dts", sm,
+                             diags);
+  schema::SchemaSet schemas = schema::builtin_schemas();
+  uint64_t solver_checks = 0;
+  for (auto _ : state) {
+    checkers::SyntacticChecker checker(schemas, backend_of(state.range(0)));
+    benchmark::DoNotOptimize(checker.check(*tree));
+    solver_checks = checker.solver_checks();
+  }
+  state.counters["solver_checks"] = static_cast<double>(solver_checks);
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(0)))));
+}
+BENCHMARK(BM_RunningExampleSyntactic)->Arg(0)->Arg(1);
+
+void BM_SyntacticScaling(benchmark::State& state) {
+  auto tree = benchgen::synthetic_tree(4, static_cast<int>(state.range(0)));
+  schema::SchemaSet schemas = schema::builtin_schemas();
+  for (auto _ : state) {
+    checkers::SyntacticChecker checker(schemas, backend_of(state.range(1)));
+    benchmark::DoNotOptimize(checker.check(*tree));
+  }
+  state.counters["nodes"] = static_cast<double>(tree->node_count());
+  state.SetLabel(std::string(smt::to_string(backend_of(state.range(1)))));
+}
+BENCHMARK(BM_SyntacticScaling)
+    ->Args({8, 0})
+    ->Args({32, 0})
+    ->Args({128, 0})
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({128, 1});
+
+// The YAML loading path (schema files -> SchemaSet).
+void BM_SchemaYamlLoad(benchmark::State& state) {
+  const char* yaml = schema::builtin_schemas_yaml();
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    schema::SchemaSet set;
+    benchmark::DoNotOptimize(schema::load_schema_stream(yaml, set, diags));
+  }
+}
+BENCHMARK(BM_SchemaYamlLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

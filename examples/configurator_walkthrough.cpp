@@ -1,0 +1,68 @@
+// A scripted walk through the paper's Fig. 1 configuration flow: the user
+// picks features step by step while the solver propagates decisions —
+// forced features show pre-ticked, forbidden ones grayed out, exactly the
+// "CPU features are grayed-out and cannot be selected by the user"
+// behaviour of §IV-A.
+#include <iomanip>
+#include <iostream>
+
+#include "feature/configurator.hpp"
+
+namespace {
+
+using namespace llhsc;
+
+void show(const feature::Configurator& cfg) {
+  const feature::FeatureModel& m = cfg.model();
+  for (uint32_t i = 0; i < m.size(); ++i) {
+    feature::FeatureId f{i};
+    const feature::Feature& feat = m.feature(f);
+    const char* mark = "[ ]";
+    switch (cfg.state(f)) {
+      case feature::DecisionState::kSelected: mark = "[x]"; break;
+      case feature::DecisionState::kForced: mark = "[#]"; break;
+      case feature::DecisionState::kForbidden: mark = " - "; break;
+      case feature::DecisionState::kDeselected: mark = "[.]"; break;
+      case feature::DecisionState::kOpen: break;
+    }
+    int depth = 0;
+    for (feature::FeatureId p = feat.parent; p.valid();
+         p = m.feature(p).parent) {
+      ++depth;
+    }
+    std::cout << "  " << mark << ' ' << std::string(2 * depth, ' ')
+              << feat.name << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  feature::FeatureModel model = feature::running_example_model();
+  feature::Configurator cfg(model, smt::Backend::kBuiltin);
+  auto id = [&](const char* name) { return *model.find(name); };
+
+  std::cout << "legend: [x] selected  [#] forced  [.] deselected  "
+               "- forbidden  [ ] open\n";
+  std::cout << "\n== initial state (mandatory features pre-forced) ==\n";
+  show(cfg);
+  std::cout << "remaining products: " << cfg.remaining_products() << "\n";
+
+  std::cout << "\n== user selects veth0 ==\n";
+  cfg.select(id("veth0"));
+  show(cfg);
+  std::cout << "remaining products: " << cfg.remaining_products()
+            << "  (cpu@0 forced, cpu@1 and veth1 grayed out)\n";
+
+  std::cout << "\n== user tries to select cpu@1 (rejected) ==\n";
+  bool ok = cfg.select(id("cpu@1"));
+  std::cout << "select(cpu@1) -> " << (ok ? "accepted" : "REJECTED") << "\n";
+
+  std::cout << "\n== user selects uart@20000000, deselects uart@30000000 ==\n";
+  cfg.select(id("uart@20000000"));
+  cfg.deselect(id("uart@30000000"));
+  show(cfg);
+  std::cout << "complete: " << (cfg.complete() ? "yes" : "no")
+            << ", remaining products: " << cfg.remaining_products() << "\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Writes the running example artifacts (core DTS, cpus.dtsi,
+// delta modules, feature model, a sample overlay) into a directory, so the
+// llhsc CLI can be driven end-to-end from files:
+//
+//   ./gen_data examples/data
+//   ./llhsc generate --core examples/data/custom-sbc.dts
+//       --deltas examples/data/custom-sbc.deltas
+//       --features CustomSBC,memory,cpus,cpu@0,uarts,uart@20000000
+//   ./llhsc products --model examples/data/custom-sbc.fm
+#include <fstream>
+#include <iostream>
+
+#include "core/running_example.hpp"
+#include "feature/analysis.hpp"
+#include "feature/text_format.hpp"
+
+namespace {
+
+bool write(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+constexpr const char* kSampleOverlay = R"(/dts-v1/;
+/plugin/;
+
+/* Enable the first UART and raise its speed — the overlay twin of a
+   delta module's `modifies`. Apply with:
+   llhsc overlay --base custom-sbc.dts --overlay enable-uart0.dtso */
+&uart0 {
+    status = "okay";
+    current-speed = <115200>;
+};
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace llhsc;
+  std::string dir = argc > 1 ? argv[1] : ".";
+  bool ok = true;
+  ok = write(dir + "/custom-sbc.dts", core::running_example_core_dts()) && ok;
+  ok = write(dir + "/cpus.dtsi", core::running_example_cpus_dtsi()) && ok;
+  ok = write(dir + "/custom-sbc.deltas", core::running_example_deltas()) && ok;
+  ok = write(dir + "/custom-sbc.fm",
+             feature::print_model(feature::running_example_model())) &&
+       ok;
+  ok = write(dir + "/enable-uart0.dtso", kSampleOverlay) && ok;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// dtb_tool: a miniature dtc — compiles DTS to DTB and decompiles DTB back,
+// exercising the FDT substrate as a standalone utility.
+//
+//   $ ./dtb_tool compile  in.dts  out.dtb
+//   $ ./dtb_tool dump     in.dtb
+//   $ ./dtb_tool roundtrip in.dts        # compile + read back + print
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "dts/parser.hpp"
+#include "dts/printer.hpp"
+#include "fdt/fdt.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int usage() {
+  std::cerr << "usage: dtb_tool compile <in.dts> <out.dtb>\n"
+               "       dtb_tool dump <in.dtb>\n"
+               "       dtb_tool roundtrip <in.dts>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace llhsc;
+  if (argc < 3) return usage();
+  std::string mode = argv[1];
+  support::DiagnosticEngine diags;
+
+  if (mode == "compile" && argc == 4) {
+    std::string source = read_file(argv[2]);
+    dts::SourceManager sm;
+    // Resolve includes relative to the input file's directory.
+    std::string dir = argv[2];
+    size_t slash = dir.find_last_of('/');
+    sm.set_base_directory(slash == std::string::npos ? "."
+                                                     : dir.substr(0, slash));
+    auto tree = dts::parse_dts(source, argv[2], sm, diags);
+    if (tree == nullptr || diags.has_errors()) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    auto blob = fdt::emit(*tree, diags);
+    if (!blob) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    std::ofstream out(argv[3], std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob->data()),
+              static_cast<std::streamsize>(blob->size()));
+    std::cout << "wrote " << blob->size() << " bytes to " << argv[3] << "\n";
+    return 0;
+  }
+
+  if (mode == "dump" && argc == 3) {
+    std::string raw = read_file(argv[2]);
+    std::vector<uint8_t> blob(raw.begin(), raw.end());
+    auto header = fdt::read_header(blob);
+    if (!header) {
+      std::cerr << "not a DTB\n";
+      return 1;
+    }
+    std::cout << "magic        " << support::hex(header->magic) << "\n"
+              << "totalsize    " << header->totalsize << "\n"
+              << "version      " << header->version << "\n"
+              << "struct       @" << header->off_dt_struct << " +"
+              << header->size_dt_struct << "\n"
+              << "strings      @" << header->off_dt_strings << " +"
+              << header->size_dt_strings << "\n";
+    if (!fdt::verify(blob, diags)) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    auto tree = fdt::read(blob, diags);
+    if (tree == nullptr) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    std::cout << "\n" << dts::print_dts(*tree);
+    return 0;
+  }
+
+  if (mode == "roundtrip" && argc == 3) {
+    std::string source = read_file(argv[2]);
+    auto tree = dts::parse_dts(source, argv[2], diags);
+    if (tree == nullptr || diags.has_errors()) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    auto blob = fdt::emit(*tree, diags);
+    if (!blob) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    auto back = fdt::read(*blob, diags);
+    if (back == nullptr) {
+      std::cerr << diags.render();
+      return 1;
+    }
+    auto blob2 = fdt::emit(*back, diags);
+    std::cout << "DTB size " << blob->size() << " bytes, fixed point: "
+              << (blob2 && *blob2 == *blob ? "yes" : "NO") << "\n\n"
+              << dts::print_dts(*back);
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,299 @@
+#include "baogen/baogen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "checkers/semantic.hpp"
+#include "support/strings.hpp"
+
+namespace llhsc::baogen {
+
+namespace {
+
+bool is_uart(const dts::Node& node) {
+  if (node.base_name() == "uart" || node.base_name() == "serial") return true;
+  if (const dts::Property* c = node.find_property("compatible")) {
+    auto list = c->as_string_list();
+    auto one = c->as_string();
+    if (one) {
+      return one->find("uart") != std::string::npos || *one == "ns16550a" ||
+             *one == "arm,pl011";
+    }
+    if (list) {
+      for (const std::string& s : *list) {
+        if (s.find("uart") != std::string::npos || s == "ns16550a" ||
+            s == "arm,pl011") {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool is_veth(const dts::Node& node) {
+  if (const dts::Property* c = node.find_property("compatible")) {
+    if (c->as_string() == std::optional<std::string>("veth")) return true;
+  }
+  return node.base_name().rfind("veth", 0) == 0;
+}
+
+/// Regions of one node in tree order, via the shared semantic extractor.
+std::vector<checkers::MemRegion> regions_of(
+    const std::vector<checkers::MemRegion>& all, const std::string& path) {
+  std::vector<checkers::MemRegion> out;
+  for (const checkers::MemRegion& r : all) {
+    if (r.path == path) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+PlatformConfig extract_platform(const dts::Tree& tree,
+                                support::DiagnosticEngine& diags) {
+  PlatformConfig platform;
+  checkers::Findings scratch;
+  auto all_regions = checkers::extract_regions(tree, scratch);
+
+  tree.visit([&](const std::string& path, const dts::Node& node) {
+    // Memory banks.
+    const dts::Property* dt = node.find_property("device_type");
+    if (dt != nullptr && dt->as_string() == std::optional<std::string>("memory")) {
+      for (const checkers::MemRegion& r : regions_of(all_regions, path)) {
+        platform.regions.push_back({r.base, r.size});
+      }
+    }
+    // Console: first UART in tree order.
+    if (is_uart(node) && !platform.console_base.has_value()) {
+      auto rs = regions_of(all_regions, path);
+      if (!rs.empty()) platform.console_base = rs[0].base;
+    }
+  });
+
+  // CPU clusters: each node named cpus* contributes one cluster.
+  const dts::Node* cpus = tree.find("/cpus");
+  if (cpus != nullptr) {
+    uint32_t cores = 0;
+    for (const auto& child : cpus->children()) {
+      if (child->base_name() == "cpu") ++cores;
+    }
+    if (cores == 0) {
+      diags.warning("baogen", "cpus node has no cpu@N children");
+    }
+    platform.cluster_core_counts.push_back(cores);
+    platform.cpu_num = cores;
+  } else {
+    diags.error("baogen", "platform DTS has no /cpus node");
+  }
+  return platform;
+}
+
+VmConfig extract_vm(const dts::Tree& tree, std::string name,
+                    support::DiagnosticEngine& diags) {
+  VmConfig vm;
+  vm.name = std::move(name);
+  checkers::Findings scratch;
+  auto all_regions = checkers::extract_regions(tree, scratch);
+
+  tree.visit([&](const std::string& path, const dts::Node& node) {
+    const dts::Property* dt = node.find_property("device_type");
+    if (dt != nullptr && dt->as_string() == std::optional<std::string>("memory")) {
+      for (const checkers::MemRegion& r : regions_of(all_regions, path)) {
+        vm.regions.push_back({r.base, r.size});
+      }
+      return;
+    }
+    if (is_veth(node)) {
+      auto rs = regions_of(all_regions, path);
+      if (!rs.empty()) {
+        IpcRegion ipc;
+        ipc.base = rs[0].base;
+        ipc.size = rs[0].size;
+        ipc.source = path;
+        if (const dts::Property* id = node.find_property("id")) {
+          ipc.shmem_id = id->as_u32().value_or(0);
+        }
+        vm.ipcs.push_back(std::move(ipc));
+      }
+      return;
+    }
+    if (is_uart(node)) {
+      for (const checkers::MemRegion& r : regions_of(all_regions, path)) {
+        DevRegion dev;
+        dev.pa = r.base;
+        dev.va = r.base;  // identity mapping, as in Listing 6
+        dev.size = r.size;
+        dev.source = path;
+        vm.devs.push_back(std::move(dev));
+      }
+    }
+  });
+
+  // CPU affinity: bitmask over the physical core ids found under /cpus.
+  if (const dts::Node* cpus = tree.find("/cpus")) {
+    for (const auto& child : cpus->children()) {
+      if (child->base_name() != "cpu") continue;
+      ++vm.cpu_num;
+      if (const dts::Property* reg = child->find_property("reg")) {
+        if (auto id = reg->as_u32()) {
+          if (*id < 32) vm.cpu_affinity |= 1u << *id;
+        }
+      }
+    }
+  }
+  if (vm.cpu_num == 0) {
+    diags.error("baogen", "VM '" + vm.name + "' has no CPU assigned");
+  }
+
+  if (!vm.regions.empty()) {
+    // Entry point and image base: the lowest memory region.
+    uint64_t lowest = UINT64_MAX;
+    for (const MemRegion& r : vm.regions) lowest = std::min(lowest, r.base);
+    vm.entry = lowest;
+    vm.base_addr = lowest;
+  } else {
+    diags.error("baogen", "VM '" + vm.name + "' has no memory region");
+  }
+  return vm;
+}
+
+BaoConfig assemble_config(std::vector<VmConfig> vms) {
+  BaoConfig config;
+  config.vms = std::move(vms);
+  for (const VmConfig& vm : config.vms) {
+    for (const IpcRegion& ipc : vm.ipcs) {
+      if (config.shmem_sizes.size() <= ipc.shmem_id) {
+        config.shmem_sizes.resize(ipc.shmem_id + 1, 0);
+      }
+      config.shmem_sizes[ipc.shmem_id] =
+          std::max(config.shmem_sizes[ipc.shmem_id], ipc.size);
+    }
+  }
+  return config;
+}
+
+std::string render_platform_c(const PlatformConfig& platform) {
+  std::ostringstream os;
+  os << "#include <platform.h>\n\n";
+  os << "struct platform_desc platform = {\n";
+  os << "  .cpu_num = " << platform.cpu_num << ",\n";
+  os << "  .region_num = " << platform.regions.size() << ",\n";
+  os << "  .regions = (struct mem_region[]) {\n";
+  for (const MemRegion& r : platform.regions) {
+    os << "    { .base = " << support::hex(r.base) << ", .size = "
+       << support::hex(r.size) << " },\n";
+  }
+  os << "  },\n";
+  if (platform.console_base) {
+    os << "\n  .console = { .base = " << support::hex(*platform.console_base)
+       << " },\n";
+  }
+  os << "\n  .arch = {\n    .clusters = {\n      .num = "
+     << platform.cluster_core_counts.size()
+     << ", .core_num = (uint8_t[]) {";
+  for (size_t i = 0; i < platform.cluster_core_counts.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << platform.cluster_core_counts[i];
+  }
+  os << "}\n    },\n  }\n};\n";
+  return os.str();
+}
+
+std::string render_config_c(const BaoConfig& config) {
+  std::ostringstream os;
+  os << "#include <config.h>\n\n";
+  for (const VmConfig& vm : config.vms) {
+    os << "VM_IMAGE(" << vm.name << ", " << vm.name << "image.bin);\n";
+  }
+  os << "\nstruct config config = {\n  CONFIG_HEADER\n";
+  os << "  .vmlist_size = " << config.vms.size() << ",\n";
+  os << "  .vmlist = {\n";
+  for (const VmConfig& vm : config.vms) {
+    os << "    { .image = {\n"
+       << "        .base_addr = " << support::hex(vm.base_addr) << ",\n"
+       << "        .load_addr = VM_IMAGE_OFFSET(" << vm.name << "),\n"
+       << "        .size = VM_IMAGE_SIZE(" << vm.name << ")\n"
+       << "      },\n";
+    os << "      .entry = " << support::hex(vm.entry) << ",\n";
+    // Affinity rendered in binary, as in Listing 6 (0b11).
+    os << "      .cpu_affinity = 0b";
+    bool any = false;
+    for (int bit = 31; bit >= 0; --bit) {
+      if (vm.cpu_affinity & (1u << bit)) any = true;
+      if (any) os << ((vm.cpu_affinity >> bit) & 1);
+    }
+    if (!any) os << '0';
+    os << ",\n";
+    os << "      .platform = { .cpu_num = " << vm.cpu_num
+       << ", .dev_num = " << vm.devs.size() << ",\n";
+    os << "        .region_num = " << vm.regions.size() << ",\n";
+    os << "        .regions = (struct mem_region[]) {\n";
+    for (const MemRegion& r : vm.regions) {
+      os << "          { .base = " << support::hex(r.base)
+         << ", .size = " << support::hex(r.size) << " },\n";
+    }
+    os << "        },\n";
+    os << "        .devs = (struct dev_region[]) {\n";
+    for (const DevRegion& d : vm.devs) {
+      if (!d.source.empty()) os << "          /* from " << d.source << " */\n";
+      os << "          { .pa = " << support::hex(d.pa)
+         << ", .va = " << support::hex(d.va)
+         << ", .size = " << support::hex(d.size) << " },\n";
+    }
+    os << "        },\n      },\n";
+    os << "      .ipc_num = " << vm.ipcs.size() << ",\n";
+    os << "      .ipcs = (struct ipc[]) {\n";
+    for (const IpcRegion& ipc : vm.ipcs) {
+      if (!ipc.source.empty()) {
+        os << "        { /* " << ipc.source << " */\n";
+      } else {
+        os << "        {\n";
+      }
+      os << "          .base = " << support::hex(ipc.base)
+         << ", .size = " << support::hex(ipc.size) << ",\n"
+         << "          .shmem_id = " << ipc.shmem_id << ",\n        },\n";
+    }
+    os << "      },\n    },\n";
+  }
+  os << "  },\n";
+  os << "  .shmemlist_size = " << config.shmem_sizes.size() << ",\n";
+  os << "  .shmemlist = (struct shmem[]) {\n";
+  for (size_t i = 0; i < config.shmem_sizes.size(); ++i) {
+    os << "    [" << i << "] = { .size = " << support::hex(config.shmem_sizes[i])
+       << " },\n";
+  }
+  os << "  },\n};\n";
+  return os.str();
+}
+
+std::string render_qemu_command(const VmConfig& vm,
+                                const QemuOptions& options) {
+  std::ostringstream os;
+  os << options.qemu_binary << " \\\n";
+  os << "  -machine " << options.machine << " -cpu " << options.cpu << " \\\n";
+  os << "  -smp " << vm.cpu_num << " \\\n";
+  // Memory size: sum of the VM's RAM regions, in MiB (QEMU's -m unit).
+  uint64_t bytes = 0;
+  for (const MemRegion& r : vm.regions) bytes += r.size;
+  os << "  -m " << (bytes >> 20) << "M \\\n";
+  os << "  -kernel " << options.kernel_image << " \\\n";
+  os << "  -dtb " << options.dtb_path << " \\\n";
+  os << "  -nographic";
+  for (size_t i = 0; i < vm.devs.size(); ++i) {
+    // UART MMIO windows ride on the machine model; expose them as serial
+    // chardevs in declaration order.
+    os << " \\\n  -serial mon:stdio";
+    break;  // one console; further UARTs would need explicit chardev ids
+  }
+  for (const IpcRegion& ipc : vm.ipcs) {
+    os << " \\\n  -object memory-backend-file,id=shmem" << ipc.shmem_id
+       << ",share=on,mem-path=/dev/shm/llhsc-ipc" << ipc.shmem_id << ",size="
+       << support::hex(ipc.size);
+    os << " \\\n  -device ivshmem-plain,memdev=shmem" << ipc.shmem_id;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace llhsc::baogen

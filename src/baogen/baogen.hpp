@@ -1,0 +1,110 @@
+// Bao hypervisor configuration generation — paper §II-C and §III-B. From a
+// checked DTS, llhsc extracts the platform description (Listing 3) and per-VM
+// configurations (Listing 6) and renders them as the C files Bao consumes.
+// The extraction rules:
+//   memory nodes (device_type = "memory")  -> mem_region entries
+//   cpus/cpu@N                             -> cpu_num / clusters / affinity
+//   uart nodes                             -> dev_region entries (pa == va),
+//                                             first UART doubles as console
+//   veth nodes (compatible = "veth")       -> ipc entries + shared memory
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dts/tree.hpp"
+#include "support/diagnostics.hpp"
+
+namespace llhsc::baogen {
+
+struct MemRegion {
+  uint64_t base = 0;
+  uint64_t size = 0;
+  friend bool operator==(const MemRegion&, const MemRegion&) = default;
+};
+
+struct DevRegion {
+  uint64_t pa = 0;
+  uint64_t va = 0;
+  uint64_t size = 0;
+  std::string source;  // node path, rendered as a comment
+  friend bool operator==(const DevRegion& a, const DevRegion& b) {
+    return a.pa == b.pa && a.va == b.va && a.size == b.size;
+  }
+};
+
+struct IpcRegion {
+  uint64_t base = 0;
+  uint64_t size = 0;
+  uint32_t shmem_id = 0;
+  std::string source;
+  friend bool operator==(const IpcRegion& a, const IpcRegion& b) {
+    return a.base == b.base && a.size == b.size && a.shmem_id == b.shmem_id;
+  }
+};
+
+/// Listing 3: struct platform_desc.
+struct PlatformConfig {
+  uint32_t cpu_num = 0;
+  std::vector<MemRegion> regions;
+  std::optional<uint64_t> console_base;
+  /// One entry per cluster: number of cores.
+  std::vector<uint32_t> cluster_core_counts;
+};
+
+/// Listing 6: one entry of config.vmlist.
+struct VmConfig {
+  std::string name = "vm";
+  uint64_t entry = 0;
+  uint64_t base_addr = 0;
+  uint32_t cpu_num = 0;
+  uint32_t cpu_affinity = 0;  // bitmask over physical core ids
+  std::vector<MemRegion> regions;
+  std::vector<DevRegion> devs;
+  std::vector<IpcRegion> ipcs;
+};
+
+/// Listing 6: the whole config file (vmlist + shmemlist).
+struct BaoConfig {
+  std::vector<VmConfig> vms;
+  /// shmemlist sizes indexed by shmem id.
+  std::vector<uint64_t> shmem_sizes;
+};
+
+/// Extracts the platform description from a (platform) DTS.
+[[nodiscard]] PlatformConfig extract_platform(const dts::Tree& tree,
+                                              support::DiagnosticEngine& diags);
+
+/// Extracts one VM's configuration from its DTS.
+[[nodiscard]] VmConfig extract_vm(const dts::Tree& tree, std::string name,
+                                  support::DiagnosticEngine& diags);
+
+/// Assembles the config file model from per-VM configs; shared-memory sizes
+/// are derived from the ipc regions (one shmem per distinct id, sized to the
+/// largest ipc mapped to it).
+[[nodiscard]] BaoConfig assemble_config(std::vector<VmConfig> vms);
+
+/// Renders Listing 3 (platform.c).
+[[nodiscard]] std::string render_platform_c(const PlatformConfig& platform);
+
+/// Renders Listing 6 (config.c).
+[[nodiscard]] std::string render_config_c(const BaoConfig& config);
+
+/// §V: the generated configurations "can be utilized not only in Bao ... but
+/// also in other virtualization solutions such as QEMU". Renders a QEMU
+/// system invocation for one VM: machine, smp/memory sizing from the config,
+/// the DTB, and serial/ipc device arguments.
+struct QemuOptions {
+  std::string qemu_binary = "qemu-system-aarch64";
+  std::string machine = "virt";
+  std::string cpu = "cortex-a53";
+  std::string kernel_image = "vmimage.bin";
+  std::string dtb_path = "vm.dtb";
+};
+
+[[nodiscard]] std::string render_qemu_command(const VmConfig& vm,
+                                              const QemuOptions& options = {});
+
+}  // namespace llhsc::baogen

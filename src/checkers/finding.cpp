@@ -1,0 +1,72 @@
+#include "checkers/finding.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace llhsc::checkers {
+
+std::string_view to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::kInvalidVmProduct: return "invalid-vm-product";
+    case FindingKind::kExclusivityViolation: return "exclusivity-violation";
+    case FindingKind::kInfeasibleAllocation: return "infeasible-allocation";
+    case FindingKind::kMissingRequired: return "missing-required";
+    case FindingKind::kConstMismatch: return "const-mismatch";
+    case FindingKind::kEnumViolation: return "enum-violation";
+    case FindingKind::kItemCountViolation: return "item-count";
+    case FindingKind::kRegShapeViolation: return "reg-shape";
+    case FindingKind::kTypeMismatch: return "type-mismatch";
+    case FindingKind::kPatternMismatch: return "pattern-mismatch";
+    case FindingKind::kUnknownProperty: return "unknown-property";
+    case FindingKind::kChildRuleViolation: return "child-rule";
+    case FindingKind::kNoSchema: return "no-schema";
+    case FindingKind::kAddressOverlap: return "address-overlap";
+    case FindingKind::kRegWidthViolation: return "reg-width";
+    case FindingKind::kSizeOverflow: return "size-overflow";
+    case FindingKind::kZeroSizeRegion: return "zero-size-region";
+    case FindingKind::kInterruptCollision: return "interrupt-collision";
+    case FindingKind::kNameConvention: return "name-convention";
+    case FindingKind::kUnitAddressMismatch: return "unit-address-mismatch";
+    case FindingKind::kUnitAddressMissing: return "unit-address-missing";
+    case FindingKind::kDuplicateUnitAddress: return "duplicate-unit-address";
+    case FindingKind::kMissingCells: return "missing-cells";
+    case FindingKind::kBadStatusValue: return "bad-status-value";
+    case FindingKind::kRangesViolation: return "ranges-violation";
+  }
+  return "unknown";
+}
+
+std::string Finding::render() const {
+  std::ostringstream os;
+  os << (severity == FindingSeverity::kError ? "error" : "warning") << ": ["
+     << to_string(kind) << "] " << subject;
+  if (!property.empty()) os << " (property '" << property << "')";
+  os << ": " << message;
+  if (!other_subject.empty()) os << " [other: " << other_subject << "]";
+  if (!delta.empty()) os << " [introduced by delta '" << delta << "']";
+  return os.str();
+}
+
+size_t error_count(const Findings& findings) {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == FindingSeverity::kError) ++n;
+  }
+  return n;
+}
+
+bool contains(const Findings& findings, FindingKind kind) {
+  for (const Finding& f : findings) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+std::string render(const Findings& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) os << f.render() << '\n';
+  return os.str();
+}
+
+}  // namespace llhsc::checkers

@@ -1,0 +1,78 @@
+// Machine-readable checker results. Checkers emit Findings (data, not text);
+// examples and the pipeline render them. `delta` carries provenance so a
+// finding on a generated DTS names the delta module that caused it (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhsc::checkers {
+
+enum class FindingKind : uint8_t {
+  // Resource allocation (§IV-A)
+  kInvalidVmProduct,       // a VM's selection violates the feature model
+  kExclusivityViolation,   // same exclusive resource in two VMs
+  kInfeasibleAllocation,   // no allocation exists for the requested VM count
+  // Syntactic (§IV-B)
+  kMissingRequired,        // required property absent
+  kConstMismatch,          // const-constrained property has a different value
+  kEnumViolation,          // value outside the allowed enum
+  kItemCountViolation,     // minItems/maxItems violated
+  kRegShapeViolation,      // reg size not a positive multiple of the stride
+  kTypeMismatch,           // property value has the wrong shape
+  kPatternMismatch,        // string does not match the schema pattern
+  kUnknownProperty,        // additionalProperties: false violated
+  kChildRuleViolation,     // child count/schema rules violated
+  kNoSchema,               // node matched no schema (warning)
+  // Semantic (§IV-C)
+  kAddressOverlap,         // two regions overlap
+  kRegWidthViolation,      // cell value exceeds the configured cell width
+  kSizeOverflow,           // base + size wraps around the address space
+  kZeroSizeRegion,         // region with size 0 (warning)
+  kInterruptCollision,     // two devices claim the same interrupt line
+  // Lint (dtc-style structural warnings)
+  kNameConvention,         // node/property name violates the DT spec charset
+  kUnitAddressMismatch,    // unit address disagrees with the first reg entry
+  kUnitAddressMissing,     // node has reg but no unit address (or vice versa)
+  kDuplicateUnitAddress,   // two siblings share a unit address
+  kMissingCells,           // children use reg but parent declares no cells
+  kBadStatusValue,         // status outside okay/disabled/reserved/fail*
+  kRangesViolation,        // child reg not covered by the bus's ranges
+};
+
+[[nodiscard]] std::string_view to_string(FindingKind k);
+
+enum class FindingSeverity : uint8_t { kWarning, kError };
+
+struct Finding {
+  FindingKind kind = FindingKind::kNoSchema;
+  FindingSeverity severity = FindingSeverity::kError;
+  /// Node path (or VM index rendering) the finding is about.
+  std::string subject;
+  /// Property involved, when applicable.
+  std::string property;
+  /// Second party for pairwise findings (the other overlapping region).
+  std::string other_subject;
+  /// Delta provenance ("" = core module).
+  std::string delta;
+  /// Address payload for semantic findings.
+  uint64_t base_a = 0, size_a = 0, base_b = 0, size_b = 0;
+  /// Overlap witness address produced by the solver model.
+  uint64_t witness = 0;
+  /// Human-readable explanation.
+  std::string message;
+
+  [[nodiscard]] std::string render() const;
+};
+
+using Findings = std::vector<Finding>;
+
+/// Counts findings at error severity.
+[[nodiscard]] size_t error_count(const Findings& findings);
+/// True when `findings` contains a finding of `kind`.
+[[nodiscard]] bool contains(const Findings& findings, FindingKind kind);
+/// Renders all findings, one per line.
+[[nodiscard]] std::string render(const Findings& findings);
+
+}  // namespace llhsc::checkers

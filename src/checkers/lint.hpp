@@ -1,0 +1,33 @@
+// Lint checker: dtc-style structural warnings that need no solver. These
+// are the "powerful syntax checker" rules beyond what the DTS grammar
+// enforces (paper §I): name conventions from the DT spec charset, unit
+// address vs reg consistency (dtc's -Wunit_address_vs_reg and
+// -Wunique_unit_address), cell-declaration hygiene, and status values.
+// All findings are warnings unless noted.
+#pragma once
+
+#include "checkers/finding.hpp"
+#include "dts/tree.hpp"
+
+namespace llhsc::checkers {
+
+struct LintOptions {
+  bool check_names = true;
+  bool check_unit_addresses = true;
+  bool check_cells_declarations = true;
+  bool check_status_values = true;
+  /// /aliases values and /chosen stdout-path must target existing nodes.
+  bool check_path_references = true;
+};
+
+class LintChecker {
+ public:
+  explicit LintChecker(LintOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Findings check(const dts::Tree& tree) const;
+
+ private:
+  LintOptions options_;
+};
+
+}  // namespace llhsc::checkers

@@ -1,0 +1,87 @@
+#include "checkers/report.hpp"
+
+#include <sstream>
+
+namespace llhsc::checkers {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_finding(std::ostringstream& os, const Finding& f) {
+  os << "{\"kind\": ";
+  append_escaped(os, to_string(f.kind));
+  os << ", \"severity\": ";
+  append_escaped(os, f.severity == FindingSeverity::kError ? "error"
+                                                           : "warning");
+  os << ", \"subject\": ";
+  append_escaped(os, f.subject);
+  if (!f.property.empty()) {
+    os << ", \"property\": ";
+    append_escaped(os, f.property);
+  }
+  if (!f.other_subject.empty()) {
+    os << ", \"other\": ";
+    append_escaped(os, f.other_subject);
+  }
+  if (!f.delta.empty()) {
+    os << ", \"delta\": ";
+    append_escaped(os, f.delta);
+  }
+  bool has_addresses = f.base_a != 0 || f.size_a != 0 || f.base_b != 0 ||
+                       f.size_b != 0 || f.kind == FindingKind::kAddressOverlap;
+  if (has_addresses) {
+    os << ", \"addresses\": {\"base_a\": " << f.base_a
+       << ", \"size_a\": " << f.size_a << ", \"base_b\": " << f.base_b
+       << ", \"size_b\": " << f.size_b << "}";
+    if (f.kind == FindingKind::kAddressOverlap) {
+      os << ", \"witness\": " << f.witness;
+    }
+  }
+  os << ", \"message\": ";
+  append_escaped(os, f.message);
+  os << '}';
+}
+
+}  // namespace
+
+std::string to_json(const Findings& findings) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) os << ", ";
+    append_finding(os, findings[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string report_json(const Findings& findings) {
+  std::ostringstream os;
+  os << "{\"errors\": " << error_count(findings)
+     << ", \"warnings\": " << (findings.size() - error_count(findings))
+     << ", \"findings\": " << to_json(findings) << '}';
+  return os.str();
+}
+
+}  // namespace llhsc::checkers

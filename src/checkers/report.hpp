@@ -1,0 +1,22 @@
+// Machine-readable reports: JSON rendering of Findings for editor/tooling
+// integration (the cloud-service use case of §V wants structured output).
+// Hand-rolled serialisation — no external JSON dependency.
+#pragma once
+
+#include <string>
+
+#include "checkers/finding.hpp"
+
+namespace llhsc::checkers {
+
+/// Renders findings as a JSON array of objects:
+///   [{"kind": "...", "severity": "error", "subject": "...", "property":
+///     "...", "other": "...", "delta": "...", "message": "...",
+///     "addresses": {"base_a": ..., ...}, "witness": ...}, ...]
+/// Address fields appear only for findings that carry them.
+[[nodiscard]] std::string to_json(const Findings& findings);
+
+/// One summary object: {"errors": N, "warnings": M, "findings": [...]}.
+[[nodiscard]] std::string report_json(const Findings& findings);
+
+}  // namespace llhsc::checkers

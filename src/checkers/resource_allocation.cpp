@@ -1,0 +1,117 @@
+#include "checkers/resource_allocation.hpp"
+
+namespace llhsc::checkers {
+
+ResourceAllocationChecker::ResourceAllocationChecker(
+    const feature::FeatureModel& model,
+    std::vector<feature::FeatureId> exclusive, smt::Backend backend)
+    : model_(&model), exclusive_(std::move(exclusive)), backend_(backend) {}
+
+std::optional<feature::Selection> ResourceAllocationChecker::to_selection(
+    const std::set<std::string>& names, Findings& out,
+    const std::string& subject) const {
+  feature::Selection sel(model_->size(), false);
+  bool ok = true;
+  for (const std::string& name : names) {
+    auto id = model_->find(name);
+    if (!id) {
+      Finding f;
+      f.kind = FindingKind::kInvalidVmProduct;
+      f.subject = subject;
+      f.message = "unknown feature '" + name + "'";
+      out.push_back(std::move(f));
+      ok = false;
+      continue;
+    }
+    sel[id->index] = true;
+  }
+  if (!ok) return std::nullopt;
+  return sel;
+}
+
+feature::Selection ResourceAllocationChecker::platform_union(
+    const std::vector<feature::Selection>& vm_selections) {
+  if (vm_selections.empty()) return {};
+  feature::Selection u(vm_selections[0].size(), false);
+  for (const feature::Selection& s : vm_selections) {
+    for (size_t i = 0; i < s.size() && i < u.size(); ++i) {
+      if (s[i]) u[i] = true;
+    }
+  }
+  return u;
+}
+
+Findings ResourceAllocationChecker::check(
+    const std::vector<std::set<std::string>>& vm_features) {
+  Findings out;
+  std::vector<feature::Selection> selections;
+  for (size_t k = 0; k < vm_features.size(); ++k) {
+    auto sel = to_selection(vm_features[k], out, "vm" + std::to_string(k));
+    if (!sel) return out;
+    selections.push_back(std::move(*sel));
+  }
+
+  // (a) Per-VM product validity against the feature model. Invalid products
+  // are explained via an unsat core over the feature decisions.
+  bool products_ok = true;
+  for (size_t k = 0; k < selections.size(); ++k) {
+    smt::Solver solver(backend_);
+    if (!feature::is_valid_product(*model_, solver, selections[k])) {
+      Finding f;
+      f.kind = FindingKind::kInvalidVmProduct;
+      f.subject = "vm" + std::to_string(k);
+      f.message = "selection is not a valid product of the feature model";
+      smt::Solver explain_solver(backend_);
+      auto conflict = feature::explain_invalid_product(*model_, explain_solver,
+                                                       selections[k]);
+      if (!conflict.empty()) {
+        f.message += "; conflicting decisions: ";
+        for (size_t i = 0; i < conflict.size(); ++i) {
+          if (i > 0) f.message += ", ";
+          f.message += selections[k][conflict[i].index] ? "" : "!";
+          f.message += model_->feature(conflict[i]).name;
+        }
+      }
+      out.push_back(std::move(f));
+      products_ok = false;
+    }
+  }
+
+  // (b) Across-VM exclusivity of designated resources.
+  bool exclusivity_ok = true;
+  for (feature::FeatureId ex : exclusive_) {
+    std::vector<size_t> holders;
+    for (size_t k = 0; k < selections.size(); ++k) {
+      if (selections[k][ex.index]) holders.push_back(k);
+    }
+    if (holders.size() > 1) {
+      Finding f;
+      f.kind = FindingKind::kExclusivityViolation;
+      f.subject = model_->feature(ex).name;
+      std::string vm_list;
+      for (size_t h : holders) {
+        if (!vm_list.empty()) vm_list += ", ";
+        vm_list += "vm" + std::to_string(h);
+      }
+      f.message = "exclusive resource selected by " + vm_list;
+      out.push_back(std::move(f));
+      exclusivity_ok = false;
+    }
+  }
+
+  // (c) Whole-allocation feasibility via the multi-VM encoding (catches
+  // interactions (a) and (b) miss, e.g. union-level inconsistencies).
+  if (products_ok && exclusivity_ok && !selections.empty()) {
+    smt::Solver solver(backend_);
+    if (!feature::check_allocation(*model_, solver, exclusive_, selections)) {
+      Finding f;
+      f.kind = FindingKind::kInfeasibleAllocation;
+      f.subject = "allocation";
+      f.message = "the combined allocation violates the multi-VM model";
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+}  // namespace llhsc::checkers

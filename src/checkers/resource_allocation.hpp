@@ -1,0 +1,47 @@
+// Resource-allocation checker — paper §IV-A. Validates a concrete
+// static-partitioning configuration: one feature selection per VM, checked
+// against (a) the per-VM feature-model semantics, (b) across-VM exclusivity
+// of designated resources (CPU cores), and (c) overall allocation
+// feasibility through the multi-VM SMT encoding. Guarantees the paper's
+// "correct by construction" property: a selection passing this checker is a
+// valid multi-product of the feature model.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checkers/finding.hpp"
+#include "feature/multivm.hpp"
+
+namespace llhsc::checkers {
+
+class ResourceAllocationChecker {
+ public:
+  ResourceAllocationChecker(const feature::FeatureModel& model,
+                            std::vector<feature::FeatureId> exclusive,
+                            smt::Backend backend = smt::Backend::kBuiltin);
+
+  /// Checks one VM-indexed list of selected feature-name sets.
+  [[nodiscard]] Findings check(
+      const std::vector<std::set<std::string>>& vm_features);
+
+  /// Converts feature names to a Selection; unknown names are reported.
+  [[nodiscard]] std::optional<feature::Selection> to_selection(
+      const std::set<std::string>& names, Findings& out,
+      const std::string& subject) const;
+
+  /// The union of VM selections = the platform selection (paper §III-A:
+  /// "the platform DTS is the union of selected features in both products").
+  [[nodiscard]] static feature::Selection platform_union(
+      const std::vector<feature::Selection>& vm_selections);
+
+  [[nodiscard]] const feature::FeatureModel& model() const { return *model_; }
+
+ private:
+  const feature::FeatureModel* model_;
+  std::vector<feature::FeatureId> exclusive_;
+  smt::Backend backend_;
+};
+
+}  // namespace llhsc::checkers

@@ -1,0 +1,390 @@
+#include "checkers/syntactic.hpp"
+
+#include "support/strings.hpp"
+
+namespace llhsc::checkers {
+
+namespace {
+
+/// The stride (cells per reg entry) a property's item counts are measured
+/// in: reg-style properties use the #address-cells + #size-cells governing
+/// the node (nearest-ancestor resolution); other cell arrays count single
+/// cells.
+uint32_t entry_stride(const dts::Tree& tree, const std::string& path,
+                      const std::string& prop_name) {
+  if (prop_name == "reg") {
+    auto [ac, sc] = tree.applicable_cells(path);
+    return ac + sc;
+  }
+  return 1;
+}
+
+std::string provenance_of(const dts::Property& p, const dts::Node& n) {
+  return !p.provenance.empty() ? p.provenance : n.provenance();
+}
+
+}  // namespace
+
+SyntacticChecker::SyntacticChecker(const schema::SchemaSet& schemas,
+                                   smt::Backend backend,
+                                   SyntacticOptions options)
+    : schemas_(&schemas), options_(options), solver_(backend) {}
+
+uint32_t SyntacticChecker::intern(const std::string& s) {
+  auto it = interned_.find(s);
+  if (it != interned_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(interned_.size()) + 1;
+  interned_.emplace(s, id);
+  return id;
+}
+
+Findings SyntacticChecker::check(const dts::Tree& tree) {
+  Findings out;
+  tree.visit([&](const std::string& path, const dts::Node& node) {
+    Findings node_findings = check_node(tree, node, path);
+    out.insert(out.end(), node_findings.begin(), node_findings.end());
+  });
+  return out;
+}
+
+Findings SyntacticChecker::check_node(const dts::Tree& tree,
+                                      const dts::Node& node,
+                                      const std::string& path) {
+  Findings out;
+  auto matching = schemas_->match(node);
+  if (matching.empty()) {
+    if (options_.warn_unmatched_nodes && path != "/" &&
+        !(options_.skip_empty_containers && node.properties().empty())) {
+      Finding f;
+      f.kind = FindingKind::kNoSchema;
+      f.severity = FindingSeverity::kWarning;
+      f.subject = path;
+      f.delta = node.provenance();
+      f.message = "no binding schema matches this node";
+      out.push_back(std::move(f));
+    }
+    return out;
+  }
+  for (const schema::NodeSchema* schema : matching) {
+    check_schema(tree, node, path, *schema, out);
+  }
+  return out;
+}
+
+void SyntacticChecker::check_schema(const dts::Tree& tree,
+                                    const dts::Node& node,
+                                    const std::string& path,
+                                    const schema::NodeSchema& schema,
+                                    Findings& out) {
+  auto& fa = solver_.formulas();
+  auto& bv = solver_.bitvectors();
+  const std::string ns = "n" + std::to_string(fresh_counter_++) + ".";
+
+  // --- presence predicate R(x) with instance closure (constraints 5+6) ---
+  std::unordered_map<std::string, logic::Formula> presence;
+  auto presence_of = [&](const std::string& name) {
+    auto it = presence.find(name);
+    if (it != presence.end()) return it->second;
+    logic::Formula var = solver_.bool_var(ns + "R(" + name + ")");
+    bool present = node.find_property(name) != nullptr;
+    solver_.add(present ? var : fa.mk_not(var));  // closure fact
+    presence.emplace(name, var);
+    return var;
+  };
+
+  // Required properties (constraints 2/3): R(x) must hold.
+  for (const std::string& req : schema.required) {
+    std::vector<logic::Formula> assume{presence_of(req)};
+    if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+      Finding f;
+      f.kind = FindingKind::kMissingRequired;
+      f.subject = path;
+      f.property = req;
+      f.delta = node.provenance();
+      f.message = "schema '" + schema.id + "' requires property '" + req + "'";
+      out.push_back(std::move(f));
+    }
+  }
+
+  // Per-property value constraints.
+  for (const schema::PropertySchema& ps : schema.properties) {
+    const dts::Property* inst = node.find_property(ps.name);
+    if (inst == nullptr) continue;  // absence handled by `required`
+    check_property_values(node, path, schema, ps, *inst,
+                          entry_stride(tree, path, ps.name), out);
+  }
+
+  // additionalProperties: false — instance properties must appear in the
+  // schema. (dt-schema allows the standard meta-properties everywhere.)
+  if (!schema.additional_properties) {
+    static const char* kMeta[] = {"#address-cells", "#size-cells", "phandle",
+                                  "status", "compatible", "device_type"};
+    for (const dts::Property& p : node.properties()) {
+      bool known = schema.find_property(p.name) != nullptr;
+      for (const char* m : kMeta) {
+        known = known || p.name == m;
+      }
+      if (!known) {
+        Finding f;
+        f.kind = FindingKind::kUnknownProperty;
+        f.subject = path;
+        f.property = p.name;
+        f.delta = provenance_of(p, node);
+        f.message = "schema '" + schema.id +
+                    "' does not allow additional property '" + p.name + "'";
+        out.push_back(std::move(f));
+      }
+    }
+  }
+
+  // reg shape (the dt-schema structural rule from §I-A): the reg cell count
+  // must be a positive multiple of (#address-cells + #size-cells). Encoded
+  // as the SMT query  exists k >= 1:  cells == k * stride.
+  if (schema.check_reg_shape) {
+    if (const dts::Property* reg = node.find_property("reg")) {
+      auto cells = reg->as_cells();
+      if (cells) {
+        uint32_t stride = entry_stride(tree, path, "reg");
+        auto cells_var = bv.bv_var(ns + "reg.cells", 16);
+        auto k = bv.bv_var(ns + "reg.entries", 16);
+        solver_.add(bv.eq(cells_var,
+                          bv.bv_const(cells->size() & 0xffff, 16)));
+        solver_.push();
+        solver_.add(bv.eq(cells_var,
+                          bv.bv_mul(k, bv.bv_const(stride, 16))));
+        solver_.add(bv.uge(k, bv.bv_const(1, 16)));
+        // Guard against multiplication wrap-around for large k.
+        solver_.add(bv.ule(k, bv.bv_const(4096, 16)));
+        bool shape_ok = solver_.check() == smt::CheckResult::kSat;
+        solver_.pop();
+        if (!shape_ok) {
+          Finding f;
+          f.kind = FindingKind::kRegShapeViolation;
+          f.subject = path;
+          f.property = "reg";
+          f.delta = provenance_of(*reg, node);
+          f.message = "reg has " + std::to_string(cells->size()) +
+                      " cells, not a positive multiple of #address-cells + "
+                      "#size-cells = " +
+                      std::to_string(stride);
+          out.push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  // Child rules: count + schema conformance of matching children. Counts go
+  // through the solver like item counts.
+  for (const schema::ChildRule& rule : schema.child_rules) {
+    uint32_t count = 0;
+    for (const auto& child : node.children()) {
+      if (support::glob_match(rule.name_pattern, child->name())) ++count;
+    }
+    auto count_var =
+        bv.bv_var(ns + "children(" + rule.name_pattern + ")", 16);
+    solver_.add(bv.eq(count_var, bv.bv_const(count, 16)));
+    logic::Formula in_bounds = fa.make_true();
+    if (rule.min_count) {
+      in_bounds = fa.mk_and(
+          in_bounds, bv.uge(count_var, bv.bv_const(*rule.min_count, 16)));
+    }
+    if (rule.max_count) {
+      in_bounds = fa.mk_and(
+          in_bounds, bv.ule(count_var, bv.bv_const(*rule.max_count, 16)));
+    }
+    std::vector<logic::Formula> assume{in_bounds};
+    if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+      Finding f;
+      f.kind = FindingKind::kChildRuleViolation;
+      f.subject = path;
+      f.delta = node.provenance();
+      f.message = "child count for pattern '" + rule.name_pattern + "' is " +
+                  std::to_string(count) + ", outside the allowed range";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+void SyntacticChecker::check_property_values(
+    const dts::Node& node, const std::string& path,
+    const schema::NodeSchema& schema, const schema::PropertySchema& ps,
+    const dts::Property& inst, uint32_t stride, Findings& out) {
+  auto& fa = solver_.formulas();
+  auto& bv = solver_.bitvectors();
+  const std::string ns = "p" + std::to_string(fresh_counter_++) + ".";
+  const std::string delta = provenance_of(inst, node);
+
+  auto add_finding = [&](FindingKind kind, std::string message) {
+    Finding f;
+    f.kind = kind;
+    f.subject = path;
+    f.property = ps.name;
+    f.delta = delta;
+    f.message = "schema '" + schema.id + "': " + std::move(message);
+    out.push_back(std::move(f));
+  };
+
+  // --- type shape ---
+  auto str = inst.as_string();
+  auto strs = inst.as_string_list();
+  auto cells = inst.as_cells();
+  switch (ps.type) {
+    case schema::PropertyType::kString:
+      if (!str) {
+        add_finding(FindingKind::kTypeMismatch,
+                    "expected a single string value");
+        return;
+      }
+      break;
+    case schema::PropertyType::kStringList:
+      if (!strs) {
+        add_finding(FindingKind::kTypeMismatch, "expected a string list");
+        return;
+      }
+      break;
+    case schema::PropertyType::kCells:
+      if (!cells) {
+        add_finding(FindingKind::kTypeMismatch, "expected a cell array");
+        return;
+      }
+      break;
+    case schema::PropertyType::kBool:
+      if (!inst.is_boolean()) {
+        add_finding(FindingKind::kTypeMismatch,
+                    "expected a boolean (presence-only) property");
+        return;
+      }
+      break;
+    case schema::PropertyType::kBytes:
+      if (inst.chunks.size() != 1 ||
+          inst.chunks[0].kind != dts::ChunkKind::kBytes) {
+        add_finding(FindingKind::kTypeMismatch, "expected a byte string");
+        return;
+      }
+      break;
+    case schema::PropertyType::kAny:
+      break;
+  }
+
+  // --- const / enum over strings (interned to bit-vector ids, the stand-in
+  // for the paper's Z3 string encoding: constraint (1)/(4)) ---
+  if (ps.const_string || !ps.enum_strings.empty() || ps.pattern) {
+    if (!str && strs && strs->size() == 1) str = (*strs)[0];
+    if (str) {
+      auto value_var = bv.bv_var(ns + "v(" + ps.name + ")", 32);
+      solver_.add(bv.eq(value_var, bv.bv_const(intern(*str), 32)));
+      if (ps.const_string) {
+        std::vector<logic::Formula> assume{
+            bv.eq(value_var, bv.bv_const(intern(*ps.const_string), 32))};
+        if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+          add_finding(FindingKind::kConstMismatch,
+                      "value \"" + *str + "\" must be \"" + *ps.const_string +
+                          "\"");
+        }
+      }
+      if (!ps.enum_strings.empty()) {
+        std::vector<logic::Formula> options;
+        for (const std::string& e : ps.enum_strings) {
+          options.push_back(bv.eq(value_var, bv.bv_const(intern(e), 32)));
+        }
+        std::vector<logic::Formula> assume{fa.mk_or(options)};
+        if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+          add_finding(FindingKind::kEnumViolation,
+                      "value \"" + *str + "\" is not one of the " +
+                          std::to_string(ps.enum_strings.size()) +
+                          " allowed values");
+        }
+      }
+      if (ps.pattern && !support::glob_match(*ps.pattern, *str)) {
+        add_finding(FindingKind::kPatternMismatch,
+                    "value \"" + *str + "\" does not match pattern '" +
+                        *ps.pattern + "'");
+      }
+    }
+  }
+
+  // --- const / enum over single-cell values ---
+  if ((ps.const_cell || !ps.enum_cells.empty()) && cells &&
+      cells->size() == 1) {
+    auto value_var = bv.bv_var(ns + "c(" + ps.name + ")", 64);
+    solver_.add(bv.eq(value_var, bv.bv_const((*cells)[0], 64)));
+    if (ps.const_cell) {
+      std::vector<logic::Formula> assume{
+          bv.eq(value_var, bv.bv_const(*ps.const_cell, 64))};
+      if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+        add_finding(FindingKind::kConstMismatch,
+                    "value " + support::hex((*cells)[0]) + " must be " +
+                        support::hex(*ps.const_cell));
+      }
+    }
+    if (!ps.enum_cells.empty()) {
+      std::vector<logic::Formula> options;
+      for (uint64_t e : ps.enum_cells) {
+        options.push_back(bv.eq(value_var, bv.bv_const(e, 64)));
+      }
+      std::vector<logic::Formula> assume{fa.mk_or(options)};
+      if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+        add_finding(FindingKind::kEnumViolation,
+                    "value " + support::hex((*cells)[0]) +
+                        " is not in the allowed set");
+      }
+    }
+  }
+
+  // --- minimum / maximum over every cell value (manufacturer ranges) ---
+  if ((ps.minimum || ps.maximum) && cells) {
+    for (size_t i = 0; i < cells->size(); ++i) {
+      auto value_var =
+          bv.bv_var(ns + "cell" + std::to_string(i) + "(" + ps.name + ")", 64);
+      solver_.add(bv.eq(value_var, bv.bv_const((*cells)[i], 64)));
+      logic::Formula in_range = fa.make_true();
+      if (ps.minimum) {
+        in_range = fa.mk_and(in_range,
+                             bv.uge(value_var, bv.bv_const(*ps.minimum, 64)));
+      }
+      if (ps.maximum) {
+        in_range = fa.mk_and(in_range,
+                             bv.ule(value_var, bv.bv_const(*ps.maximum, 64)));
+      }
+      std::vector<logic::Formula> assume{in_range};
+      if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+        add_finding(FindingKind::kEnumViolation,
+                    "cell " + std::to_string(i) + " value " +
+                        support::hex((*cells)[i]) + " is outside [" +
+                        (ps.minimum ? support::hex(*ps.minimum) : "0") + ", " +
+                        (ps.maximum ? support::hex(*ps.maximum) : "max") +
+                        "]");
+      }
+    }
+  }
+
+  // --- minItems / maxItems over the entry count ---
+  if ((ps.min_items || ps.max_items) && cells) {
+    uint32_t entries = stride == 0
+                           ? static_cast<uint32_t>(cells->size())
+                           : static_cast<uint32_t>(cells->size() / stride);
+    auto count_var = bv.bv_var(ns + "items(" + ps.name + ")", 16);
+    solver_.add(bv.eq(count_var, bv.bv_const(entries & 0xffff, 16)));
+    logic::Formula in_bounds = fa.make_true();
+    if (ps.min_items) {
+      in_bounds = fa.mk_and(in_bounds,
+                            bv.uge(count_var, bv.bv_const(*ps.min_items, 16)));
+    }
+    if (ps.max_items) {
+      in_bounds = fa.mk_and(in_bounds,
+                            bv.ule(count_var, bv.bv_const(*ps.max_items, 16)));
+    }
+    std::vector<logic::Formula> assume{in_bounds};
+    if (solver_.check_assuming(assume) == smt::CheckResult::kUnsat) {
+      add_finding(FindingKind::kItemCountViolation,
+                  "entry count " + std::to_string(entries) +
+                      " is outside [" +
+                      (ps.min_items ? std::to_string(*ps.min_items) : "0") +
+                      ", " +
+                      (ps.max_items ? std::to_string(*ps.max_items) : "inf") +
+                      "]");
+    }
+  }
+}
+
+}  // namespace llhsc::checkers

@@ -1,0 +1,72 @@
+// Syntactic checker — paper §IV-B. For every (node, matching schema) pair,
+// schema constraints become first-order axioms over:
+//
+//   R(x)      presence predicate for property x  (Boolean variable)
+//   v_x       the property's value (32-bit bit-vector; strings interned)
+//   n_x       the property's reg-style entry count (bit-vector)
+//
+// Proof obligations extracted from the DT binding instance close the model:
+// R(x) <-> (x appears in the instance) — constraints (5)+(6) — and v_x/n_x
+// are fixed to the instance values. Each schema constraint is then checked
+// by entailment: the constraint is violated iff facts /\ constraint is
+// unsatisfiable. Both solver backends serve the checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "checkers/finding.hpp"
+#include "dts/tree.hpp"
+#include "schema/schema.hpp"
+#include "smt/solver.hpp"
+
+namespace llhsc::checkers {
+
+struct SyntacticOptions {
+  /// Emit kNoSchema warnings for nodes no schema matches.
+  bool warn_unmatched_nodes = false;
+  /// Skip pure container nodes (no properties, only children) when warning
+  /// about unmatched nodes.
+  bool skip_empty_containers = true;
+};
+
+class SyntacticChecker {
+ public:
+  SyntacticChecker(const schema::SchemaSet& schemas,
+                   smt::Backend backend = smt::Backend::kBuiltin,
+                   SyntacticOptions options = {});
+
+  /// Checks every node of the tree against all matching schemas.
+  [[nodiscard]] Findings check(const dts::Tree& tree);
+
+  /// Checks a single node (plus its children for child rules).
+  [[nodiscard]] Findings check_node(const dts::Tree& tree,
+                                    const dts::Node& node,
+                                    const std::string& path);
+
+  /// Number of solver checks issued so far (benchmark instrumentation).
+  [[nodiscard]] uint64_t solver_checks() const { return solver_.stats().checks; }
+
+ private:
+  /// Interns a string into a stable 32-bit id used in bit-vector equalities
+  /// (the C++ stand-in for the paper's Z3 string/hybrid-theory encoding).
+  uint32_t intern(const std::string& s);
+
+  void check_schema(const dts::Tree& tree, const dts::Node& node,
+                    const std::string& path, const schema::NodeSchema& schema,
+                    Findings& out);
+  void check_property_values(const dts::Node& node, const std::string& path,
+                             const schema::NodeSchema& schema,
+                             const schema::PropertySchema& ps,
+                             const dts::Property& inst, uint32_t stride,
+                             Findings& out);
+
+  const schema::SchemaSet* schemas_;
+  SyntacticOptions options_;
+  smt::Solver solver_;
+  std::unordered_map<std::string, uint32_t> interned_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace llhsc::checkers

@@ -1,0 +1,115 @@
+#include "core/pipeline.hpp"
+
+#include "dts/printer.hpp"
+#include "fdt/fdt.hpp"
+
+namespace llhsc::core {
+
+Pipeline::Pipeline(const feature::FeatureModel& model,
+                   std::vector<feature::FeatureId> exclusive,
+                   const delta::ProductLine& product_line,
+                   const schema::SchemaSet& schemas, PipelineOptions options)
+    : model_(&model),
+      exclusive_(std::move(exclusive)),
+      product_line_(&product_line),
+      schemas_(&schemas),
+      options_(options) {}
+
+PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
+  PipelineResult result;
+
+  // -- Stage 1: resource allocation (§IV-A) --
+  if (options_.check_allocation) {
+    checkers::ResourceAllocationChecker rac(*model_, exclusive_,
+                                            options_.backend);
+    std::vector<std::set<std::string>> features;
+    features.reserve(vms.size());
+    for (const VmSpec& vm : vms) features.push_back(vm.features);
+    checkers::Findings alloc = rac.check(features);
+    result.findings.insert(result.findings.end(), alloc.begin(), alloc.end());
+    if (options_.fail_fast && checkers::error_count(result.findings) > 0) {
+      return result;
+    }
+  }
+
+  // -- Stage 2: delta application (§III-B) --
+  std::set<std::string> platform_features;
+  for (const VmSpec& vm : vms) {
+    platform_features.insert(vm.features.begin(), vm.features.end());
+  }
+  for (const VmSpec& vm : vms) {
+    auto tree = product_line_->derive(vm.features, result.diagnostics);
+    if (tree == nullptr) {
+      if (options_.fail_fast) return result;
+      continue;
+    }
+    GeneratedVm gen;
+    gen.name = vm.name;
+    gen.tree = std::move(tree);
+    result.vms.push_back(std::move(gen));
+  }
+  result.platform_tree =
+      product_line_->derive(platform_features, result.diagnostics);
+  if (result.diagnostics.has_errors() && options_.fail_fast) return result;
+
+  // -- Stages 3+4: syntactic and semantic checks per generated DTS --
+  auto check_tree = [&](const dts::Tree& tree) {
+    if (options_.check_lint) {
+      checkers::Findings f = checkers::LintChecker().check(tree);
+      result.findings.insert(result.findings.end(), f.begin(), f.end());
+    }
+    if (options_.check_syntax) {
+      checkers::SyntacticChecker syn(*schemas_, options_.backend);
+      checkers::Findings f = syn.check(tree);
+      result.findings.insert(result.findings.end(), f.begin(), f.end());
+    }
+    if (options_.check_semantics) {
+      checkers::SemanticChecker sem(options_.backend);
+      checkers::Findings f = sem.check(tree);
+      result.findings.insert(result.findings.end(), f.begin(), f.end());
+    }
+  };
+  for (const GeneratedVm& vm : result.vms) check_tree(*vm.tree);
+  if (options_.check_platform && result.platform_tree != nullptr) {
+    check_tree(*result.platform_tree);
+  }
+  if (checkers::error_count(result.findings) > 0 && options_.fail_fast) {
+    return result;
+  }
+
+  // -- Stage 5: artifact emission --
+  std::vector<baogen::VmConfig> vm_configs;
+  for (GeneratedVm& vm : result.vms) {
+    vm.dts_text = dts::print_dts(*vm.tree);
+    if (options_.emit_dtb) {
+      if (auto blob = fdt::emit(*vm.tree, result.diagnostics)) {
+        vm.dtb = std::move(*blob);
+      }
+    }
+    vm.config = baogen::extract_vm(*vm.tree, vm.name, result.diagnostics);
+    baogen::QemuOptions qemu;
+    qemu.kernel_image = vm.name + "image.bin";
+    qemu.dtb_path = vm.name + ".dtb";
+    vm.qemu_command = baogen::render_qemu_command(vm.config, qemu);
+    vm_configs.push_back(vm.config);
+  }
+  if (result.platform_tree != nullptr) {
+    result.platform_dts_text = dts::print_dts(*result.platform_tree);
+    if (options_.emit_dtb) {
+      if (auto blob = fdt::emit(*result.platform_tree, result.diagnostics)) {
+        result.platform_dtb = std::move(*blob);
+      }
+    }
+    result.platform_config =
+        baogen::extract_platform(*result.platform_tree, result.diagnostics);
+    result.platform_config_c =
+        baogen::render_platform_c(result.platform_config);
+  }
+  result.vm_config_c =
+      baogen::render_config_c(baogen::assemble_config(std::move(vm_configs)));
+
+  result.ok = result.error_count() == 0;
+  return result;
+}
+
+}  // namespace llhsc::core

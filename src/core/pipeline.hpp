@@ -1,0 +1,100 @@
+// The llhsc pipeline — the Fig. 2 workflow. Inputs: a feature model with
+// exclusive resources, a DTS product line (core + deltas), binding schemas,
+// and one feature configuration per VM. Stages:
+//
+//   1. resource-allocation check (§IV-A) of the VM configurations
+//   2. delta activation/ordering/application -> one DTS per VM, plus the
+//      platform DTS derived from the union of VM selections (§III-A)
+//   3. syntactic check (§IV-B) of every generated DTS
+//   4. semantic check (§IV-C) of every generated DTS
+//   5. artifact emission: DTS text, DTB blobs, Bao platform + VM config C
+//
+// Every finding carries delta provenance, so a failing product names the
+// delta module that caused it.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baogen/baogen.hpp"
+#include "checkers/finding.hpp"
+#include "checkers/lint.hpp"
+#include "checkers/resource_allocation.hpp"
+#include "checkers/semantic.hpp"
+#include "checkers/syntactic.hpp"
+#include "delta/delta.hpp"
+#include "feature/analysis.hpp"
+#include "schema/schema.hpp"
+
+namespace llhsc::core {
+
+struct VmSpec {
+  std::string name;
+  std::set<std::string> features;
+};
+
+struct PipelineOptions {
+  smt::Backend backend = smt::Backend::kBuiltin;
+  bool check_allocation = true;
+  bool check_syntax = true;
+  bool check_semantics = true;
+  /// dtc-style structural warnings on every generated DTS.
+  bool check_lint = true;
+  /// Also run the checkers on the derived platform DTS.
+  bool check_platform = true;
+  /// Emit DTB blobs for every generated DTS.
+  bool emit_dtb = true;
+  /// Stop at the first failing stage (true) or run all checks (false).
+  bool fail_fast = false;
+};
+
+struct GeneratedVm {
+  std::string name;
+  std::unique_ptr<dts::Tree> tree;
+  std::string dts_text;
+  std::vector<uint8_t> dtb;
+  baogen::VmConfig config;
+  /// §V: the QEMU invocation equivalent to this VM's configuration.
+  std::string qemu_command;
+};
+
+struct PipelineResult {
+  bool ok = false;
+  checkers::Findings findings;
+  support::DiagnosticEngine diagnostics;
+
+  std::vector<GeneratedVm> vms;
+  std::unique_ptr<dts::Tree> platform_tree;
+  std::string platform_dts_text;
+  std::vector<uint8_t> platform_dtb;
+
+  baogen::PlatformConfig platform_config;
+  std::string platform_config_c;   // Listing 3
+  std::string vm_config_c;         // Listing 6
+
+  [[nodiscard]] size_t error_count() const {
+    return checkers::error_count(findings) + diagnostics.error_count();
+  }
+};
+
+class Pipeline {
+ public:
+  Pipeline(const feature::FeatureModel& model,
+           std::vector<feature::FeatureId> exclusive,
+           const delta::ProductLine& product_line,
+           const schema::SchemaSet& schemas, PipelineOptions options = {});
+
+  /// Runs the full workflow for the given VM configurations.
+  [[nodiscard]] PipelineResult run(const std::vector<VmSpec>& vms);
+
+ private:
+  const feature::FeatureModel* model_;
+  std::vector<feature::FeatureId> exclusive_;
+  const delta::ProductLine* product_line_;
+  const schema::SchemaSet* schemas_;
+  PipelineOptions options_;
+};
+
+}  // namespace llhsc::core

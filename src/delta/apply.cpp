@@ -1,0 +1,163 @@
+// Delta application: resolves operation targets against the tree and applies
+// adds/modifies/removes with provenance stamping.
+#include "delta/delta.hpp"
+
+namespace llhsc::delta {
+
+namespace {
+
+/// Resolves a target to a node: absolute paths go through Tree::find;
+/// bare names search the whole tree for a unique (base-)name match.
+dts::Node* resolve_target(dts::Tree& tree, const std::string& target) {
+  if (!target.empty() && target[0] == '/') return tree.find(target);
+  dts::Node* match = nullptr;
+  bool ambiguous = false;
+  tree.visit([&](const std::string&, dts::Node& n) {
+    if (n.name() == target || n.base_name() == target) {
+      if (match != nullptr && match != &n) ambiguous = true;
+      if (match == nullptr) match = &n;
+    }
+  });
+  return ambiguous ? nullptr : match;
+}
+
+/// Recursively stamps a fragment with the delta's name before it enters the
+/// tree, so every created node/property is traceable.
+void stamp(dts::Node& node, const std::string& delta_name) {
+  node.set_provenance(delta_name);
+  for (dts::Property& p : node.properties()) p.provenance = delta_name;
+  for (const auto& c : node.children()) stamp(*c, delta_name);
+}
+
+/// adds: every fragment child must be new; fragment properties must be new.
+bool apply_adds(dts::Node& target, dts::Node&& fragment,
+                const DeltaModule& delta, const Operation& op,
+                support::DiagnosticEngine& diags) {
+  bool ok = true;
+  for (dts::Property& p : fragment.properties()) {
+    if (target.find_property(p.name) != nullptr) {
+      diags.error("delta-apply",
+                  "delta '" + delta.name + "' adds property '" + p.name +
+                      "' which already exists in " + op.target +
+                      " (use modifies)",
+                  op.location);
+      ok = false;
+      continue;
+    }
+    target.set_property(std::move(p));
+  }
+  // Move children out of the fragment.
+  std::vector<std::unique_ptr<dts::Node>> kids;
+  while (!fragment.children().empty()) {
+    // remove_child pops by name; take the first each round.
+    const std::string name = fragment.children().front()->name();
+    if (target.find_child(name) != nullptr) {
+      diags.error("delta-apply",
+                  "delta '" + delta.name + "' adds node '" + name +
+                      "' which already exists in " + op.target +
+                      " (use modifies)",
+                  op.location);
+      ok = false;
+      fragment.remove_child(name);
+      continue;
+    }
+    target.add_child(fragment.children().front()->clone());
+    fragment.remove_child(name);
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
+                 support::DiagnosticEngine& diags) {
+  bool ok = true;
+  for (const Operation& op : delta.operations) {
+    switch (op.kind) {
+      case OpKind::kAdds: {
+        dts::Node* target = resolve_target(tree, op.target);
+        if (target == nullptr) {
+          diags.error("delta-apply",
+                      "delta '" + delta.name + "' adds into unknown node '" +
+                          op.target + "'",
+                      op.location);
+          ok = false;
+          break;
+        }
+        auto fragment = op.body ? op.body->clone() : nullptr;
+        if (!fragment) break;
+        stamp(*fragment, delta.name);
+        if (!apply_adds(*target, std::move(*fragment), delta, op, diags)) {
+          ok = false;
+        }
+        break;
+      }
+      case OpKind::kModifies: {
+        dts::Node* target = resolve_target(tree, op.target);
+        if (target == nullptr) {
+          diags.error("delta-apply",
+                      "delta '" + delta.name + "' modifies unknown node '" +
+                          op.target + "'",
+                      op.location);
+          ok = false;
+          break;
+        }
+        auto fragment = op.body ? op.body->clone() : nullptr;
+        if (!fragment) break;
+        stamp(*fragment, delta.name);
+        fragment->set_name(target->name());
+        // merge_from would overwrite the *target's* provenance with the
+        // fragment's; that is exactly right — the delta now owns the change.
+        target->merge_from(std::move(*fragment));
+        break;
+      }
+      case OpKind::kRemovesNode: {
+        dts::Node* target = resolve_target(tree, op.target);
+        if (target == nullptr || target == &tree.root()) {
+          diags.error("delta-apply",
+                      "delta '" + delta.name + "' removes unknown node '" +
+                          op.target + "'",
+                      op.location);
+          ok = false;
+          break;
+        }
+        // Find the parent by path.
+        std::string path = tree.path_of(*target);
+        size_t slash = path.find_last_of('/');
+        std::string parent_path = slash == 0 ? "/" : path.substr(0, slash);
+        dts::Node* parent = tree.find(parent_path);
+        if (parent == nullptr || !parent->remove_child(target->name())) {
+          diags.error("delta-apply",
+                      "delta '" + delta.name + "' failed to remove node '" +
+                          op.target + "'",
+                      op.location);
+          ok = false;
+        }
+        break;
+      }
+      case OpKind::kRemovesProperty: {
+        dts::Node* target = resolve_target(tree, op.target);
+        if (target == nullptr) {
+          diags.error("delta-apply",
+                      "delta '" + delta.name +
+                          "' removes property from unknown node '" + op.target +
+                          "'",
+                      op.location);
+          ok = false;
+          break;
+        }
+        if (!target->remove_property(op.property_name)) {
+          diags.error("delta-apply",
+                      "delta '" + delta.name + "' removes missing property '" +
+                          op.property_name + "' from " + op.target,
+                      op.location);
+          ok = false;
+        }
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace llhsc::delta

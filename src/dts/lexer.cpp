@@ -1,0 +1,338 @@
+#include "dts/lexer.hpp"
+
+#include <cctype>
+
+#include "dts/parser.hpp"
+#include "support/strings.hpp"
+
+namespace llhsc::dts {
+
+namespace {
+bool is_ident_start(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '.' || c == '+' || c == '-' || c == ',';
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || c == '@' || c == '?';
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view source, std::string filename,
+             support::DiagnosticEngine& diags, const SourceManager* sources,
+             int max_include_depth)
+    : diags_(&diags),
+      sources_(sources),
+      max_include_depth_(max_include_depth) {
+  Buffer b;
+  b.src = source;
+  b.filename = std::move(filename);
+  buffers_.push_back(std::move(b));
+}
+
+support::SourceLocation Lexer::here() const {
+  const Buffer& b = buffers_.back();
+  return support::SourceLocation{b.filename, b.line, b.column};
+}
+
+bool Lexer::at_end_of_buffer() const {
+  const Buffer& b = buffers_.back();
+  return b.pos >= b.src.size();
+}
+
+char Lexer::cur() const {
+  const Buffer& b = buffers_.back();
+  return b.pos < b.src.size() ? b.src[b.pos] : '\0';
+}
+
+char Lexer::ahead(size_t n) const {
+  const Buffer& b = buffers_.back();
+  return b.pos + n < b.src.size() ? b.src[b.pos + n] : '\0';
+}
+
+void Lexer::advance() {
+  Buffer& b = top();
+  if (b.pos >= b.src.size()) return;
+  if (b.src[b.pos] == '\n') {
+    ++b.line;
+    b.column = 1;
+  } else {
+    ++b.column;
+  }
+  ++b.pos;
+}
+
+void Lexer::skip_trivia() {
+  while (true) {
+    if (at_end_of_buffer()) {
+      if (buffers_.size() == 1) return;
+      buffers_.pop_back();  // return to the including file
+      continue;
+    }
+    char c = cur();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && ahead() == '/') {
+      while (!at_end_of_buffer() && cur() != '\n') advance();
+    } else if (c == '/' && ahead() == '*') {
+      support::SourceLocation start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end_of_buffer()) {
+        if (cur() == '*' && ahead() == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) {
+        diags_->error("dts-lex", "unterminated block comment", start);
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.location = here();
+  return t;
+}
+
+const Token& Lexer::peek() {
+  if (!has_lookahead_) {
+    lookahead_ = lex_token();
+    has_lookahead_ = true;
+  }
+  return lookahead_;
+}
+
+Token Lexer::next() {
+  if (has_lookahead_) {
+    has_lookahead_ = false;
+    return lookahead_;
+  }
+  return lex_token();
+}
+
+void Lexer::handle_include(const support::SourceLocation& loc) {
+  // Consume the filename string that must follow /include/.
+  Token name = lex_token();
+  if (name.kind != TokenKind::kString) {
+    diags_->error("dts-include", "/include/ expects a quoted filename", loc);
+    return;
+  }
+  if (sources_ == nullptr) {
+    diags_->error("dts-include",
+                  "/include/ \"" + name.text +
+                      "\" is not available in this context",
+                  name.location);
+    return;
+  }
+  if (static_cast<int>(buffers_.size()) > max_include_depth_) {
+    diags_->error("dts-include",
+                  "include depth limit exceeded at \"" + name.text + "\"",
+                  name.location);
+    return;
+  }
+  auto content = sources_->load(name.text);
+  if (!content) {
+    diags_->error("dts-include", "cannot open include \"" + name.text + "\"",
+                  name.location);
+    return;
+  }
+  Buffer b;
+  b.owned = std::make_unique<std::string>(std::move(*content));
+  b.src = *b.owned;
+  b.filename = name.text;
+  buffers_.push_back(std::move(b));
+}
+
+Token Lexer::lex_token() {
+  skip_trivia();
+  support::SourceLocation loc = here();
+  auto at = [&](Token t) {
+    t.location = loc;
+    return t;
+  };
+  if (at_end_of_buffer() && buffers_.size() == 1) {
+    return at(make(TokenKind::kEnd));
+  }
+
+  char c = cur();
+  switch (c) {
+    case '{': advance(); return at(make(TokenKind::kLBrace, "{"));
+    case '}': advance(); return at(make(TokenKind::kRBrace, "}"));
+    case ';': advance(); return at(make(TokenKind::kSemi, ";"));
+    case '=': advance(); return at(make(TokenKind::kEquals, "="));
+    case '[': advance(); return at(make(TokenKind::kLBracket, "["));
+    case ']': advance(); return at(make(TokenKind::kRBracket, "]"));
+    case '(': advance(); return at(make(TokenKind::kLParen, "("));
+    case ')': advance(); return at(make(TokenKind::kRParen, ")"));
+    case ',': advance(); return at(make(TokenKind::kComma, ","));
+    default: break;
+  }
+
+  if (c == '<') {
+    if (ahead() == '<') {
+      advance();
+      advance();
+      return at(make(TokenKind::kArith, "<<"));
+    }
+    advance();
+    return at(make(TokenKind::kLAngle, "<"));
+  }
+  if (c == '>') {
+    if (ahead() == '>') {
+      advance();
+      advance();
+      return at(make(TokenKind::kArith, ">>"));
+    }
+    advance();
+    return at(make(TokenKind::kRAngle, ">"));
+  }
+
+  if (c == '"') {
+    advance();
+    std::string payload;
+    while (!at_end_of_buffer() && cur() != '"') {
+      if (cur() == '\\' && !at_end_of_buffer()) {
+        advance();
+        char esc = cur();
+        switch (esc) {
+          case 'n': payload += '\n'; break;
+          case 't': payload += '\t'; break;
+          case 'r': payload += '\r'; break;
+          case '0': payload += '\0'; break;
+          case '\\': payload += '\\'; break;
+          case '"': payload += '"'; break;
+          default: payload += esc; break;
+        }
+        advance();
+      } else {
+        payload += cur();
+        advance();
+      }
+    }
+    if (at_end_of_buffer()) {
+      diags_->error("dts-lex", "unterminated string literal", loc);
+      return at(make(TokenKind::kEnd));
+    }
+    advance();  // closing quote
+    return at(make(TokenKind::kString, std::move(payload)));
+  }
+
+  if (c == '&') {
+    advance();
+    std::string label;
+    if (cur() == '{') {
+      // &{/full/path}
+      advance();
+      while (!at_end_of_buffer() && cur() != '}') {
+        label += cur();
+        advance();
+      }
+      if (cur() == '}') advance();
+    } else {
+      while (!at_end_of_buffer() && is_ident_char(cur())) {
+        label += cur();
+        advance();
+      }
+    }
+    if (label.empty()) {
+      // bare '&' is a bitwise operator inside expressions
+      return at(make(TokenKind::kArith, "&"));
+    }
+    return at(make(TokenKind::kRef, std::move(label)));
+  }
+
+  if (c == '/') {
+    // Directive /ident/ or the root node '/'. Save only the cursor so the
+    // buffer's owned storage is never copied (src points into it).
+    size_t save_pos = top().pos;
+    uint32_t save_line = top().line;
+    uint32_t save_col = top().column;
+    advance();
+    std::string word;
+    while (!at_end_of_buffer() &&
+           (std::isalnum(static_cast<unsigned char>(cur())) || cur() == '-')) {
+      word += cur();
+      advance();
+    }
+    if (!word.empty() && cur() == '/') {
+      advance();
+      if (word == "include") {
+        handle_include(loc);
+        return lex_token();  // splice: next token comes from the include
+      }
+      return at(make(TokenKind::kDirective, std::move(word)));
+    }
+    // Not a directive: rewind to just after '/'.
+    top().pos = save_pos;
+    top().line = save_line;
+    top().column = save_col;
+    advance();
+    return at(make(TokenKind::kSlash, "/"));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string digits;
+    while (!at_end_of_buffer() &&
+           std::isalnum(static_cast<unsigned char>(cur()))) {
+      digits += cur();
+      advance();
+    }
+    auto parsed = support::parse_integer(digits);
+    if (parsed) {
+      Token t = make(TokenKind::kInt, digits);
+      t.value = *parsed;
+      return at(std::move(t));
+    }
+    // A name like "2nd-bus" starts with a digit: continue as identifier.
+    while (!at_end_of_buffer() && is_ident_char(cur())) {
+      digits += cur();
+      advance();
+    }
+    return at(make(TokenKind::kIdent, std::move(digits)));
+  }
+
+  if (is_ident_start(c)) {
+    std::string word;
+    while (!at_end_of_buffer() && is_ident_char(cur())) {
+      word += cur();
+      advance();
+    }
+    if (cur() == ':') {
+      advance();
+      return at(make(TokenKind::kLabel, std::move(word)));
+    }
+    return at(make(TokenKind::kIdent, std::move(word)));
+  }
+
+  if (c == '+' || c == '-' || c == '*' || c == '%' || c == '|' || c == '^' ||
+      c == '~' || c == '!') {
+    advance();
+    return at(make(TokenKind::kArith, std::string(1, c)));
+  }
+
+  diags_->error("dts-lex", std::string("unexpected character '") + c + "'", loc);
+  advance();
+  return lex_token();
+}
+
+std::vector<Token> Lexer::tokenize_all() {
+  std::vector<Token> out;
+  while (true) {
+    Token t = next();
+    bool end = t.kind == TokenKind::kEnd;
+    out.push_back(std::move(t));
+    if (end) return out;
+  }
+}
+
+}  // namespace llhsc::dts

@@ -1,0 +1,216 @@
+#include "dts/overlay.hpp"
+
+#include <functional>
+
+#include "dts/lexer.hpp"
+
+namespace llhsc::dts {
+
+namespace {
+
+/// Post-processes a node parsed from "/ { fragment@N { ... } }" form into
+/// an OverlayFragment. Returns false on shape errors.
+bool fragment_from_node(Node&& node, OverlayFragment& out,
+                        support::DiagnosticEngine& diags) {
+  out.location = node.location();
+  if (const Property* target = node.find_property("target")) {
+    // target = <&label>; the reference is still symbolic here.
+    if (target->chunks.size() == 1 &&
+        target->chunks[0].kind == ChunkKind::kCells &&
+        target->chunks[0].cells.size() == 1 &&
+        target->chunks[0].cells[0].is_ref) {
+      out.target_label = target->chunks[0].cells[0].ref;
+    } else {
+      diags.error("overlay-parse",
+                  "fragment target must be a single <&label> reference",
+                  target->location);
+      return false;
+    }
+  }
+  if (const Property* path = node.find_property("target-path")) {
+    auto s = path->as_string();
+    if (!s) {
+      diags.error("overlay-parse", "target-path must be a string",
+                  path->location);
+      return false;
+    }
+    out.target_path = *s;
+  }
+  if (out.target_label.empty() == out.target_path.empty()) {
+    diags.error("overlay-parse",
+                "fragment needs exactly one of target / target-path",
+                node.location());
+    return false;
+  }
+  Node* body = node.find_child("__overlay__");
+  if (body == nullptr) {
+    diags.error("overlay-parse", "fragment has no __overlay__ node",
+                node.location());
+    return false;
+  }
+  out.content = body->clone();
+  out.content->set_name("__overlay__");
+  return true;
+}
+
+}  // namespace
+
+std::optional<Overlay> parse_overlay(std::string_view source,
+                                     std::string filename,
+                                     const SourceManager& sources,
+                                     support::DiagnosticEngine& diags) {
+  size_t errors_before = diags.error_count();
+  Overlay overlay;
+  overlay.name = filename;
+  Lexer lexer(source, std::move(filename), diags, &sources);
+
+  bool plugin_seen = false;
+  while (true) {
+    Token t = lexer.next();
+    if (t.kind == TokenKind::kEnd) break;
+    if (t.kind == TokenKind::kDirective) {
+      if (t.text == "dts-v1") {
+        Token semi = lexer.next();
+        if (semi.kind != TokenKind::kSemi) {
+          diags.error("overlay-parse", "expected ';' after /dts-v1/",
+                      semi.location);
+        }
+      } else if (t.text == "plugin") {
+        plugin_seen = true;
+        Token semi = lexer.next();
+        if (semi.kind != TokenKind::kSemi) {
+          diags.error("overlay-parse", "expected ';' after /plugin/",
+                      semi.location);
+        }
+      } else {
+        diags.error("overlay-parse", "unexpected directive /" + t.text + "/",
+                    t.location);
+      }
+      continue;
+    }
+    if (t.kind == TokenKind::kRef) {
+      // Sugar: &label { body };  ==  one fragment targeting the label.
+      Token open = lexer.next();
+      if (open.kind != TokenKind::kLBrace) {
+        diags.error("overlay-parse", "expected '{' after &" + t.text,
+                    open.location);
+        break;
+      }
+      Node body("__overlay__");
+      parse_node_body_into(body, lexer, diags);
+      Token semi = lexer.next();
+      if (semi.kind != TokenKind::kSemi) {
+        diags.error("overlay-parse", "expected ';' after fragment body",
+                    semi.location);
+      }
+      OverlayFragment frag;
+      frag.target_label = t.text;
+      frag.location = t.location;
+      frag.content = body.clone();
+      overlay.fragments.push_back(std::move(frag));
+      continue;
+    }
+    if (t.kind == TokenKind::kSlash) {
+      // Explicit form: / { fragment@N { ... }; ... };
+      Token open = lexer.next();
+      if (open.kind != TokenKind::kLBrace) {
+        diags.error("overlay-parse", "expected '{' after '/'", open.location);
+        break;
+      }
+      Node root("/");
+      parse_node_body_into(root, lexer, diags);
+      Token semi = lexer.next();
+      if (semi.kind != TokenKind::kSemi) {
+        diags.error("overlay-parse", "expected ';' after root node",
+                    semi.location);
+      }
+      for (const auto& child : root.children()) {
+        if (child->base_name() != "fragment") {
+          diags.error("overlay-parse",
+                      "overlay root children must be fragment@N nodes, found '" +
+                          child->name() + "'",
+                      child->location());
+          continue;
+        }
+        OverlayFragment frag;
+        if (fragment_from_node(std::move(*child->clone()), frag, diags)) {
+          overlay.fragments.push_back(std::move(frag));
+        }
+      }
+      continue;
+    }
+    diags.error("overlay-parse", "unexpected token '" + t.text + "'",
+                t.location);
+    break;
+  }
+
+  if (!plugin_seen) {
+    diags.error("overlay-parse", "overlay source is missing /plugin/");
+  }
+  if (diags.error_count() > errors_before) return std::nullopt;
+  return overlay;
+}
+
+bool apply_overlay(Tree& base, const Overlay& overlay,
+                   support::DiagnosticEngine& diags) {
+  bool ok = true;
+  for (const OverlayFragment& frag : overlay.fragments) {
+    Node* target = nullptr;
+    if (!frag.target_path.empty()) {
+      target = base.find(frag.target_path);
+    } else {
+      target = base.find_label(frag.target_label);
+      if (target == nullptr) {
+        // Fall back to __symbols__ (compiled base blobs carry labels there).
+        if (const Node* symbols = base.find("/__symbols__")) {
+          if (const Property* entry =
+                  symbols->find_property(frag.target_label)) {
+            if (auto path = entry->as_string()) target = base.find(*path);
+          }
+        }
+      }
+    }
+    if (target == nullptr) {
+      diags.error("overlay-apply",
+                  "cannot resolve overlay target " +
+                      (frag.target_path.empty() ? "&" + frag.target_label
+                                                : frag.target_path),
+                  frag.location);
+      ok = false;
+      continue;
+    }
+    auto content = frag.content->clone();
+    // Stamp provenance so checker findings name the overlay.
+    std::function<void(Node&)> stamp = [&](Node& n) {
+      n.set_provenance("overlay:" + overlay.name);
+      for (Property& p : n.properties()) {
+        p.provenance = "overlay:" + overlay.name;
+      }
+      for (const auto& c : n.children()) stamp(*c);
+    };
+    stamp(*content);
+    content->set_name(target->name());
+    target->merge_from(std::move(*content));
+  }
+  // Connect any symbolic references the overlay brought along.
+  if (!base.resolve_references(diags)) ok = false;
+  return ok;
+}
+
+void add_symbols_node(Tree& tree) {
+  // Collect labels before touching the tree (visit while mutating the
+  // /__symbols__ node we add would self-reference).
+  std::vector<std::pair<std::string, std::string>> symbols;
+  tree.visit([&](const std::string& path, const Node& node) {
+    if (path == "/__symbols__") return;
+    for (const std::string& label : node.labels()) {
+      symbols.emplace_back(label, path);
+    }
+  });
+  Node& sym = tree.root().get_or_create_child("__symbols__");
+  for (auto& [label, path] : symbols) {
+    sym.set_property(Property::string(label, path));
+  }
+}
+
+}  // namespace llhsc::dts

@@ -1,0 +1,65 @@
+// DeviceTree overlays (dtc -@ / /plugin/): the mainline kernel's runtime
+// variability mechanism, implemented alongside the paper's delta modules so
+// the two composition styles can be compared (see bench_delta and
+// EXPERIMENTS.md). Supported:
+//
+//   /dts-v1/;
+//   /plugin/;
+//   &uart0 { status = "okay"; };            // label-target sugar
+//   / {
+//       fragment@0 {
+//           target-path = "/soc";           // or: target = <&label>;
+//           __overlay__ {
+//               newdev@1000 { ... };
+//           };
+//       };
+//   };
+//
+// plus __symbols__ generation on base trees (label -> path), which is what
+// makes label-targeted overlays resolvable against a compiled base blob.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dts/parser.hpp"
+#include "dts/tree.hpp"
+
+namespace llhsc::dts {
+
+struct OverlayFragment {
+  /// Exactly one of these identifies the target in the base tree.
+  std::string target_label;
+  std::string target_path;
+  /// The __overlay__ body to merge into the target.
+  std::unique_ptr<Node> content;
+  support::SourceLocation location;
+};
+
+struct Overlay {
+  std::string name;
+  std::vector<OverlayFragment> fragments;
+};
+
+/// Parses an overlay source (must carry the /plugin/ directive). Label
+/// references inside fragment bodies stay symbolic — they resolve against
+/// the *base* tree at application time.
+[[nodiscard]] std::optional<Overlay> parse_overlay(
+    std::string_view source, std::string filename,
+    const SourceManager& sources, support::DiagnosticEngine& diags);
+
+/// Applies an overlay to a base tree: resolves each fragment's target
+/// (label via the base tree's labels / __symbols__, or path), merges the
+/// fragment content (dtc semantics), then re-resolves references so
+/// cross-tree phandles connect. Fragment provenance is stamped as
+/// "overlay:<name>". Returns false when any fragment failed.
+bool apply_overlay(Tree& base, const Overlay& overlay,
+                   support::DiagnosticEngine& diags);
+
+/// Adds the /__symbols__ node (label -> full path) that makes a base tree
+/// overlay-capable (dtc -@). Idempotent.
+void add_symbols_node(Tree& tree);
+
+}  // namespace llhsc::dts

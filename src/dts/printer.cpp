@@ -1,0 +1,129 @@
+#include "dts/printer.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace llhsc::dts {
+
+namespace {
+
+void print_chunk(std::ostringstream& os, const Chunk& chunk,
+                 const PrintOptions& options) {
+  switch (chunk.kind) {
+    case ChunkKind::kCells: {
+      if (chunk.element_bits != 32) {
+        os << "/bits/ " << static_cast<int>(chunk.element_bits) << ' ';
+      }
+      os << '<';
+      for (size_t i = 0; i < chunk.cells.size(); ++i) {
+        if (i > 0) os << ' ';
+        const Cell& c = chunk.cells[i];
+        if (c.is_ref) {
+          os << '&' << c.ref;
+        } else if (options.hex_cells) {
+          os << support::hex(c.value);
+        } else {
+          os << c.value;
+        }
+      }
+      os << '>';
+      break;
+    }
+    case ChunkKind::kString: {
+      os << '"';
+      for (char ch : chunk.text) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << ch; break;
+        }
+      }
+      os << '"';
+      break;
+    }
+    case ChunkKind::kBytes: {
+      os << '[';
+      for (size_t i = 0; i < chunk.bytes.size(); ++i) {
+        if (i > 0) os << ' ';
+        static const char* digits = "0123456789abcdef";
+        os << digits[chunk.bytes[i] >> 4] << digits[chunk.bytes[i] & 0xf];
+      }
+      os << ']';
+      break;
+    }
+    case ChunkKind::kRef:
+      os << '&' << chunk.text;
+      break;
+  }
+}
+
+void print_property_impl(std::ostringstream& os, const Property& p,
+                         const PrintOptions& options) {
+  os << p.name;
+  if (!p.chunks.empty()) {
+    os << " = ";
+    for (size_t i = 0; i < p.chunks.size(); ++i) {
+      if (i > 0) os << ", ";
+      print_chunk(os, p.chunks[i], options);
+    }
+  }
+  os << ';';
+  if (options.provenance_comments && !p.provenance.empty()) {
+    os << " /* delta: " << p.provenance << " */";
+  }
+}
+
+void print_node_impl(std::ostringstream& os, const Node& node, int depth,
+                     const PrintOptions& options) {
+  std::string pad(static_cast<size_t>(depth) * options.indent, ' ');
+  os << pad;
+  for (const std::string& label : node.labels()) os << label << ": ";
+  os << node.name() << " {";
+  if (options.provenance_comments && !node.provenance().empty()) {
+    os << " /* delta: " << node.provenance() << " */";
+  }
+  os << '\n';
+  std::string inner_pad(static_cast<size_t>(depth + 1) * options.indent, ' ');
+  for (const Property& p : node.properties()) {
+    os << inner_pad;
+    print_property_impl(os, p, options);
+    os << '\n';
+  }
+  if (!node.properties().empty() && !node.children().empty()) os << '\n';
+  for (size_t i = 0; i < node.children().size(); ++i) {
+    if (i > 0) os << '\n';
+    print_node_impl(os, *node.children()[i], depth + 1, options);
+  }
+  os << pad << "};\n";
+}
+
+}  // namespace
+
+std::string print_property(const Property& property,
+                           const PrintOptions& options) {
+  std::ostringstream os;
+  print_property_impl(os, property, options);
+  return os.str();
+}
+
+std::string print_node(const Node& node, int depth, const PrintOptions& options) {
+  std::ostringstream os;
+  print_node_impl(os, node, depth, options);
+  return os.str();
+}
+
+std::string print_dts(const Tree& tree, const PrintOptions& options) {
+  std::ostringstream os;
+  if (options.emit_version_header) os << "/dts-v1/;\n\n";
+  for (const MemReserve& mr : tree.memreserves()) {
+    os << "/memreserve/ " << support::hex(mr.address) << ' '
+       << support::hex(mr.size) << ";\n";
+  }
+  print_node_impl(os, tree.root(), 0, options);
+  return os.str();
+}
+
+}  // namespace llhsc::dts

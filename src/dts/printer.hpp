@@ -1,0 +1,31 @@
+// DTS pretty-printer: renders a Tree back to DeviceTree source. Output is
+// stable (property and child order preserved) and round-trips through the
+// parser — the product-line engine emits its generated DTSs through this.
+#pragma once
+
+#include <string>
+
+#include "dts/tree.hpp"
+
+namespace llhsc::dts {
+
+struct PrintOptions {
+  /// Emit the /dts-v1/; header line.
+  bool emit_version_header = true;
+  /// Spaces per indent level.
+  int indent = 4;
+  /// Emit cells in hexadecimal (dtc's convention for addresses).
+  bool hex_cells = true;
+  /// Annotate nodes/properties carrying provenance with a trailing comment
+  /// naming the delta module that produced them.
+  bool provenance_comments = false;
+};
+
+[[nodiscard]] std::string print_dts(const Tree& tree,
+                                    const PrintOptions& options = {});
+[[nodiscard]] std::string print_node(const Node& node, int depth = 0,
+                                     const PrintOptions& options = {});
+[[nodiscard]] std::string print_property(const Property& property,
+                                         const PrintOptions& options = {});
+
+}  // namespace llhsc::dts

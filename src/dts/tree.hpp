@@ -1,0 +1,253 @@
+// In-memory DeviceTree model. Mirrors the DTS data model of the DeviceTree
+// Specification v0.4: a tree of named nodes, each carrying an ordered list of
+// properties; property values are sequences of chunks — cell arrays (<...>),
+// strings, byte strings ([..]) and label references (&label).
+//
+// Two llhsc-specific extensions:
+//   * provenance: every node/property remembers which delta module produced
+//     it (empty = core module), so checker findings can be traced back to the
+//     culpable delta (paper §III-B);
+//   * merge semantics matching dtc: defining the same node twice merges the
+//     bodies, with later properties overriding earlier ones. The delta engine
+//     builds its `modifies` operation on top of this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace llhsc::dts {
+
+/// One 32-bit cell inside <...>; either a literal or a reference to a label
+/// (resolved to a phandle during finalisation).
+struct Cell {
+  uint64_t value = 0;       // literal (may exceed 32 bits before validation)
+  std::string ref;          // label name when is_ref
+  bool is_ref = false;
+
+  static Cell literal(uint64_t v) { return Cell{v, {}, false}; }
+  static Cell reference(std::string label) { return Cell{0, std::move(label), true}; }
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+enum class ChunkKind : uint8_t { kCells, kString, kBytes, kRef };
+
+/// One comma-separated piece of a property value.
+struct Chunk {
+  ChunkKind kind = ChunkKind::kCells;
+  std::vector<Cell> cells;   // kCells
+  std::string text;          // kString / kRef (label name)
+  std::vector<uint8_t> bytes;  // kBytes
+  /// Element width for kCells set by the /bits/ directive (8/16/32/64);
+  /// 32 is the DTS default.
+  uint8_t element_bits = 32;
+
+  static Chunk make_cells(std::vector<Cell> cs, uint8_t bits = 32) {
+    Chunk c;
+    c.kind = ChunkKind::kCells;
+    c.cells = std::move(cs);
+    c.element_bits = bits;
+    return c;
+  }
+  static Chunk make_string(std::string s) {
+    Chunk c;
+    c.kind = ChunkKind::kString;
+    c.text = std::move(s);
+    return c;
+  }
+  static Chunk make_bytes(std::vector<uint8_t> b) {
+    Chunk c;
+    c.kind = ChunkKind::kBytes;
+    c.bytes = std::move(b);
+    return c;
+  }
+  static Chunk make_ref(std::string label) {
+    Chunk c;
+    c.kind = ChunkKind::kRef;
+    c.text = std::move(label);
+    return c;
+  }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+struct Property {
+  std::string name;
+  std::vector<Chunk> chunks;          // empty = boolean/presence property
+  support::SourceLocation location;
+  std::string provenance;             // delta module id; empty = core
+
+  /// Convenience constructors for programmatic tree building.
+  static Property boolean(std::string name);
+  static Property cells(std::string name, std::vector<uint64_t> values);
+  static Property string(std::string name, std::string value);
+  static Property strings(std::string name, std::vector<std::string> values);
+
+  // -- typed readers (nullopt when the shape does not match) --
+  [[nodiscard]] bool is_boolean() const { return chunks.empty(); }
+  /// Flattens every kCells chunk into one cell vector (refs excluded -> nullopt).
+  [[nodiscard]] std::optional<std::vector<uint64_t>> as_cells() const;
+  [[nodiscard]] std::optional<std::string> as_string() const;
+  [[nodiscard]] std::optional<std::vector<std::string>> as_string_list() const;
+  /// First cell as u32 (the #address-cells / #size-cells accessor shape).
+  [[nodiscard]] std::optional<uint32_t> as_u32() const;
+
+  friend bool operator==(const Property& a, const Property& b) {
+    return a.name == b.name && a.chunks == b.chunks;
+  }
+};
+
+class Node {
+ public:
+  Node() = default;
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  Node(Node&&) = default;
+  Node& operator=(Node&&) = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Node name without the unit address ("memory" for "memory@40000000").
+  [[nodiscard]] std::string_view base_name() const;
+  /// Unit address text after '@' (empty when absent).
+  [[nodiscard]] std::string_view unit_address() const;
+
+  [[nodiscard]] const std::vector<Property>& properties() const { return properties_; }
+  [[nodiscard]] std::vector<Property>& properties() { return properties_; }
+  [[nodiscard]] const Property* find_property(std::string_view name) const;
+  [[nodiscard]] Property* find_property(std::string_view name);
+  /// Adds or replaces (dtc merge semantics). Returns the stored property.
+  Property& set_property(Property p);
+  bool remove_property(std::string_view name);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  [[nodiscard]] const Node* find_child(std::string_view name) const;
+  [[nodiscard]] Node* find_child(std::string_view name);
+  /// Finds a child by name, or by base name when exactly one child matches.
+  [[nodiscard]] Node* find_child_fuzzy(std::string_view name);
+  Node& add_child(std::unique_ptr<Node> child);
+  Node& get_or_create_child(std::string_view name);
+  bool remove_child(std::string_view name);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
+  void add_label(std::string label);
+
+  [[nodiscard]] const support::SourceLocation& location() const { return location_; }
+  void set_location(support::SourceLocation loc) { location_ = std::move(loc); }
+
+  [[nodiscard]] const std::string& provenance() const { return provenance_; }
+  void set_provenance(std::string p) { provenance_ = std::move(p); }
+
+  /// Merges `other` into this node (dtc duplicate-definition semantics):
+  /// properties override by name, children merge recursively, labels union.
+  void merge_from(Node&& other);
+
+  /// Deep copy (provenance and labels included).
+  [[nodiscard]] std::unique_ptr<Node> clone() const;
+
+  /// #address-cells / #size-cells declared *on this node* (defaults per DT
+  /// spec when absent: 2 and 1 respectively).
+  [[nodiscard]] uint32_t address_cells_or_default() const;
+  [[nodiscard]] uint32_t size_cells_or_default() const;
+
+  /// Total number of nodes in this subtree (including this node).
+  [[nodiscard]] size_t subtree_size() const;
+
+ private:
+  std::string name_;
+  std::vector<Property> properties_;
+  std::vector<std::unique_ptr<Node>> children_;
+  std::vector<std::string> labels_;
+  support::SourceLocation location_;
+  std::string provenance_;
+};
+
+struct MemReserve {
+  uint64_t address = 0;
+  uint64_t size = 0;
+  friend bool operator==(const MemReserve&, const MemReserve&) = default;
+};
+
+/// A whole DeviceTree: root node plus file-level artifacts.
+class Tree {
+ public:
+  Tree() : root_(std::make_unique<Node>("/")) {}
+
+  [[nodiscard]] Node& root() { return *root_; }
+  [[nodiscard]] const Node& root() const { return *root_; }
+
+  [[nodiscard]] std::vector<MemReserve>& memreserves() { return memreserves_; }
+  [[nodiscard]] const std::vector<MemReserve>& memreserves() const {
+    return memreserves_;
+  }
+
+  /// Path lookup: "/", "/memory@40000000", "/cpus/cpu@0". Also accepts
+  /// base-name matching when unambiguous ("/memory" finds "/memory@40000000").
+  [[nodiscard]] Node* find(std::string_view path);
+  [[nodiscard]] const Node* find(std::string_view path) const;
+
+  /// Finds the node carrying `label`, or nullptr.
+  [[nodiscard]] Node* find_label(std::string_view label);
+
+  /// The (#address-cells, #size-cells) pair that governs the `reg` property
+  /// of the node at `path`: nearest-ancestor declaration wins (Linux
+  /// of_n_addr_cells semantics), spec defaults (2, 1) when no ancestor
+  /// declares them. The node's own declarations apply to its children, not
+  /// itself, and are therefore ignored.
+  [[nodiscard]] std::pair<uint32_t, uint32_t> applicable_cells(
+      std::string_view path) const;
+
+  /// Full path of a node within this tree ("" if not found).
+  [[nodiscard]] std::string path_of(const Node& node) const;
+
+  /// Resolves &label references in cells to phandles: assigns a `phandle`
+  /// property to every referenced node and substitutes the value. Reports
+  /// unresolved labels through `diags`. Returns false on any error.
+  bool resolve_references(support::DiagnosticEngine& diags);
+
+  [[nodiscard]] std::unique_ptr<Tree> clone() const;
+
+  /// Visits every node pre-order; callback gets (path, node).
+  template <typename F>
+  void visit(F&& f) const {
+    visit_impl(*root_, "/", f);
+  }
+  template <typename F>
+  void visit(F&& f) {
+    visit_impl(*root_, "/", f);
+  }
+
+  [[nodiscard]] size_t node_count() const { return root_->subtree_size(); }
+
+ private:
+  template <typename F>
+  static void visit_impl(const Node& n, const std::string& path, F& f) {
+    f(path, n);
+    for (const auto& c : n.children()) {
+      std::string child_path = path == "/" ? "/" + c->name() : path + "/" + c->name();
+      visit_impl(*c, child_path, f);
+    }
+  }
+  template <typename F>
+  static void visit_impl(Node& n, const std::string& path, F& f) {
+    f(path, n);
+    for (const auto& c : n.children()) {
+      std::string child_path = path == "/" ? "/" + c->name() : path + "/" + c->name();
+      visit_impl(*c, child_path, f);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::vector<MemReserve> memreserves_;
+};
+
+}  // namespace llhsc::dts

@@ -1,0 +1,67 @@
+// Interactive configuration with decision propagation — the paper's Fig. 1
+// workflow: the user selects/deselects features one at a time; after every
+// decision the solver computes which undecided features became *forced*
+// (must be selected: shown pre-ticked and grayed out) or *forbidden* (cannot
+// be selected: grayed out), so "a set of features that violates the
+// constraints is never selected by the user" (§IV-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "feature/analysis.hpp"
+
+namespace llhsc::feature {
+
+enum class DecisionState : uint8_t {
+  kOpen,        // user may still choose either way
+  kSelected,    // user decision
+  kDeselected,  // user decision
+  kForced,      // implied selected by the model + prior decisions
+  kForbidden,   // implied deselected
+};
+
+[[nodiscard]] std::string_view to_string(DecisionState s);
+
+class Configurator {
+ public:
+  /// The model must outlive the configurator.
+  Configurator(const FeatureModel& model, smt::Backend backend);
+
+  /// Applies a user decision. Returns false (state unchanged) when the
+  /// decision contradicts the model + earlier decisions, or targets a
+  /// feature that is already forced/forbidden the other way.
+  bool select(FeatureId f);
+  bool deselect(FeatureId f);
+  /// Withdraws a user decision (forced/forbidden states cannot be undone
+  /// directly — they follow from other decisions).
+  bool retract(FeatureId f);
+
+  [[nodiscard]] DecisionState state(FeatureId f) const {
+    return states_.at(f.index);
+  }
+  /// True when every feature is decided (user or implied) — the
+  /// configuration denotes exactly one product.
+  [[nodiscard]] bool complete() const;
+  /// The selection so far (selected + forced), usable once complete().
+  [[nodiscard]] Selection current_selection() const;
+  /// Remaining products consistent with the decisions (capped).
+  [[nodiscard]] uint64_t remaining_products(uint64_t cap = 1u << 20);
+
+  [[nodiscard]] const FeatureModel& model() const { return *model_; }
+
+ private:
+  bool decide(FeatureId f, bool value);
+  /// Re-derives forced/forbidden for all non-user-decided features.
+  void propagate();
+  [[nodiscard]] std::vector<logic::Formula> decision_assumptions() const;
+
+  const FeatureModel* model_;
+  smt::Solver solver_;
+  Encoding encoding_;
+  std::vector<DecisionState> states_;
+  std::vector<bool> user_decided_;
+};
+
+}  // namespace llhsc::feature

@@ -1,0 +1,131 @@
+#include "feature/model.hpp"
+
+#include <cassert>
+
+namespace llhsc::feature {
+
+std::string_view to_string(GroupKind k) {
+  switch (k) {
+    case GroupKind::kAnd: return "and";
+    case GroupKind::kOr: return "or";
+    case GroupKind::kXor: return "xor";
+    case GroupKind::kCardinality: return "cardinality";
+  }
+  return "unknown";
+}
+
+FeatureId FeatureModel::add_root(std::string name) {
+  assert(features_.empty() && "root must be the first feature");
+  Feature f;
+  f.name = std::move(name);
+  f.mandatory = true;
+  features_.push_back(std::move(f));
+  root_ = FeatureId{0};
+  return root_;
+}
+
+FeatureId FeatureModel::add_feature(FeatureId parent, std::string name,
+                                    bool mandatory, bool abstract_feature) {
+  assert(parent.index < features_.size());
+  Feature f;
+  f.name = std::move(name);
+  f.parent = parent;
+  f.mandatory = mandatory;
+  f.abstract_feature = abstract_feature;
+  FeatureId id{static_cast<uint32_t>(features_.size())};
+  features_.push_back(std::move(f));
+  features_[parent.index].children.push_back(id);
+  return id;
+}
+
+void FeatureModel::set_group(FeatureId feature, GroupKind kind) {
+  assert(feature.index < features_.size());
+  features_[feature.index].group = kind;
+}
+
+void FeatureModel::set_group_cardinality(FeatureId feature, uint32_t min,
+                                         uint32_t max) {
+  assert(feature.index < features_.size());
+  assert(min <= max);
+  Feature& f = features_[feature.index];
+  f.group = GroupKind::kCardinality;
+  f.group_min = min;
+  f.group_max = max;
+}
+
+void FeatureModel::add_requires(FeatureId lhs, FeatureId rhs) {
+  constraints_.push_back({CrossConstraint::Kind::kRequires, lhs, rhs});
+}
+
+void FeatureModel::add_excludes(FeatureId lhs, FeatureId rhs) {
+  constraints_.push_back({CrossConstraint::Kind::kExcludes, lhs, rhs});
+}
+
+std::optional<FeatureId> FeatureModel::find(std::string_view name) const {
+  for (uint32_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].name == name) return FeatureId{i};
+  }
+  return std::nullopt;
+}
+
+std::vector<FeatureId> FeatureModel::all_features() const {
+  std::vector<FeatureId> out;
+  out.reserve(features_.size());
+  for (uint32_t i = 0; i < features_.size(); ++i) out.push_back(FeatureId{i});
+  return out;
+}
+
+bool FeatureModel::is_consistent_selection(
+    const std::vector<bool>& selected) const {
+  if (selected.size() != features_.size()) return false;
+  if (!selected[root_.index]) return false;
+  for (uint32_t i = 0; i < features_.size(); ++i) {
+    const Feature& f = features_[i];
+    // Child implies parent.
+    if (f.parent.valid() && selected[i] && !selected[f.parent.index]) {
+      return false;
+    }
+    // Group semantics over children.
+    size_t selected_children = 0;
+    for (FeatureId c : f.children) {
+      if (selected[c.index]) ++selected_children;
+    }
+    switch (f.group) {
+      case GroupKind::kAnd:
+        if (selected[i]) {
+          for (FeatureId c : f.children) {
+            if (features_[c.index].mandatory && !selected[c.index]) {
+              return false;
+            }
+          }
+        }
+        break;
+      case GroupKind::kOr:
+        if (selected[i] && !f.children.empty() && selected_children == 0) {
+          return false;
+        }
+        break;
+      case GroupKind::kXor:
+        if (selected[i] && !f.children.empty() && selected_children != 1) {
+          return false;
+        }
+        break;
+      case GroupKind::kCardinality:
+        if (selected[i] && !f.children.empty() &&
+            (selected_children < f.group_min ||
+             selected_children > f.group_max)) {
+          return false;
+        }
+        break;
+    }
+  }
+  for (const CrossConstraint& c : constraints_) {
+    bool lhs = selected[c.lhs.index];
+    bool rhs = selected[c.rhs.index];
+    if (c.kind == CrossConstraint::Kind::kRequires && lhs && !rhs) return false;
+    if (c.kind == CrossConstraint::Kind::kExcludes && lhs && rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace llhsc::feature

@@ -1,0 +1,95 @@
+// Feature models (FODA-style) for DeviceTree product lines — paper §II-B.
+// A model is a tree of features with AND/OR/XOR child decompositions,
+// mandatory/optional/abstract markers, and cross-tree requires/excludes
+// constraints. feature::encode (analysis.hpp) translates a model into
+// propositional logic over an smt::Solver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llhsc::feature {
+
+/// Dense handle into a FeatureModel.
+struct FeatureId {
+  uint32_t index = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+  friend bool operator==(const FeatureId&, const FeatureId&) = default;
+};
+
+/// Decomposition semantics of a feature's children.
+enum class GroupKind : uint8_t {
+  kAnd,          // children individually mandatory or optional
+  kOr,           // at least one child when the parent is selected
+  kXor,          // exactly one child when the parent is selected
+  kCardinality,  // between group_min and group_max children (FODA [m..k])
+};
+
+[[nodiscard]] std::string_view to_string(GroupKind k);
+
+struct Feature {
+  std::string name;
+  FeatureId parent;                 // invalid for the root
+  GroupKind group = GroupKind::kAnd;  // decomposition of this feature's children
+  uint32_t group_min = 0;           // kCardinality bounds
+  uint32_t group_max = 0;
+  bool mandatory = false;           // meaningful in kAnd groups
+  bool abstract_feature = false;    // structural only; no artifact mapped
+  std::vector<FeatureId> children;
+};
+
+/// Cross-tree constraint: `lhs` requires / excludes `rhs`.
+struct CrossConstraint {
+  enum class Kind : uint8_t { kRequires, kExcludes };
+  Kind kind = Kind::kRequires;
+  FeatureId lhs;
+  FeatureId rhs;
+};
+
+class FeatureModel {
+ public:
+  /// Creates the root feature (always selected in every product).
+  FeatureId add_root(std::string name);
+
+  /// Adds a child feature. `mandatory` applies to kAnd-group parents.
+  FeatureId add_feature(FeatureId parent, std::string name,
+                        bool mandatory = false, bool abstract_feature = false);
+
+  /// Sets the decomposition kind for `feature`'s children.
+  void set_group(FeatureId feature, GroupKind kind);
+  /// Cardinality decomposition: when `feature` is selected, between `min`
+  /// and `max` of its children must be selected.
+  void set_group_cardinality(FeatureId feature, uint32_t min, uint32_t max);
+
+  void add_requires(FeatureId lhs, FeatureId rhs);
+  void add_excludes(FeatureId lhs, FeatureId rhs);
+
+  [[nodiscard]] FeatureId root() const { return root_; }
+  [[nodiscard]] const Feature& feature(FeatureId id) const {
+    return features_.at(id.index);
+  }
+  [[nodiscard]] size_t size() const { return features_.size(); }
+  [[nodiscard]] const std::vector<CrossConstraint>& cross_constraints() const {
+    return constraints_;
+  }
+
+  /// Lookup by name (names are expected unique; returns first match).
+  [[nodiscard]] std::optional<FeatureId> find(std::string_view name) const;
+
+  /// All feature ids in insertion order (root first).
+  [[nodiscard]] std::vector<FeatureId> all_features() const;
+
+  /// Checks a concrete selection (indexed by FeatureId) against the model
+  /// semantics without a solver — used to cross-validate the encoding.
+  [[nodiscard]] bool is_consistent_selection(
+      const std::vector<bool>& selected) const;
+
+ private:
+  std::vector<Feature> features_;
+  std::vector<CrossConstraint> constraints_;
+  FeatureId root_;
+};
+
+}  // namespace llhsc::feature

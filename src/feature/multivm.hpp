@@ -1,0 +1,66 @@
+// Multi-VM (multi-product) feature models for static partitioning — paper
+// §IV-A. For a hypervisor hosting m VMs over one platform model, k+1 models
+// are instantiated: one copy per VM plus the platform model, which is the
+// union of the VM selections. Designated *exclusive* features (CPU cores)
+// may be selected by at most one VM — the paper's cross-product XOR
+// constraint:
+//
+//   (f_1^1 v ... v f_n^m  <->  f)  ^  /\ ~(f_i^k ^ f_j^k)  ^  ~(f_i^k ^ f_i^l)
+//
+// The within-VM alternative (~(f_i^k ^ f_j^k)) comes from each VM copy's XOR
+// group; this module adds the union axiom and the across-VM exclusivity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "feature/analysis.hpp"
+
+namespace llhsc::feature {
+
+struct MultiVmEncoding {
+  Encoding platform;
+  std::vector<Encoding> vms;
+};
+
+/// Instantiates the model once per VM plus a platform copy, asserts per-copy
+/// semantics, the union axiom (platform feature <-> selected in some VM) and
+/// exclusivity for `exclusive` features.
+MultiVmEncoding encode_multivm(const FeatureModel& model, smt::Solver& solver,
+                               int num_vms,
+                               std::span<const FeatureId> exclusive);
+
+/// One VM's product plus the implied platform union.
+struct Allocation {
+  std::vector<Selection> vm_selections;
+  Selection platform_selection;
+};
+
+/// Is there any valid allocation of the model across `num_vms` VMs?
+[[nodiscard]] bool allocation_feasible(const FeatureModel& model,
+                                       smt::Backend backend, int num_vms,
+                                       std::span<const FeatureId> exclusive);
+
+/// Largest m <= limit for which an allocation exists (0 if even one VM is
+/// infeasible). The paper's running example yields 2 (one CPU per VM).
+[[nodiscard]] int max_feasible_vms(const FeatureModel& model,
+                                   smt::Backend backend,
+                                   std::span<const FeatureId> exclusive,
+                                   int limit = 16);
+
+/// Validates a concrete allocation (paper Fig. 1b + 1c as VM products).
+[[nodiscard]] bool check_allocation(const FeatureModel& model,
+                                    smt::Solver& solver,
+                                    std::span<const FeatureId> exclusive,
+                                    const std::vector<Selection>& vm_selections);
+
+/// Enumerates distinct allocations (up to max); the callback may stop early.
+uint64_t enumerate_allocations(
+    const FeatureModel& model, smt::Solver& solver, int num_vms,
+    std::span<const FeatureId> exclusive,
+    const std::function<bool(const Allocation&)>& on_allocation,
+    uint64_t max_allocations = UINT64_MAX);
+
+}  // namespace llhsc::feature

@@ -1,0 +1,47 @@
+// A textual format for feature models, so product lines can be authored
+// without recompiling (the cloud-demo use case of §V). Example — the paper's
+// Fig. 1a:
+//
+//   model CustomSBC {
+//       memory mandatory;
+//       cpus mandatory group xor {
+//           cpu@0;
+//           cpu@1;
+//       }
+//       uarts mandatory abstract group or {
+//           uart@20000000;
+//           uart@30000000;
+//       }
+//       vEthernet abstract group xor {
+//           veth0;
+//           veth1;
+//       }
+//       constraint veth0 requires cpu@0;
+//       constraint veth1 requires cpu@1;
+//   }
+//
+// Grammar: feature := NAME modifier* ("group" ("and"|"or"|"xor"))?
+// (";" | "{" feature* "}"); modifiers: mandatory, optional (default),
+// abstract. Cross-tree rules: "constraint A requires B;" /
+// "constraint A excludes B;". The lexer is shared with the DTS language, so
+// feature names follow node-name syntax (cpu@0, uart@20000000, ...).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "feature/model.hpp"
+#include "support/diagnostics.hpp"
+
+namespace llhsc::feature {
+
+/// Parses the textual format. Returns nullopt on errors (see diags).
+[[nodiscard]] std::optional<FeatureModel> parse_model(
+    std::string_view text, std::string filename,
+    support::DiagnosticEngine& diags);
+
+/// Renders a model back to the textual format (round-trips through
+/// parse_model).
+[[nodiscard]] std::string print_model(const FeatureModel& model);
+
+}  // namespace llhsc::feature

@@ -1,0 +1,148 @@
+#include "logic/cnf.hpp"
+
+#include <cassert>
+
+namespace llhsc::logic {
+
+sat::Var CnfEncoder::sat_var(BoolVar v) {
+  auto it = var_map_.find(v.index);
+  if (it != var_map_.end()) return it->second;
+  sat::Var sv = solver_->new_var();
+  var_map_.emplace(v.index, sv);
+  return sv;
+}
+
+bool CnfEncoder::model_value(BoolVar v) const {
+  auto it = var_map_.find(v.index);
+  if (it == var_map_.end()) return false;
+  return solver_->model_bool(it->second);
+}
+
+sat::Lit CnfEncoder::encode(Formula f) {
+  auto it = cache_.find(f.id());
+  if (it != cache_.end()) return it->second;
+  sat::Lit l = encode_node(f);
+  cache_.emplace(f.id(), l);
+  return l;
+}
+
+sat::Lit CnfEncoder::encode_node(Formula f) {
+  using sat::Lit;
+  switch (arena_->op(f)) {
+    case Op::kTrue: {
+      sat::Var v = solver_->new_var();
+      solver_->add_clause(Lit::positive(v));
+      return Lit::positive(v);
+    }
+    case Op::kFalse: {
+      sat::Var v = solver_->new_var();
+      solver_->add_clause(Lit::negative(v));
+      return Lit::positive(v);
+    }
+    case Op::kVar:
+      return Lit::positive(sat_var(arena_->var_of(f)));
+    case Op::kBvAtom: {
+      assert(bitvectors_ != nullptr &&
+             "bit-vector atom encountered without a BvArena");
+      return encode(bitvectors_->blast_atom(arena_->bv_atom(f)));
+    }
+    case Op::kNot:
+      return ~encode(arena_->operands(f)[0]);
+    case Op::kAnd: {
+      // operands() spans the arena's operand pool; encoding children can
+      // create new nodes (bit-vector atoms blast lazily) and reallocate the
+      // pool, so copy the operand list before recursing.
+      std::vector<Formula> ops(arena_->operands(f).begin(),
+                               arena_->operands(f).end());
+      std::vector<Lit> lits;
+      lits.reserve(ops.size());
+      for (Formula g : ops) lits.push_back(encode(g));
+      sat::Var v = solver_->new_var();
+      Lit out = Lit::positive(v);
+      // out -> each lit; (all lits) -> out
+      std::vector<Lit> long_clause;
+      long_clause.reserve(lits.size() + 1);
+      for (Lit l : lits) {
+        solver_->add_clause(~out, l);
+        long_clause.push_back(~l);
+      }
+      long_clause.push_back(out);
+      solver_->add_clause(std::move(long_clause));
+      return out;
+    }
+    case Op::kOr: {
+      std::vector<Formula> ops(arena_->operands(f).begin(),
+                               arena_->operands(f).end());
+      std::vector<Lit> lits;
+      lits.reserve(ops.size());
+      for (Formula g : ops) lits.push_back(encode(g));
+      sat::Var v = solver_->new_var();
+      Lit out = Lit::positive(v);
+      std::vector<Lit> long_clause;
+      long_clause.reserve(lits.size() + 1);
+      for (Lit l : lits) {
+        solver_->add_clause(out, ~l);
+        long_clause.push_back(l);
+      }
+      long_clause.push_back(~out);
+      solver_->add_clause(std::move(long_clause));
+      return out;
+    }
+    case Op::kXor: {
+      auto span = arena_->operands(f);
+      assert(span.size() == 2);
+      Formula fa = span[0], fb = span[1];  // copy before pool reallocation
+      Lit a = encode(fa);
+      Lit b = encode(fb);
+      sat::Var v = solver_->new_var();
+      Lit out = Lit::positive(v);
+      solver_->add_clause(~out, a, b);
+      solver_->add_clause(~out, ~a, ~b);
+      solver_->add_clause(out, ~a, b);
+      solver_->add_clause(out, a, ~b);
+      return out;
+    }
+    case Op::kImplies: {
+      auto span = arena_->operands(f);
+      Formula fa = span[0], fb = span[1];
+      Lit a = encode(fa);
+      Lit b = encode(fb);
+      sat::Var v = solver_->new_var();
+      Lit out = Lit::positive(v);
+      solver_->add_clause(~out, ~a, b);
+      solver_->add_clause(out, a);
+      solver_->add_clause(out, ~b);
+      return out;
+    }
+    case Op::kIff: {
+      auto span = arena_->operands(f);
+      Formula fa = span[0], fb = span[1];
+      Lit a = encode(fa);
+      Lit b = encode(fb);
+      sat::Var v = solver_->new_var();
+      Lit out = Lit::positive(v);
+      solver_->add_clause(~out, ~a, b);
+      solver_->add_clause(~out, a, ~b);
+      solver_->add_clause(out, a, b);
+      solver_->add_clause(out, ~a, ~b);
+      return out;
+    }
+  }
+  assert(false && "unreachable");
+  return Lit::positive(0);
+}
+
+void CnfEncoder::assert_formula(Formula f) {
+  // Top-level conjunctions assert each conjunct directly — avoids gate vars
+  // for the common "big AND of axioms" shape. Copy the operand list: the
+  // recursion may grow the arena's operand pool.
+  if (arena_->op(f) == Op::kAnd) {
+    std::vector<Formula> ops(arena_->operands(f).begin(),
+                             arena_->operands(f).end());
+    for (Formula g : ops) assert_formula(g);
+    return;
+  }
+  solver_->add_clause(encode(f));
+}
+
+}  // namespace llhsc::logic

@@ -1,0 +1,120 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace llhsc::sat {
+
+std::optional<DimacsInstance> parse_dimacs(std::string_view text,
+                                           support::DiagnosticEngine& diags) {
+  DimacsInstance instance;
+  bool header_seen = false;
+  int declared_clauses = 0;
+  std::vector<Lit> current;
+  uint32_t line_no = 0;
+
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    ++line_no;
+    std::string_view trimmed = support::trim(line);
+    auto loc = support::SourceLocation{"<dimacs>", line_no, 0};
+    if (!trimmed.empty() && trimmed[0] != 'c' && trimmed[0] != '%') {
+      if (trimmed[0] == 'p') {
+        auto parts = support::split_ws(trimmed);
+        if (parts.size() != 4 || parts[1] != "cnf") {
+          diags.error("dimacs", "malformed problem line", loc);
+          return std::nullopt;
+        }
+        auto nv = support::parse_integer(parts[2]);
+        auto nc = support::parse_integer(parts[3]);
+        if (!nv || !nc) {
+          diags.error("dimacs", "malformed problem line numbers", loc);
+          return std::nullopt;
+        }
+        instance.num_vars = static_cast<int>(*nv);
+        declared_clauses = static_cast<int>(*nc);
+        header_seen = true;
+      } else {
+        if (!header_seen) {
+          diags.error("dimacs", "clause before 'p cnf' header", loc);
+          return std::nullopt;
+        }
+        for (const std::string& tok : support::split_ws(trimmed)) {
+          bool negative = !tok.empty() && tok[0] == '-';
+          auto v = support::parse_integer(negative ? tok.substr(1) : tok);
+          if (!v) {
+            diags.error("dimacs", "bad literal '" + tok + "'", loc);
+            return std::nullopt;
+          }
+          if (*v == 0) {
+            instance.clauses.push_back(current);
+            current.clear();
+            continue;
+          }
+          if (static_cast<int>(*v) > instance.num_vars) {
+            diags.error("dimacs",
+                        "literal " + tok + " exceeds declared variable count",
+                        loc);
+            return std::nullopt;
+          }
+          current.push_back(Lit(static_cast<Var>(*v) - 1, negative));
+        }
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  if (!header_seen) {
+    diags.error("dimacs", "missing 'p cnf' header");
+    return std::nullopt;
+  }
+  if (!current.empty()) {
+    diags.warning("dimacs", "final clause not 0-terminated; accepting it");
+    instance.clauses.push_back(current);
+  }
+  if (declared_clauses != static_cast<int>(instance.clauses.size())) {
+    diags.warning("dimacs",
+                  "header declares " + std::to_string(declared_clauses) +
+                      " clauses, found " +
+                      std::to_string(instance.clauses.size()));
+  }
+  return instance;
+}
+
+bool load_into(const DimacsInstance& instance, Solver& solver) {
+  while (solver.num_vars() < instance.num_vars) solver.new_var();
+  bool ok = true;
+  for (const auto& clause : instance.clauses) {
+    ok = solver.add_clause(clause) && ok;
+  }
+  return ok;
+}
+
+std::string write_dimacs(const DimacsInstance& instance) {
+  std::ostringstream os;
+  os << "p cnf " << instance.num_vars << ' ' << instance.clauses.size() << '\n';
+  for (const auto& clause : instance.clauses) {
+    for (Lit l : clause) {
+      os << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    }
+    os << "0\n";
+  }
+  return os.str();
+}
+
+std::string model_line(const Solver& solver, int num_vars) {
+  std::ostringstream os;
+  for (Var v = 0; v < num_vars; ++v) {
+    if (v > 0) os << ' ';
+    os << (solver.model_value(v) == Value::kTrue ? (v + 1) : -(v + 1));
+  }
+  os << " 0";
+  return os.str();
+}
+
+}  // namespace llhsc::sat

@@ -1,0 +1,40 @@
+// DIMACS CNF interchange for the SAT substrate: read standard `p cnf`
+// instances into a Solver (external benchmarks, differential testing against
+// other solvers) and write clause lists back out.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "support/diagnostics.hpp"
+
+namespace llhsc::sat {
+
+struct DimacsInstance {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS CNF text. Accepts comment lines (c ...), the `p cnf V C`
+/// header, clauses terminated by 0 (multi-line clauses allowed), and is
+/// lenient about a mismatched clause count (reported as a warning).
+[[nodiscard]] std::optional<DimacsInstance> parse_dimacs(
+    std::string_view text, support::DiagnosticEngine& diags);
+
+/// Loads an instance into a solver: creates variables 0..num_vars-1 (DIMACS
+/// variable i maps to Var i-1) and adds every clause. Returns false if the
+/// instance is trivially unsat during loading.
+bool load_into(const DimacsInstance& instance, Solver& solver);
+
+/// Renders an instance in DIMACS format.
+[[nodiscard]] std::string write_dimacs(const DimacsInstance& instance);
+
+/// Renders a model over num_vars variables as the DIMACS "v" line payload
+/// (positive/negative literals, 0-terminated).
+[[nodiscard]] std::string model_line(const Solver& solver, int num_vars);
+
+}  // namespace llhsc::sat

@@ -1,0 +1,578 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace llhsc::sat {
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(Value::kUndef);
+  var_data_.push_back({});
+  polarity_.push_back(false);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  heap_index_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(decision_level() == 0);
+  // Sort, dedup, drop clauses with complementary or satisfied literals.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  Lit prev = Lit::from_code(-2);
+  for (Lit l : lits) {
+    assert(l.var() >= 0 && l.var() < num_vars());
+    if (value(l) == Value::kTrue || l == ~prev) return true;  // tautology/satisfied
+    if (value(l) != Value::kFalse && l != prev) {
+      out.push_back(l);
+      prev = l;
+    }
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    // Enqueue and propagate eagerly at level 0 so later add_clause calls see
+    // the fixed values.
+    if (!enqueue(out[0], kNoReason) || propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(out), 0.0, false, false});
+  attach_clause(cr);
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef cr) {
+  const Clause& c = clauses_[static_cast<size_t>(cr)];
+  assert(c.lits.size() >= 2);
+  watches_[static_cast<size_t>((~c.lits[0]).code())].push_back({cr, c.lits[1]});
+  watches_[static_cast<size_t>((~c.lits[1]).code())].push_back({cr, c.lits[0]});
+}
+
+void Solver::detach_clause(ClauseRef cr) {
+  const Clause& c = clauses_[static_cast<size_t>(cr)];
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[static_cast<size_t>((~c.lits[static_cast<size_t>(i)]).code())];
+    for (size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].clause == cr) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::enqueue(Lit l, ClauseRef reason) {
+  if (value(l) != Value::kUndef) return value(l) == Value::kTrue;
+  assigns_[static_cast<size_t>(l.var())] = l.negated() ? Value::kFalse : Value::kTrue;
+  var_data_[static_cast<size_t>(l.var())] = {reason, decision_level()};
+  trail_.push_back(l);
+  return true;
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<size_t>(p.code())];
+    size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      if (value(w.blocker) == Value::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[static_cast<size_t>(w.clause)];
+      // Ensure the false literal (~p) is at position 1.
+      Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      ++i;
+      // If the other watch is true, keep watching.
+      if (c.lits[0] != w.blocker && value(c.lits[0]) == Value::kTrue) {
+        ws[j++] = {w.clause, c.lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != Value::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<size_t>((~c.lits[1]).code())].push_back({w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = {w.clause, c.lits[0]};
+      if (value(c.lits[0]) == Value::kFalse) {
+        // Conflict: copy remaining watchers back and return.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(c.lits[0], w.clause);
+    }
+    ws.resize(j);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+                     int& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(Lit::from_code(-2));  // placeholder for the UIP
+  int path_count = 0;
+  Lit p = Lit::from_code(-2);
+  size_t index = trail_.size();
+  ClauseRef cr = conflict;
+
+  do {
+    assert(cr != kNoReason);
+    Clause& c = clauses_[static_cast<size_t>(cr)];
+    if (c.learned) clause_bump_activity(c);
+    for (size_t k = (p.code() == -2 ? 0 : 1); k < c.lits.size(); ++k) {
+      Lit q = c.lits[k];
+      Var v = q.var();
+      if (!seen_[static_cast<size_t>(v)] && var_data_[static_cast<size_t>(v)].level > 0) {
+        seen_[static_cast<size_t>(v)] = 1;
+        var_bump_activity(v);
+        if (var_data_[static_cast<size_t>(v)].level >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal from the trail to expand.
+    while (!seen_[static_cast<size_t>(trail_[index - 1].var())]) --index;
+    p = trail_[--index];
+    cr = var_data_[static_cast<size_t>(p.var())].reason;
+    seen_[static_cast<size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Clause minimisation: drop literals implied by the rest of the clause.
+  analyze_toclear_ = out_learnt;
+  for (Lit l : out_learnt) seen_[static_cast<size_t>(l.var())] = 1;
+  uint32_t abstract_levels = 0;
+  for (size_t k = 1; k < out_learnt.size(); ++k) {
+    int lvl = var_data_[static_cast<size_t>(out_learnt[k].var())].level;
+    abstract_levels |= 1u << (static_cast<unsigned>(lvl) & 31u);
+  }
+  size_t keep = 1;
+  for (size_t k = 1; k < out_learnt.size(); ++k) {
+    Lit l = out_learnt[k];
+    if (var_data_[static_cast<size_t>(l.var())].reason == kNoReason ||
+        !lit_redundant(l, abstract_levels)) {
+      out_learnt[keep++] = l;
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  out_learnt.resize(keep);
+  for (Lit l : analyze_toclear_) seen_[static_cast<size_t>(l.var())] = 0;
+  stats_.learned_literals += out_learnt.size();
+
+  // Compute backtrack level: second-highest level in the clause.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t k = 2; k < out_learnt.size(); ++k) {
+      if (var_data_[static_cast<size_t>(out_learnt[k].var())].level >
+          var_data_[static_cast<size_t>(out_learnt[max_i].var())].level) {
+        max_i = k;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = var_data_[static_cast<size_t>(out_learnt[1].var())].level;
+  }
+}
+
+bool Solver::lit_redundant(Lit l, uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    ClauseRef cr = var_data_[static_cast<size_t>(q.var())].reason;
+    assert(cr != kNoReason);
+    const Clause& c = clauses_[static_cast<size_t>(cr)];
+    for (size_t k = 1; k < c.lits.size(); ++k) {
+      Lit r = c.lits[k];
+      Var v = r.var();
+      int lvl = var_data_[static_cast<size_t>(v)].level;
+      if (!seen_[static_cast<size_t>(v)] && lvl > 0) {
+        uint32_t mask = 1u << (static_cast<unsigned>(lvl) & 31u);
+        if (var_data_[static_cast<size_t>(v)].reason != kNoReason &&
+            (mask & abstract_levels) != 0) {
+          seen_[static_cast<size_t>(v)] = 1;
+          analyze_stack_.push_back(r);
+          analyze_toclear_.push_back(r);
+        } else {
+          // Not removable: undo marks added during this call.
+          for (size_t j = top; j < analyze_toclear_.size(); ++j) {
+            seen_[static_cast<size_t>(analyze_toclear_[j].var())] = 0;
+          }
+          analyze_toclear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// `p` is the negation of a failed assumption. Walks implications backwards
+// and collects every assumption (reason-less trail literal above level 0)
+// contributing to the failure. core_ holds the assumption literals themselves.
+void Solver::analyze_final(Lit p) {
+  core_.clear();
+  core_.push_back(~p);
+  if (decision_level() == 0) return;
+  seen_[static_cast<size_t>(p.var())] = 1;
+  for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_lim_[0]);) {
+    Var v = trail_[i].var();
+    if (!seen_[static_cast<size_t>(v)]) continue;
+    ClauseRef cr = var_data_[static_cast<size_t>(v)].reason;
+    if (cr == kNoReason) {
+      if (var_data_[static_cast<size_t>(v)].level > 0 && trail_[i] != ~p) {
+        core_.push_back(trail_[i]);
+      }
+    } else {
+      const Clause& c = clauses_[static_cast<size_t>(cr)];
+      for (size_t k = 1; k < c.lits.size(); ++k) {
+        if (var_data_[static_cast<size_t>(c.lits[k].var())].level > 0) {
+          seen_[static_cast<size_t>(c.lits[k].var())] = 1;
+        }
+      }
+    }
+    seen_[static_cast<size_t>(v)] = 0;
+  }
+  seen_[static_cast<size_t>(p.var())] = 0;
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_lim_[static_cast<size_t>(level)]);) {
+    Var v = trail_[i].var();
+    polarity_[static_cast<size_t>(v)] = assigns_[static_cast<size_t>(v)] == Value::kTrue;
+    assigns_[static_cast<size_t>(v)] = Value::kUndef;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(static_cast<size_t>(trail_lim_[static_cast<size_t>(level)]));
+  trail_lim_.resize(static_cast<size_t>(level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    Var v = heap_remove_max();
+    if (value(v) == Value::kUndef) {
+      return Lit(v, !polarity_[static_cast<size_t>(v)]);
+    }
+  }
+  return Lit::from_code(-2);
+}
+
+void Solver::var_bump_activity(Var v) {
+  activity_[static_cast<size_t>(v)] += var_inc_;
+  if (activity_[static_cast<size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_update(v);
+}
+
+void Solver::var_decay_activity() { var_inc_ /= var_decay_; }
+
+void Solver::clause_bump_activity(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (Clause& cl : clauses_) {
+      if (cl.learned) cl.activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::clause_decay_activity() { clause_inc_ /= clause_decay_; }
+
+void Solver::reduce_db() {
+  ++stats_.reductions;
+  // Collect learned clause refs not currently used as reasons.
+  std::vector<ClauseRef> learned;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (!clauses_[i].learned || clauses_[i].deleted) continue;
+    learned.push_back(static_cast<ClauseRef>(i));
+  }
+  std::sort(learned.begin(), learned.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<size_t>(a)].activity <
+           clauses_[static_cast<size_t>(b)].activity;
+  });
+  std::vector<bool> is_reason(clauses_.size(), false);
+  for (Lit l : trail_) {
+    ClauseRef cr = var_data_[static_cast<size_t>(l.var())].reason;
+    if (cr != kNoReason) is_reason[static_cast<size_t>(cr)] = true;
+  }
+  size_t limit = learned.size() / 2;
+  for (size_t i = 0; i < limit; ++i) {
+    ClauseRef cr = learned[i];
+    Clause& c = clauses_[static_cast<size_t>(cr)];
+    if (c.lits.size() <= 2 || is_reason[static_cast<size_t>(cr)]) continue;
+    detach_clause(cr);
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+  }
+}
+
+int64_t Solver::luby(int64_t i) {
+  // Finds the i-th element (1-based) of the Luby sequence 1,1,2,1,1,2,4,...
+  int64_t k = 1;
+  while ((1LL << k) - 1 < i + 1) ++k;
+  while ((1LL << (k - 1)) - 1 != i) {
+    i = i - ((1LL << (k - 1)) - 1);
+    k = 1;
+    while ((1LL << k) - 1 < i + 1) ++k;
+  }
+  return 1LL << (k - 1);
+}
+
+SolveResult Solver::search_loop() {
+  int64_t restart_count = 0;
+  int64_t conflicts_until_restart = 100 * luby(restart_count);
+  int64_t conflicts_this_restart = 0;
+  std::vector<Lit> learnt;
+
+  if (max_learnts_ <= 0.0) {
+    size_t problem_clauses = 0;
+    for (const Clause& c : clauses_) {
+      if (!c.learned && !c.deleted) ++problem_clauses;
+    }
+    max_learnts_ = std::max(1000.0, static_cast<double>(problem_clauses) / 3.0);
+  }
+
+  while (true) {
+    ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (decision_level() == 0) return SolveResult::kUnsat;
+      int btlevel = 0;
+      analyze(conflict, learnt, btlevel);
+      cancel_until(btlevel);
+      if (learnt.size() == 1) {
+        // Unit clauses always backtrack to level 0; assumptions are replayed
+        // as pseudo-decisions by the no-conflict branch below.
+        if (!enqueue(learnt[0], kNoReason)) return SolveResult::kUnsat;
+      } else {
+        ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(Clause{learnt, 0.0, true, false});
+        clause_bump_activity(clauses_.back());
+        attach_clause(cr);
+        enqueue(learnt[0], cr);
+      }
+      var_decay_activity();
+      clause_decay_activity();
+    } else {
+      // No conflict.
+      if (conflicts_this_restart >= conflicts_until_restart &&
+          decision_level() > static_cast<int>(assumptions_.size())) {
+        ++stats_.restarts;
+        ++restart_count;
+        conflicts_this_restart = 0;
+        conflicts_until_restart = 100 * luby(restart_count);
+        cancel_until(static_cast<int>(assumptions_.size()));
+        continue;
+      }
+      size_t learned_count = 0;
+      for (const Clause& c : clauses_) {
+        if (c.learned && !c.deleted) ++learned_count;
+      }
+      if (static_cast<double>(learned_count) >= max_learnts_ + trail_.size()) {
+        reduce_db();
+        max_learnts_ *= 1.1;
+      }
+      // Place assumptions as pseudo-decisions first.
+      Lit next = Lit::from_code(-2);
+      while (decision_level() < static_cast<int>(assumptions_.size())) {
+        Lit a = assumptions_[static_cast<size_t>(decision_level())];
+        if (value(a) == Value::kTrue) {
+          new_decision_level();  // already satisfied; dummy level keeps indexing
+        } else if (value(a) == Value::kFalse) {
+          analyze_final(~a);
+          return SolveResult::kUnsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next.code() == -2) {
+        ++stats_.decisions;
+        next = pick_branch_lit();
+        if (next.code() == -2) {
+          // All variables assigned: model found.
+          model_ = assigns_;
+          return SolveResult::kSat;
+        }
+      }
+      new_decision_level();
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  assumptions_ = assumptions;
+  core_.clear();
+  cancel_until(0);
+  // Level-0 propagation of any pending units.
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return SolveResult::kUnsat;
+  }
+  rebuild_order_heap();
+  SolveResult r = search_loop();
+  cancel_until(0);
+  assumptions_.clear();
+  return r;
+}
+
+Value Solver::model_value(Var v) const {
+  if (v < 0 || static_cast<size_t>(v) >= model_.size()) return Value::kUndef;
+  return model_[static_cast<size_t>(v)];
+}
+
+uint64_t Solver::enumerate_models(
+    const std::vector<Var>& projection,
+    const std::function<bool(const std::vector<bool>&)>& on_model,
+    uint64_t max_models) {
+  if (!ok_) return 0;
+  // Selector-guarded blocking: every blocking clause carries ~sel, and the
+  // enumeration solves under the assumption sel. Retiring the session is a
+  // single permanent unit ~sel, after which all blocking clauses (and any
+  // clauses learned from them, which also contain ~sel or are implied by the
+  // base formula) are satisfied — the solver stays sound for reuse.
+  Lit sel = Lit::positive(new_var());
+  uint64_t found = 0;
+  while (found < max_models) {
+    if (solve({sel}) != SolveResult::kSat) break;
+    std::vector<bool> proj(projection.size());
+    for (size_t i = 0; i < projection.size(); ++i) {
+      proj[i] = model_bool(projection[i]);
+    }
+    ++found;
+    bool keep_going = on_model(proj);
+    std::vector<Lit> block;
+    block.reserve(projection.size() + 1);
+    block.push_back(~sel);
+    for (size_t i = 0; i < projection.size(); ++i) {
+      block.push_back(Lit(projection[i], proj[i]));
+    }
+    if (!add_clause(std::move(block))) break;
+    if (!keep_going) break;
+  }
+  add_clause(~sel);  // retire this enumeration session
+  return found;
+}
+
+uint64_t Solver::count_models(const std::vector<Var>& projection,
+                              uint64_t max_models) {
+  return enumerate_models(
+      projection, [](const std::vector<bool>&) { return true; }, max_models);
+}
+
+// ---- order heap ----
+
+void Solver::heap_insert(Var v) {
+  heap_index_[static_cast<size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_update(Var v) {
+  int i = heap_index_[static_cast<size_t>(v)];
+  if (i >= 0) heap_sift_up(i);
+}
+
+Var Solver::heap_remove_max() {
+  Var top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_index_[static_cast<size_t>(heap_[0])] = 0;
+  heap_.pop_back();
+  heap_index_[static_cast<size_t>(top)] = -1;
+  if (!heap_.empty()) heap_sift_down(0);
+  return top;
+}
+
+void Solver::heap_sift_up(int i) {
+  Var v = heap_[static_cast<size_t>(i)];
+  double act = activity_[static_cast<size_t>(v)];
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    Var pv = heap_[static_cast<size_t>(parent)];
+    if (activity_[static_cast<size_t>(pv)] >= act) break;
+    heap_[static_cast<size_t>(i)] = pv;
+    heap_index_[static_cast<size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<size_t>(i)] = v;
+  heap_index_[static_cast<size_t>(v)] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+  Var v = heap_[static_cast<size_t>(i)];
+  double act = activity_[static_cast<size_t>(v)];
+  int n = static_cast<int>(heap_.size());
+  while (true) {
+    int left = 2 * i + 1;
+    if (left >= n) break;
+    int right = left + 1;
+    int best = left;
+    if (right < n &&
+        activity_[static_cast<size_t>(heap_[static_cast<size_t>(right)])] >
+            activity_[static_cast<size_t>(heap_[static_cast<size_t>(left)])]) {
+      best = right;
+    }
+    Var bv = heap_[static_cast<size_t>(best)];
+    if (activity_[static_cast<size_t>(bv)] <= act) break;
+    heap_[static_cast<size_t>(i)] = bv;
+    heap_index_[static_cast<size_t>(bv)] = i;
+    i = best;
+  }
+  heap_[static_cast<size_t>(i)] = v;
+  heap_index_[static_cast<size_t>(v)] = i;
+}
+
+void Solver::rebuild_order_heap() {
+  heap_.clear();
+  std::fill(heap_index_.begin(), heap_index_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (value(v) == Value::kUndef) heap_insert(v);
+  }
+}
+
+}  // namespace llhsc::sat

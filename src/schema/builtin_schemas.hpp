@@ -1,0 +1,37 @@
+// Builtin binding schemas for the paper's running example (CustomSBC):
+// memory (Listing 5), cpus/cpu (Listing 2), UART serial devices and the
+// virtual Ethernet (veth) devices introduced by the product line (§III).
+// These are the C++ equivalents of the dt-schema documents llhsc extracts
+// its syntactic constraints from.
+#pragma once
+
+#include "schema/schema.hpp"
+
+namespace llhsc::schema {
+
+/// The memory node schema of Listing 5: device_type const "memory", reg
+/// required with 1..1024 entries.
+[[nodiscard]] NodeSchema memory_schema();
+
+/// cpus container: #address-cells/#size-cells required, cpu@* children.
+[[nodiscard]] NodeSchema cpus_schema();
+
+/// Individual cpu node: compatible, device_type const "cpu", enable-method
+/// enum, reg required.
+[[nodiscard]] NodeSchema cpu_schema();
+
+/// ns16550a-compatible UART: compatible + reg required.
+[[nodiscard]] NodeSchema uart_schema();
+
+/// Virtual Ethernet device (paper §III-A): compatible const "veth", reg and
+/// id required.
+[[nodiscard]] NodeSchema veth_schema();
+
+/// The full set used by the running example.
+[[nodiscard]] SchemaSet builtin_schemas();
+
+/// The same set expressed in the YAML subset (exercised by tests to keep the
+/// two representations in sync, and usable as on-disk seed files).
+[[nodiscard]] const char* builtin_schemas_yaml();
+
+}  // namespace llhsc::schema

@@ -1,0 +1,68 @@
+#include "schema/schema.hpp"
+
+#include "support/strings.hpp"
+
+namespace llhsc::schema {
+
+std::string_view to_string(PropertyType t) {
+  switch (t) {
+    case PropertyType::kAny: return "any";
+    case PropertyType::kString: return "string";
+    case PropertyType::kStringList: return "string-list";
+    case PropertyType::kCells: return "cells";
+    case PropertyType::kBool: return "bool";
+    case PropertyType::kBytes: return "bytes";
+  }
+  return "unknown";
+}
+
+bool Selector::matches(const dts::Node& node) const {
+  if (!node_name_pattern.empty() &&
+      (support::glob_match(node_name_pattern, node.name()) ||
+       support::glob_match(node_name_pattern, std::string(node.base_name())))) {
+    return true;
+  }
+  if (!compatibles.empty()) {
+    const dts::Property* compat = node.find_property("compatible");
+    if (compat != nullptr) {
+      auto list = compat->as_string_list();
+      if (!list) {
+        if (auto one = compat->as_string()) list = {{*one}};
+      }
+      if (list) {
+        for (const std::string& node_compat : *list) {
+          for (const std::string& wanted : compatibles) {
+            if (node_compat == wanted) return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+const PropertySchema* NodeSchema::find_property(std::string_view name) const {
+  for (const PropertySchema& p : properties) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void SchemaSet::add(NodeSchema schema) { schemas_.push_back(std::move(schema)); }
+
+const NodeSchema* SchemaSet::find(std::string_view id) const {
+  for (const NodeSchema& s : schemas_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const NodeSchema*> SchemaSet::match(const dts::Node& node) const {
+  std::vector<const NodeSchema*> out;
+  for (const NodeSchema& s : schemas_) {
+    if (s.select.matches(node)) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace llhsc::schema

@@ -1,0 +1,99 @@
+// Builtin backend: Tseitin-encodes formulas onto the in-tree CDCL solver.
+// push/pop is implemented with activation literals: assertions inside scope
+// level k are guarded by that level's activation variable, which is assumed
+// during check() and permanently falsified on pop().
+#include <cassert>
+#include <vector>
+
+#include "logic/cnf.hpp"
+#include "sat/solver.hpp"
+#include "smt/solver.hpp"
+
+namespace llhsc::smt {
+
+namespace {
+
+class BuiltinBackend final : public SolverBackend {
+ public:
+  BuiltinBackend(logic::FormulaArena& formulas, logic::BvArena& bitvectors)
+      : formulas_(&formulas),
+        bitvectors_(&bitvectors),
+        encoder_(formulas, sat_, &bitvectors) {}
+
+  void add(logic::Formula f) override {
+    if (scopes_.empty()) {
+      encoder_.assert_formula(f);
+    } else {
+      sat::Lit act = scopes_.back();
+      sat_.add_clause(~act, encoder_.encode(f));
+    }
+  }
+
+  void push() override {
+    scopes_.push_back(sat::Lit::positive(sat_.new_var()));
+  }
+
+  void pop() override {
+    assert(!scopes_.empty());
+    sat_.add_clause(~scopes_.back());  // retire this scope's assertions
+    scopes_.pop_back();
+  }
+
+  CheckResult check(std::span<const logic::Formula> assumptions) override {
+    std::vector<sat::Lit> assume(scopes_.begin(), scopes_.end());
+    assume.reserve(scopes_.size() + assumptions.size());
+    assumption_map_.clear();
+    for (logic::Formula f : assumptions) {
+      sat::Lit l = encoder_.encode(f);
+      assumption_map_.emplace_back(l, f);
+      assume.push_back(l);
+    }
+    return sat_.solve(assume) == sat::SolveResult::kSat ? CheckResult::kSat
+                                                        : CheckResult::kUnsat;
+  }
+
+  std::vector<logic::Formula> unsat_core() override {
+    // Map the SAT-level core literals back to the user's assumption
+    // formulas; scope activation literals are implementation detail and
+    // excluded.
+    std::vector<logic::Formula> core;
+    for (sat::Lit l : sat_.unsat_core()) {
+      for (const auto& [lit, formula] : assumption_map_) {
+        if (lit == l) {
+          core.push_back(formula);
+          break;
+        }
+      }
+    }
+    return core;
+  }
+
+  bool model_bool(logic::BoolVar v) override { return encoder_.model_value(v); }
+
+  uint64_t model_bv(logic::BvTerm t) override {
+    // Rebuild a full Boolean assignment from the SAT model, then evaluate the
+    // term. Unconstrained bits default to false — a legal model completion.
+    std::vector<bool> assignment(formulas_->num_bool_vars(), false);
+    for (uint32_t i = 0; i < assignment.size(); ++i) {
+      assignment[i] = encoder_.model_value(logic::BoolVar{i});
+    }
+    return bitvectors_->evaluate(t, assignment);
+  }
+
+ private:
+  logic::FormulaArena* formulas_;
+  logic::BvArena* bitvectors_;
+  sat::Solver sat_;
+  logic::CnfEncoder encoder_;
+  std::vector<sat::Lit> scopes_;
+  std::vector<std::pair<sat::Lit, logic::Formula>> assumption_map_;
+};
+
+}  // namespace
+
+std::unique_ptr<SolverBackend> make_builtin_backend(
+    logic::FormulaArena& formulas, logic::BvArena& bitvectors) {
+  return std::make_unique<BuiltinBackend>(formulas, bitvectors);
+}
+
+}  // namespace llhsc::smt

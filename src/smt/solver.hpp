@@ -1,0 +1,108 @@
+// SMT facade: one term language (logic::FormulaArena + logic::BvArena), two
+// interchangeable backends.
+//
+//   - kBuiltin: Tseitin + bit-blasting onto the in-tree CDCL solver. Makes
+//     llhsc self-contained, mirrors what Z3 does internally for QF_BV
+//     ("the technique of bit-blasting is used by the Z3 theorem prover",
+//     paper §IV-C).
+//   - kZ3: the Z3 native C++ API — the backend the paper actually uses.
+//
+// The checkers never talk to a backend directly; differential tests assert
+// both backends agree on every checker verdict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logic/bitvector.hpp"
+#include "logic/formula.hpp"
+
+namespace llhsc::smt {
+
+enum class CheckResult : uint8_t { kSat, kUnsat, kUnknown };
+
+enum class Backend : uint8_t { kBuiltin, kZ3 };
+
+[[nodiscard]] std::string_view to_string(Backend b);
+[[nodiscard]] std::string_view to_string(CheckResult r);
+
+struct SolverStats {
+  uint64_t checks = 0;
+  uint64_t sat_results = 0;
+  uint64_t unsat_results = 0;
+};
+
+/// Backend implementation interface. Consumes formulas/terms built in the
+/// arenas owned by the fronting Solver.
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+  virtual void add(logic::Formula f) = 0;
+  virtual void push() = 0;
+  virtual void pop() = 0;
+  virtual CheckResult check(std::span<const logic::Formula> assumptions) = 0;
+  [[nodiscard]] virtual bool model_bool(logic::BoolVar v) = 0;
+  [[nodiscard]] virtual uint64_t model_bv(logic::BvTerm t) = 0;
+  /// After a kUnsat check with assumptions: the subset of those assumptions
+  /// that conflicts with the asserted formulas (not necessarily minimal).
+  [[nodiscard]] virtual std::vector<logic::Formula> unsat_core() = 0;
+};
+
+/// The solver the rest of llhsc sees. Owns the term arenas and a backend.
+/// Incremental: supports push/pop scopes and solving under assumptions,
+/// matching the paper's "constraints can be added incrementally to the same
+/// solver instance" extensibility claim (§VI).
+class Solver {
+ public:
+  explicit Solver(Backend backend = Backend::kBuiltin);
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  [[nodiscard]] logic::FormulaArena& formulas() { return formulas_; }
+  [[nodiscard]] logic::BvArena& bitvectors() { return bitvectors_; }
+  [[nodiscard]] Backend backend() const { return backend_kind_; }
+
+  /// Shorthand for declaring named atoms.
+  logic::Formula bool_var(const std::string& name);
+  logic::BvTerm bv_var(const std::string& name, uint32_t width);
+
+  void add(logic::Formula f);
+  void push();
+  void pop();
+  CheckResult check();
+  CheckResult check_assuming(std::span<const logic::Formula> assumptions);
+
+  /// Model access after kSat.
+  [[nodiscard]] bool model_bool(logic::BoolVar v);
+  [[nodiscard]] bool model_bool(logic::Formula var_formula);
+  [[nodiscard]] uint64_t model_bv(logic::BvTerm t);
+
+  /// After a kUnsat check_assuming: the conflicting subset of the
+  /// assumptions (an unsat core; not necessarily minimal).
+  [[nodiscard]] std::vector<logic::Formula> unsat_core();
+
+  /// Deletion-minimises a conflicting assumption set: repeatedly drops one
+  /// element and re-checks, keeping the set unsat. Returns a *minimal* core
+  /// (every element necessary), at the cost of O(|core|) solver calls.
+  /// Returns empty when `assumptions` is actually satisfiable.
+  [[nodiscard]] std::vector<logic::Formula> minimal_core(
+      std::span<const logic::Formula> assumptions);
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+ private:
+  Backend backend_kind_;
+  logic::FormulaArena formulas_;
+  logic::BvArena bitvectors_;
+  std::unique_ptr<SolverBackend> backend_;
+  SolverStats stats_;
+};
+
+/// Factory used by tests/benches to sweep both backends.
+[[nodiscard]] std::vector<Backend> all_backends();
+
+}  // namespace llhsc::smt

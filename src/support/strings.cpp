@@ -1,0 +1,171 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace llhsc::support {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<uint64_t> parse_integer(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  } else if (s.size() > 1 && s[0] == '0') {
+    base = 8;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    if (digit >= base) return std::nullopt;
+    uint64_t next = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+    if (next / static_cast<uint64_t>(base) != value) return std::nullopt;  // overflow
+    value = next;
+  }
+  return value;
+}
+
+std::string hex(uint64_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+std::string hex_width(uint64_t value, int digits) {
+  std::ostringstream os;
+  os << std::hex << value;
+  std::string body = os.str();
+  std::string pad(digits > static_cast<int>(body.size())
+                      ? static_cast<size_t>(digits) - body.size()
+                      : 0,
+                  '0');
+  return "0x" + pad + body;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+namespace {
+// DT spec v0.4 table 2.1: node name characters.
+bool is_node_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == ',' || c == '.' ||
+         c == '_' || c == '+' || c == '-';
+}
+// Property names additionally allow '?' and '#'.
+bool is_prop_char(char c) { return is_node_char(c) || c == '?' || c == '#'; }
+}  // namespace
+
+bool is_valid_node_name(std::string_view name) {
+  if (name.empty()) return false;
+  // Optional unit address after '@'.
+  size_t at = name.find('@');
+  std::string_view base = name.substr(0, at);
+  if (base.empty() || base.size() > 31) return false;
+  for (char c : base) {
+    if (!is_node_char(c)) return false;
+  }
+  if (at != std::string_view::npos) {
+    std::string_view unit = name.substr(at + 1);
+    if (unit.empty()) return false;
+    for (char c : unit) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != ',' &&
+          c != '.' && c != '_' && c != '+' && c != '-') {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_valid_property_name(std::string_view name) {
+  if (name.empty() || name.size() > 31) return false;
+  for (char c : name) {
+    if (!is_prop_char(c)) return false;
+  }
+  return true;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative glob with backtracking over the most recent '*'.
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace llhsc::support

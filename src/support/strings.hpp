@@ -1,0 +1,42 @@
+// Small string and integer-formatting helpers used across llhsc. DeviceTree
+// sources mix hex and decimal literals freely, so the parse helpers accept
+// both (0x prefix selects hex, dtc-compatible).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llhsc::support {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+/// Splits on any run of whitespace; never returns empty tokens.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parses a DTS integer literal: "0x..." (hex), "0..." (octal, dtc keeps
+/// C semantics) or decimal. Returns nullopt on malformed input or overflow.
+[[nodiscard]] std::optional<uint64_t> parse_integer(std::string_view s);
+
+/// Formats as 0x%x (lower-case, no leading zeros) — the dtc convention.
+[[nodiscard]] std::string hex(uint64_t value);
+/// Formats as 0x%0*x with the given digit count.
+[[nodiscard]] std::string hex_width(uint64_t value, int digits);
+
+/// Joins items with the given separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// True if `name` is a valid DTS node/property name character sequence.
+[[nodiscard]] bool is_valid_node_name(std::string_view name);
+[[nodiscard]] bool is_valid_property_name(std::string_view name);
+
+/// Simple glob match supporting '*' and '?' (used by schema `pattern`).
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace llhsc::support

@@ -1,0 +1,208 @@
+// Bao config generation — paper Listings 3 (E8) and 6 (E9).
+#include "baogen/baogen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/running_example.hpp"
+#include "dts/parser.hpp"
+
+namespace llhsc::baogen {
+namespace {
+
+std::unique_ptr<dts::Tree> parse_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  dts::SourceManager sm = core::running_example_sources();
+  auto t = dts::parse_dts(src, "t.dts", sm, de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return t;
+}
+
+// E8 — Listing 3: platform_desc for the running example.
+TEST(Baogen, PlatformFromRunningExample) {
+  auto tree = parse_ok(core::running_example_core_dts());
+  support::DiagnosticEngine de;
+  PlatformConfig p = extract_platform(*tree, de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  EXPECT_EQ(p.cpu_num, 2u);
+  ASSERT_EQ(p.regions.size(), 2u);
+  EXPECT_EQ(p.regions[0], (MemRegion{0x40000000, 0x20000000}));
+  EXPECT_EQ(p.regions[1], (MemRegion{0x60000000, 0x20000000}));
+  EXPECT_EQ(p.console_base, 0x20000000u);
+  EXPECT_EQ(p.cluster_core_counts, (std::vector<uint32_t>{2}));
+}
+
+TEST(Baogen, PlatformRenderingMatchesListing3Shape) {
+  auto tree = parse_ok(core::running_example_core_dts());
+  support::DiagnosticEngine de;
+  std::string c = render_platform_c(extract_platform(*tree, de));
+  EXPECT_NE(c.find("#include <platform.h>"), std::string::npos);
+  EXPECT_NE(c.find(".cpu_num = 2"), std::string::npos);
+  EXPECT_NE(c.find(".base = 0x40000000, .size = 0x20000000"),
+            std::string::npos);
+  EXPECT_NE(c.find(".base = 0x60000000, .size = 0x20000000"),
+            std::string::npos);
+  EXPECT_NE(c.find(".console = { .base = 0x20000000 }"), std::string::npos);
+  EXPECT_NE(c.find(".core_num = (uint8_t[]) {2}"), std::string::npos);
+}
+
+// E9 — Listing 6: one VM using all resources (no partitioning), 32-bit
+// addressing, with a veth IPC.
+std::unique_ptr<dts::Tree> full_vm_tree() {
+  return parse_ok(R"(
+/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x40000000 0x20000000 0x60000000 0x20000000>;
+    };
+    /include/ "cpus.dtsi"
+    uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+    uart@30000000 { compatible = "ns16550a"; reg = <0x30000000 0x1000>; };
+    vEthernet {
+        veth0@70000000 { compatible = "veth"; reg = <0x70000000 0x10000>; id = <0>; };
+    };
+};
+)");
+}
+
+TEST(Baogen, VmFromFullTree) {
+  auto tree = full_vm_tree();
+  support::DiagnosticEngine de;
+  VmConfig vm = extract_vm(*tree, "vm", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  EXPECT_EQ(vm.cpu_num, 2u);
+  EXPECT_EQ(vm.cpu_affinity, 0b11u);
+  EXPECT_EQ(vm.entry, 0x40000000u);
+  EXPECT_EQ(vm.base_addr, 0x40000000u);
+  ASSERT_EQ(vm.regions.size(), 2u);
+  EXPECT_EQ(vm.regions[0], (MemRegion{0x40000000, 0x20000000}));
+  EXPECT_EQ(vm.regions[1], (MemRegion{0x60000000, 0x20000000}));
+  ASSERT_EQ(vm.devs.size(), 2u);
+  EXPECT_EQ(vm.devs[0], (DevRegion{0x20000000, 0x20000000, 0x1000, ""}));
+  EXPECT_EQ(vm.devs[1], (DevRegion{0x30000000, 0x30000000, 0x1000, ""}));
+  ASSERT_EQ(vm.ipcs.size(), 1u);
+  EXPECT_EQ(vm.ipcs[0].base, 0x70000000u);
+  EXPECT_EQ(vm.ipcs[0].size, 0x10000u);
+  EXPECT_EQ(vm.ipcs[0].shmem_id, 0u);
+}
+
+TEST(Baogen, AssembleConfigDerivesShmems) {
+  VmConfig a;
+  a.ipcs.push_back({0x70000000, 0x10000, 0, ""});
+  VmConfig b;
+  b.ipcs.push_back({0x70000000, 0x20000, 0, ""});
+  b.ipcs.push_back({0x80000000, 0x4000, 2, ""});
+  BaoConfig cfg = assemble_config({a, b});
+  ASSERT_EQ(cfg.shmem_sizes.size(), 3u);
+  EXPECT_EQ(cfg.shmem_sizes[0], 0x20000u) << "largest ipc wins";
+  EXPECT_EQ(cfg.shmem_sizes[1], 0u);
+  EXPECT_EQ(cfg.shmem_sizes[2], 0x4000u);
+}
+
+TEST(Baogen, ConfigRenderingMatchesListing6Shape) {
+  auto tree = full_vm_tree();
+  support::DiagnosticEngine de;
+  BaoConfig cfg = assemble_config({extract_vm(*tree, "vm", de)});
+  std::string c = render_config_c(cfg);
+  EXPECT_NE(c.find("#include <config.h>"), std::string::npos);
+  EXPECT_NE(c.find("VM_IMAGE(vm, vmimage.bin);"), std::string::npos);
+  EXPECT_NE(c.find("CONFIG_HEADER"), std::string::npos);
+  EXPECT_NE(c.find(".base_addr = 0x40000000"), std::string::npos);
+  EXPECT_NE(c.find(".entry = 0x40000000"), std::string::npos);
+  EXPECT_NE(c.find(".cpu_affinity = 0b11"), std::string::npos);
+  EXPECT_NE(c.find(".cpu_num = 2, .dev_num = 2"), std::string::npos);
+  EXPECT_NE(c.find(".pa = 0x20000000, .va = 0x20000000, .size = 0x1000"),
+            std::string::npos);
+  EXPECT_NE(c.find(".ipc_num = 1"), std::string::npos);
+  EXPECT_NE(c.find(".base = 0x70000000, .size = 0x10000"), std::string::npos);
+  EXPECT_NE(c.find(".shmem_id = 0"), std::string::npos);
+  EXPECT_NE(c.find(".shmemlist_size = 1"), std::string::npos);
+  EXPECT_NE(c.find("[0] = { .size = 0x10000 }"), std::string::npos);
+}
+
+TEST(Baogen, QemuCommandRendering) {
+  auto tree = full_vm_tree();
+  support::DiagnosticEngine de;
+  VmConfig vm = extract_vm(*tree, "vm", de);
+  std::string cmd = render_qemu_command(vm);
+  EXPECT_NE(cmd.find("qemu-system-aarch64"), std::string::npos);
+  EXPECT_NE(cmd.find("-machine virt"), std::string::npos);
+  EXPECT_NE(cmd.find("-smp 2"), std::string::npos);
+  // Two 0x20000000 regions = 1 GiB = 1024M.
+  EXPECT_NE(cmd.find("-m 1024M"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("-dtb vm.dtb"), std::string::npos);
+  EXPECT_NE(cmd.find("-serial mon:stdio"), std::string::npos);
+  EXPECT_NE(cmd.find("ivshmem-plain,memdev=shmem0"), std::string::npos)
+      << "the veth IPC maps onto a shared-memory device: " << cmd;
+  EXPECT_NE(cmd.find("size=0x10000"), std::string::npos);
+}
+
+TEST(Baogen, QemuOptionsOverride) {
+  auto tree = full_vm_tree();
+  support::DiagnosticEngine de;
+  VmConfig vm = extract_vm(*tree, "vm", de);
+  QemuOptions opts;
+  opts.qemu_binary = "qemu-system-riscv64";
+  opts.machine = "virt,aclint=on";
+  opts.cpu = "rv64";
+  opts.dtb_path = "out/vm1.dtb";
+  std::string cmd = render_qemu_command(vm, opts);
+  EXPECT_NE(cmd.find("qemu-system-riscv64"), std::string::npos);
+  EXPECT_NE(cmd.find("-cpu rv64"), std::string::npos);
+  EXPECT_NE(cmd.find("-dtb out/vm1.dtb"), std::string::npos);
+}
+
+TEST(Baogen, SingleCpuVm) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x20000000>; };
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@1 { compatible = "arm,cortex-a53"; device_type = "cpu"; reg = <1>; };
+    };
+};
+)");
+  support::DiagnosticEngine de;
+  VmConfig vm = extract_vm(*tree, "vm1", de);
+  EXPECT_EQ(vm.cpu_num, 1u);
+  EXPECT_EQ(vm.cpu_affinity, 0b10u) << "affinity reflects the physical id";
+}
+
+TEST(Baogen, MissingCpusIsError) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000>; };
+};
+)");
+  support::DiagnosticEngine de;
+  (void)extract_vm(*tree, "vm", de);
+  EXPECT_TRUE(de.has_errors());
+  support::DiagnosticEngine de2;
+  (void)extract_platform(*tree, de2);
+  EXPECT_TRUE(de2.has_errors());
+}
+
+TEST(Baogen, MissingMemoryIsError) {
+  auto tree = parse_ok(R"(
+/ {
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 { reg = <0>; };
+    };
+};
+)");
+  support::DiagnosticEngine de;
+  (void)extract_vm(*tree, "vm", de);
+  EXPECT_TRUE(de.has_errors());
+}
+
+}  // namespace
+}  // namespace llhsc::baogen

@@ -1,0 +1,233 @@
+// Lint checker tests: dtc-style structural warnings.
+#include "checkers/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dts/parser.hpp"
+
+namespace llhsc::checkers {
+namespace {
+
+std::unique_ptr<dts::Tree> parse_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  auto t = dts::parse_dts(src, "t.dts", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return t;
+}
+
+Findings lint(const dts::Tree& tree) { return LintChecker().check(tree); }
+
+TEST(Lint, CleanTreeHasNoWarnings) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000>; };
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 { reg = <0>; };
+    };
+};
+)");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(f.empty()) << render(f);
+}
+
+TEST(Lint, RegWithoutUnitAddress) {
+  auto tree = parse_ok(R"(
+/ { #address-cells = <1>; #size-cells = <1>;
+    flash { reg = <0x0 0x1000>; }; };
+)");
+  Findings f = lint(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kUnitAddressMissing)) << render(f);
+}
+
+TEST(Lint, UnitAddressWithoutReg) {
+  auto tree = parse_ok("/ { ghost@1000 { }; };");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kUnitAddressMissing)) << render(f);
+}
+
+TEST(Lint, UnitAddressMismatch) {
+  auto tree = parse_ok(R"(
+/ { #address-cells = <1>; #size-cells = <1>;
+    uart@2000 { reg = <0x3000 0x100>; }; };
+)");
+  Findings f = lint(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kUnitAddressMismatch)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kUnitAddressMismatch) {
+      EXPECT_EQ(finding.base_a, 0x2000u);
+      EXPECT_EQ(finding.base_b, 0x3000u);
+    }
+  }
+}
+
+TEST(Lint, UnitAddressMatchesTwoCellAddress) {
+  auto tree = parse_ok(R"(
+/ { #address-cells = <2>; #size-cells = <2>;
+    mem@180000000 { reg = <0x1 0x80000000 0x0 0x1000>; }; };
+)");
+  Findings f = lint(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kUnitAddressMismatch)) << render(f);
+}
+
+TEST(Lint, LeadingZeroUnitAddress) {
+  auto tree = parse_ok(R"(
+/ { #address-cells = <1>; #size-cells = <1>;
+    uart@02000 { reg = <0x2000 0x100>; }; };
+)");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kNameConvention)) << render(f);
+}
+
+TEST(Lint, DifferentBaseNamesSharingUnitAddressAreFine) {
+  auto tree = parse_ok(R"(
+/ { #address-cells = <1>; #size-cells = <1>;
+    uart@1000 { reg = <0x1000 0x100>; };
+    spi@2000 { reg = <0x2000 0x100>; }; };
+)");
+  dts::Node& n1 = tree->root().get_or_create_child("eth@5000");
+  n1.set_property(dts::Property::cells("reg", {0x5000, 0x100}));
+  dts::Node& n2 = tree->root().get_or_create_child("eth2@5000");
+  n2.set_property(dts::Property::cells("reg", {0x5000, 0x100}));
+  Findings f = lint(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kDuplicateUnitAddress)) << render(f);
+}
+
+TEST(Lint, DuplicateUnitAddressSameBaseName) {
+  dts::Tree tree;
+  tree.root().set_property(dts::Property::cells("#address-cells", {1}));
+  tree.root().set_property(dts::Property::cells("#size-cells", {1}));
+  dts::Node& a = tree.root().add_child(std::make_unique<dts::Node>("uart@1000"));
+  a.set_property(dts::Property::cells("reg", {0x1000, 0x100}));
+  // dtc reaches this state through overlays; build directly via add_child.
+  dts::Node& b = tree.root().add_child(std::make_unique<dts::Node>("uart@1000"));
+  b.set_property(dts::Property::cells("reg", {0x1000, 0x100}));
+  Findings f = lint(tree);
+  EXPECT_TRUE(contains(f, FindingKind::kDuplicateUnitAddress)) << render(f);
+}
+
+TEST(Lint, BadStatusValue) {
+  auto tree = parse_ok(R"(
+/ { dev { status = "maybe"; }; };
+)");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kBadStatusValue)) << render(f);
+}
+
+TEST(Lint, GoodStatusValues) {
+  auto tree = parse_ok(R"(
+/ {
+    a { status = "okay"; };
+    b { status = "disabled"; };
+    c { status = "reserved"; };
+    d { status = "fail-sss"; };
+};
+)");
+  Findings f = lint(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kBadStatusValue)) << render(f);
+}
+
+TEST(Lint, MissingCellsDeclaration) {
+  auto tree = parse_ok(R"(
+/ { #address-cells = <1>; #size-cells = <1>;
+    bus {
+        dev@1000 { reg = <0x1000 0x100>; };
+    };
+};
+)");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kMissingCells)) << render(f);
+}
+
+TEST(Lint, RootNeverNeedsCellsWarning) {
+  auto tree = parse_ok(R"(
+/ { dev@1000 { reg = <0x1000 0x100>; }; };
+)");
+  Findings f = lint(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kMissingCells))
+      << "the root's defaults are canonical: " << render(f);
+}
+
+TEST(Lint, InvalidPropertyName) {
+  dts::Tree tree;
+  dts::Node& n = tree.root().get_or_create_child("dev");
+  dts::Property p;
+  p.name = std::string(40, 'x');  // over the 31-char limit
+  n.set_property(std::move(p));
+  Findings f = lint(tree);
+  EXPECT_TRUE(contains(f, FindingKind::kNameConvention)) << render(f);
+}
+
+TEST(Lint, AllFindingsAreWarnings) {
+  auto tree = parse_ok(R"(
+/ { ghost@1000 { status = "maybe"; }; };
+)");
+  Findings f = lint(*tree);
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(error_count(f), 0u);
+}
+
+TEST(Lint, AliasToMissingNodeWarns) {
+  auto tree = parse_ok(R"(
+/ {
+    aliases { serial0 = "/soc/uart@1000"; };
+    soc { };
+};
+)");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kUnitAddressMissing)) << render(f);
+}
+
+TEST(Lint, AliasToExistingNodeIsClean) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    aliases { serial0 = "/soc/uart@1000"; };
+    soc {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        uart@1000 { reg = <0x1000 0x100>; };
+    };
+};
+)");
+  Findings f = lint(*tree);
+  EXPECT_TRUE(f.empty()) << render(f);
+}
+
+TEST(Lint, StdoutPathValidated) {
+  auto bad = parse_ok(R"(
+/ { chosen { stdout-path = "/soc/nothere:115200n8"; }; };
+)");
+  Findings f = lint(*bad);
+  EXPECT_TRUE(contains(f, FindingKind::kUnitAddressMissing)) << render(f);
+
+  auto good = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    chosen { stdout-path = "/soc/uart@1000:115200n8"; };
+    soc {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        uart@1000 { reg = <0x1000 0x100>; };
+    };
+};
+)");
+  Findings f2 = lint(*good);
+  EXPECT_TRUE(f2.empty()) << render(f2);
+}
+
+TEST(Lint, OptionsDisableChecks) {
+  auto tree = parse_ok("/ { ghost@1000 { }; };");
+  LintOptions opts;
+  opts.check_unit_addresses = false;
+  Findings f = LintChecker(opts).check(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kUnitAddressMissing));
+}
+
+}  // namespace
+}  // namespace llhsc::checkers

@@ -1,0 +1,109 @@
+// Resource-allocation checker — paper §IV-A / E2, E3.
+#include "checkers/resource_allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/running_example.hpp"
+
+namespace llhsc::checkers {
+namespace {
+
+class RacTest : public ::testing::TestWithParam<smt::Backend> {
+ protected:
+  feature::FeatureModel model = feature::running_example_model();
+  ResourceAllocationChecker make_checker() {
+    return ResourceAllocationChecker(model, core::exclusive_cpus(model),
+                                     GetParam());
+  }
+};
+
+// E2 — Fig. 1b + Fig. 1c form a valid two-VM configuration.
+TEST_P(RacTest, PaperAllocationPasses) {
+  auto checker = make_checker();
+  Findings f = checker.check({core::fig1b_features(), core::fig1c_features()});
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
+TEST_P(RacTest, SameCpuInBothVmsFlagged) {
+  auto checker = make_checker();
+  Findings f = checker.check({core::fig1b_features(), core::fig1b_features()});
+  ASSERT_TRUE(contains(f, FindingKind::kExclusivityViolation)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kExclusivityViolation) {
+      EXPECT_EQ(finding.subject, "cpu@0");
+    }
+  }
+}
+
+TEST_P(RacTest, InvalidProductFlagged) {
+  auto checker = make_checker();
+  // veth0 without its required cpu@0 (cross-constraint violation).
+  std::set<std::string> bad{"CustomSBC", "memory", "cpus",      "cpu@1",
+                            "uarts",     "uart@20000000", "vEthernet", "veth0"};
+  Findings f = checker.check({bad});
+  EXPECT_TRUE(contains(f, FindingKind::kInvalidVmProduct)) << render(f);
+}
+
+TEST_P(RacTest, BothCpusInOneVmFlagged) {
+  auto checker = make_checker();
+  std::set<std::string> bad{"CustomSBC", "memory", "cpus",
+                            "cpu@0",     "cpu@1",  "uarts",
+                            "uart@20000000"};
+  Findings f = checker.check({bad});
+  EXPECT_TRUE(contains(f, FindingKind::kInvalidVmProduct))
+      << "cpus is an XOR group: " << render(f);
+}
+
+TEST_P(RacTest, MissingMandatoryFeatureFlagged) {
+  auto checker = make_checker();
+  std::set<std::string> bad{"CustomSBC", "cpus", "cpu@0", "uarts",
+                            "uart@20000000"};  // no memory
+  Findings f = checker.check({bad});
+  EXPECT_TRUE(contains(f, FindingKind::kInvalidVmProduct)) << render(f);
+}
+
+TEST_P(RacTest, UnknownFeatureNameFlagged) {
+  auto checker = make_checker();
+  Findings f = checker.check({{"CustomSBC", "warp-drive"}});
+  ASSERT_TRUE(contains(f, FindingKind::kInvalidVmProduct));
+  EXPECT_NE(f[0].message.find("warp-drive"), std::string::npos);
+}
+
+// E3 — three VMs cannot each get an exclusive CPU from a pool of two.
+TEST_P(RacTest, ThreeVmsOverTwoCpusFlagged) {
+  auto checker = make_checker();
+  std::set<std::string> vm_a = core::fig1b_features();
+  std::set<std::string> vm_b = core::fig1c_features();
+  // Third VM reuses cpu@0.
+  std::set<std::string> vm_c{"CustomSBC", "memory", "cpus", "cpu@0",
+                             "uarts",     "uart@30000000"};
+  Findings f = checker.check({vm_a, vm_b, vm_c});
+  EXPECT_TRUE(contains(f, FindingKind::kExclusivityViolation)) << render(f);
+}
+
+TEST_P(RacTest, SharedUartsAreFine) {
+  auto checker = make_checker();
+  std::set<std::string> vm_a{"CustomSBC", "memory", "cpus", "cpu@0",
+                             "uarts",     "uart@20000000"};
+  std::set<std::string> vm_b{"CustomSBC", "memory", "cpus", "cpu@1",
+                             "uarts",     "uart@20000000"};
+  Findings f = checker.check({vm_a, vm_b});
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
+TEST_P(RacTest, PlatformUnionHelper) {
+  feature::Selection a(4, false), b(4, false);
+  a[0] = a[1] = true;
+  b[0] = b[3] = true;
+  auto u = ResourceAllocationChecker::platform_union({a, b});
+  EXPECT_EQ(u, (feature::Selection{true, true, false, true}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RacTest,
+                         ::testing::ValuesIn(smt::all_backends()),
+                         [](const ::testing::TestParamInfo<smt::Backend>& info) {
+                           return std::string(smt::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace llhsc::checkers

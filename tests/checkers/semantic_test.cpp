@@ -1,0 +1,524 @@
+// Semantic checker tests — paper §IV-C / E4. The headline scenario: a UART
+// whose base address clashes with a memory bank is invisible to syntactic
+// checking but caught here, with a solver-produced witness address.
+#include "checkers/semantic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dts/parser.hpp"
+
+namespace llhsc::checkers {
+namespace {
+
+std::unique_ptr<dts::Tree> parse_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  auto t = dts::parse_dts(src, "t.dts", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return t;
+}
+
+TEST(RegionExtraction, RunningExampleRegions) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+    uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0].base, 0x40000000u);
+  EXPECT_EQ(regions[0].size, 0x20000000u);
+  EXPECT_TRUE(regions[0].is_memory());
+  EXPECT_EQ(regions[1].base, 0x60000000u);
+  EXPECT_EQ(regions[1].entry_index, 1u);
+  EXPECT_EQ(regions[2].base, 0x20000000u);
+  EXPECT_EQ(regions[2].size, 0x1000u);
+  EXPECT_EQ(regions[2].region_class, RegionClass::kDevice);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(RegionExtraction, SixtyFourBitAddressesCombine) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@0 { device_type = "memory"; reg = <0x1 0x80000000 0x0 0x10000>; };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].base, 0x180000000ull);
+  EXPECT_EQ(regions[0].size, 0x10000u);
+}
+
+TEST(RegionExtraction, CpuRegIsNotARegion) {
+  auto tree = parse_ok(R"(
+/ {
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 { reg = <0>; };
+    };
+};
+)");
+  Findings f;
+  EXPECT_TRUE(extract_regions(*tree, f).empty())
+      << "#size-cells = 0 means reg is an id, not an address range";
+}
+
+TEST(RegionExtraction, TruncationReinterpretsEntries) {
+  // The §IV-C scenario: root switched to 1/1 cells, memory reg still has 8
+  // cells -> FOUR 32-bit banks instead of two 64-bit ones.
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  ASSERT_EQ(regions.size(), 4u) << "four banks of memory, not the original two";
+  EXPECT_EQ(regions[0].base, 0x0u);
+  EXPECT_EQ(regions[2].base, 0x0u);
+}
+
+TEST(RegionExtraction, RangesTranslation) {
+  // A bus mapping child [0x0, 0x10000) to CPU 0x10000000.
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    bus@10000000 {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        reg = <0x10000000 0x10000>;
+        ranges = <0x0 0x10000000 0x10000>;
+        dev@100 { reg = <0x100 0x10>; };
+    };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  EXPECT_TRUE(f.empty()) << render(f);
+  ASSERT_EQ(regions.size(), 2u);
+  // The bus's own reg is in the root space.
+  EXPECT_EQ(regions[0].base, 0x10000000u);
+  // The device translates through the bus's ranges.
+  EXPECT_EQ(regions[1].base, 0x10000100u);
+  EXPECT_EQ(regions[1].local_base, 0x100u);
+}
+
+TEST(RegionExtraction, NestedRangesCompose) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    outer {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        ranges = <0x0 0x40000000 0x100000>;
+        inner {
+            #address-cells = <1>;
+            #size-cells = <1>;
+            ranges = <0x0 0x1000 0x1000>;
+            dev@20 { reg = <0x20 0x10>; };
+        };
+    };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  ASSERT_EQ(regions.size(), 1u);
+  // 0x20 -> inner: 0x1020 -> outer: 0x40001020.
+  EXPECT_EQ(regions[0].base, 0x40001020u);
+}
+
+TEST(RegionExtraction, BooleanRangesIsIdentity) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    soc {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        ranges;
+        dev@5000 { reg = <0x5000 0x100>; };
+    };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].base, 0x5000u);
+}
+
+TEST(RegionExtraction, OutOfRangesRegIsFlagged) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    bus {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        ranges = <0x0 0x10000000 0x1000>;
+        dev@2000 { reg = <0x2000 0x10>; };
+    };
+};
+)");
+  Findings f;
+  auto regions = extract_regions(*tree, f);
+  EXPECT_TRUE(regions.empty());
+  ASSERT_TRUE(contains(f, FindingKind::kRangesViolation)) << render(f);
+}
+
+TEST(RegionExtraction, TranslatedOverlapDetected) {
+  // Two buses map different local addresses onto the SAME cpu window: the
+  // clash is only visible after translation.
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    busa {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        ranges = <0x0 0x20000000 0x10000>;
+        deva@0 { reg = <0x0 0x100>; };
+    };
+    busb {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        ranges = <0x8000 0x20000000 0x10000>;
+        devb@8000 { reg = <0x8000 0x100>; };
+    };
+};
+)");
+  SemanticChecker checker;
+  Findings f = checker.check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kAddressOverlap))
+      << "0x0 via busa and 0x8000 via busb both land at 0x20000000: "
+      << render(f);
+}
+
+class SemanticTest : public ::testing::TestWithParam<smt::Backend> {
+ protected:
+  Findings check(const dts::Tree& tree) {
+    SemanticChecker checker(GetParam());
+    return checker.check(tree);
+  }
+};
+
+// E4 — the paper's §I-A clash: uart base = second memory bank base.
+TEST_P(SemanticTest, UartMemoryClashDetected) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+    uart@60000000 { compatible = "ns16550a"; reg = <0x0 0x60000000 0x0 0x1000>; };
+};
+)");
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kAddressOverlap) {
+      // The witness must lie inside both ranges.
+      EXPECT_GE(finding.witness, 0x60000000u);
+      EXPECT_LT(finding.witness, 0x60001000u);
+    }
+  }
+}
+
+TEST_P(SemanticTest, DisjointLayoutPasses) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+    uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
+    uart@30000000 { compatible = "ns16550a"; reg = <0x0 0x30000000 0x0 0x1000>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
+// E5 — omitted d4: four truncated banks collide at 0x0.
+TEST_P(SemanticTest, TruncationCollisionAtZero) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+};
+)");
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+  bool witness_at_zero_range = false;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kAddressOverlap &&
+        finding.base_a == 0 && finding.base_b == 0) {
+      witness_at_zero_range = true;
+      EXPECT_LT(finding.witness, 0x20000000u)
+          << "witness must sit in the shared prefix of the zero-based banks";
+    }
+  }
+  EXPECT_TRUE(witness_at_zero_range)
+      << "the paper reports an actual collision on address 0x0: " << render(f);
+}
+
+TEST_P(SemanticTest, AdjacentRegionsDoNotOverlap) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x40000000 0x20000000 0x60000000 0x20000000>;
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u)
+      << "[0x40000000,0x60000000) and [0x60000000,0x80000000) touch but do "
+         "not overlap: "
+      << render(f);
+}
+
+TEST_P(SemanticTest, OneByteOverlapDetected) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    a@1000 { reg = <0x1000 0x101>; };
+    b@1100 { reg = <0x1100 0x100>; };
+};
+)");
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kAddressOverlap) {
+      EXPECT_EQ(finding.witness, 0x1100u) << "only one address is shared";
+    }
+  }
+}
+
+TEST_P(SemanticTest, IpcInsideMemoryIsAllowed) {
+  // Bao carves IPC shared memory out of RAM (Listing 6: ipc at 0x70000000
+  // inside the 0x60000000+0x20000000 bank).
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x40000000 0x20000000 0x60000000 0x20000000>;
+    };
+    vEthernet {
+        veth1@70000000 { compatible = "veth"; reg = <0x70000000 0x10000000>; id = <1>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
+TEST_P(SemanticTest, IpcVsIpcOverlapIsError) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    vEthernet {
+        veth0@70000000 { compatible = "veth"; reg = <0x70000000 0x10000000>; id = <0>; };
+        veth1@78000000 { compatible = "veth"; reg = <0x78000000 0x10000000>; id = <1>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+}
+
+TEST_P(SemanticTest, IpcVsDeviceOverlapIsError) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    uart@70000000 { compatible = "ns16550a"; reg = <0x70000000 0x1000>; };
+    vEthernet {
+        veth0@70000000 { compatible = "veth"; reg = <0x70000000 0x10000000>; id = <0>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+}
+
+TEST_P(SemanticTest, SizeOverflowDetected) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    bad@0 { reg = <0xffffffff 0xfffff000 0x0 0x2000>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kSizeOverflow)) << render(f);
+}
+
+TEST_P(SemanticTest, ZeroSizeRegionWarns) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    dev@1000 { reg = <0x1000 0x0>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kZeroSizeRegion));
+  EXPECT_EQ(error_count(f), 0u);
+}
+
+TEST_P(SemanticTest, OversizedCellDetected) {
+  dts::Tree tree;
+  tree.root().set_property(dts::Property::cells("#address-cells", {1}));
+  tree.root().set_property(dts::Property::cells("#size-cells", {1}));
+  dts::Node& n = tree.root().get_or_create_child("dev@0");
+  n.set_property(dts::Property::cells("reg", {0x100000000ull, 0x1000}));
+  Findings f = check(tree);
+  EXPECT_TRUE(contains(f, FindingKind::kRegWidthViolation)) << render(f);
+}
+
+TEST_P(SemanticTest, InterruptCollisionDetected) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    a@1000 { reg = <0x1000 0x10>; interrupts = <5>; };
+    b@2000 { reg = <0x2000 0x10>; interrupts = <5>; };
+    c@3000 { reg = <0x3000 0x10>; interrupts = <6>; };
+};
+)");
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kInterruptCollision)) << render(f);
+  int collisions = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kInterruptCollision) ++collisions;
+  }
+  EXPECT_EQ(collisions, 1);
+}
+
+TEST_P(SemanticTest, DifferentInterruptParentsDoNotCollide) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    pic_a: pic@100 { reg = <0x100 0x10>; };
+    pic_b: pic@200 { reg = <0x200 0x10>; };
+    a@1000 { reg = <0x1000 0x10>; interrupt-parent = <&pic_a>; interrupts = <5>; };
+    b@2000 { reg = <0x2000 0x10>; interrupt-parent = <&pic_b>; interrupts = <5>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kInterruptCollision)) << render(f);
+}
+
+TEST_P(SemanticTest, FindingsCarryProvenance) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    a@1000 { reg = <0x1000 0x100>; };
+    b@1080 { reg = <0x1080 0x100>; };
+};
+)");
+  tree->find("/b@1080")->set_provenance("d7");
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kAddressOverlap));
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kAddressOverlap) {
+      EXPECT_EQ(finding.delta, "d7") << "blame the delta that made the region";
+    }
+  }
+}
+
+// Property sweep: random region sets, solver verdict vs interval arithmetic.
+struct RandomRegionsCase {
+  uint32_t seed;
+  smt::Backend backend;
+  int count;
+};
+
+class RandomRegionsTest : public ::testing::TestWithParam<RandomRegionsCase> {};
+
+TEST_P(RandomRegionsTest, SolverAgreesWithIntervalArithmetic) {
+  std::mt19937_64 rng(GetParam().seed);
+  std::uniform_int_distribution<uint64_t> base_dist(0, 1 << 20);
+  std::uniform_int_distribution<uint64_t> size_dist(1, 1 << 12);
+  std::vector<MemRegion> regions;
+  for (int i = 0; i < GetParam().count; ++i) {
+    MemRegion r;
+    r.path = "/r" + std::to_string(i);
+    r.base = base_dist(rng);
+    r.size = size_dist(rng);
+    r.region_class = RegionClass::kDevice;
+    regions.push_back(std::move(r));
+  }
+  SemanticChecker checker(GetParam().backend);
+  Findings f = checker.check_regions(regions);
+  size_t solver_overlaps = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kAddressOverlap) ++solver_overlaps;
+  }
+  size_t interval_overlaps = 0;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = i + 1; j < regions.size(); ++j) {
+      if (regions[i].base < regions[j].base + regions[j].size &&
+          regions[j].base < regions[i].base + regions[i].size) {
+        ++interval_overlaps;
+      }
+    }
+  }
+  EXPECT_EQ(solver_overlaps, interval_overlaps);
+}
+
+std::vector<RandomRegionsCase> region_cases() {
+  std::vector<RandomRegionsCase> cases;
+  for (uint32_t seed = 1; seed <= 6; ++seed) {
+    cases.push_back({seed, smt::Backend::kBuiltin, 8});
+    cases.push_back({seed + 10, smt::Backend::kZ3, 8});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomRegionsTest,
+                         ::testing::ValuesIn(region_cases()));
+
+INSTANTIATE_TEST_SUITE_P(Backends, SemanticTest,
+                         ::testing::ValuesIn(smt::all_backends()),
+                         [](const ::testing::TestParamInfo<smt::Backend>& info) {
+                           return std::string(smt::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace llhsc::checkers

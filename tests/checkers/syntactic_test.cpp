@@ -1,0 +1,341 @@
+// Syntactic checker tests — paper §IV-B / E6. Parameterized over both
+// solver backends.
+#include "checkers/syntactic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dts/parser.hpp"
+#include "schema/builtin_schemas.hpp"
+#include "schema/yaml_lite.hpp"
+
+namespace llhsc::checkers {
+namespace {
+
+std::unique_ptr<dts::Tree> parse_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  auto t = dts::parse_dts(src, "t.dts", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return t;
+}
+
+class SyntacticTest : public ::testing::TestWithParam<smt::Backend> {
+ protected:
+  schema::SchemaSet schemas = schema::builtin_schemas();
+  Findings check(const dts::Tree& tree) {
+    SyntacticChecker checker(schemas, GetParam());
+    return checker.check(tree);
+  }
+};
+
+// E6: Listing 5 — a well-formed memory node passes.
+TEST_P(SyntacticTest, ValidMemoryNodePasses) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
+TEST_P(SyntacticTest, MissingRequiredPropertyFlagged) {
+  auto tree = parse_ok(R"(
+/ {
+    memory@40000000 { device_type = "memory"; };
+};
+)");
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kMissingRequired)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kMissingRequired) {
+      EXPECT_EQ(finding.property, "reg");
+      EXPECT_EQ(finding.subject, "/memory@40000000");
+    }
+  }
+}
+
+// E6: constraint (1) — device_type must be the constant "memory".
+TEST_P(SyntacticTest, ConstMismatchFlagged) {
+  auto tree = parse_ok(R"(
+/ {
+    memory@40000000 { device_type = "ram"; reg = <0x0 0x1000 0x0 0x100>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kConstMismatch)) << render(f);
+}
+
+TEST_P(SyntacticTest, EnumViolationFlagged) {
+  auto tree = parse_ok(R"(
+/ {
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 {
+            compatible = "intel,i486";
+            device_type = "cpu";
+            reg = <0>;
+        };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kEnumViolation)) << render(f);
+}
+
+// The paper's §I-A reg-shape rule: "each sub-array must have size 4" when
+// #address-cells = #size-cells = 2.
+TEST_P(SyntacticTest, RegShapeRuleAcceptsMultiples) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000>;
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
+TEST_P(SyntacticTest, RegShapeRuleRejectsPartialEntry) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000>;
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kRegShapeViolation)) << render(f);
+}
+
+TEST_P(SyntacticTest, RegShapeRuleRejectsEmptyReg) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kRegShapeViolation) ||
+              contains(f, FindingKind::kItemCountViolation))
+      << render(f);
+}
+
+// The §IV-C setup seen purely syntactically: after truncation to 1/1 cells
+// the 8-cell reg is STILL shape-valid ("dt-schema assumes that any multiple
+// ... is valid") — the syntactic checker must NOT flag it.
+TEST_P(SyntacticTest, TruncatedAddressingPassesSyntactically) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u)
+      << "dt-schema-style checks accept any multiple of the stride: "
+      << render(f);
+}
+
+TEST_P(SyntacticTest, ItemCountViolationFlagged) {
+  // cpu reg must have exactly 1 entry.
+  auto tree = parse_ok(R"(
+/ {
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 {
+            compatible = "arm,cortex-a53";
+            device_type = "cpu";
+            reg = <0 1 2>;
+        };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kItemCountViolation)) << render(f);
+}
+
+TEST_P(SyntacticTest, TypeMismatchFlagged) {
+  auto tree = parse_ok(R"(
+/ {
+    memory@40000000 { device_type = <1>; reg = <0x0 0x1000 0x0 0x10>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kTypeMismatch)) << render(f);
+}
+
+TEST_P(SyntacticTest, ChildRuleMinCount) {
+  auto tree = parse_ok(R"(
+/ {
+    cpus { #address-cells = <1>; #size-cells = <0>; };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kChildRuleViolation)) << render(f);
+}
+
+TEST_P(SyntacticTest, CpusConstCellsChecked) {
+  auto tree = parse_ok(R"(
+/ {
+    cpus {
+        #address-cells = <2>;
+        #size-cells = <0>;
+        cpu@0 { compatible = "arm,cortex-a53"; device_type = "cpu"; reg = <0>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kConstMismatch)) << render(f);
+}
+
+TEST_P(SyntacticTest, VethBindingChecked) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    vEthernet {
+        veth0@80000000 {
+            compatible = "veth";
+            reg = <0x80000000 0x10000000>;
+            id = <7>;
+        };
+    };
+};
+)");
+  Findings f = check(*tree);
+  // id = 7 outside enum {0,1,2,3}.
+  EXPECT_TRUE(contains(f, FindingKind::kEnumViolation)) << render(f);
+}
+
+TEST_P(SyntacticTest, FindingsCarryDeltaProvenance) {
+  auto tree = parse_ok(R"(
+/ {
+    memory@40000000 { device_type = "ram"; reg = <0x0 0x1 0x0 0x1>; };
+};
+)");
+  dts::Node* mem = tree->find("/memory@40000000");
+  mem->find_property("device_type")->provenance = "d9";
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kConstMismatch));
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kConstMismatch) {
+      EXPECT_EQ(finding.delta, "d9");
+    }
+  }
+}
+
+TEST_P(SyntacticTest, UnmatchedNodeWarningOptIn) {
+  auto tree = parse_ok("/ { mystery@1 { weird = <1>; }; };");
+  SyntacticOptions opts;
+  opts.warn_unmatched_nodes = true;
+  SyntacticChecker checker(schemas, GetParam(), opts);
+  Findings f = checker.check(*tree);
+  EXPECT_TRUE(contains(f, FindingKind::kNoSchema));
+  EXPECT_EQ(error_count(f), 0u) << "kNoSchema is a warning";
+  // Default: no warning.
+  Findings f2 = check(*tree);
+  EXPECT_FALSE(contains(f2, FindingKind::kNoSchema));
+}
+
+TEST_P(SyntacticTest, AdditionalPropertiesEnforced) {
+  schema::SchemaSet strict;
+  schema::PropertySchema reg;
+  reg.name = "reg";
+  strict.add(schema::SchemaBuilder("strict")
+                 .select_node_name("gadget@*")
+                 .property(std::move(reg))
+                 .no_additional_properties()
+                 .build());
+  auto tree = parse_ok("/ { gadget@1 { reg = <1 2>; rogue = <3>; }; };");
+  SyntacticChecker checker(strict, GetParam());
+  Findings f = checker.check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kUnknownProperty)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kUnknownProperty) {
+      EXPECT_EQ(finding.property, "rogue");
+    }
+  }
+}
+
+TEST_P(SyntacticTest, MinimumMaximumCellBounds) {
+  // Manufacturer-range constraints (§II-A): clock frequencies etc.
+  schema::SchemaSet set;
+  schema::PropertySchema clk;
+  clk.name = "clock-frequency";
+  clk.type = schema::PropertyType::kCells;
+  clk.minimum = 1000000;    // 1 MHz
+  clk.maximum = 100000000;  // 100 MHz
+  set.add(schema::SchemaBuilder("clocked")
+              .select_node_name("osc@*")
+              .property(std::move(clk))
+              .no_reg_shape_check()
+              .build());
+
+  auto good = parse_ok("/ { osc@1 { clock-frequency = <24000000>; }; };");
+  auto too_low = parse_ok("/ { osc@1 { clock-frequency = <1000>; }; };");
+  auto too_high = parse_ok("/ { osc@1 { clock-frequency = <0x10000000>; }; };");
+
+  SyntacticChecker checker(set, GetParam());
+  EXPECT_EQ(error_count(checker.check(*good)), 0u);
+  EXPECT_TRUE(contains(checker.check(*too_low), FindingKind::kEnumViolation));
+  EXPECT_TRUE(contains(checker.check(*too_high), FindingKind::kEnumViolation));
+}
+
+TEST_P(SyntacticTest, MinimumMaximumFromYaml) {
+  const char* yaml = R"($id: clocked
+select:
+  nodeName: "osc@*"
+properties:
+  clock-frequency:
+    type: cells
+    minimum: 1000000
+    maximum: 100000000
+regShapeCheck: false
+)";
+  support::DiagnosticEngine de;
+  schema::SchemaSet set;
+  ASSERT_EQ(schema::load_schema_stream(yaml, set, de), 1u) << de.render();
+  auto bad = parse_ok("/ { osc@1 { clock-frequency = <5>; }; };");
+  SyntacticChecker checker(set, GetParam());
+  EXPECT_TRUE(contains(checker.check(*bad), FindingKind::kEnumViolation));
+}
+
+TEST_P(SyntacticTest, SolverIsActuallyConsulted) {
+  auto tree = parse_ok(R"(
+/ {
+    memory@40000000 { device_type = "memory"; reg = <0x0 0x1000 0x0 0x10>; };
+};
+)");
+  SyntacticChecker checker(schemas, GetParam());
+  (void)checker.check(*tree);
+  EXPECT_GT(checker.solver_checks(), 0u)
+      << "the checker must discharge constraints through the solver";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SyntacticTest,
+                         ::testing::ValuesIn(smt::all_backends()),
+                         [](const ::testing::TestParamInfo<smt::Backend>& info) {
+                           return std::string(smt::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace llhsc::checkers

@@ -1,0 +1,205 @@
+// End-to-end pipeline tests — the Fig. 2 workflow (E10) plus the two
+// fault-injection scenarios run through the whole stack (E4, E5).
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/running_example.hpp"
+#include "fdt/fdt.hpp"
+#include "schema/builtin_schemas.hpp"
+
+namespace llhsc::core {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<smt::Backend> {
+ protected:
+  void SetUp() override {
+    model = feature::running_example_model();
+    schemas = schema::builtin_schemas();
+    pl = running_example_product_line(diags);
+    ASSERT_NE(pl, nullptr) << diags.render();
+  }
+
+  Pipeline make_pipeline(const delta::ProductLine& line,
+                         PipelineOptions opts = {}) {
+    opts.backend = GetParam();
+    return Pipeline(model, exclusive_cpus(model), line, schemas, opts);
+  }
+
+  std::vector<VmSpec> paper_vms() {
+    return {{"vm1", fig1b_features()}, {"vm2", fig1c_features()}};
+  }
+
+  feature::FeatureModel model;
+  schema::SchemaSet schemas;
+  support::DiagnosticEngine diags;
+  std::unique_ptr<delta::ProductLine> pl;
+};
+
+// E10 — the paper's two-VM configuration goes through cleanly and produces
+// every artifact the cloud service shows: two VM DTSs, the platform DTS,
+// Listing 3 and Listing 6 C files, plus bootable-format DTBs.
+TEST_P(PipelineTest, PaperConfigurationSucceeds) {
+  Pipeline pipeline = make_pipeline(*pl);
+  PipelineResult result = pipeline.run(paper_vms());
+  EXPECT_TRUE(result.ok) << checkers::render(result.findings)
+                         << result.diagnostics.render();
+  ASSERT_EQ(result.vms.size(), 2u);
+  EXPECT_FALSE(result.vms[0].dts_text.empty());
+  EXPECT_FALSE(result.vms[1].dts_text.empty());
+  ASSERT_NE(result.platform_tree, nullptr);
+
+  // VM1 has veth0 but not veth1; VM2 vice versa; the platform has both.
+  EXPECT_NE(result.vms[0].tree->find("/vEthernet/veth0@80000000"), nullptr);
+  EXPECT_EQ(result.vms[0].tree->find("/vEthernet/veth1@70000000"), nullptr);
+  EXPECT_NE(result.vms[1].tree->find("/vEthernet/veth1@70000000"), nullptr);
+  EXPECT_NE(result.platform_tree->find("/vEthernet/veth0@80000000"), nullptr);
+  EXPECT_NE(result.platform_tree->find("/vEthernet/veth1@70000000"), nullptr);
+
+  // Listing 3 content.
+  EXPECT_NE(result.platform_config_c.find(".cpu_num = 2"), std::string::npos);
+  EXPECT_EQ(result.platform_config.regions.size(), 2u);
+  // Listing 6 content: two VMs in the vmlist.
+  EXPECT_NE(result.vm_config_c.find(".vmlist_size = 2"), std::string::npos);
+  EXPECT_NE(result.vm_config_c.find("VM_IMAGE(vm1"), std::string::npos);
+
+  // DTBs verify.
+  support::DiagnosticEngine de;
+  EXPECT_TRUE(fdt::verify(result.vms[0].dtb, de)) << de.render();
+  EXPECT_TRUE(fdt::verify(result.platform_dtb, de)) << de.render();
+
+  // QEMU commands (§V) reference each VM's own artifacts.
+  EXPECT_NE(result.vms[0].qemu_command.find("-dtb vm1.dtb"),
+            std::string::npos);
+  EXPECT_NE(result.vms[0].qemu_command.find("-smp 1"), std::string::npos);
+
+  // Per-VM configs: one CPU each, disjoint affinities.
+  EXPECT_EQ(result.vms[0].config.cpu_num, 1u);
+  EXPECT_EQ(result.vms[1].config.cpu_num, 1u);
+  EXPECT_EQ(result.vms[0].config.cpu_affinity &
+                result.vms[1].config.cpu_affinity,
+            0u);
+  EXPECT_EQ(result.vms[0].config.cpu_affinity |
+                result.vms[1].config.cpu_affinity,
+            0b11u);
+}
+
+// E4 end-to-end — the §I-A UART/memory clash: syntactic checks stay silent,
+// the semantic checker reports the overlap.
+TEST_P(PipelineTest, UartClashCaughtSemanticallyOnly) {
+  support::DiagnosticEngine de;
+  auto bad_pl = running_example_product_line(de, /*with_uart_clash=*/true);
+  ASSERT_NE(bad_pl, nullptr) << de.render();
+  Pipeline pipeline = make_pipeline(*bad_pl);
+  // Configure without virtualization so the core layout is used as-is.
+  std::vector<VmSpec> vms{{"vm", {"CustomSBC", "memory", "cpus", "cpu@0",
+                                  "uarts", "uart@20000000", "uart@60000000"}}};
+  // uart@60000000 is not a feature of the model; use the standard names and
+  // rely on the clash being in the core DTS instead.
+  vms[0].features = {"CustomSBC", "memory",        "cpus",
+                     "cpu@0",     "uarts",         "uart@20000000",
+                     "uart@30000000"};
+  PipelineResult result = pipeline.run(vms);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(checkers::contains(result.findings,
+                                 checkers::FindingKind::kAddressOverlap))
+      << checkers::render(result.findings);
+  // No syntactic finding fires for this purely semantic bug.
+  for (const checkers::Finding& f : result.findings) {
+    EXPECT_TRUE(f.kind == checkers::FindingKind::kAddressOverlap ||
+                f.severity == checkers::FindingSeverity::kWarning)
+        << f.render();
+  }
+}
+
+// E5 end-to-end — omitting d4 (the 64->32-bit rewrite) produces four
+// truncated banks and a collision at 0x0, traced back to delta d3.
+TEST_P(PipelineTest, OmittedD4CaughtWithDeltaBlame) {
+  support::DiagnosticEngine de;
+  auto broken_pl = running_example_product_line_without_d4(de);
+  ASSERT_NE(broken_pl, nullptr) << de.render();
+  Pipeline pipeline = make_pipeline(*broken_pl);
+  PipelineResult result = pipeline.run(paper_vms());
+  EXPECT_FALSE(result.ok);
+  ASSERT_TRUE(checkers::contains(result.findings,
+                                 checkers::FindingKind::kAddressOverlap))
+      << checkers::render(result.findings);
+  bool blamed = false;
+  for (const checkers::Finding& f : result.findings) {
+    // Bank-vs-bank collisions of the truncated memory node.
+    if (f.kind == checkers::FindingKind::kAddressOverlap &&
+        f.subject.rfind("/memory", 0) == 0 &&
+        f.other_subject.rfind("/memory", 0) == 0) {
+      blamed = true;
+      EXPECT_EQ(f.delta, "d3")
+          << "the cell-width change that re-interpreted the banks is d3's";
+    }
+  }
+  EXPECT_TRUE(blamed) << checkers::render(result.findings);
+}
+
+TEST_P(PipelineTest, InvalidAllocationStopsBeforeGeneration) {
+  Pipeline pipeline = make_pipeline(*pl, [] {
+    PipelineOptions o;
+    o.fail_fast = true;
+    return o;
+  }());
+  // Same CPU for both VMs.
+  PipelineResult result =
+      pipeline.run({{"vm1", fig1b_features()}, {"vm2", fig1b_features()}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(checkers::contains(result.findings,
+                                 checkers::FindingKind::kExclusivityViolation));
+  EXPECT_TRUE(result.vms.empty()) << "fail-fast must stop before deriving";
+}
+
+TEST_P(PipelineTest, SingleVmWithoutVirtualDevices) {
+  Pipeline pipeline = make_pipeline(*pl);
+  PipelineResult result = pipeline.run(
+      {{"solo",
+        {"CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"}}});
+  EXPECT_TRUE(result.ok) << checkers::render(result.findings)
+                         << result.diagnostics.render();
+  ASSERT_EQ(result.vms.size(), 1u);
+  // 64-bit layout retained (d3 never fired).
+  EXPECT_EQ(result.vms[0].tree->root().address_cells_or_default(), 2u);
+  EXPECT_EQ(result.vms[0].tree->find("/vEthernet"), nullptr);
+  EXPECT_EQ(result.vms[0].config.cpu_affinity, 0b01u);
+}
+
+TEST_P(PipelineTest, ChecksCanBeDisabled) {
+  support::DiagnosticEngine de;
+  auto bad_pl = running_example_product_line(de, /*with_uart_clash=*/true);
+  PipelineOptions opts;
+  opts.check_semantics = false;
+  Pipeline pipeline = make_pipeline(*bad_pl, opts);
+  PipelineResult result = pipeline.run(
+      {{"vm",
+        {"CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000",
+         "uart@30000000"}}});
+  EXPECT_TRUE(result.ok)
+      << "with the semantic stage off, the clash goes unnoticed: "
+      << checkers::render(result.findings);
+}
+
+TEST_P(PipelineTest, GeneratedDtsRoundTripsThroughParser) {
+  Pipeline pipeline = make_pipeline(*pl);
+  PipelineResult result = pipeline.run(paper_vms());
+  ASSERT_TRUE(result.ok);
+  for (const GeneratedVm& vm : result.vms) {
+    support::DiagnosticEngine de;
+    auto reparsed = dts::parse_dts(vm.dts_text, vm.name + ".dts", de);
+    EXPECT_NE(reparsed, nullptr);
+    EXPECT_FALSE(de.has_errors()) << de.render();
+    EXPECT_EQ(reparsed->node_count(), vm.tree->node_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PipelineTest,
+                         ::testing::ValuesIn(smt::all_backends()),
+                         [](const ::testing::TestParamInfo<smt::Backend>& info) {
+                           return std::string(smt::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace llhsc::core

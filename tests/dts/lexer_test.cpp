@@ -1,0 +1,178 @@
+#include "dts/lexer.hpp"
+
+#include "dts/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::dts {
+namespace {
+
+std::vector<Token> lex(std::string_view src, support::DiagnosticEngine& de) {
+  Lexer lexer(src, "test.dts", de);
+  auto tokens = lexer.tokenize_all();
+  tokens.pop_back();  // drop kEnd
+  return tokens;
+}
+
+std::vector<Token> lex_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  auto tokens = lex(src, de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return tokens;
+}
+
+TEST(Lexer, Punctuation) {
+  auto toks = lex_ok("{ } ; = , [ ] ( )");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kLBrace);
+  EXPECT_EQ(toks[1].kind, TokenKind::kRBrace);
+  EXPECT_EQ(toks[2].kind, TokenKind::kSemi);
+  EXPECT_EQ(toks[3].kind, TokenKind::kEquals);
+  EXPECT_EQ(toks[4].kind, TokenKind::kComma);
+  EXPECT_EQ(toks[5].kind, TokenKind::kLBracket);
+  EXPECT_EQ(toks[6].kind, TokenKind::kRBracket);
+  EXPECT_EQ(toks[7].kind, TokenKind::kLParen);
+  EXPECT_EQ(toks[8].kind, TokenKind::kRParen);
+}
+
+TEST(Lexer, Identifiers) {
+  auto toks = lex_ok("memory@40000000 #address-cells device_type cpu@0");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "memory@40000000");
+  EXPECT_EQ(toks[1].text, "#address-cells");
+  EXPECT_EQ(toks[2].text, "device_type");
+  EXPECT_EQ(toks[3].text, "cpu@0");
+}
+
+TEST(Lexer, Integers) {
+  auto toks = lex_ok("42 0x2A 0x40000000 0");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].value, 42u);
+  EXPECT_EQ(toks[1].value, 42u);
+  EXPECT_EQ(toks[2].value, 0x40000000u);
+  EXPECT_EQ(toks[3].value, 0u);
+}
+
+TEST(Lexer, Strings) {
+  auto toks = lex_ok(R"("arm,cortex-a53" "with \"escape\"" "tab\there")");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "arm,cortex-a53");
+  EXPECT_EQ(toks[1].text, "with \"escape\"");
+  EXPECT_EQ(toks[2].text, "tab\there");
+}
+
+TEST(Lexer, LabelsAndRefs) {
+  auto toks = lex_ok("uart0: serial@20000000 { }; &uart0");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kLabel);
+  EXPECT_EQ(toks[0].text, "uart0");
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks.back().kind, TokenKind::kRef);
+  EXPECT_EQ(toks.back().text, "uart0");
+}
+
+TEST(Lexer, PathReference) {
+  auto toks = lex_ok("&{/cpus/cpu@0}");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kRef);
+  EXPECT_EQ(toks[0].text, "/cpus/cpu@0");
+}
+
+TEST(Lexer, Directives) {
+  auto toks = lex_ok("/dts-v1/; /memreserve/ 0x0 0x1000;");
+  EXPECT_EQ(toks[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[0].text, "dts-v1");
+  EXPECT_EQ(toks[2].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[2].text, "memreserve");
+}
+
+TEST(Lexer, IncludeSplicesTokens) {
+  // /include/ is resolved inside the lexer: tokens from the included buffer
+  // appear inline, then lexing resumes in the including file.
+  SourceManager sm;
+  sm.register_file("mid.dtsi", "b c");
+  support::DiagnosticEngine de;
+  Lexer lexer("a /include/ \"mid.dtsi\" d", "top.dts", de, &sm);
+  std::vector<std::string> texts;
+  std::vector<std::string> files;
+  while (true) {
+    Token t = lexer.next();
+    if (t.kind == TokenKind::kEnd) break;
+    texts.push_back(t.text);
+    files.push_back(t.location.file);
+  }
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  EXPECT_EQ(texts, (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_EQ(files, (std::vector<std::string>{"top.dts", "mid.dtsi",
+                                             "mid.dtsi", "top.dts"}));
+}
+
+TEST(Lexer, IncludeWithoutSourceManagerIsError) {
+  support::DiagnosticEngine de;
+  Lexer lexer("/include/ \"x.dtsi\" after", "top.dts", de);
+  EXPECT_EQ(lexer.next().text, "after");
+  EXPECT_TRUE(de.contains_code("dts-include"));
+}
+
+TEST(Lexer, RootSlashVsDirective) {
+  auto toks = lex_ok("/ { };");
+  EXPECT_EQ(toks[0].kind, TokenKind::kSlash);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = lex_ok(
+      "// line comment\n"
+      "a /* block\n comment */ b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedCommentReportsError) {
+  support::DiagnosticEngine de;
+  lex("a /* never closed", de);
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_TRUE(de.contains_code("dts-lex"));
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  support::DiagnosticEngine de;
+  lex("\"never closed", de);
+  EXPECT_TRUE(de.has_errors());
+}
+
+TEST(Lexer, AngleBracketsAndShifts) {
+  auto toks = lex_ok("< > << >>");
+  EXPECT_EQ(toks[0].kind, TokenKind::kLAngle);
+  EXPECT_EQ(toks[1].kind, TokenKind::kRAngle);
+  EXPECT_EQ(toks[2].kind, TokenKind::kArith);
+  EXPECT_EQ(toks[2].text, "<<");
+  EXPECT_EQ(toks[3].kind, TokenKind::kArith);
+  EXPECT_EQ(toks[3].text, ">>");
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  auto toks = lex_ok("a\n  b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].location.line, 1u);
+  EXPECT_EQ(toks[0].location.column, 1u);
+  EXPECT_EQ(toks[1].location.line, 2u);
+  EXPECT_EQ(toks[1].location.column, 3u);
+  EXPECT_EQ(toks[0].location.file, "test.dts");
+}
+
+TEST(Lexer, PeekDoesNotConsume) {
+  support::DiagnosticEngine de;
+  Lexer lexer("a b", "t", de);
+  EXPECT_EQ(lexer.peek().text, "a");
+  EXPECT_EQ(lexer.peek().text, "a");
+  EXPECT_EQ(lexer.next().text, "a");
+  EXPECT_EQ(lexer.next().text, "b");
+  EXPECT_EQ(lexer.next().kind, TokenKind::kEnd);
+  EXPECT_EQ(lexer.next().kind, TokenKind::kEnd) << "kEnd must be sticky";
+}
+
+}  // namespace
+}  // namespace llhsc::dts

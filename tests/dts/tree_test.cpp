@@ -1,0 +1,231 @@
+#include "dts/tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::dts {
+namespace {
+
+TEST(Property, TypedConstructorsAndReaders) {
+  Property b = Property::boolean("flag");
+  EXPECT_TRUE(b.is_boolean());
+
+  Property c = Property::cells("reg", {0x40000000, 0x20000000});
+  auto cells = c.as_cells();
+  ASSERT_TRUE(cells.has_value());
+  EXPECT_EQ(*cells, (std::vector<uint64_t>{0x40000000, 0x20000000}));
+  EXPECT_FALSE(c.as_string().has_value());
+
+  Property s = Property::string("device_type", "memory");
+  EXPECT_EQ(s.as_string(), "memory");
+  EXPECT_FALSE(s.as_cells().has_value());
+
+  Property sl = Property::strings("compatible", {"a,b", "c"});
+  EXPECT_EQ(sl.as_string_list(), (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_FALSE(sl.as_string().has_value()) << "two strings are not one string";
+
+  Property u = Property::cells("#address-cells", {2});
+  EXPECT_EQ(u.as_u32(), 2u);
+  Property too_many = Property::cells("x", {1, 2});
+  EXPECT_FALSE(too_many.as_u32().has_value());
+  Property too_big = Property::cells("x", {0x1'0000'0000ull});
+  EXPECT_FALSE(too_big.as_u32().has_value());
+}
+
+TEST(Node, BaseNameAndUnitAddress) {
+  Node n("memory@40000000");
+  EXPECT_EQ(n.base_name(), "memory");
+  EXPECT_EQ(n.unit_address(), "40000000");
+  Node plain("cpus");
+  EXPECT_EQ(plain.base_name(), "cpus");
+  EXPECT_TRUE(plain.unit_address().empty());
+}
+
+TEST(Node, PropertySetReplaceRemove) {
+  Node n("n");
+  n.set_property(Property::cells("a", {1}));
+  n.set_property(Property::cells("a", {2}));
+  EXPECT_EQ(n.properties().size(), 1u);
+  EXPECT_EQ(n.find_property("a")->as_u32(), 2u);
+  EXPECT_TRUE(n.remove_property("a"));
+  EXPECT_FALSE(n.remove_property("a"));
+  EXPECT_EQ(n.find_property("a"), nullptr);
+}
+
+TEST(Node, ChildManagement) {
+  Node n("parent");
+  n.add_child(std::make_unique<Node>("child@0"));
+  n.get_or_create_child("child@1");
+  n.get_or_create_child("child@1");  // idempotent
+  EXPECT_EQ(n.children().size(), 2u);
+  EXPECT_NE(n.find_child("child@0"), nullptr);
+  EXPECT_EQ(n.find_child("child"), nullptr);
+  // Fuzzy lookup by base name is ambiguous here.
+  EXPECT_EQ(n.find_child_fuzzy("child"), nullptr);
+  EXPECT_TRUE(n.remove_child("child@0"));
+  EXPECT_EQ(n.find_child_fuzzy("child"), n.find_child("child@1"));
+}
+
+TEST(Node, MergePropertiesChildrenLabels) {
+  Node a("n");
+  a.set_property(Property::cells("p", {1}));
+  a.get_or_create_child("kid").set_property(Property::cells("x", {10}));
+  a.add_label("l1");
+
+  Node b("n");
+  b.set_property(Property::cells("p", {2}));
+  b.set_property(Property::cells("q", {3}));
+  Node& bkid = b.get_or_create_child("kid");
+  bkid.set_property(Property::cells("y", {20}));
+  b.add_label("l2");
+
+  a.merge_from(std::move(b));
+  EXPECT_EQ(a.find_property("p")->as_u32(), 2u);
+  EXPECT_EQ(a.find_property("q")->as_u32(), 3u);
+  Node* kid = a.find_child("kid");
+  ASSERT_NE(kid, nullptr);
+  EXPECT_EQ(kid->find_property("x")->as_u32(), 10u);
+  EXPECT_EQ(kid->find_property("y")->as_u32(), 20u);
+  EXPECT_EQ(a.labels(), (std::vector<std::string>{"l1", "l2"}));
+  EXPECT_EQ(a.children().size(), 1u);
+}
+
+TEST(Node, CloneIsDeep) {
+  Node n("root");
+  n.set_property(Property::cells("p", {1}));
+  n.get_or_create_child("kid").set_property(Property::string("s", "v"));
+  n.set_provenance("d1");
+  auto copy = n.clone();
+  // Mutating the copy must not affect the original.
+  copy->find_child("kid")->set_property(Property::string("s", "changed"));
+  copy->set_property(Property::cells("p", {9}));
+  EXPECT_EQ(n.find_child("kid")->find_property("s")->as_string(), "v");
+  EXPECT_EQ(n.find_property("p")->as_u32(), 1u);
+  EXPECT_EQ(copy->provenance(), "d1");
+}
+
+TEST(Node, CellDefaults) {
+  Node n("n");
+  EXPECT_EQ(n.address_cells_or_default(), 2u);
+  EXPECT_EQ(n.size_cells_or_default(), 1u);
+  n.set_property(Property::cells("#address-cells", {1}));
+  n.set_property(Property::cells("#size-cells", {0}));
+  EXPECT_EQ(n.address_cells_or_default(), 1u);
+  EXPECT_EQ(n.size_cells_or_default(), 0u);
+}
+
+TEST(Tree, FindPaths) {
+  Tree t;
+  Node& cpus = t.root().get_or_create_child("cpus");
+  cpus.get_or_create_child("cpu@0");
+  t.root().get_or_create_child("memory@40000000");
+
+  EXPECT_EQ(t.find("/"), &t.root());
+  EXPECT_EQ(t.find("/cpus"), &cpus);
+  EXPECT_NE(t.find("/cpus/cpu@0"), nullptr);
+  EXPECT_NE(t.find("/memory"), nullptr) << "base-name fallback";
+  EXPECT_EQ(t.find("/nope"), nullptr);
+  EXPECT_EQ(t.find("relative"), nullptr);
+  EXPECT_EQ(t.find(""), nullptr);
+}
+
+TEST(Tree, PathOf) {
+  Tree t;
+  Node& cpu0 = t.root().get_or_create_child("cpus").get_or_create_child("cpu@0");
+  EXPECT_EQ(t.path_of(cpu0), "/cpus/cpu@0");
+  EXPECT_EQ(t.path_of(t.root()), "/");
+  Node orphan("x");
+  EXPECT_EQ(t.path_of(orphan), "");
+}
+
+TEST(Tree, VisitIsPreOrder) {
+  Tree t;
+  t.root().get_or_create_child("a").get_or_create_child("b");
+  t.root().get_or_create_child("c");
+  std::vector<std::string> paths;
+  t.visit([&](const std::string& p, const Node&) { paths.push_back(p); });
+  EXPECT_EQ(paths, (std::vector<std::string>{"/", "/a", "/a/b", "/c"}));
+}
+
+TEST(Tree, NodeCount) {
+  Tree t;
+  EXPECT_EQ(t.node_count(), 1u);
+  t.root().get_or_create_child("a").get_or_create_child("b");
+  t.root().get_or_create_child("c");
+  EXPECT_EQ(t.node_count(), 4u);
+}
+
+TEST(Tree, CloneIndependence) {
+  Tree t;
+  t.root().get_or_create_child("n").set_property(Property::cells("v", {1}));
+  t.memreserves().push_back({0x1000, 0x100});
+  auto copy = t.clone();
+  copy->find("/n")->set_property(Property::cells("v", {2}));
+  EXPECT_EQ(t.find("/n")->find_property("v")->as_u32(), 1u);
+  EXPECT_EQ(copy->memreserves().size(), 1u);
+}
+
+TEST(Tree, ResolveReferencesAssignsUniquePhandles) {
+  Tree t;
+  Node& a = t.root().get_or_create_child("a");
+  a.add_label("la");
+  Node& b = t.root().get_or_create_child("b");
+  b.add_label("lb");
+  Node& user = t.root().get_or_create_child("user");
+  Property p;
+  p.name = "link";
+  p.chunks.push_back(Chunk::make_cells(
+      {Cell::reference("la"), Cell::reference("lb"), Cell::reference("la")}));
+  user.set_property(std::move(p));
+
+  support::DiagnosticEngine de;
+  ASSERT_TRUE(t.resolve_references(de)) << de.render();
+  auto pa = a.find_property("phandle");
+  auto pb = b.find_property("phandle");
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_NE(pa->as_u32(), pb->as_u32());
+  auto cells = user.find_property("link")->as_cells();
+  ASSERT_TRUE(cells.has_value());
+  EXPECT_EQ((*cells)[0], *pa->as_u32());
+  EXPECT_EQ((*cells)[1], *pb->as_u32());
+  EXPECT_EQ((*cells)[2], *pa->as_u32()) << "same label, same phandle";
+}
+
+TEST(Tree, ResolveRefChunkExpandsToPath) {
+  Tree t;
+  Node& target = t.root().get_or_create_child("soc").get_or_create_child("uart@0");
+  target.add_label("u0");
+  Node& aliases = t.root().get_or_create_child("aliases");
+  Property p;
+  p.name = "serial0";
+  p.chunks.push_back(Chunk::make_ref("u0"));
+  aliases.set_property(std::move(p));
+
+  support::DiagnosticEngine de;
+  ASSERT_TRUE(t.resolve_references(de));
+  EXPECT_EQ(aliases.find_property("serial0")->as_string(), "/soc/uart@0");
+}
+
+TEST(Tree, ResolveRespectsExistingPhandles) {
+  Tree t;
+  Node& a = t.root().get_or_create_child("a");
+  a.add_label("la");
+  a.set_property(Property::cells("phandle", {7}));
+  Node& b = t.root().get_or_create_child("b");
+  b.add_label("lb");
+  Node& user = t.root().get_or_create_child("user");
+  Property p;
+  p.name = "link";
+  p.chunks.push_back(
+      Chunk::make_cells({Cell::reference("la"), Cell::reference("lb")}));
+  user.set_property(std::move(p));
+
+  support::DiagnosticEngine de;
+  ASSERT_TRUE(t.resolve_references(de));
+  auto cells = user.find_property("link")->as_cells();
+  EXPECT_EQ((*cells)[0], 7u);
+  EXPECT_NE((*cells)[1], 7u) << "fresh phandle must not collide";
+}
+
+}  // namespace
+}  // namespace llhsc::dts

@@ -1,0 +1,96 @@
+#include "feature/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "feature/analysis.hpp"
+
+namespace llhsc::feature {
+namespace {
+
+TEST(FeatureModel, Construction) {
+  FeatureModel m;
+  FeatureId root = m.add_root("root");
+  FeatureId a = m.add_feature(root, "a", true);
+  FeatureId b = m.add_feature(root, "b");
+  m.set_group(root, GroupKind::kAnd);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.root(), root);
+  EXPECT_EQ(m.feature(a).name, "a");
+  EXPECT_TRUE(m.feature(a).mandatory);
+  EXPECT_FALSE(m.feature(b).mandatory);
+  EXPECT_EQ(m.feature(root).children.size(), 2u);
+  EXPECT_EQ(m.find("b"), b);
+  EXPECT_FALSE(m.find("zzz").has_value());
+}
+
+TEST(FeatureModel, ConsistencyCheckerAndGroup) {
+  FeatureModel m;
+  FeatureId root = m.add_root("r");
+  m.add_feature(root, "must", true);
+  m.add_feature(root, "may", false);
+  // {root, must} ok; {root} violates mandatory; {root, must, may} ok.
+  EXPECT_TRUE(m.is_consistent_selection({true, true, false}));
+  EXPECT_FALSE(m.is_consistent_selection({true, false, false}));
+  EXPECT_TRUE(m.is_consistent_selection({true, true, true}));
+  // Root must always be selected.
+  EXPECT_FALSE(m.is_consistent_selection({false, false, false}));
+  // Child without parent.
+  EXPECT_FALSE(m.is_consistent_selection({false, true, false}));
+}
+
+TEST(FeatureModel, ConsistencyXorGroup) {
+  FeatureModel m;
+  FeatureId root = m.add_root("r");
+  FeatureId g = m.add_feature(root, "g", true);
+  m.set_group(g, GroupKind::kXor);
+  m.add_feature(g, "x");
+  m.add_feature(g, "y");
+  EXPECT_TRUE(m.is_consistent_selection({true, true, true, false}));
+  EXPECT_TRUE(m.is_consistent_selection({true, true, false, true}));
+  EXPECT_FALSE(m.is_consistent_selection({true, true, true, true}));
+  EXPECT_FALSE(m.is_consistent_selection({true, true, false, false}));
+}
+
+TEST(FeatureModel, ConsistencyOrGroup) {
+  FeatureModel m;
+  FeatureId root = m.add_root("r");
+  FeatureId g = m.add_feature(root, "g", true);
+  m.set_group(g, GroupKind::kOr);
+  m.add_feature(g, "x");
+  m.add_feature(g, "y");
+  EXPECT_TRUE(m.is_consistent_selection({true, true, true, true}));
+  EXPECT_TRUE(m.is_consistent_selection({true, true, true, false}));
+  EXPECT_FALSE(m.is_consistent_selection({true, true, false, false}));
+}
+
+TEST(FeatureModel, CrossConstraints) {
+  FeatureModel m;
+  FeatureId root = m.add_root("r");
+  FeatureId a = m.add_feature(root, "a");
+  FeatureId b = m.add_feature(root, "b");
+  FeatureId c = m.add_feature(root, "c");
+  m.add_requires(a, b);
+  m.add_excludes(b, c);
+  EXPECT_TRUE(m.is_consistent_selection({true, true, true, false}));
+  EXPECT_FALSE(m.is_consistent_selection({true, true, false, false}))
+      << "a requires b";
+  EXPECT_FALSE(m.is_consistent_selection({true, false, true, true}))
+      << "b excludes c";
+  EXPECT_TRUE(m.is_consistent_selection({true, false, false, true}));
+}
+
+TEST(RunningExample, ModelShape) {
+  FeatureModel m = running_example_model();
+  // root, memory, cpus, cpu@0, cpu@1, uarts, uart@20000000, uart@30000000,
+  // vEthernet, veth0, veth1.
+  EXPECT_EQ(m.size(), 11u);
+  EXPECT_TRUE(m.find("CustomSBC").has_value());
+  EXPECT_EQ(m.feature(*m.find("cpus")).group, GroupKind::kXor);
+  EXPECT_EQ(m.feature(*m.find("uarts")).group, GroupKind::kOr);
+  EXPECT_EQ(m.feature(*m.find("vEthernet")).group, GroupKind::kXor);
+  EXPECT_TRUE(m.feature(*m.find("uarts")).abstract_feature);
+  EXPECT_EQ(m.cross_constraints().size(), 2u);
+}
+
+}  // namespace
+}  // namespace llhsc::feature

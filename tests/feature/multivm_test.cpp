@@ -1,0 +1,136 @@
+// Multi-VM allocation tests — paper §IV-A. E3: with two exclusive CPUs and
+// a mandatory cpus feature, the maximum number of VMs is exactly 2.
+#include "feature/multivm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::feature {
+namespace {
+
+std::vector<FeatureId> cpus_of(const FeatureModel& m) {
+  return {*m.find("cpu@0"), *m.find("cpu@1")};
+}
+
+Selection select(const FeatureModel& m,
+                 const std::vector<std::string>& names) {
+  Selection sel(m.size(), false);
+  for (const std::string& n : names) sel[m.find(n)->index] = true;
+  return sel;
+}
+
+class MultiVmTest : public ::testing::TestWithParam<smt::Backend> {};
+
+TEST_P(MultiVmTest, SingleVmFeasible) {
+  FeatureModel m = running_example_model();
+  EXPECT_TRUE(allocation_feasible(m, GetParam(), 1, cpus_of(m)));
+}
+
+TEST_P(MultiVmTest, TwoVmsFeasible) {
+  FeatureModel m = running_example_model();
+  EXPECT_TRUE(allocation_feasible(m, GetParam(), 2, cpus_of(m)));
+}
+
+// E3 — "the maximum number of VMs is two (m = 2)".
+TEST_P(MultiVmTest, MaxVmsIsTwo) {
+  FeatureModel m = running_example_model();
+  EXPECT_FALSE(allocation_feasible(m, GetParam(), 3, cpus_of(m)))
+      << "3 VMs cannot each own an exclusive CPU from a pool of 2";
+  EXPECT_EQ(max_feasible_vms(m, GetParam(), cpus_of(m)), 2);
+}
+
+TEST_P(MultiVmTest, Fig1bFig1cAllocationIsValid) {
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  std::vector<Selection> vms{
+      select(m, {"CustomSBC", "memory", "cpus", "cpu@0", "uarts",
+                 "uart@20000000", "uart@30000000", "vEthernet", "veth0"}),
+      select(m, {"CustomSBC", "memory", "cpus", "cpu@1", "uarts",
+                 "uart@20000000", "uart@30000000", "vEthernet", "veth1"}),
+  };
+  EXPECT_TRUE(check_allocation(m, solver, cpus_of(m), vms));
+}
+
+TEST_P(MultiVmTest, SameCpuTwiceIsRejected) {
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  Selection vm = select(m, {"CustomSBC", "memory", "cpus", "cpu@0", "uarts",
+                            "uart@20000000"});
+  std::vector<Selection> vms{vm, vm};
+  EXPECT_FALSE(check_allocation(m, solver, cpus_of(m), vms))
+      << "cpu@0 is exclusive and cannot serve two VMs";
+}
+
+TEST_P(MultiVmTest, SharedUartsAcrossVmsAllowed) {
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  std::vector<Selection> vms{
+      select(m, {"CustomSBC", "memory", "cpus", "cpu@0", "uarts",
+                 "uart@20000000"}),
+      select(m, {"CustomSBC", "memory", "cpus", "cpu@1", "uarts",
+                 "uart@20000000"}),
+  };
+  EXPECT_TRUE(check_allocation(m, solver, cpus_of(m), vms))
+      << "UARTs are not exclusive resources";
+}
+
+TEST_P(MultiVmTest, PlatformIsUnionOfVmSelections) {
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  uint64_t n = enumerate_allocations(
+      m, solver, 2, cpus_of(m),
+      [&](const Allocation& alloc) {
+        for (uint32_t i = 0; i < m.size(); ++i) {
+          bool any = false;
+          for (const Selection& vm : alloc.vm_selections) any = any || vm[i];
+          EXPECT_EQ(alloc.platform_selection[i], any)
+              << "platform must be the union (feature "
+              << m.feature(FeatureId{i}).name << ")";
+        }
+        return true;
+      },
+      32);
+  EXPECT_GT(n, 0u);
+}
+
+TEST_P(MultiVmTest, EnumeratedAllocationsAreValidProducts) {
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  uint64_t n = enumerate_allocations(
+      m, solver, 2, cpus_of(m),
+      [&](const Allocation& alloc) {
+        for (const Selection& vm : alloc.vm_selections) {
+          EXPECT_TRUE(m.is_consistent_selection(vm));
+        }
+        // Exclusivity.
+        for (FeatureId cpu : cpus_of(m)) {
+          int holders = 0;
+          for (const Selection& vm : alloc.vm_selections) {
+            holders += vm[cpu.index] ? 1 : 0;
+          }
+          EXPECT_LE(holders, 1);
+        }
+        return true;
+      },
+      64);
+  EXPECT_GT(n, 0u);
+}
+
+TEST_P(MultiVmTest, AllTwoVmAllocationsCount) {
+  // Each VM is one of the 12 products; exclusivity forces distinct CPUs.
+  // VM1 uses cpu@0 (6 products), VM2 uses cpu@1 (6 products), or vice versa:
+  // 6*6*2 = 72 ordered allocations.
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  uint64_t n = enumerate_allocations(
+      m, solver, 2, cpus_of(m), [](const Allocation&) { return true; }, 1000);
+  EXPECT_EQ(n, 72u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MultiVmTest,
+                         ::testing::ValuesIn(smt::all_backends()),
+                         [](const ::testing::TestParamInfo<smt::Backend>& info) {
+                           return std::string(smt::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace llhsc::feature

@@ -1,0 +1,160 @@
+// Robustness / failure-injection suite: the binary FDT reader and the DTS
+// parser must survive arbitrary corruption without crashing — errors are
+// reported through diagnostics, never through UB. Deterministic mutation
+// corpus (seeded RNG), no external fuzzer needed.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dts/parser.hpp"
+#include "fdt/fdt.hpp"
+
+namespace llhsc {
+namespace {
+
+std::vector<uint8_t> healthy_blob() {
+  support::DiagnosticEngine de;
+  auto tree = dts::parse_dts(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000>; };
+    chosen { bootargs = "console=ttyS0"; };
+    soc {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        uart@10000000 { compatible = "ns16550a"; reg = <0x10000000 0x100>; };
+    };
+};
+)",
+                             "base.dts", de);
+  auto blob = fdt::emit(*tree, de);
+  EXPECT_TRUE(blob.has_value());
+  return blob.value_or(std::vector<uint8_t>{});
+}
+
+TEST(FdtRobustness, SingleByteCorruptionNeverCrashes) {
+  std::vector<uint8_t> base = healthy_blob();
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<size_t> pos_dist(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint8_t> blob = base;
+    blob[pos_dist(rng)] = static_cast<uint8_t>(byte_dist(rng));
+    support::DiagnosticEngine de;
+    // Must return either a tree or nullptr-with-errors; never crash or hang.
+    auto tree = fdt::read(blob, de);
+    if (tree == nullptr) {
+      EXPECT_TRUE(de.has_errors());
+    }
+    support::DiagnosticEngine dv;
+    (void)fdt::verify(blob, dv);
+  }
+}
+
+TEST(FdtRobustness, TruncationSweepNeverCrashes) {
+  std::vector<uint8_t> base = healthy_blob();
+  for (size_t len = 0; len <= base.size(); len += 7) {
+    std::vector<uint8_t> blob(base.begin(),
+                              base.begin() + static_cast<long>(len));
+    support::DiagnosticEngine de;
+    auto tree = fdt::read(blob, de);
+    if (len < base.size()) {
+      EXPECT_EQ(tree, nullptr) << "truncated blob at " << len;
+    }
+  }
+}
+
+TEST(FdtRobustness, HeaderFieldFuzzing) {
+  std::vector<uint8_t> base = healthy_blob();
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> field(0, 9);
+  std::uniform_int_distribution<uint32_t> value(0, UINT32_MAX);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> blob = base;
+    size_t off = static_cast<size_t>(field(rng)) * 4;
+    uint32_t v = value(rng);
+    blob[off] = static_cast<uint8_t>(v >> 24);
+    blob[off + 1] = static_cast<uint8_t>(v >> 16);
+    blob[off + 2] = static_cast<uint8_t>(v >> 8);
+    blob[off + 3] = static_cast<uint8_t>(v);
+    support::DiagnosticEngine de;
+    (void)fdt::read(blob, de);
+    support::DiagnosticEngine dv;
+    (void)fdt::verify(blob, dv);
+  }
+}
+
+TEST(DtsRobustness, RandomTextNeverCrashes) {
+  std::mt19937 rng(13);
+  const std::string alphabet =
+      "{}<>[]();=&/\\\"'@#,.-_ \n\tabcdef0123456789xX*";
+  std::uniform_int_distribution<size_t> char_dist(0, alphabet.size() - 1);
+  std::uniform_int_distribution<size_t> len_dist(1, 400);
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    size_t len = len_dist(rng);
+    for (size_t c = 0; c < len; ++c) text += alphabet[char_dist(rng)];
+    support::DiagnosticEngine de;
+    (void)dts::parse_dts(text, "fuzz.dts", de);
+  }
+}
+
+TEST(DtsRobustness, MutatedValidSourceNeverCrashes) {
+  const std::string base = R"(
+/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    l1: dev@1000 { reg = <0x1000 0x100>; names = "a", "b"; raw = [de ad]; };
+    user { link = <&l1 (1 + 2)>; alias = &l1; };
+};
+)";
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<size_t> pos_dist(0, base.size() - 1);
+  std::uniform_int_distribution<int> op_dist(0, 2);
+  std::uniform_int_distribution<int> byte_dist(32, 126);
+  for (int i = 0; i < 400; ++i) {
+    std::string text = base;
+    switch (op_dist(rng)) {
+      case 0:  // substitute
+        text[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+        break;
+      case 1:  // delete
+        text.erase(pos_dist(rng) % text.size(), 1);
+        break;
+      default:  // insert
+        text.insert(pos_dist(rng) % text.size(), 1,
+                    static_cast<char>(byte_dist(rng)));
+        break;
+    }
+    support::DiagnosticEngine de;
+    (void)dts::parse_dts(text, "mutated.dts", de);
+  }
+}
+
+TEST(DtsRobustness, DeepNestingDoesNotOverflow) {
+  // 2000 nested nodes: recursion depth must be handled (parser recurses per
+  // nesting level; this bounds the acceptable depth and documents it).
+  std::string text = "/ { ";
+  for (int i = 0; i < 2000; ++i) text += "n { ";
+  for (int i = 0; i < 2000; ++i) text += "}; ";
+  text += "};";
+  support::DiagnosticEngine de;
+  auto tree = dts::parse_dts(text, "deep.dts", de);
+  EXPECT_NE(tree, nullptr);
+}
+
+TEST(DtsRobustness, HugePropertyValue) {
+  std::string text = "/ { n { big = <";
+  for (int i = 0; i < 50000; ++i) text += "1 ";
+  text += ">; }; };";
+  support::DiagnosticEngine de;
+  auto tree = dts::parse_dts(text, "huge.dts", de);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->find("/n")->find_property("big")->as_cells()->size(),
+            50000u);
+}
+
+}  // namespace
+}  // namespace llhsc

@@ -1,0 +1,170 @@
+// Bit-blaster property tests: arithmetic and predicates on constant vectors
+// must match native 64-bit arithmetic; symbolic cases are cross-checked
+// through the SAT solver.
+#include "logic/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "logic/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace llhsc::logic {
+namespace {
+
+class BvFixture : public ::testing::Test {
+ protected:
+  FormulaArena formulas;
+  BvArena bv{formulas};
+
+  /// Evaluates a formula that contains no free variables.
+  bool eval_closed(Formula f) {
+    std::vector<bool> empty(formulas.num_bool_vars(), false);
+    return formulas.evaluate(f, empty, bv.atom_evaluator());
+  }
+
+  uint64_t eval_term_closed(BvTerm t) {
+    std::vector<bool> empty(formulas.num_bool_vars(), false);
+    return bv.evaluate(t, empty);
+  }
+};
+
+TEST_F(BvFixture, ConstantRoundTrip) {
+  EXPECT_EQ(eval_term_closed(bv.bv_const(0xdeadbeef, 32)), 0xdeadbeefu);
+  EXPECT_EQ(eval_term_closed(bv.bv_const(0, 32)), 0u);
+  EXPECT_EQ(eval_term_closed(bv.bv_const(UINT64_MAX, 64)), UINT64_MAX);
+  // Truncation to width.
+  EXPECT_EQ(eval_term_closed(bv.bv_const(0x1ff, 8)), 0xffu);
+}
+
+TEST_F(BvFixture, ConstantArithmetic) {
+  auto c = [&](uint64_t v) { return bv.bv_const(v, 32); };
+  EXPECT_EQ(eval_term_closed(bv.bv_add(c(3), c(4))), 7u);
+  EXPECT_EQ(eval_term_closed(bv.bv_sub(c(10), c(4))), 6u);
+  EXPECT_EQ(eval_term_closed(bv.bv_sub(c(0), c(1))), 0xffffffffu);  // wrap
+  EXPECT_EQ(eval_term_closed(bv.bv_mul(c(6), c(7))), 42u);
+  EXPECT_EQ(eval_term_closed(bv.bv_and(c(0xf0), c(0x3c))), 0x30u);
+  EXPECT_EQ(eval_term_closed(bv.bv_or(c(0xf0), c(0x0f))), 0xffu);
+  EXPECT_EQ(eval_term_closed(bv.bv_xor(c(0xff), c(0x0f))), 0xf0u);
+  EXPECT_EQ(eval_term_closed(bv.bv_not(c(0))), 0xffffffffu);
+  EXPECT_EQ(eval_term_closed(bv.bv_shl(c(1), 4)), 16u);
+  EXPECT_EQ(eval_term_closed(bv.bv_lshr(c(0x100), 4)), 0x10u);
+}
+
+TEST_F(BvFixture, ExtractConcatZeroExtend) {
+  auto t = bv.bv_const(0xabcd1234, 32);
+  EXPECT_EQ(eval_term_closed(bv.bv_extract(t, 15, 0)), 0x1234u);
+  EXPECT_EQ(eval_term_closed(bv.bv_extract(t, 31, 16)), 0xabcdu);
+  auto hi = bv.bv_const(0xab, 8);
+  auto lo = bv.bv_const(0xcd, 8);
+  EXPECT_EQ(eval_term_closed(bv.bv_concat(hi, lo)), 0xabcdu);
+  EXPECT_EQ(bv.width(bv.bv_concat(hi, lo)), 16u);
+  auto z = bv.bv_zero_extend(lo, 32);
+  EXPECT_EQ(bv.width(z), 32u);
+  EXPECT_EQ(eval_term_closed(z), 0xcdu);
+}
+
+TEST_F(BvFixture, ConstantPredicates) {
+  auto c = [&](uint64_t v) { return bv.bv_const(v, 32); };
+  EXPECT_TRUE(eval_closed(bv.eq(c(5), c(5))));
+  EXPECT_FALSE(eval_closed(bv.eq(c(5), c(6))));
+  EXPECT_TRUE(eval_closed(bv.ult(c(5), c(6))));
+  EXPECT_FALSE(eval_closed(bv.ult(c(6), c(5))));
+  EXPECT_FALSE(eval_closed(bv.ult(c(5), c(5))));
+  EXPECT_TRUE(eval_closed(bv.ule(c(5), c(5))));
+  EXPECT_TRUE(eval_closed(bv.ule(c(4), c(5))));
+  EXPECT_FALSE(eval_closed(bv.ule(c(6), c(5))));
+  EXPECT_TRUE(eval_closed(bv.uge(c(6), c(5))));
+  EXPECT_TRUE(eval_closed(bv.ugt(c(6), c(5))));
+  // Overflow.
+  EXPECT_TRUE(eval_closed(bv.uadd_overflow(c(0xffffffff), c(1))));
+  EXPECT_FALSE(eval_closed(bv.uadd_overflow(c(0x7fffffff), c(1))));
+}
+
+TEST_F(BvFixture, IteSelectsByCondition) {
+  BoolVar cvar = formulas.new_bool_var("c");
+  Formula c = formulas.var(cvar);
+  auto t = bv.bv_ite(c, bv.bv_const(10, 8), bv.bv_const(20, 8));
+  std::vector<bool> yes(formulas.num_bool_vars(), false);
+  yes[cvar.index] = true;
+  std::vector<bool> no(formulas.num_bool_vars(), false);
+  EXPECT_EQ(bv.evaluate(t, yes), 10u);
+  EXPECT_EQ(bv.evaluate(t, no), 20u);
+}
+
+// Symbolic property: solver finds x such that x + 1 == 0 (i.e. x = max).
+TEST_F(BvFixture, SolverFindsWrapAroundValue) {
+  auto x = bv.bv_var("x", 16);
+  Formula goal = bv.eq(bv.bv_add(x, bv.bv_const(1, 16)), bv.bv_const(0, 16));
+  sat::Solver solver;
+  CnfEncoder enc(formulas, solver, &bv);
+  enc.assert_formula(goal);
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  std::vector<bool> assignment(formulas.num_bool_vars(), false);
+  for (uint32_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = enc.model_value(BoolVar{i});
+  }
+  EXPECT_EQ(bv.evaluate(x, assignment), 0xffffu);
+}
+
+TEST_F(BvFixture, UnsatisfiableRangeConstraint) {
+  // x < 4 && x > 10 is unsat.
+  auto x = bv.bv_var("x", 8);
+  sat::Solver solver;
+  CnfEncoder enc(formulas, solver, &bv);
+  enc.assert_formula(bv.ult(x, bv.bv_const(4, 8)));
+  enc.assert_formula(bv.ugt(x, bv.bv_const(10, 8)));
+  EXPECT_EQ(solver.solve(), sat::SolveResult::kUnsat);
+}
+
+// Randomised cross-check of blasted arithmetic vs native arithmetic.
+struct BvRandomCase {
+  uint32_t seed;
+  uint32_t width;
+};
+
+class BvRandomTest : public ::testing::TestWithParam<BvRandomCase> {};
+
+TEST_P(BvRandomTest, BlastedOpsMatchNative) {
+  const auto& param = GetParam();
+  std::mt19937_64 rng(param.seed);
+  FormulaArena formulas;
+  BvArena bv(formulas);
+  uint64_t mask = param.width == 64 ? UINT64_MAX : (1ULL << param.width) - 1;
+
+  for (int iter = 0; iter < 24; ++iter) {
+    uint64_t a = rng() & mask;
+    uint64_t b = rng() & mask;
+    auto ta = bv.bv_const(a, param.width);
+    auto tb = bv.bv_const(b, param.width);
+    std::vector<bool> empty(formulas.num_bool_vars(), false);
+    auto ev = [&](BvTerm t) { return bv.evaluate(t, empty); };
+    auto evf = [&](Formula f) {
+      std::vector<bool> e(formulas.num_bool_vars(), false);
+      return formulas.evaluate(f, e, bv.atom_evaluator());
+    };
+    EXPECT_EQ(ev(bv.bv_add(ta, tb)), (a + b) & mask);
+    EXPECT_EQ(ev(bv.bv_sub(ta, tb)), (a - b) & mask);
+    EXPECT_EQ(ev(bv.bv_mul(ta, tb)), (a * b) & mask);
+    EXPECT_EQ(ev(bv.bv_and(ta, tb)), a & b);
+    EXPECT_EQ(ev(bv.bv_or(ta, tb)), a | b);
+    EXPECT_EQ(ev(bv.bv_xor(ta, tb)), a ^ b);
+    EXPECT_EQ(evf(bv.ult(ta, tb)), a < b);
+    EXPECT_EQ(evf(bv.ule(ta, tb)), a <= b);
+    EXPECT_EQ(evf(bv.eq(ta, tb)), a == b);
+    unsigned __int128 sum = static_cast<unsigned __int128>(a) + b;
+    bool overflow = param.width == 64 ? sum > UINT64_MAX
+                                      : sum >= (1ULL << param.width);
+    EXPECT_EQ(evf(bv.uadd_overflow(ta, tb)), overflow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BvRandomTest,
+    ::testing::Values(BvRandomCase{1, 8}, BvRandomCase{2, 16},
+                      BvRandomCase{3, 32}, BvRandomCase{4, 64},
+                      BvRandomCase{5, 7}, BvRandomCase{6, 33}));
+
+}  // namespace
+}  // namespace llhsc::logic

@@ -1,0 +1,193 @@
+// Tseitin encoder tests: for random formulas, the CNF must be equisatisfiable
+// and every SAT model of the CNF must satisfy the original formula.
+#include "logic/cnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "logic/formula.hpp"
+#include "sat/solver.hpp"
+
+namespace llhsc::logic {
+namespace {
+
+TEST(CnfEncoder, AssertVariable) {
+  FormulaArena arena;
+  sat::Solver solver;
+  CnfEncoder enc(arena, solver);
+  BoolVar a = arena.new_bool_var("a");
+  enc.assert_formula(arena.var(a));
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  EXPECT_TRUE(enc.model_value(a));
+}
+
+TEST(CnfEncoder, AssertContradictionIsUnsat) {
+  FormulaArena arena;
+  sat::Solver solver;
+  CnfEncoder enc(arena, solver);
+  Formula a = arena.var(arena.new_bool_var("a"));
+  enc.assert_formula(a);
+  enc.assert_formula(arena.mk_not(a));
+  EXPECT_EQ(solver.solve(), sat::SolveResult::kUnsat);
+}
+
+TEST(CnfEncoder, TopLevelAndSplits) {
+  FormulaArena arena;
+  sat::Solver solver;
+  CnfEncoder enc(arena, solver);
+  BoolVar a = arena.new_bool_var("a");
+  BoolVar b = arena.new_bool_var("b");
+  enc.assert_formula(arena.mk_and(arena.var(a), arena.var(b)));
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  EXPECT_TRUE(enc.model_value(a));
+  EXPECT_TRUE(enc.model_value(b));
+}
+
+TEST(CnfEncoder, XorConstraint) {
+  FormulaArena arena;
+  sat::Solver solver;
+  CnfEncoder enc(arena, solver);
+  BoolVar a = arena.new_bool_var("a");
+  BoolVar b = arena.new_bool_var("b");
+  enc.assert_formula(arena.mk_xor(arena.var(a), arena.var(b)));
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  EXPECT_NE(enc.model_value(a), enc.model_value(b));
+}
+
+// Random formula property test: Tseitin encoding preserves satisfiability and
+// models project correctly.
+struct RandomFormulaCase {
+  uint32_t seed;
+  int num_vars;
+  int depth;
+};
+
+class RandomFormulaTest : public ::testing::TestWithParam<RandomFormulaCase> {
+ protected:
+  Formula random_formula(FormulaArena& arena, const std::vector<Formula>& vars,
+                         std::mt19937& rng, int depth) {
+    std::uniform_int_distribution<int> op_dist(0, depth <= 0 ? 0 : 5);
+    switch (op_dist(rng)) {
+      case 0: {
+        std::uniform_int_distribution<size_t> v(0, vars.size() - 1);
+        return vars[v(rng)];
+      }
+      case 1:
+        return arena.mk_not(random_formula(arena, vars, rng, depth - 1));
+      case 2:
+        return arena.mk_and(random_formula(arena, vars, rng, depth - 1),
+                            random_formula(arena, vars, rng, depth - 1));
+      case 3:
+        return arena.mk_or(random_formula(arena, vars, rng, depth - 1),
+                           random_formula(arena, vars, rng, depth - 1));
+      case 4:
+        return arena.mk_xor(random_formula(arena, vars, rng, depth - 1),
+                            random_formula(arena, vars, rng, depth - 1));
+      default:
+        return arena.mk_iff(random_formula(arena, vars, rng, depth - 1),
+                            random_formula(arena, vars, rng, depth - 1));
+    }
+  }
+};
+
+TEST_P(RandomFormulaTest, EncodingIsEquisatisfiableAndModelsProject) {
+  const auto& param = GetParam();
+  std::mt19937 rng(param.seed);
+  FormulaArena arena;
+  std::vector<BoolVar> bool_vars;
+  std::vector<Formula> vars;
+  for (int i = 0; i < param.num_vars; ++i) {
+    bool_vars.push_back(arena.new_bool_var("v" + std::to_string(i)));
+    vars.push_back(arena.var(bool_vars.back()));
+  }
+  Formula f = random_formula(arena, vars, rng, param.depth);
+
+  // Brute-force satisfiability of f.
+  bool brute_sat = false;
+  for (uint32_t m = 0; m < (1u << param.num_vars); ++m) {
+    std::vector<bool> assignment;
+    for (int i = 0; i < param.num_vars; ++i) assignment.push_back((m >> i) & 1);
+    if (arena.evaluate(f, assignment)) {
+      brute_sat = true;
+      break;
+    }
+  }
+
+  sat::Solver solver;
+  CnfEncoder enc(arena, solver);
+  enc.assert_formula(f);
+  bool cnf_sat = solver.solve() == sat::SolveResult::kSat;
+  EXPECT_EQ(cnf_sat, brute_sat);
+
+  if (cnf_sat) {
+    std::vector<bool> assignment;
+    for (int i = 0; i < param.num_vars; ++i) {
+      assignment.push_back(enc.model_value(bool_vars[static_cast<size_t>(i)]));
+    }
+    EXPECT_TRUE(arena.evaluate(f, assignment))
+        << "SAT model does not satisfy the source formula: "
+        << arena.to_string(f);
+  }
+}
+
+// At-most-one encodings: pairwise and sequential must admit exactly the
+// same projected models (n "one true" cases + 1 "none true").
+class AmoEncodingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AmoEncodingTest, PairwiseAndSequentialAgree) {
+  int n = GetParam();
+  for (bool sequential : {false, true}) {
+    FormulaArena arena;
+    sat::Solver solver;
+    CnfEncoder enc(arena, solver);
+    std::vector<BoolVar> vars;
+    std::vector<Formula> fs;
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(arena.new_bool_var("x" + std::to_string(i)));
+      fs.push_back(arena.var(vars.back()));
+    }
+    Formula amo = sequential ? arena.mk_at_most_one_sequential(fs)
+                             : arena.mk_at_most_one_pairwise(fs);
+    enc.assert_formula(amo);
+    std::vector<sat::Var> projection;
+    for (BoolVar v : vars) projection.push_back(enc.sat_var(v));
+    EXPECT_EQ(solver.count_models(projection), static_cast<uint64_t>(n) + 1)
+        << (sequential ? "sequential" : "pairwise") << " n=" << n;
+  }
+}
+
+TEST_P(AmoEncodingTest, ExactlyOneDispatchCountsModels) {
+  int n = GetParam();
+  FormulaArena arena;
+  sat::Solver solver;
+  CnfEncoder enc(arena, solver);
+  std::vector<BoolVar> vars;
+  std::vector<Formula> fs;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(arena.new_bool_var("x" + std::to_string(i)));
+    fs.push_back(arena.var(vars.back()));
+  }
+  enc.assert_formula(arena.mk_exactly_one(fs));
+  std::vector<sat::Var> projection;
+  for (BoolVar v : vars) projection.push_back(enc.sat_var(v));
+  EXPECT_EQ(solver.count_models(projection), static_cast<uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AmoEncodingTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 12, 20));
+
+std::vector<RandomFormulaCase> make_cases() {
+  std::vector<RandomFormulaCase> cases;
+  for (uint32_t seed = 1; seed <= 30; ++seed) {
+    cases.push_back({seed, 5, 6});
+    cases.push_back({seed + 1000, 8, 8});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, RandomFormulaTest,
+                         ::testing::ValuesIn(make_cases()));
+
+}  // namespace
+}  // namespace llhsc::logic

@@ -1,0 +1,172 @@
+#include "logic/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::logic {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaArena arena;
+};
+
+TEST_F(FormulaTest, ConstantsAreInterned) {
+  EXPECT_EQ(arena.make_true(), arena.make_true());
+  EXPECT_EQ(arena.make_false(), arena.make_false());
+  EXPECT_NE(arena.make_true(), arena.make_false());
+}
+
+TEST_F(FormulaTest, VariablesAreDistinct) {
+  BoolVar a = arena.new_bool_var("a");
+  BoolVar b = arena.new_bool_var("b");
+  EXPECT_NE(arena.var(a), arena.var(b));
+  EXPECT_EQ(arena.var(a), arena.var(a));
+  EXPECT_EQ(arena.var_name(a), "a");
+}
+
+TEST_F(FormulaTest, HashConsingSharesStructure) {
+  Formula a = arena.var(arena.new_bool_var("a"));
+  Formula b = arena.var(arena.new_bool_var("b"));
+  Formula f1 = arena.mk_and(a, b);
+  Formula f2 = arena.mk_and(a, b);
+  EXPECT_EQ(f1, f2);
+  // Commutativity through canonical ordering.
+  EXPECT_EQ(arena.mk_and(b, a), f1);
+  EXPECT_EQ(arena.mk_or(a, b), arena.mk_or(b, a));
+}
+
+TEST_F(FormulaTest, SimplificationRules) {
+  Formula a = arena.var(arena.new_bool_var("a"));
+  Formula t = arena.make_true();
+  Formula f = arena.make_false();
+  EXPECT_EQ(arena.mk_and(a, t), a);
+  EXPECT_EQ(arena.mk_and(a, f), f);
+  EXPECT_EQ(arena.mk_or(a, f), a);
+  EXPECT_EQ(arena.mk_or(a, t), t);
+  EXPECT_EQ(arena.mk_not(arena.mk_not(a)), a);
+  EXPECT_EQ(arena.mk_and(a, a), a);
+  EXPECT_EQ(arena.mk_and(a, arena.mk_not(a)), f);
+  EXPECT_EQ(arena.mk_or(a, arena.mk_not(a)), t);
+  EXPECT_EQ(arena.mk_xor(a, a), f);
+  EXPECT_EQ(arena.mk_iff(a, a), t);
+  EXPECT_EQ(arena.mk_implies(f, a), t);
+  EXPECT_EQ(arena.mk_implies(a, t), t);
+}
+
+TEST_F(FormulaTest, EvaluateBasicConnectives) {
+  BoolVar va = arena.new_bool_var("a");
+  BoolVar vb = arena.new_bool_var("b");
+  Formula a = arena.var(va);
+  Formula b = arena.var(vb);
+
+  auto eval = [&](Formula f, bool av, bool bv) {
+    std::vector<bool> assignment{av, bv};
+    return arena.evaluate(f, assignment);
+  };
+
+  Formula conj = arena.mk_and(a, b);
+  Formula disj = arena.mk_or(a, b);
+  Formula ex = arena.mk_xor(a, b);
+  Formula imp = arena.mk_implies(a, b);
+  Formula iff = arena.mk_iff(a, b);
+  for (bool av : {false, true}) {
+    for (bool bv : {false, true}) {
+      EXPECT_EQ(eval(conj, av, bv), av && bv);
+      EXPECT_EQ(eval(disj, av, bv), av || bv);
+      EXPECT_EQ(eval(ex, av, bv), av != bv);
+      EXPECT_EQ(eval(imp, av, bv), !av || bv);
+      EXPECT_EQ(eval(iff, av, bv), av == bv);
+    }
+  }
+}
+
+TEST_F(FormulaTest, ExactlyOneSemantics) {
+  std::vector<BoolVar> vars;
+  std::vector<Formula> fs;
+  for (int i = 0; i < 4; ++i) {
+    vars.push_back(arena.new_bool_var("x" + std::to_string(i)));
+    fs.push_back(arena.var(vars.back()));
+  }
+  Formula eo = arena.mk_exactly_one(fs);
+  for (uint32_t m = 0; m < 16; ++m) {
+    std::vector<bool> assignment;
+    int pop = 0;
+    for (int i = 0; i < 4; ++i) {
+      bool bit = (m >> i) & 1;
+      assignment.push_back(bit);
+      pop += bit;
+    }
+    EXPECT_EQ(arena.evaluate(eo, assignment), pop == 1) << "m=" << m;
+  }
+}
+
+TEST_F(FormulaTest, AtMostOneSemantics) {
+  std::vector<Formula> fs;
+  for (int i = 0; i < 3; ++i) {
+    fs.push_back(arena.var(arena.new_bool_var("x" + std::to_string(i))));
+  }
+  Formula amo = arena.mk_at_most_one(fs);
+  for (uint32_t m = 0; m < 8; ++m) {
+    std::vector<bool> assignment;
+    int pop = 0;
+    for (int i = 0; i < 3; ++i) {
+      bool bit = (m >> i) & 1;
+      assignment.push_back(bit);
+      pop += bit;
+    }
+    EXPECT_EQ(arena.evaluate(amo, assignment), pop <= 1);
+  }
+}
+
+TEST_F(FormulaTest, IteSimplifies) {
+  Formula a = arena.var(arena.new_bool_var("a"));
+  Formula b = arena.var(arena.new_bool_var("b"));
+  EXPECT_EQ(arena.mk_ite(arena.make_true(), a, b), a);
+  EXPECT_EQ(arena.mk_ite(arena.make_false(), a, b), b);
+  EXPECT_EQ(arena.mk_ite(a, b, b), b);
+}
+
+TEST_F(FormulaTest, ToStringRendersStructure) {
+  Formula a = arena.var(arena.new_bool_var("a"));
+  Formula b = arena.var(arena.new_bool_var("b"));
+  std::string s = arena.to_string(arena.mk_and(a, b));
+  EXPECT_NE(s.find("and"), std::string::npos);
+  EXPECT_NE(s.find('a'), std::string::npos);
+  EXPECT_NE(s.find('b'), std::string::npos);
+}
+
+TEST_F(FormulaTest, NaryHelpers) {
+  std::vector<Formula> fs;
+  for (int i = 0; i < 5; ++i) {
+    fs.push_back(arena.var(arena.new_bool_var("v" + std::to_string(i))));
+  }
+  Formula all = arena.mk_and(fs);
+  Formula any = arena.mk_or(fs);
+  std::vector<bool> all_true(5, true);
+  std::vector<bool> all_false(5, false);
+  std::vector<bool> one_true(5, false);
+  one_true[2] = true;
+  EXPECT_TRUE(arena.evaluate(all, all_true));
+  EXPECT_FALSE(arena.evaluate(all, one_true));
+  EXPECT_TRUE(arena.evaluate(any, one_true));
+  EXPECT_FALSE(arena.evaluate(any, all_false));
+}
+
+TEST_F(FormulaTest, EmptyNaryAndIsTrueOrIsFalse) {
+  EXPECT_EQ(arena.mk_and(std::span<const Formula>{}), arena.make_true());
+  EXPECT_EQ(arena.mk_or(std::span<const Formula>{}), arena.make_false());
+}
+
+TEST_F(FormulaTest, BvAtomsIntern) {
+  Formula a1 = arena.mk_bv_atom(BvPred::kUlt, 3, 7);
+  Formula a2 = arena.mk_bv_atom(BvPred::kUlt, 3, 7);
+  Formula a3 = arena.mk_bv_atom(BvPred::kUle, 3, 7);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(arena.op(a1), Op::kBvAtom);
+  EXPECT_EQ(arena.bv_atom(a1).lhs_term, 3u);
+  EXPECT_EQ(arena.bv_atom(a1).rhs_term, 7u);
+}
+
+}  // namespace
+}  // namespace llhsc::logic

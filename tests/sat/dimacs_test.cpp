@@ -1,0 +1,97 @@
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::sat {
+namespace {
+
+std::optional<DimacsInstance> parse_ok(std::string_view text) {
+  support::DiagnosticEngine de;
+  auto instance = parse_dimacs(text, de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return instance;
+}
+
+TEST(Dimacs, ParseSimpleInstance) {
+  auto inst = parse_ok(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->num_vars, 3);
+  ASSERT_EQ(inst->clauses.size(), 2u);
+  EXPECT_EQ(inst->clauses[0],
+            (std::vector<Lit>{Lit(0, false), Lit(1, true)}));
+  EXPECT_EQ(inst->clauses[1],
+            (std::vector<Lit>{Lit(1, false), Lit(2, false)}));
+}
+
+TEST(Dimacs, MultiLineClause) {
+  auto inst = parse_ok("p cnf 4 1\n1 2\n3 4 0\n");
+  ASSERT_TRUE(inst.has_value());
+  ASSERT_EQ(inst->clauses.size(), 1u);
+  EXPECT_EQ(inst->clauses[0].size(), 4u);
+}
+
+TEST(Dimacs, MissingHeaderIsError) {
+  support::DiagnosticEngine de;
+  EXPECT_FALSE(parse_dimacs("1 2 0\n", de).has_value());
+  EXPECT_TRUE(de.contains_code("dimacs"));
+}
+
+TEST(Dimacs, LiteralOutOfRangeIsError) {
+  support::DiagnosticEngine de;
+  EXPECT_FALSE(parse_dimacs("p cnf 2 1\n5 0\n", de).has_value());
+}
+
+TEST(Dimacs, ClauseCountMismatchWarns) {
+  support::DiagnosticEngine de;
+  auto inst = parse_dimacs("p cnf 2 5\n1 0\n", de);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(de.warning_count(), 1u);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(Dimacs, UnterminatedFinalClauseAccepted) {
+  support::DiagnosticEngine de;
+  auto inst = parse_dimacs("p cnf 2 1\n1 2\n", de);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->clauses.size(), 1u);
+  EXPECT_GE(de.warning_count(), 1u);
+}
+
+TEST(Dimacs, LoadAndSolveSat) {
+  auto inst = parse_ok("p cnf 2 2\n1 2 0\n-1 0\n");
+  Solver solver;
+  ASSERT_TRUE(load_into(*inst, solver));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_EQ(solver.model_value(0), Value::kFalse);
+  EXPECT_EQ(solver.model_value(1), Value::kTrue);
+  EXPECT_EQ(model_line(solver, 2), "-1 2 0");
+}
+
+TEST(Dimacs, LoadAndSolveUnsat) {
+  auto inst = parse_ok("p cnf 1 2\n1 0\n-1 0\n");
+  Solver solver;
+  EXPECT_FALSE(load_into(*inst, solver));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+}
+
+TEST(Dimacs, WriteRoundTrip) {
+  auto inst = parse_ok("p cnf 3 2\n1 -2 0\n-3 2 1 0\n");
+  std::string text = write_dimacs(*inst);
+  auto back = parse_ok(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_vars, inst->num_vars);
+  EXPECT_EQ(back->clauses, inst->clauses);
+}
+
+TEST(Dimacs, EmptyClauseMakesUnsat) {
+  auto inst = parse_ok("p cnf 1 1\n0\n");
+  Solver solver;
+  EXPECT_FALSE(load_into(*inst, solver));
+}
+
+}  // namespace
+}  // namespace llhsc::sat

@@ -1,0 +1,353 @@
+// Unit and property tests for the CDCL SAT solver. The property suites
+// cross-check the solver against a brute-force evaluator on random small
+// instances — any divergence is a solver bug.
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace llhsc::sat {
+namespace {
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, SingleUnitClause) {
+  Solver s;
+  Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause(Lit::positive(x)));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), Value::kTrue);
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  Var x = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit::positive(x)));
+  EXPECT_FALSE(s.add_clause(Lit::negative(x)));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+  Solver s;
+  EXPECT_FALSE(s.add_clause(std::vector<Lit>{}));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, TautologicalClauseIsDropped) {
+  Solver s;
+  Var x = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit::positive(x), Lit::negative(x)));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  // x1 & (x1 -> x2) & (x2 -> x3) forces x3.
+  Solver s;
+  Var x1 = s.new_var(), x2 = s.new_var(), x3 = s.new_var();
+  s.add_clause(Lit::positive(x1));
+  s.add_clause(Lit::negative(x1), Lit::positive(x2));
+  s.add_clause(Lit::negative(x2), Lit::positive(x3));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_bool(x3));
+}
+
+TEST(SatSolver, PigeonHole3Into2IsUnsat) {
+  // 3 pigeons, 2 holes: classic small unsat instance exercising learning.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 3; ++i) {
+    s.add_clause(Lit::positive(p[i][0]), Lit::positive(p[i][1]));
+  }
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        s.add_clause(Lit::negative(p[i][h]), Lit::negative(p[j][h]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, PigeonHole5Into4IsUnsat) {
+  Solver s;
+  constexpr int P = 5, H = 4;
+  std::vector<std::vector<Var>> p(P, std::vector<Var>(H));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < P; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < H; ++h) clause.push_back(Lit::positive(p[i][h]));
+    s.add_clause(std::move(clause));
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int i = 0; i < P; ++i) {
+      for (int j = i + 1; j < P; ++j) {
+        s.add_clause(Lit::negative(p[i][h]), Lit::negative(p[j][h]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SatSolver, AssumptionsSatAndUnsat) {
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  s.add_clause(Lit::negative(x), Lit::positive(y));  // x -> y
+  EXPECT_EQ(s.solve({Lit::positive(x)}), SolveResult::kSat);
+  EXPECT_TRUE(s.model_bool(y));
+  // Assume x and ~y: contradicts x -> y.
+  EXPECT_EQ(s.solve({Lit::positive(x), Lit::negative(y)}), SolveResult::kUnsat);
+  // Solver is reusable afterwards.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, UnsatCoreContainsOnlyAssumptions) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause(Lit::negative(a), Lit::negative(b));  // ~(a & b)
+  ASSERT_EQ(s.solve({Lit::positive(a), Lit::positive(b), Lit::positive(c)}),
+            SolveResult::kUnsat);
+  const auto& core = s.unsat_core();
+  ASSERT_FALSE(core.empty());
+  for (Lit l : core) {
+    bool is_assumption = l == Lit::positive(a) || l == Lit::positive(b) ||
+                         l == Lit::positive(c);
+    EXPECT_TRUE(is_assumption) << "core literal is not an assumption";
+  }
+  // c is irrelevant: a correct (even non-minimal) core from this conflict
+  // should contain a or b.
+  bool has_ab = std::any_of(core.begin(), core.end(), [&](Lit l) {
+    return l == Lit::positive(a) || l == Lit::positive(b);
+  });
+  EXPECT_TRUE(has_ab);
+}
+
+TEST(SatSolver, ModelEnumerationCountsProjectedModels) {
+  // x | y has 3 models over {x, y}.
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  s.add_clause(Lit::positive(x), Lit::positive(y));
+  EXPECT_EQ(s.count_models({x, y}), 3u);
+  // Enumeration must leave the solver usable.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.count_models({x, y}), 3u) << "enumeration must be repeatable";
+}
+
+TEST(SatSolver, ModelEnumerationWithProjection) {
+  // (x | y) & (z | ~z): project onto {x} -> 2 models (x true, x false w/ y).
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  Var z = s.new_var();
+  s.add_clause(Lit::positive(x), Lit::positive(y));
+  s.add_clause(Lit::positive(z), Lit::negative(z));
+  EXPECT_EQ(s.count_models({x}), 2u);
+}
+
+TEST(SatSolver, ModelEnumerationEarlyStop) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(s.new_var());
+  // No constraints: 16 models; stop after 5.
+  uint64_t n = s.enumerate_models(
+      vars, [](const std::vector<bool>&) { return true; }, 5);
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(SatSolver, EnumerationCallbackCanAbort) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(s.new_var());
+  int seen = 0;
+  uint64_t n = s.enumerate_models(vars, [&](const std::vector<bool>&) {
+    return ++seen < 3;
+  });
+  EXPECT_EQ(n, 3u);
+}
+
+// ---- Property tests: random 3-SAT vs brute force ----
+
+struct RandomCnfCase {
+  int num_vars;
+  int num_clauses;
+  uint32_t seed;
+};
+
+class RandomCnfTest : public ::testing::TestWithParam<RandomCnfCase> {};
+
+TEST_P(RandomCnfTest, AgreesWithBruteForce) {
+  const auto& param = GetParam();
+  std::mt19937 rng(param.seed);
+  std::uniform_int_distribution<int> var_dist(0, param.num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+
+  std::vector<std::vector<std::pair<int, bool>>> clauses;
+  for (int i = 0; i < param.num_clauses; ++i) {
+    std::vector<std::pair<int, bool>> clause;
+    for (int j = 0; j < 3; ++j) {
+      clause.emplace_back(var_dist(rng), sign_dist(rng) == 1);
+    }
+    clauses.push_back(std::move(clause));
+  }
+
+  // Brute force.
+  bool brute_sat = false;
+  for (uint32_t m = 0; m < (1u << param.num_vars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (auto [v, neg] : clause) {
+        bool val = (m >> v) & 1;
+        if (neg ? !val : val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < param.num_vars; ++i) vars.push_back(s.new_var());
+  bool ok = true;
+  for (const auto& clause : clauses) {
+    std::vector<Lit> lits;
+    for (auto [v, neg] : clause) lits.push_back(Lit(vars[v], neg));
+    ok = s.add_clause(std::move(lits)) && ok;
+  }
+  SolveResult r = ok ? s.solve() : SolveResult::kUnsat;
+  EXPECT_EQ(r == SolveResult::kSat, brute_sat);
+
+  if (r == SolveResult::kSat) {
+    // Verify the model actually satisfies every clause.
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (auto [v, neg] : clause) {
+        bool val = s.model_bool(vars[v]);
+        if (neg ? !val : val) {
+          any = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(any) << "model does not satisfy a clause";
+    }
+  }
+}
+
+std::vector<RandomCnfCase> make_random_cases() {
+  std::vector<RandomCnfCase> cases;
+  // Sweep the clause/variable ratio through the 3-SAT phase transition
+  // (~4.27) so both sat and unsat instances appear.
+  for (uint32_t seed = 1; seed <= 12; ++seed) {
+    cases.push_back({8, 20, seed});        // under-constrained
+    cases.push_back({8, 34, seed + 100});  // near transition
+    cases.push_back({8, 60, seed + 200});  // over-constrained
+    cases.push_back({12, 51, seed + 300});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random3Sat, RandomCnfTest,
+                         ::testing::ValuesIn(make_random_cases()));
+
+// Model counting vs brute force on random instances.
+class RandomCountTest : public ::testing::TestWithParam<RandomCnfCase> {};
+
+TEST_P(RandomCountTest, CountAgreesWithBruteForce) {
+  const auto& param = GetParam();
+  std::mt19937 rng(param.seed);
+  std::uniform_int_distribution<int> var_dist(0, param.num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+
+  std::vector<std::vector<std::pair<int, bool>>> clauses;
+  for (int i = 0; i < param.num_clauses; ++i) {
+    std::vector<std::pair<int, bool>> clause;
+    for (int j = 0; j < 3; ++j) {
+      clause.emplace_back(var_dist(rng), sign_dist(rng) == 1);
+    }
+    clauses.push_back(std::move(clause));
+  }
+
+  uint64_t brute_count = 0;
+  for (uint32_t m = 0; m < (1u << param.num_vars); ++m) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (auto [v, neg] : clause) {
+        bool val = (m >> v) & 1;
+        if (neg ? !val : val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++brute_count;
+  }
+
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < param.num_vars; ++i) vars.push_back(s.new_var());
+  bool ok = true;
+  for (const auto& clause : clauses) {
+    std::vector<Lit> lits;
+    for (auto [v, neg] : clause) lits.push_back(Lit(vars[v], neg));
+    ok = s.add_clause(std::move(lits)) && ok;
+  }
+  uint64_t count = ok ? s.count_models(vars) : 0;
+  EXPECT_EQ(count, brute_count);
+}
+
+std::vector<RandomCnfCase> make_count_cases() {
+  std::vector<RandomCnfCase> cases;
+  for (uint32_t seed = 1; seed <= 8; ++seed) {
+    cases.push_back({6, 10, seed});
+    cases.push_back({7, 20, seed + 50});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCounting, RandomCountTest,
+                         ::testing::ValuesIn(make_count_cases()));
+
+TEST(SatSolver, LargeChainPropagationIsFast) {
+  // 10k-variable implication chain: exercises watched-literal propagation.
+  Solver s;
+  constexpr int N = 10000;
+  std::vector<Var> vars;
+  for (int i = 0; i < N; ++i) vars.push_back(s.new_var());
+  for (int i = 0; i + 1 < N; ++i) {
+    s.add_clause(Lit::negative(vars[i]), Lit::positive(vars[i + 1]));
+  }
+  s.add_clause(Lit::positive(vars[0]));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_bool(vars[N - 1]));
+}
+
+TEST(SatSolver, StatsArePopulated) {
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  s.add_clause(Lit::positive(x), Lit::positive(y));
+  s.solve();
+  EXPECT_GE(s.stats().decisions, 1u);
+}
+
+}  // namespace
+}  // namespace llhsc::sat

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace llhsc::support {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t\na b\t"), "a b");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  a  b\tc\n"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, ParseInteger) {
+  EXPECT_EQ(parse_integer("42"), 42u);
+  EXPECT_EQ(parse_integer("0x2A"), 42u);
+  EXPECT_EQ(parse_integer("0x40000000"), 0x40000000u);
+  EXPECT_EQ(parse_integer("052"), 42u);  // octal, dtc keeps C semantics
+  EXPECT_EQ(parse_integer("0"), 0u);
+  EXPECT_EQ(parse_integer(" 7 "), 7u);
+  EXPECT_EQ(parse_integer("0xffffffffffffffff"), UINT64_MAX);
+  EXPECT_FALSE(parse_integer("").has_value());
+  EXPECT_FALSE(parse_integer("abc").has_value());
+  EXPECT_FALSE(parse_integer("0x").has_value());
+  EXPECT_FALSE(parse_integer("12x").has_value());
+  EXPECT_FALSE(parse_integer("099").has_value());  // 9 is not octal
+  EXPECT_FALSE(parse_integer("0x1ffffffffffffffff").has_value());  // overflow
+}
+
+TEST(Strings, HexFormatting) {
+  EXPECT_EQ(hex(0x40000000), "0x40000000");
+  EXPECT_EQ(hex(0), "0x0");
+  EXPECT_EQ(hex_width(0x1f, 8), "0x0000001f");
+  EXPECT_EQ(hex_width(0x123456789, 4), "0x123456789");  // no truncation
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, NodeNameValidation) {
+  EXPECT_TRUE(is_valid_node_name("memory@40000000"));
+  EXPECT_TRUE(is_valid_node_name("cpus"));
+  EXPECT_TRUE(is_valid_node_name("cpu@0"));
+  EXPECT_TRUE(is_valid_node_name("veth0@80000000"));
+  EXPECT_TRUE(is_valid_node_name("arm,cortex-a53"));
+  EXPECT_FALSE(is_valid_node_name(""));
+  EXPECT_FALSE(is_valid_node_name("@123"));
+  EXPECT_FALSE(is_valid_node_name("node@"));
+  EXPECT_FALSE(is_valid_node_name("bad name"));
+  // Base name over 31 chars is invalid per spec.
+  EXPECT_FALSE(is_valid_node_name(std::string(32, 'a')));
+  EXPECT_TRUE(is_valid_node_name(std::string(31, 'a')));
+}
+
+TEST(Strings, PropertyNameValidation) {
+  EXPECT_TRUE(is_valid_property_name("reg"));
+  EXPECT_TRUE(is_valid_property_name("#address-cells"));
+  EXPECT_TRUE(is_valid_property_name("device_type"));
+  EXPECT_TRUE(is_valid_property_name("enable-method"));
+  EXPECT_FALSE(is_valid_property_name(""));
+  EXPECT_FALSE(is_valid_property_name("white space"));
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("cpu@*", "cpu@0"));
+  EXPECT_TRUE(glob_match("memory@*", "memory@40000000"));
+  EXPECT_FALSE(glob_match("cpu@*", "uart@0"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("*-bus", "main-bus"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Diagnostics, SeverityCounting) {
+  DiagnosticEngine de;
+  de.note("n1", "a note");
+  de.warning("w1", "a warning");
+  de.error("e1", "an error");
+  de.error("e2", "another error");
+  EXPECT_EQ(de.error_count(), 2u);
+  EXPECT_EQ(de.warning_count(), 1u);
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_EQ(de.diagnostics().size(), 4u);
+  EXPECT_TRUE(de.contains_code("w1"));
+  EXPECT_FALSE(de.contains_code("nope"));
+}
+
+TEST(Diagnostics, RenderFormat) {
+  DiagnosticEngine de;
+  de.error("dts-parse", "unexpected token",
+           SourceLocation{"board.dts", 12, 5});
+  std::string rendered = de.render();
+  EXPECT_NE(rendered.find("board.dts:12:5"), std::string::npos);
+  EXPECT_NE(rendered.find("error"), std::string::npos);
+  EXPECT_NE(rendered.find("[dts-parse]"), std::string::npos);
+  EXPECT_NE(rendered.find("unexpected token"), std::string::npos);
+}
+
+TEST(Diagnostics, LocationHandling) {
+  SourceLocation unknown;
+  EXPECT_FALSE(unknown.valid());
+  EXPECT_EQ(unknown.to_string(), "<unknown>");
+  SourceLocation loc{"f.dts", 3, 0};
+  EXPECT_TRUE(loc.valid());
+  EXPECT_EQ(loc.to_string(), "f.dts:3");
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticEngine de;
+  de.error("x", "y");
+  de.clear();
+  EXPECT_FALSE(de.has_errors());
+  EXPECT_TRUE(de.diagnostics().empty());
+}
+
+}  // namespace
+}  // namespace llhsc::support

@@ -1,0 +1,487 @@
+// llhsc — the command-line tool. Thin driver over the library:
+//
+//   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3]
+//               [--no-lint] [--no-syntax] [--no-semantics]
+//       Run the checkers on one DTS; exit 1 on errors.
+//
+//   llhsc generate --core <core.dts> --deltas <file.deltas>
+//                  --features f1,f2,... [--out <dir>] [--name <vm>]
+//       Derive one product from a DTS product line, check it, and write
+//       <name>.dts / <name>.dtb.
+//
+//   llhsc demo [--out <dir>]
+//       Run the paper's running example end to end and write every artifact
+//       (VM DTSs, platform DTS, DTBs, platform.c, config.c).
+//
+//   llhsc products
+//       Enumerate the valid products of the running-example feature model.
+#include <fstream>
+#include <map>
+#include <iostream>
+#include <sstream>
+
+#include "checkers/lint.hpp"
+#include "checkers/report.hpp"
+#include "checkers/semantic.hpp"
+#include "checkers/syntactic.hpp"
+#include "core/pipeline.hpp"
+#include "core/running_example.hpp"
+#include "dts/overlay.hpp"
+#include "dts/parser.hpp"
+#include "dts/printer.hpp"
+#include "fdt/fdt.hpp"
+#include "feature/analysis.hpp"
+#include "feature/multivm.hpp"
+#include "feature/configurator.hpp"
+#include "feature/text_format.hpp"
+#include "schema/builtin_schemas.hpp"
+#include "schema/yaml_lite.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace llhsc;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key value / --key
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      // Flags take a value unless they are known booleans.
+      bool boolean = key.rfind("no-", 0) == 0 || key == "quiet" ||
+                     key == "count-only";
+      if (!boolean && i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool write_file(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+bool write_file(const std::string& path, const std::vector<uint8_t>& data) {
+  return write_file(path, std::string_view(
+                              reinterpret_cast<const char*>(data.data()),
+                              data.size()));
+}
+
+smt::Backend backend_from(const Args& args) {
+  std::string name = args.get("backend", "builtin");
+  if (name == "z3") return smt::Backend::kZ3;
+  if (name != "builtin") {
+    std::cerr << "warning: unknown backend '" << name << "', using builtin\n";
+  }
+  return smt::Backend::kBuiltin;
+}
+
+schema::SchemaSet schemas_from(const Args& args) {
+  if (args.has("schemas")) {
+    auto text = read_file(args.get("schemas"));
+    if (!text) {
+      std::cerr << "cannot open schemas file " << args.get("schemas") << "\n";
+      std::exit(2);
+    }
+    support::DiagnosticEngine diags;
+    schema::SchemaSet set;
+    schema::load_schema_stream(*text, set, diags);
+    if (diags.has_errors()) {
+      std::cerr << diags.render();
+      std::exit(2);
+    }
+    return set;
+  }
+  return schema::builtin_schemas();
+}
+
+std::unique_ptr<dts::Tree> parse_file_or_die(const std::string& path) {
+  auto source = read_file(path);
+  if (!source) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  dts::SourceManager sm;
+  size_t slash = path.find_last_of('/');
+  sm.set_base_directory(slash == std::string::npos ? "."
+                                                   : path.substr(0, slash));
+  support::DiagnosticEngine diags;
+  auto tree = dts::parse_dts(*source, path, sm, diags);
+  if (tree == nullptr || diags.has_errors()) {
+    std::cerr << diags.render();
+    std::exit(1);
+  }
+  return tree;
+}
+
+int cmd_check(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
+                 "[--backend builtin|z3] [--no-lint] [--no-syntax] "
+                 "[--no-semantics]\n";
+    return 2;
+  }
+  auto tree = parse_file_or_die(args.positional[0]);
+  smt::Backend backend = backend_from(args);
+  checkers::Findings all;
+
+  if (!args.has("no-lint")) {
+    checkers::Findings f = checkers::LintChecker().check(*tree);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  if (!args.has("no-syntax")) {
+    schema::SchemaSet schemas = schemas_from(args);
+    checkers::SyntacticChecker checker(schemas, backend);
+    checkers::Findings f = checker.check(*tree);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  if (!args.has("no-semantics")) {
+    checkers::SemanticChecker checker(backend);
+    checkers::Findings f = checker.check(*tree);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+
+  size_t errors = checkers::error_count(all);
+  if (args.get("format") == "json") {
+    std::cout << checkers::report_json(all) << "\n";
+  } else {
+    if (!args.has("quiet")) std::cout << checkers::render(all);
+    std::cout << args.positional[0] << ": " << errors << " error(s), "
+              << (all.size() - errors) << " warning(s)\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+int cmd_generate(const Args& args) {
+  if (!args.has("core") || !args.has("deltas") || !args.has("features")) {
+    std::cerr << "usage: llhsc generate --core <core.dts> --deltas <f.deltas> "
+                 "--features f1,f2,... [--out dir] [--name vm]\n";
+    return 2;
+  }
+  auto core_text = read_file(args.get("core"));
+  auto delta_text = read_file(args.get("deltas"));
+  if (!core_text || !delta_text) {
+    std::cerr << "cannot open core or deltas file\n";
+    return 2;
+  }
+  support::DiagnosticEngine diags;
+  dts::SourceManager sm;
+  std::string core_path = args.get("core");
+  size_t slash = core_path.find_last_of('/');
+  sm.set_base_directory(slash == std::string::npos ? "."
+                                                   : core_path.substr(0, slash));
+  auto core = dts::parse_dts(*core_text, core_path, sm, diags);
+  auto deltas = delta::parse_deltas(*delta_text, args.get("deltas"), diags);
+  if (core == nullptr || diags.has_errors()) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  delta::ProductLine pl(std::move(core), std::move(deltas));
+
+  std::set<std::string> features;
+  for (const std::string& f : support::split(args.get("features"), ',')) {
+    auto t = support::trim(f);
+    if (!t.empty()) features.insert(std::string(t));
+  }
+  auto tree = pl.derive(features, diags);
+  if (tree == nullptr) {
+    std::cerr << diags.render();
+    return 1;
+  }
+
+  smt::Backend backend = backend_from(args);
+  schema::SchemaSet schemas = schemas_from(args);
+  checkers::SyntacticChecker syn(schemas, backend);
+  checkers::SemanticChecker sem(backend);
+  checkers::Findings findings = syn.check(*tree);
+  checkers::Findings sem_f = sem.check(*tree);
+  findings.insert(findings.end(), sem_f.begin(), sem_f.end());
+  std::cout << checkers::render(findings);
+  if (checkers::error_count(findings) > 0) {
+    std::cerr << "product rejected by the checkers\n";
+    return 1;
+  }
+
+  std::string out_dir = args.get("out", ".");
+  std::string name = args.get("name", "product");
+  std::string dts_path = out_dir + "/" + name + ".dts";
+  if (!write_file(dts_path, dts::print_dts(*tree))) {
+    std::cerr << "cannot write " << dts_path << "\n";
+    return 2;
+  }
+  auto blob = fdt::emit(*tree, diags);
+  if (blob) write_file(out_dir + "/" + name + ".dtb", *blob);
+  std::cout << "wrote " << dts_path << " and " << name << ".dtb\n";
+  return 0;
+}
+
+int cmd_demo(const Args& args) {
+  std::string out_dir = args.get("out", ".");
+  feature::FeatureModel model = feature::running_example_model();
+  schema::SchemaSet schemas = schema::builtin_schemas();
+  support::DiagnosticEngine diags;
+  auto pl = core::running_example_product_line(diags);
+  if (pl == nullptr) {
+    std::cerr << diags.render();
+    return 2;
+  }
+  core::PipelineOptions opts;
+  opts.backend = backend_from(args);
+  core::Pipeline pipeline(model, core::exclusive_cpus(model), *pl, schemas,
+                          opts);
+  core::PipelineResult result = pipeline.run(
+      {{"vm1", core::fig1b_features()}, {"vm2", core::fig1c_features()}});
+  std::cout << checkers::render(result.findings);
+  if (!result.ok) {
+    std::cerr << result.diagnostics.render() << "pipeline failed\n";
+    return 1;
+  }
+  for (const core::GeneratedVm& vm : result.vms) {
+    write_file(out_dir + "/" + vm.name + ".dts", vm.dts_text);
+    write_file(out_dir + "/" + vm.name + ".dtb", vm.dtb);
+  }
+  write_file(out_dir + "/platform.dts", result.platform_dts_text);
+  write_file(out_dir + "/platform.dtb", result.platform_dtb);
+  write_file(out_dir + "/platform.c", result.platform_config_c);
+  write_file(out_dir + "/config.c", result.vm_config_c);
+  std::cout << "wrote vm1/vm2/platform .dts+.dtb, platform.c, config.c to "
+            << out_dir << "\n";
+  return 0;
+}
+
+feature::FeatureModel model_from(const Args& args) {
+  if (args.has("model")) {
+    auto text = read_file(args.get("model"));
+    if (!text) {
+      std::cerr << "cannot open model file " << args.get("model") << "\n";
+      std::exit(2);
+    }
+    support::DiagnosticEngine diags;
+    auto model = feature::parse_model(*text, args.get("model"), diags);
+    if (!model) {
+      std::cerr << diags.render();
+      std::exit(1);
+    }
+    return std::move(*model);
+  }
+  return feature::running_example_model();
+}
+
+int cmd_products(const Args& args) {
+  feature::FeatureModel model = model_from(args);
+  smt::Solver solver(backend_from(args));
+  if (args.has("count-only")) {
+    std::cout << feature::count_products(model, solver) << "\n";
+    return 0;
+  }
+  uint64_t n = 0;
+  feature::enumerate_products(model, solver, [&](const feature::Selection& sel) {
+    std::cout << "product " << ++n << ":";
+    for (uint32_t i = 0; i < model.size(); ++i) {
+      const feature::Feature& f = model.feature(feature::FeatureId{i});
+      if (sel[i] && !f.abstract_feature && f.children.empty()) {
+        std::cout << ' ' << f.name;
+      }
+    }
+    std::cout << "\n";
+    return true;
+  });
+  std::cout << n << " valid products\n";
+  return 0;
+}
+
+int cmd_allocate(const Args& args) {
+  feature::FeatureModel model = model_from(args);
+  std::vector<feature::FeatureId> exclusive;
+  for (const std::string& name : support::split(args.get("exclusive"), ',')) {
+    auto t = support::trim(name);
+    if (t.empty()) continue;
+    auto id = model.find(t);
+    if (!id) {
+      std::cerr << "unknown exclusive feature '" << std::string(t) << "'\n";
+      return 2;
+    }
+    exclusive.push_back(*id);
+  }
+  smt::Backend backend = backend_from(args);
+  int limit = 16;
+  if (args.has("vms")) {
+    auto v = support::parse_integer(args.get("vms"));
+    if (v) limit = static_cast<int>(*v);
+  }
+  for (int m = 1; m <= limit; ++m) {
+    bool ok = feature::allocation_feasible(model, backend, m, exclusive);
+    std::cout << m << " VM" << (m > 1 ? "s" : " ") << ": "
+              << (ok ? "feasible" : "infeasible") << "\n";
+    if (!ok) break;
+  }
+  std::cout << "max VMs: "
+            << feature::max_feasible_vms(model, backend, exclusive, limit)
+            << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  feature::FeatureModel model = model_from(args);
+  smt::Solver solver(backend_from(args));
+  std::cout << "features:        " << model.size() << "\n";
+  std::cout << "void:            "
+            << (feature::is_void(model, solver) ? "yes" : "no") << "\n";
+  std::cout << "products:        "
+            << feature::count_products(model, solver, 1u << 20) << "\n";
+  auto name_list = [&](const std::vector<feature::FeatureId>& ids) {
+    std::string out;
+    for (feature::FeatureId id : ids) {
+      if (!out.empty()) out += ", ";
+      out += model.feature(id).name;
+    }
+    return out.empty() ? std::string("(none)") : out;
+  };
+  std::cout << "dead features:   " << name_list(feature::dead_features(model, solver))
+            << "\n";
+  std::cout << "core features:   " << name_list(feature::core_features(model, solver))
+            << "\n";
+  std::cout << "false optional:  "
+            << name_list(feature::false_optional_features(model, solver))
+            << "\n";
+  return 0;
+}
+
+int cmd_configure(const Args& args) {
+  feature::FeatureModel model = model_from(args);
+  feature::Configurator cfg(model, backend_from(args));
+  // Scripted decisions: --decide "veth0=on,uart@30000000=off,veth0=retract"
+  for (const std::string& d : support::split(args.get("decide"), ',')) {
+    auto t = support::trim(d);
+    if (t.empty()) continue;
+    size_t eq = t.find('=');
+    if (eq == std::string_view::npos) {
+      std::cerr << "bad decision '" << std::string(t)
+                << "' (want name=on|off|retract)\n";
+      return 2;
+    }
+    std::string name(support::trim(t.substr(0, eq)));
+    std::string verb(support::trim(t.substr(eq + 1)));
+    auto id = model.find(name);
+    if (!id) {
+      std::cerr << "unknown feature '" << name << "'\n";
+      return 2;
+    }
+    bool ok = verb == "on"        ? cfg.select(*id)
+              : verb == "off"     ? cfg.deselect(*id)
+              : verb == "retract" ? cfg.retract(*id)
+                                  : false;
+    std::cout << name << "=" << verb << " -> "
+              << (ok ? "accepted" : "REJECTED") << "\n";
+  }
+  std::cout << "\nstate:\n";
+  for (uint32_t i = 0; i < model.size(); ++i) {
+    feature::FeatureId f{i};
+    std::cout << "  " << std::string(feature::to_string(cfg.state(f)))
+              << "\t" << model.feature(f).name << "\n";
+  }
+  std::cout << "complete: " << (cfg.complete() ? "yes" : "no")
+            << ", remaining products: " << cfg.remaining_products() << "\n";
+  return 0;
+}
+
+int cmd_overlay(const Args& args) {
+  if (!args.has("base") || !args.has("overlay")) {
+    std::cerr << "usage: llhsc overlay --base <base.dts> --overlay <o.dtso> "
+                 "[--out <file.dts>]\n";
+    return 2;
+  }
+  auto base = parse_file_or_die(args.get("base"));
+  auto overlay_text = read_file(args.get("overlay"));
+  if (!overlay_text) {
+    std::cerr << "cannot open " << args.get("overlay") << "\n";
+    return 2;
+  }
+  support::DiagnosticEngine diags;
+  dts::SourceManager sm;
+  auto overlay =
+      dts::parse_overlay(*overlay_text, args.get("overlay"), sm, diags);
+  if (!overlay) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  if (!dts::apply_overlay(*base, *overlay, diags)) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  std::string out = dts::print_dts(*base);
+  if (args.has("out")) {
+    if (!write_file(args.get("out"), out)) {
+      std::cerr << "cannot write " << args.get("out") << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << args.get("out") << "\n";
+  } else {
+    std::cout << out;
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "llhsc — DeviceTree syntax and semantic checker\n"
+               "commands:\n"
+               "  check <file.dts>   run lint + syntactic + semantic checks\n"
+               "  generate           derive a product from a DTS product line\n"
+               "  demo               run the paper's running example\n"
+               "  products           enumerate products (--model <f.fm>)\n"
+               "  analyze            feature-model analyses (--model <f.fm>)\n"
+               "  allocate           VM allocation feasibility (--model, \n"
+               "                     --exclusive f1,f2, --vms N)\n"
+               "  overlay            apply a /plugin/ overlay (--base, \n"
+               "                     --overlay, [--out])\n"
+               "  configure          scripted decision propagation (--model,\n"
+               "                     --decide f=on,g=off,...)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  Args args = parse_args(argc, argv);
+  if (cmd == "check") return cmd_check(args);
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "demo") return cmd_demo(args);
+  if (cmd == "products") return cmd_products(args);
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "allocate") return cmd_allocate(args);
+  if (cmd == "overlay") return cmd_overlay(args);
+  if (cmd == "configure") return cmd_configure(args);
+  return usage();
+}

@@ -1,0 +1,72 @@
+// llsat — standalone DIMACS front-end for the llhsc SAT substrate. Follows
+// the SAT-competition output convention:
+//
+//   $ ./llsat instance.cnf
+//   s SATISFIABLE
+//   v 1 -2 3 0
+//
+// Options: --count (projected model count over all variables, capped),
+//          --quiet (suppress the v line).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sat/dimacs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llhsc;
+  std::string path;
+  bool count = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--count") {
+      count = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: llsat [--count] [--quiet] <instance.cnf>\n";
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  support::DiagnosticEngine diags;
+  auto instance = sat::parse_dimacs(buf.str(), diags);
+  std::cerr << diags.render();
+  if (!instance) return 2;
+
+  sat::Solver solver;
+  bool consistent = sat::load_into(*instance, solver);
+
+  if (count) {
+    std::vector<sat::Var> projection;
+    for (int v = 0; v < instance->num_vars; ++v) {
+      projection.push_back(static_cast<sat::Var>(v));
+    }
+    constexpr uint64_t kCap = 1u << 20;
+    uint64_t models = consistent ? solver.count_models(projection, kCap) : 0;
+    std::cout << "c model count" << (models >= kCap ? " (capped)" : "")
+              << "\n" << models << "\n";
+    return 0;
+  }
+
+  if (!consistent || solver.solve() != sat::SolveResult::kSat) {
+    std::cout << "s UNSATISFIABLE\n";
+    return 20;  // SAT-competition exit code
+  }
+  std::cout << "s SATISFIABLE\n";
+  if (!quiet) {
+    std::cout << "v " << sat::model_line(solver, instance->num_vars) << "\n";
+  }
+  return 10;
+}
