@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dts_fdt.dir/bench_dts_fdt.cpp.o"
+  "CMakeFiles/bench_dts_fdt.dir/bench_dts_fdt.cpp.o.d"
+  "bench_dts_fdt"
+  "bench_dts_fdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dts_fdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

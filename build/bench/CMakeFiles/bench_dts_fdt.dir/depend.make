@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dts_fdt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_analysis.dir/bench_feature_analysis.cpp.o"
+  "CMakeFiles/bench_feature_analysis.dir/bench_feature_analysis.cpp.o.d"
+  "bench_feature_analysis"
+  "bench_feature_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_allocation.dir/bench_resource_allocation.cpp.o"
+  "CMakeFiles/bench_resource_allocation.dir/bench_resource_allocation.cpp.o.d"
+  "bench_resource_allocation"
+  "bench_resource_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sat.dir/bench_sat.cpp.o"
+  "CMakeFiles/bench_sat.dir/bench_sat.cpp.o.d"
+  "bench_sat"
+  "bench_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantic_overlap.dir/bench_semantic_overlap.cpp.o"
+  "CMakeFiles/bench_semantic_overlap.dir/bench_semantic_overlap.cpp.o.d"
+  "bench_semantic_overlap"
+  "bench_semantic_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantic_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

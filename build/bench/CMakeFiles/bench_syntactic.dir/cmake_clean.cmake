@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syntactic.dir/bench_syntactic.cpp.o"
+  "CMakeFiles/bench_syntactic.dir/bench_syntactic.cpp.o.d"
+  "bench_syntactic"
+  "bench_syntactic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syntactic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configurator_walkthrough.dir/configurator_walkthrough.cpp.o"
+  "CMakeFiles/configurator_walkthrough.dir/configurator_walkthrough.cpp.o.d"
+  "configurator_walkthrough"
+  "configurator_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configurator_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

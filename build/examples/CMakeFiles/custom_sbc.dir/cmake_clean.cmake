@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sbc.dir/custom_sbc.cpp.o"
+  "CMakeFiles/custom_sbc.dir/custom_sbc.cpp.o.d"
+  "custom_sbc"
+  "custom_sbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

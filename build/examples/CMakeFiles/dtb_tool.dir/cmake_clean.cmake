@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_tool.dir/dtb_tool.cpp.o"
+  "CMakeFiles/dtb_tool.dir/dtb_tool.cpp.o.d"
+  "dtb_tool"
+  "dtb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_partitioning.dir/vm_partitioning.cpp.o"
+  "CMakeFiles/vm_partitioning.dir/vm_partitioning.cpp.o.d"
+  "vm_partitioning"
+  "vm_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_sbc "/root/repo/build/examples/custom_sbc")
+set_tests_properties(example_custom_sbc PROPERTIES  PASS_REGULAR_EXPRESSION "valid products: 12" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_error_detection "/root/repo/build/examples/error_detection")
+set_tests_properties(example_error_detection PROPERTIES  PASS_REGULAR_EXPRESSION "REJECT" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vm_partitioning "/root/repo/build/examples/vm_partitioning")
+set_tests_properties(example_vm_partitioning PROPERTIES  PASS_REGULAR_EXPRESSION "max VMs = 2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_configurator "/root/repo/build/examples/configurator_walkthrough")
+set_tests_properties(example_configurator PROPERTIES  PASS_REGULAR_EXPRESSION "remaining products: 1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_baogen.dir/baogen/baogen.cpp.o"
+  "CMakeFiles/llhsc_baogen.dir/baogen/baogen.cpp.o.d"
+  "libllhsc_baogen.a"
+  "libllhsc_baogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_baogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkers/finding.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/finding.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/finding.cpp.o.d"
+  "/root/repo/src/checkers/interval_baseline.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/interval_baseline.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/interval_baseline.cpp.o.d"
+  "/root/repo/src/checkers/lint.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/lint.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/lint.cpp.o.d"
+  "/root/repo/src/checkers/report.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/report.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/report.cpp.o.d"
+  "/root/repo/src/checkers/resource_allocation.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/resource_allocation.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/resource_allocation.cpp.o.d"
+  "/root/repo/src/checkers/semantic.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/semantic.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/semantic.cpp.o.d"
+  "/root/repo/src/checkers/syntactic.cpp" "src/CMakeFiles/llhsc_checkers.dir/checkers/syntactic.cpp.o" "gcc" "src/CMakeFiles/llhsc_checkers.dir/checkers/syntactic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

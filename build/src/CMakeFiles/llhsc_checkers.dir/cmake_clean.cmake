@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_checkers.dir/checkers/finding.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/finding.cpp.o.d"
+  "CMakeFiles/llhsc_checkers.dir/checkers/interval_baseline.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/interval_baseline.cpp.o.d"
+  "CMakeFiles/llhsc_checkers.dir/checkers/lint.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/lint.cpp.o.d"
+  "CMakeFiles/llhsc_checkers.dir/checkers/report.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/report.cpp.o.d"
+  "CMakeFiles/llhsc_checkers.dir/checkers/resource_allocation.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/resource_allocation.cpp.o.d"
+  "CMakeFiles/llhsc_checkers.dir/checkers/semantic.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/semantic.cpp.o.d"
+  "CMakeFiles/llhsc_checkers.dir/checkers/syntactic.cpp.o"
+  "CMakeFiles/llhsc_checkers.dir/checkers/syntactic.cpp.o.d"
+  "libllhsc_checkers.a"
+  "libllhsc_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

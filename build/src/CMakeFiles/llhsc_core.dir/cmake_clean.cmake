@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/llhsc_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/llhsc_core.dir/core/riscv_example.cpp.o"
+  "CMakeFiles/llhsc_core.dir/core/riscv_example.cpp.o.d"
+  "CMakeFiles/llhsc_core.dir/core/running_example.cpp.o"
+  "CMakeFiles/llhsc_core.dir/core/running_example.cpp.o.d"
+  "libllhsc_core.a"
+  "libllhsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delta/apply.cpp" "src/CMakeFiles/llhsc_delta.dir/delta/apply.cpp.o" "gcc" "src/CMakeFiles/llhsc_delta.dir/delta/apply.cpp.o.d"
+  "/root/repo/src/delta/delta.cpp" "src/CMakeFiles/llhsc_delta.dir/delta/delta.cpp.o" "gcc" "src/CMakeFiles/llhsc_delta.dir/delta/delta.cpp.o.d"
+  "/root/repo/src/delta/parser.cpp" "src/CMakeFiles/llhsc_delta.dir/delta/parser.cpp.o" "gcc" "src/CMakeFiles/llhsc_delta.dir/delta/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_delta.dir/delta/apply.cpp.o"
+  "CMakeFiles/llhsc_delta.dir/delta/apply.cpp.o.d"
+  "CMakeFiles/llhsc_delta.dir/delta/delta.cpp.o"
+  "CMakeFiles/llhsc_delta.dir/delta/delta.cpp.o.d"
+  "CMakeFiles/llhsc_delta.dir/delta/parser.cpp.o"
+  "CMakeFiles/llhsc_delta.dir/delta/parser.cpp.o.d"
+  "libllhsc_delta.a"
+  "libllhsc_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dts/lexer.cpp" "src/CMakeFiles/llhsc_dts.dir/dts/lexer.cpp.o" "gcc" "src/CMakeFiles/llhsc_dts.dir/dts/lexer.cpp.o.d"
+  "/root/repo/src/dts/overlay.cpp" "src/CMakeFiles/llhsc_dts.dir/dts/overlay.cpp.o" "gcc" "src/CMakeFiles/llhsc_dts.dir/dts/overlay.cpp.o.d"
+  "/root/repo/src/dts/parser.cpp" "src/CMakeFiles/llhsc_dts.dir/dts/parser.cpp.o" "gcc" "src/CMakeFiles/llhsc_dts.dir/dts/parser.cpp.o.d"
+  "/root/repo/src/dts/printer.cpp" "src/CMakeFiles/llhsc_dts.dir/dts/printer.cpp.o" "gcc" "src/CMakeFiles/llhsc_dts.dir/dts/printer.cpp.o.d"
+  "/root/repo/src/dts/tree.cpp" "src/CMakeFiles/llhsc_dts.dir/dts/tree.cpp.o" "gcc" "src/CMakeFiles/llhsc_dts.dir/dts/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_dts.dir/dts/lexer.cpp.o"
+  "CMakeFiles/llhsc_dts.dir/dts/lexer.cpp.o.d"
+  "CMakeFiles/llhsc_dts.dir/dts/overlay.cpp.o"
+  "CMakeFiles/llhsc_dts.dir/dts/overlay.cpp.o.d"
+  "CMakeFiles/llhsc_dts.dir/dts/parser.cpp.o"
+  "CMakeFiles/llhsc_dts.dir/dts/parser.cpp.o.d"
+  "CMakeFiles/llhsc_dts.dir/dts/printer.cpp.o"
+  "CMakeFiles/llhsc_dts.dir/dts/printer.cpp.o.d"
+  "CMakeFiles/llhsc_dts.dir/dts/tree.cpp.o"
+  "CMakeFiles/llhsc_dts.dir/dts/tree.cpp.o.d"
+  "libllhsc_dts.a"
+  "libllhsc_dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_fdt.dir/fdt/fdt.cpp.o"
+  "CMakeFiles/llhsc_fdt.dir/fdt/fdt.cpp.o.d"
+  "libllhsc_fdt.a"
+  "libllhsc_fdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_fdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

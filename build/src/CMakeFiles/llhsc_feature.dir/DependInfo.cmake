@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/analysis.cpp" "src/CMakeFiles/llhsc_feature.dir/feature/analysis.cpp.o" "gcc" "src/CMakeFiles/llhsc_feature.dir/feature/analysis.cpp.o.d"
+  "/root/repo/src/feature/configurator.cpp" "src/CMakeFiles/llhsc_feature.dir/feature/configurator.cpp.o" "gcc" "src/CMakeFiles/llhsc_feature.dir/feature/configurator.cpp.o.d"
+  "/root/repo/src/feature/model.cpp" "src/CMakeFiles/llhsc_feature.dir/feature/model.cpp.o" "gcc" "src/CMakeFiles/llhsc_feature.dir/feature/model.cpp.o.d"
+  "/root/repo/src/feature/multivm.cpp" "src/CMakeFiles/llhsc_feature.dir/feature/multivm.cpp.o" "gcc" "src/CMakeFiles/llhsc_feature.dir/feature/multivm.cpp.o.d"
+  "/root/repo/src/feature/text_format.cpp" "src/CMakeFiles/llhsc_feature.dir/feature/text_format.cpp.o" "gcc" "src/CMakeFiles/llhsc_feature.dir/feature/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_feature.dir/feature/analysis.cpp.o"
+  "CMakeFiles/llhsc_feature.dir/feature/analysis.cpp.o.d"
+  "CMakeFiles/llhsc_feature.dir/feature/configurator.cpp.o"
+  "CMakeFiles/llhsc_feature.dir/feature/configurator.cpp.o.d"
+  "CMakeFiles/llhsc_feature.dir/feature/model.cpp.o"
+  "CMakeFiles/llhsc_feature.dir/feature/model.cpp.o.d"
+  "CMakeFiles/llhsc_feature.dir/feature/multivm.cpp.o"
+  "CMakeFiles/llhsc_feature.dir/feature/multivm.cpp.o.d"
+  "CMakeFiles/llhsc_feature.dir/feature/text_format.cpp.o"
+  "CMakeFiles/llhsc_feature.dir/feature/text_format.cpp.o.d"
+  "libllhsc_feature.a"
+  "libllhsc_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

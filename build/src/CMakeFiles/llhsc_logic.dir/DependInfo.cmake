@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/bitvector.cpp" "src/CMakeFiles/llhsc_logic.dir/logic/bitvector.cpp.o" "gcc" "src/CMakeFiles/llhsc_logic.dir/logic/bitvector.cpp.o.d"
+  "/root/repo/src/logic/cnf.cpp" "src/CMakeFiles/llhsc_logic.dir/logic/cnf.cpp.o" "gcc" "src/CMakeFiles/llhsc_logic.dir/logic/cnf.cpp.o.d"
+  "/root/repo/src/logic/formula.cpp" "src/CMakeFiles/llhsc_logic.dir/logic/formula.cpp.o" "gcc" "src/CMakeFiles/llhsc_logic.dir/logic/formula.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_logic.dir/logic/bitvector.cpp.o"
+  "CMakeFiles/llhsc_logic.dir/logic/bitvector.cpp.o.d"
+  "CMakeFiles/llhsc_logic.dir/logic/cnf.cpp.o"
+  "CMakeFiles/llhsc_logic.dir/logic/cnf.cpp.o.d"
+  "CMakeFiles/llhsc_logic.dir/logic/formula.cpp.o"
+  "CMakeFiles/llhsc_logic.dir/logic/formula.cpp.o.d"
+  "libllhsc_logic.a"
+  "libllhsc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_sat.dir/sat/dimacs.cpp.o"
+  "CMakeFiles/llhsc_sat.dir/sat/dimacs.cpp.o.d"
+  "CMakeFiles/llhsc_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/llhsc_sat.dir/sat/solver.cpp.o.d"
+  "libllhsc_sat.a"
+  "libllhsc_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

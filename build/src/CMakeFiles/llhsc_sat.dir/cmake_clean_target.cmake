@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllhsc_sat.a"
+)

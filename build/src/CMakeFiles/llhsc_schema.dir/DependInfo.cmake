@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/builtin_schemas.cpp" "src/CMakeFiles/llhsc_schema.dir/schema/builtin_schemas.cpp.o" "gcc" "src/CMakeFiles/llhsc_schema.dir/schema/builtin_schemas.cpp.o.d"
+  "/root/repo/src/schema/schema.cpp" "src/CMakeFiles/llhsc_schema.dir/schema/schema.cpp.o" "gcc" "src/CMakeFiles/llhsc_schema.dir/schema/schema.cpp.o.d"
+  "/root/repo/src/schema/yaml_lite.cpp" "src/CMakeFiles/llhsc_schema.dir/schema/yaml_lite.cpp.o" "gcc" "src/CMakeFiles/llhsc_schema.dir/schema/yaml_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_schema.dir/schema/builtin_schemas.cpp.o"
+  "CMakeFiles/llhsc_schema.dir/schema/builtin_schemas.cpp.o.d"
+  "CMakeFiles/llhsc_schema.dir/schema/schema.cpp.o"
+  "CMakeFiles/llhsc_schema.dir/schema/schema.cpp.o.d"
+  "CMakeFiles/llhsc_schema.dir/schema/yaml_lite.cpp.o"
+  "CMakeFiles/llhsc_schema.dir/schema/yaml_lite.cpp.o.d"
+  "libllhsc_schema.a"
+  "libllhsc_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/builtin_backend.cpp" "src/CMakeFiles/llhsc_smt.dir/smt/builtin_backend.cpp.o" "gcc" "src/CMakeFiles/llhsc_smt.dir/smt/builtin_backend.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/CMakeFiles/llhsc_smt.dir/smt/solver.cpp.o" "gcc" "src/CMakeFiles/llhsc_smt.dir/smt/solver.cpp.o.d"
+  "/root/repo/src/smt/z3_backend.cpp" "src/CMakeFiles/llhsc_smt.dir/smt/z3_backend.cpp.o" "gcc" "src/CMakeFiles/llhsc_smt.dir/smt/z3_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

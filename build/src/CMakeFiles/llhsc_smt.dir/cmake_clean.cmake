@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_smt.dir/smt/builtin_backend.cpp.o"
+  "CMakeFiles/llhsc_smt.dir/smt/builtin_backend.cpp.o.d"
+  "CMakeFiles/llhsc_smt.dir/smt/solver.cpp.o"
+  "CMakeFiles/llhsc_smt.dir/smt/solver.cpp.o.d"
+  "CMakeFiles/llhsc_smt.dir/smt/z3_backend.cpp.o"
+  "CMakeFiles/llhsc_smt.dir/smt/z3_backend.cpp.o.d"
+  "libllhsc_smt.a"
+  "libllhsc_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

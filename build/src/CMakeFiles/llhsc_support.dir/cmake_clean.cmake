@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/llhsc_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/llhsc_support.dir/support/strings.cpp.o"
+  "CMakeFiles/llhsc_support.dir/support/strings.cpp.o.d"
+  "libllhsc_support.a"
+  "libllhsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

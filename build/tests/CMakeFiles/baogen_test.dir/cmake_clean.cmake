@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baogen_test.dir/baogen/baogen_test.cpp.o"
+  "CMakeFiles/baogen_test.dir/baogen/baogen_test.cpp.o.d"
+  "baogen_test"
+  "baogen_test.pdb"
+  "baogen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baogen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

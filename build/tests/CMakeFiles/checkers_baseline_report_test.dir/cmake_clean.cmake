@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_baseline_report_test.dir/checkers/baseline_report_test.cpp.o"
+  "CMakeFiles/checkers_baseline_report_test.dir/checkers/baseline_report_test.cpp.o.d"
+  "checkers_baseline_report_test"
+  "checkers_baseline_report_test.pdb"
+  "checkers_baseline_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_baseline_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_lint_test.dir/checkers/lint_test.cpp.o"
+  "CMakeFiles/checkers_lint_test.dir/checkers/lint_test.cpp.o.d"
+  "checkers_lint_test"
+  "checkers_lint_test.pdb"
+  "checkers_lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

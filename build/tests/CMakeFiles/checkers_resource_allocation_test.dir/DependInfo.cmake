@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checkers/resource_allocation_test.cpp" "tests/CMakeFiles/checkers_resource_allocation_test.dir/checkers/resource_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/checkers_resource_allocation_test.dir/checkers/resource_allocation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llhsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_baogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_checkers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_fdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_dts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llhsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_resource_allocation_test.dir/checkers/resource_allocation_test.cpp.o"
+  "CMakeFiles/checkers_resource_allocation_test.dir/checkers/resource_allocation_test.cpp.o.d"
+  "checkers_resource_allocation_test"
+  "checkers_resource_allocation_test.pdb"
+  "checkers_resource_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_resource_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_semantic_test.dir/checkers/semantic_test.cpp.o"
+  "CMakeFiles/checkers_semantic_test.dir/checkers/semantic_test.cpp.o.d"
+  "checkers_semantic_test"
+  "checkers_semantic_test.pdb"
+  "checkers_semantic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_semantic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_syntactic_test.dir/checkers/syntactic_test.cpp.o"
+  "CMakeFiles/checkers_syntactic_test.dir/checkers/syntactic_test.cpp.o.d"
+  "checkers_syntactic_test"
+  "checkers_syntactic_test.pdb"
+  "checkers_syntactic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_syntactic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_riscv_test.dir/core/riscv_test.cpp.o"
+  "CMakeFiles/core_riscv_test.dir/core/riscv_test.cpp.o.d"
+  "core_riscv_test"
+  "core_riscv_test.pdb"
+  "core_riscv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_riscv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts_lexer_test.dir/dts/lexer_test.cpp.o"
+  "CMakeFiles/dts_lexer_test.dir/dts/lexer_test.cpp.o.d"
+  "dts_lexer_test"
+  "dts_lexer_test.pdb"
+  "dts_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

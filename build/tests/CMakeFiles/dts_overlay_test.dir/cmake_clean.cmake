@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts_overlay_test.dir/dts/overlay_test.cpp.o"
+  "CMakeFiles/dts_overlay_test.dir/dts/overlay_test.cpp.o.d"
+  "dts_overlay_test"
+  "dts_overlay_test.pdb"
+  "dts_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts_parser_test.dir/dts/parser_test.cpp.o"
+  "CMakeFiles/dts_parser_test.dir/dts/parser_test.cpp.o.d"
+  "dts_parser_test"
+  "dts_parser_test.pdb"
+  "dts_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts_printer_test.dir/dts/printer_test.cpp.o"
+  "CMakeFiles/dts_printer_test.dir/dts/printer_test.cpp.o.d"
+  "dts_printer_test"
+  "dts_printer_test.pdb"
+  "dts_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dts_tree_test.dir/dts/tree_test.cpp.o"
+  "CMakeFiles/dts_tree_test.dir/dts/tree_test.cpp.o.d"
+  "dts_tree_test"
+  "dts_tree_test.pdb"
+  "dts_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dts_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

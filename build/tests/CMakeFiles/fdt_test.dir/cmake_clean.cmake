@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdt_test.dir/fdt/fdt_test.cpp.o"
+  "CMakeFiles/fdt_test.dir/fdt/fdt_test.cpp.o.d"
+  "fdt_test"
+  "fdt_test.pdb"
+  "fdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

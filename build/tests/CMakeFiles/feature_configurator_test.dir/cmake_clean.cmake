@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_configurator_test.dir/feature/configurator_test.cpp.o"
+  "CMakeFiles/feature_configurator_test.dir/feature/configurator_test.cpp.o.d"
+  "feature_configurator_test"
+  "feature_configurator_test.pdb"
+  "feature_configurator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_configurator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_model_test.dir/feature/model_test.cpp.o"
+  "CMakeFiles/feature_model_test.dir/feature/model_test.cpp.o.d"
+  "feature_model_test"
+  "feature_model_test.pdb"
+  "feature_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_multivm_test.dir/feature/multivm_test.cpp.o"
+  "CMakeFiles/feature_multivm_test.dir/feature/multivm_test.cpp.o.d"
+  "feature_multivm_test"
+  "feature_multivm_test.pdb"
+  "feature_multivm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_multivm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_text_format_test.dir/feature/text_format_test.cpp.o"
+  "CMakeFiles/feature_text_format_test.dir/feature/text_format_test.cpp.o.d"
+  "feature_text_format_test"
+  "feature_text_format_test.pdb"
+  "feature_text_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

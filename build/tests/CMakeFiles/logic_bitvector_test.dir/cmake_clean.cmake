@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_bitvector_test.dir/logic/bitvector_test.cpp.o"
+  "CMakeFiles/logic_bitvector_test.dir/logic/bitvector_test.cpp.o.d"
+  "logic_bitvector_test"
+  "logic_bitvector_test.pdb"
+  "logic_bitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_cnf_test.dir/logic/cnf_test.cpp.o"
+  "CMakeFiles/logic_cnf_test.dir/logic/cnf_test.cpp.o.d"
+  "logic_cnf_test"
+  "logic_cnf_test.pdb"
+  "logic_cnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_cnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

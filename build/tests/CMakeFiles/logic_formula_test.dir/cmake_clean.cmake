@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_formula_test.dir/logic/formula_test.cpp.o"
+  "CMakeFiles/logic_formula_test.dir/logic/formula_test.cpp.o.d"
+  "logic_formula_test"
+  "logic_formula_test.pdb"
+  "logic_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

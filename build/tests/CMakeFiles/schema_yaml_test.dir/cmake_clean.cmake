@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_yaml_test.dir/schema/yaml_test.cpp.o"
+  "CMakeFiles/schema_yaml_test.dir/schema/yaml_test.cpp.o.d"
+  "schema_yaml_test"
+  "schema_yaml_test.pdb"
+  "schema_yaml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_yaml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llhsc_cli.dir/llhsc_main.cpp.o"
+  "CMakeFiles/llhsc_cli.dir/llhsc_main.cpp.o.d"
+  "llhsc"
+  "llhsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llhsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llsat.dir/llsat.cpp.o"
+  "CMakeFiles/llsat.dir/llsat.cpp.o.d"
+  "llsat"
+  "llsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

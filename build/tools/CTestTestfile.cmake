@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_demo "/root/repo/build/tools/llhsc" "demo" "--out" "/root/repo/build/tools")
+set_tests_properties(cli_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_check_generated "/root/repo/build/tools/llhsc" "check" "/root/repo/build/tools/vm1.dts")
+set_tests_properties(cli_check_generated PROPERTIES  DEPENDS "cli_demo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_check_json "/root/repo/build/tools/llhsc" "check" "/root/repo/build/tools/vm1.dts" "--format" "json")
+set_tests_properties(cli_check_json PROPERTIES  DEPENDS "cli_demo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_products "/root/repo/build/tools/llhsc" "products" "--count-only")
+set_tests_properties(cli_products PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/llhsc" "analyze")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_allocate "/root/repo/build/tools/llhsc" "allocate" "--exclusive" "cpu@0,cpu@1" "--vms" "3")
+set_tests_properties(cli_allocate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_configure "/root/repo/build/tools/llhsc" "configure" "--decide" "veth0=on,uart@20000000=on,uart@30000000=off")
+set_tests_properties(cli_configure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate "/root/repo/build/tools/llhsc" "generate" "--core" "/root/repo/examples/data/custom-sbc.dts" "--deltas" "/root/repo/examples/data/custom-sbc.deltas" "--features" "CustomSBC,memory,cpus,cpu@0,uarts,uart@20000000" "--out" "/root/repo/build/tools" "--name" "cli_solo")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_overlay "/root/repo/build/tools/llhsc" "overlay" "--base" "/root/repo/examples/data/custom-sbc.dts" "--overlay" "/root/repo/examples/data/enable-uart0.dtso")
+set_tests_properties(cli_overlay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_model_products "/root/repo/build/tools/llhsc" "products" "--model" "/root/repo/examples/data/custom-sbc.fm" "--count-only")
+set_tests_properties(cli_model_products PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(llsat_smoke "/root/repo/build/tools/llsat" "/root/repo/build/tools/smoke.cnf")
+set_tests_properties(llsat_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "s SATISFIABLE" REQUIRED_FILES "/root/repo/build/tools/smoke.cnf" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
