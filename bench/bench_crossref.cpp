@@ -1,0 +1,125 @@
+// Cross-reference engine cost model: AnalysisContext construction (indices +
+// cells/ranges environment) vs the rule sweep that consumes it, swept over
+// synthetic SoC trees up to ~5k nodes. The split matters because the context
+// is built once per tree and shared with the semantic checker, so rule cost
+// must be measured against a warm context as well as end-to-end.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "checkers/crossref/context.hpp"
+#include "checkers/crossref/rules.hpp"
+#include "dts/tree.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+// A plausible SoC: per-bus interrupt controller + clock controller, devices
+// referencing both through phandles, buses mapped through ranges. Node count
+// is roughly buses * (devices_per_bus + 3) + 2.
+std::unique_ptr<dts::Tree> synthetic_soc(int buses, int devices_per_bus) {
+  auto tree = std::make_unique<dts::Tree>();
+  dts::Node& root = tree->root();
+  root.set_property(dts::Property::cells("#address-cells", {1}));
+  root.set_property(dts::Property::cells("#size-cells", {1}));
+  uint32_t next_phandle = 1;
+  for (int b = 0; b < buses; ++b) {
+    uint64_t bus_base = 0x4000'0000ull + static_cast<uint64_t>(b) * 0x100'0000;
+    dts::Node& bus = root.get_or_create_child(
+        "bus@" + std::to_string(bus_base));
+    bus.set_property(dts::Property::cells("#address-cells", {1}));
+    bus.set_property(dts::Property::cells("#size-cells", {1}));
+    bus.set_property(dts::Property::cells("reg", {bus_base, 0x100'0000}));
+    bus.set_property(
+        dts::Property::cells("ranges", {0x0, bus_base, 0x100'0000}));
+
+    uint32_t intc_handle = next_phandle++;
+    dts::Node& intc = bus.get_or_create_child("interrupt-controller@0");
+    intc.set_property(dts::Property::cells("reg", {0x0, 0x1000}));
+    intc.set_property(dts::Property::boolean("interrupt-controller"));
+    intc.set_property(dts::Property::cells("#interrupt-cells", {2}));
+    intc.set_property(dts::Property::cells("phandle", {intc_handle}));
+
+    uint32_t clk_handle = next_phandle++;
+    dts::Node& clk = bus.get_or_create_child("clock-controller@1000");
+    clk.set_property(dts::Property::cells("reg", {0x1000, 0x1000}));
+    clk.set_property(dts::Property::cells("#clock-cells", {1}));
+    clk.set_property(dts::Property::cells("phandle", {clk_handle}));
+
+    for (int d = 0; d < devices_per_bus; ++d) {
+      uint64_t base = 0x2000 + static_cast<uint64_t>(d) * 0x1000;
+      dts::Node& dev =
+          bus.get_or_create_child("dev@" + std::to_string(base));
+      dev.set_property(dts::Property::cells("reg", {base, 0x1000}));
+      dev.set_property(dts::Property::cells("interrupt-parent",
+                                            {intc_handle}));
+      dev.set_property(dts::Property::cells(
+          "interrupts", {static_cast<uint64_t>(d), 4}));
+      dev.set_property(dts::Property::cells(
+          "clocks", {clk_handle, static_cast<uint64_t>(d)}));
+    }
+  }
+  return tree;
+}
+
+// Index + cells/ranges environment build, the once-per-tree cost.
+void BM_ContextConstruction(benchmark::State& state) {
+  auto tree = synthetic_soc(static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    checkers::crossref::AnalysisContext ctx(*tree);
+    benchmark::DoNotOptimize(ctx.nodes().size());
+  }
+  state.counters["nodes"] = static_cast<double>(tree->node_count());
+}
+BENCHMARK(BM_ContextConstruction)
+    ->Args({4, 16})
+    ->Args({16, 64})
+    ->Args({64, 76});  // ~5k nodes
+
+// Full rule sweep against a warm context (the per-check marginal cost).
+void BM_RuleSweep(benchmark::State& state) {
+  auto tree = synthetic_soc(static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(1)));
+  checkers::crossref::AnalysisContext ctx(*tree);
+  size_t findings = 0;
+  for (auto _ : state) {
+    checkers::crossref::CrossRefChecker checker;
+    checkers::Findings f = checker.check(ctx);
+    findings = f.size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["nodes"] = static_cast<double>(tree->node_count());
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_RuleSweep)->Args({4, 16})->Args({16, 64})->Args({64, 76});
+
+// End-to-end: context + sweep, what `llhsc check` pays per tree.
+void BM_CheckEndToEnd(benchmark::State& state) {
+  auto tree = synthetic_soc(static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    checkers::crossref::CrossRefChecker checker;
+    benchmark::DoNotOptimize(checker.check(*tree));
+  }
+  state.counters["nodes"] = static_cast<double>(tree->node_count());
+}
+BENCHMARK(BM_CheckEndToEnd)->Args({4, 16})->Args({16, 64})->Args({64, 76});
+
+// Address translation through one ranges level, the hot path the semantic
+// checker also leans on via the shared context.
+void BM_Translate(benchmark::State& state) {
+  auto tree = synthetic_soc(16, 64);
+  checkers::crossref::AnalysisContext ctx(*tree);
+  const dts::Node* dev = ctx.node_at("/bus@1073741824/dev@8192");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.translate(*dev, 0x2000, 0x1000));
+  }
+}
+BENCHMARK(BM_Translate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

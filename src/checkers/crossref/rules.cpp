@@ -1,0 +1,436 @@
+#include "checkers/crossref/rules.hpp"
+
+#include <unordered_set>
+
+#include "support/strings.hpp"
+
+namespace llhsc::checkers::crossref {
+
+namespace {
+
+// dtc emits 0 or 0xffffffff for references an overlay leaves open (-@);
+// both are "no node yet" rather than a resolvable value.
+constexpr uint64_t kPhandlePlaceholderHi = 0xffffffffull;
+
+const RuleInfo* rule(std::string_view id) {
+  const RuleInfo* r = find_rule(id);
+  // The catalog is closed; a miss is a programming error caught by tests.
+  return r;
+}
+
+/// Emits one finding under `id`, honouring per-rule enable and severity
+/// overrides. Returns nullptr when the rule is disabled; otherwise the
+/// stored finding for extra fields.
+Finding* emit(const CrossRefOptions& options, Findings& out,
+              std::string_view id, std::string subject, std::string message,
+              const dts::Node* node, const dts::Property* prop) {
+  if (!options.enabled(id)) return nullptr;
+  const RuleInfo* info = rule(id);
+  if (info == nullptr) return nullptr;
+  Finding f;
+  f.kind = info->kind;
+  f.severity = info->default_severity;
+  auto ov = options.severity_overrides.find(std::string(id));
+  if (ov != options.severity_overrides.end()) f.severity = ov->second;
+  f.rule = std::string(id);
+  f.subject = std::move(subject);
+  f.message = std::move(message);
+  if (prop != nullptr) {
+    f.property = prop->name;
+    if (prop->location.valid()) f.location = prop->location;
+    if (!prop->provenance.empty()) f.delta = prop->provenance;
+  }
+  if (node != nullptr) {
+    if (!f.location.valid()) f.location = node->location();
+    if (f.delta.empty()) f.delta = node->provenance();
+  }
+  out.push_back(std::move(f));
+  return &out.back();
+}
+
+// ---------------------------------------------------------------------------
+// phandle-duplicate
+// ---------------------------------------------------------------------------
+void run_phandle_duplicate(const AnalysisContext& ctx,
+                           const CrossRefOptions& options, Findings& out) {
+  for (const PhandleCollision& col : ctx.duplicate_phandles()) {
+    // Report every extra holder against the first one (document order).
+    const dts::Node* first = col.holders.front();
+    for (size_t i = 1; i < col.holders.size(); ++i) {
+      const dts::Node* dup = col.holders[i];
+      Finding* f = emit(options, out, "phandle-duplicate", ctx.path_of(*dup),
+                        "phandle value " + std::to_string(col.value) +
+                            " is also carried by " + ctx.path_of(*first),
+                        dup, dup->find_property("phandle"));
+      if (f != nullptr) f->other_subject = ctx.path_of(*first);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// phandle-args-arity / phandle-dangling / provider-missing-cells
+//
+// Walks every phandle+args consumer property (clocks = <&p a b>, ...): each
+// entry starts with a phandle cell followed by as many argument cells as the
+// provider's #*-cells declares — the generic of_parse_phandle_with_args
+// contract.
+// ---------------------------------------------------------------------------
+const PhandleArgsSpec* spec_for_property(std::string_view name) {
+  for (const PhandleArgsSpec& spec : phandle_args_specs()) {
+    if (spec.is_suffix ? (support::ends_with(name, spec.property) &&
+                          name.size() > spec.property.size())
+                       : name == spec.property) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+void run_phandle_args(const AnalysisContext& ctx,
+                      const CrossRefOptions& options, Findings& out) {
+  for (const auto& [path, node] : ctx.nodes()) {
+    for (const dts::Property& p : node->properties()) {
+      const PhandleArgsSpec* spec = spec_for_property(p.name);
+      if (spec == nullptr) continue;
+      auto cells = p.as_cells();
+      if (!cells || cells->empty()) continue;  // schema layer types it
+      size_t i = 0;
+      size_t entry = 0;
+      while (i < cells->size()) {
+        uint64_t ph = (*cells)[i];
+        const dts::Node* provider =
+            ph == 0 || ph == kPhandlePlaceholderHi
+                ? nullptr
+                : ctx.node_for_phandle(static_cast<uint32_t>(ph));
+        if (provider == nullptr) {
+          emit(options, out, "phandle-dangling", path,
+               "entry " + std::to_string(entry) + " of '" + p.name +
+                   "' references phandle " + std::to_string(ph) +
+                   ", which no node carries",
+               node, &p);
+          break;  // argument count unknowable; stop parsing this property
+        }
+        const dts::Property* pc =
+            provider->find_property(std::string(spec->cells_property));
+        std::optional<uint32_t> argc =
+            pc != nullptr ? pc->as_u32() : std::nullopt;
+        if (!argc) {
+          emit(options, out, "provider-missing-cells", path,
+               "entry " + std::to_string(entry) + " of '" + p.name +
+                   "' references " + ctx.path_of(*provider) +
+                   ", which declares no " + std::string(spec->cells_property),
+               node, &p);
+          break;
+        }
+        if (i + 1 + *argc > cells->size()) {
+          Finding* f = emit(
+              options, out, "phandle-args-arity", path,
+              "entry " + std::to_string(entry) + " of '" + p.name +
+                  "' needs " + std::to_string(*argc) + " argument cell(s) (" +
+                  std::string(spec->cells_property) + " of " +
+                  ctx.path_of(*provider) + ") but only " +
+                  std::to_string(cells->size() - i - 1) + " remain",
+              node, &p);
+          if (f != nullptr) f->other_subject = ctx.path_of(*provider);
+          break;
+        }
+        i += 1 + *argc;
+        ++entry;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// interrupt-parent-dangling / interrupt-provider-missing-cells /
+// interrupt-cells-arity
+// ---------------------------------------------------------------------------
+
+/// The provider whose #interrupt-cells types `node`'s interrupts: the
+/// resolved interrupt-parent phandle, else the nearest ancestor marked
+/// interrupt-controller (the DT spec's implicit-parent fallback).
+const dts::Node* effective_interrupt_provider(const AnalysisContext& ctx,
+                                              const dts::Node& node) {
+  if (ctx.interrupt_parent_phandle(node)) return ctx.interrupt_parent(node);
+  for (const dts::Node* cur = ctx.parent_of(node); cur != nullptr;
+       cur = ctx.parent_of(*cur)) {
+    if (cur->find_property("interrupt-controller") != nullptr) return cur;
+  }
+  return nullptr;
+}
+
+void run_interrupts(const AnalysisContext& ctx, const CrossRefOptions& options,
+                    Findings& out) {
+  for (const auto& [path, node] : ctx.nodes()) {
+    // Dangling interrupt-parent is reported where the property is written,
+    // not on every descendant that inherits it.
+    if (const dts::Property* ip = node->find_property("interrupt-parent")) {
+      if (auto ph = ip->as_u32()) {
+        if (*ph != 0 && *ph != kPhandlePlaceholderHi &&
+            ctx.node_for_phandle(*ph) == nullptr) {
+          emit(options, out, "interrupt-parent-dangling", path,
+               "interrupt-parent references phandle " + std::to_string(*ph) +
+                   ", which no node carries",
+               node, ip);
+        }
+      }
+    }
+
+    const dts::Property* irq = node->find_property("interrupts");
+    if (irq == nullptr) continue;
+    auto cells = irq->as_cells();
+    if (!cells || cells->empty()) continue;
+    const dts::Node* provider = effective_interrupt_provider(ctx, *node);
+    if (provider == nullptr) continue;  // dangling parent reported above
+    const dts::Property* ic = provider->find_property("#interrupt-cells");
+    std::optional<uint32_t> want =
+        ic != nullptr ? ic->as_u32() : std::nullopt;
+    if (!want || *want == 0) {
+      Finding* f = emit(options, out, "interrupt-provider-missing-cells", path,
+                        "interrupt provider " + ctx.path_of(*provider) +
+                            " declares no usable #interrupt-cells",
+                        node, irq);
+      if (f != nullptr) f->other_subject = ctx.path_of(*provider);
+      continue;
+    }
+    if (cells->size() % *want != 0) {
+      Finding* f = emit(
+          options, out, "interrupt-cells-arity", path,
+          "interrupts has " + std::to_string(cells->size()) +
+              " cell(s), not a multiple of #interrupt-cells=" +
+              std::to_string(*want) + " of " + ctx.path_of(*provider),
+          node, irq);
+      if (f != nullptr) f->other_subject = ctx.path_of(*provider);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// interrupt-tree-cycle
+//
+// Follows the interrupt-parent chain from every interrupt client/controller.
+// A provider whose parent is itself terminates the tree (Linux's
+// of_irq_find_parent contract), so only cycles of length >= 2 are faults.
+// ---------------------------------------------------------------------------
+void run_interrupt_cycles(const AnalysisContext& ctx,
+                          const CrossRefOptions& options, Findings& out) {
+  std::unordered_set<const dts::Node*> reported;
+  std::unordered_set<const dts::Node*> known_safe;
+  for (const auto& [path, node] : ctx.nodes()) {
+    if (node->find_property("interrupts") == nullptr &&
+        node->find_property("interrupt-controller") == nullptr) {
+      continue;
+    }
+    std::vector<const dts::Node*> chain;
+    std::unordered_set<const dts::Node*> on_chain;
+    const dts::Node* cur = node;
+    while (cur != nullptr && known_safe.find(cur) == known_safe.end()) {
+      if (on_chain.find(cur) != on_chain.end()) {
+        if (reported.insert(cur).second) {
+          emit(options, out, "interrupt-tree-cycle", ctx.path_of(*cur),
+               "interrupt-parent chain starting at " + path +
+                   " revisits this node — the interrupt tree has a cycle",
+               cur, cur->find_property("interrupt-parent"));
+        }
+        break;
+      }
+      chain.push_back(cur);
+      on_chain.insert(cur);
+      const dts::Node* next = ctx.interrupt_parent(*cur);
+      if (next == cur) break;  // self-parent terminates the tree
+      cur = next;
+    }
+    // Nothing on a terminated chain can be part of a cycle.
+    if (cur == nullptr || known_safe.find(cur) != known_safe.end() ||
+        reported.find(cur) == reported.end()) {
+      known_safe.insert(chain.begin(), chain.end());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ranges-coverage
+// ---------------------------------------------------------------------------
+void run_ranges_coverage(const AnalysisContext& ctx,
+                         const CrossRefOptions& options, Findings& out) {
+  for (const auto& [path, node] : ctx.nodes()) {
+    if (path == "/") continue;
+    const dts::Property* reg = node->find_property("reg");
+    if (reg == nullptr) continue;
+    auto [ac, sc] = ctx.reg_cells(*node);
+    if (ac == 0 || ac > 2 || sc == 0 || sc > 2) continue;  // semantic reports
+    auto cells = reg->as_cells();
+    if (!cells) continue;
+    uint32_t stride = ac + sc;
+    for (size_t e = 0; (e + 1) * stride <= cells->size(); ++e) {
+      uint64_t base = 0, size = 0;
+      for (uint32_t i = 0; i < ac; ++i) {
+        base = (base << 32) | ((*cells)[e * stride + i] & 0xffffffffull);
+      }
+      for (uint32_t i = 0; i < sc; ++i) {
+        size = (size << 32) | ((*cells)[e * stride + ac + i] & 0xffffffffull);
+      }
+      if (size == 0) continue;
+      if (!ctx.translate(*node, base, size)) {
+        Finding* f =
+            emit(options, out, "ranges-coverage", path,
+                 "reg entry " + std::to_string(e) + " (" +
+                     support::hex(base) + "+" + support::hex(size) +
+                     ") is not covered by the ancestor buses' ranges",
+                 node, reg);
+        if (f != nullptr) {
+          f->base_a = base;
+          f->size_a = size;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// provider-orphan
+//
+// A node that declares one of the phandle+args provider properties
+// (#clock-cells, #gpio-cells, ...) is only consumable through a phandle
+// reference; if no phandle can reach it the provider is dead weight.
+// Interrupt providers are excluded — the interrupt tree reaches parents
+// structurally, without phandles.
+// ---------------------------------------------------------------------------
+void run_provider_orphan(const AnalysisContext& ctx,
+                         const CrossRefOptions& options, Findings& out) {
+  // Phandle values actually referenced anywhere.
+  std::unordered_set<uint32_t> referenced;
+  for (const auto& [path, node] : ctx.nodes()) {
+    (void)path;
+    for (const dts::Property& p : node->properties()) {
+      if (p.name == "interrupt-parent") {
+        if (auto v = p.as_u32()) referenced.insert(*v);
+        continue;
+      }
+      const PhandleArgsSpec* spec = spec_for_property(p.name);
+      if (spec == nullptr) continue;
+      auto cells = p.as_cells();
+      if (!cells) continue;
+      size_t i = 0;
+      while (i < cells->size()) {
+        uint32_t ph = static_cast<uint32_t>((*cells)[i]);
+        referenced.insert(ph);
+        const dts::Node* provider = ctx.node_for_phandle(ph);
+        const dts::Property* pc =
+            provider != nullptr
+                ? provider->find_property(std::string(spec->cells_property))
+                : nullptr;
+        std::optional<uint32_t> argc =
+            pc != nullptr ? pc->as_u32() : std::nullopt;
+        if (!argc) break;  // unknowable stride; arity rules reported it
+        i += 1 + *argc;
+      }
+    }
+  }
+
+  for (const auto& [path, node] : ctx.nodes()) {
+    const dts::Property* decl = nullptr;
+    for (const PhandleArgsSpec& spec : phandle_args_specs()) {
+      if (spec.cells_property == "#interrupt-cells") continue;
+      if (const dts::Property* p =
+              node->find_property(std::string(spec.cells_property))) {
+        decl = p;
+        break;
+      }
+    }
+    if (decl == nullptr) continue;
+    const dts::Property* ph = node->find_property("phandle");
+    std::optional<uint32_t> value =
+        ph != nullptr ? ph->as_u32() : std::nullopt;
+    if (value && referenced.find(*value) != referenced.end()) continue;
+    emit(options, out, "provider-orphan", path,
+         "declares " + decl->name +
+             " but no phandle reference reaches this provider",
+         node, decl);
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"phandle-dangling", FindingKind::kDanglingPhandle,
+       FindingSeverity::kError,
+       "A phandle-typed cell references a value no node carries."},
+      {"phandle-duplicate", FindingKind::kDuplicatePhandle,
+       FindingSeverity::kError,
+       "Two nodes carry the same explicit phandle value."},
+      {"interrupt-parent-dangling", FindingKind::kDanglingPhandle,
+       FindingSeverity::kError,
+       "interrupt-parent references a phandle no node carries."},
+      {"interrupt-cells-arity", FindingKind::kCellsArityViolation,
+       FindingSeverity::kError,
+       "interrupts length is not a multiple of the provider's "
+       "#interrupt-cells."},
+      {"interrupt-provider-missing-cells", FindingKind::kMissingProviderCells,
+       FindingSeverity::kError,
+       "The resolved interrupt provider declares no usable "
+       "#interrupt-cells."},
+      {"phandle-args-arity", FindingKind::kCellsArityViolation,
+       FindingSeverity::kError,
+       "A phandle+args entry has fewer argument cells than the provider's "
+       "#*-cells demands."},
+      {"provider-missing-cells", FindingKind::kMissingProviderCells,
+       FindingSeverity::kError,
+       "A phandle+args entry references a provider without the matching "
+       "#*-cells property."},
+      {"interrupt-tree-cycle", FindingKind::kInterruptTreeCycle,
+       FindingSeverity::kError,
+       "Following interrupt-parent links revisits a node."},
+      {"ranges-coverage", FindingKind::kRangesViolation,
+       FindingSeverity::kWarning,
+       "A reg entry is not covered by the ancestor buses' ranges."},
+      {"provider-orphan", FindingKind::kOrphanProvider,
+       FindingSeverity::kWarning,
+       "A #*-cells provider no phandle reference can reach."},
+  };
+  return kCatalog;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const std::vector<PhandleArgsSpec>& phandle_args_specs() {
+  static const std::vector<PhandleArgsSpec> kSpecs = {
+      {"clocks", "#clock-cells", false},
+      {"gpios", "#gpio-cells", false},
+      {"-gpios", "#gpio-cells", true},
+      {"dmas", "#dma-cells", false},
+      {"resets", "#reset-cells", false},
+      {"pwms", "#pwm-cells", false},
+      {"phys", "#phy-cells", false},
+      {"mboxes", "#mbox-cells", false},
+      {"io-channels", "#io-channel-cells", false},
+      {"power-domains", "#power-domain-cells", false},
+      {"thermal-sensors", "#thermal-sensor-cells", false},
+      {"interrupts-extended", "#interrupt-cells", false},
+  };
+  return kSpecs;
+}
+
+Findings CrossRefChecker::check(const dts::Tree& tree) const {
+  AnalysisContext ctx(tree);
+  return check(ctx);
+}
+
+Findings CrossRefChecker::check(const AnalysisContext& ctx) const {
+  Findings out;
+  run_phandle_duplicate(ctx, options_, out);
+  run_phandle_args(ctx, options_, out);
+  run_interrupts(ctx, options_, out);
+  run_interrupt_cycles(ctx, options_, out);
+  run_ranges_coverage(ctx, options_, out);
+  run_provider_orphan(ctx, options_, out);
+  return out;
+}
+
+}  // namespace llhsc::checkers::crossref

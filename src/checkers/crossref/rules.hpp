@@ -1,0 +1,80 @@
+// Cross-reference rule registry + checker. Each rule has a stable id in the
+// style of dtc's -W names, a default severity, and a one-line summary (shown
+// in the SARIF rules metadata and docs/rules.md). Rules run over one shared
+// AnalysisContext; per-rule enable/severity comes from CrossRefOptions so
+// the CLI can map `--disable-rule a,b` / `--rule-severity a=warning`
+// directly onto it.
+//
+// Rule catalog (see docs/rules.md for rationale and example fixes):
+//   phandle-dangling              E  phandle reference with no owning node
+//   phandle-duplicate             E  two nodes carry the same phandle value
+//   interrupt-parent-dangling     E  interrupt-parent names a missing node
+//   interrupt-cells-arity         E  interrupts length vs #interrupt-cells
+//   interrupt-provider-missing-cells E  parent lacks #interrupt-cells
+//   phandle-args-arity            E  clocks/gpios/... vs provider #*-cells
+//   provider-missing-cells        E  referenced provider lacks its #*-cells
+//   interrupt-tree-cycle          E  interrupt-parent chain loops
+//   ranges-coverage               W  reg not covered by ancestor ranges
+//   provider-orphan               W  #*-cells provider nothing references
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checkers/crossref/context.hpp"
+#include "checkers/finding.hpp"
+#include "dts/tree.hpp"
+
+namespace llhsc::checkers::crossref {
+
+struct RuleInfo {
+  std::string_view id;
+  FindingKind kind;
+  FindingSeverity default_severity;
+  std::string_view summary;
+};
+
+/// Every registered rule, in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+/// Lookup by id; nullptr for unknown ids.
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id);
+
+/// Phandle+args consumer properties and the provider cells property that
+/// fixes each entry's argument count ("clocks" -> "#clock-cells", ...).
+/// Suffix matching covers the "*-gpios" family (cs-gpios, enable-gpios).
+struct PhandleArgsSpec {
+  std::string_view property;       // exact name, or suffix when is_suffix
+  std::string_view cells_property; // provider-side #*-cells
+  bool is_suffix = false;
+};
+[[nodiscard]] const std::vector<PhandleArgsSpec>& phandle_args_specs();
+
+struct CrossRefOptions {
+  /// Rule ids to skip entirely.
+  std::set<std::string> disabled;
+  /// Per-rule severity overrides (id -> severity).
+  std::map<std::string, FindingSeverity> severity_overrides;
+
+  [[nodiscard]] bool enabled(std::string_view id) const {
+    return disabled.find(std::string(id)) == disabled.end();
+  }
+};
+
+class CrossRefChecker {
+ public:
+  explicit CrossRefChecker(CrossRefOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Builds a context and runs every enabled rule.
+  [[nodiscard]] Findings check(const dts::Tree& tree) const;
+  /// Runs over a pre-built context (shared with the semantic checker).
+  [[nodiscard]] Findings check(const AnalysisContext& ctx) const;
+
+ private:
+  CrossRefOptions options_;
+};
+
+}  // namespace llhsc::checkers::crossref

@@ -33,14 +33,23 @@ std::string_view to_string(FindingKind k) {
     case FindingKind::kMissingCells: return "missing-cells";
     case FindingKind::kBadStatusValue: return "bad-status-value";
     case FindingKind::kRangesViolation: return "ranges-violation";
+    case FindingKind::kDanglingPhandle: return "dangling-phandle";
+    case FindingKind::kDuplicatePhandle: return "duplicate-phandle";
+    case FindingKind::kCellsArityViolation: return "cells-arity";
+    case FindingKind::kMissingProviderCells: return "missing-provider-cells";
+    case FindingKind::kInterruptTreeCycle: return "interrupt-tree-cycle";
+    case FindingKind::kOrphanProvider: return "orphan-provider";
   }
   return "unknown";
 }
 
 std::string Finding::render() const {
   std::ostringstream os;
+  if (location.valid()) {
+    os << location.file << ':' << location.line << ": ";
+  }
   os << (severity == FindingSeverity::kError ? "error" : "warning") << ": ["
-     << to_string(kind) << "] " << subject;
+     << rule_id() << "] " << subject;
   if (!property.empty()) os << " (property '" << property << "')";
   os << ": " << message;
   if (!other_subject.empty()) os << " [other: " << other_subject << "]";

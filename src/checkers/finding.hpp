@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "support/diagnostics.hpp"
+
 namespace llhsc::checkers {
 
 enum class FindingKind : uint8_t {
@@ -39,6 +41,13 @@ enum class FindingKind : uint8_t {
   kMissingCells,           // children use reg but parent declares no cells
   kBadStatusValue,         // status outside okay/disabled/reserved/fail*
   kRangesViolation,        // child reg not covered by the bus's ranges
+  // Cross-reference engine (rule ids in checkers/crossref/rules.hpp)
+  kDanglingPhandle,        // phandle value with no owning node
+  kDuplicatePhandle,       // two nodes carry the same phandle value
+  kCellsArityViolation,    // specifier length disagrees with provider #*-cells
+  kMissingProviderCells,   // referenced provider lacks its #*-cells property
+  kInterruptTreeCycle,     // interrupt-parent chain loops
+  kOrphanProvider,         // provider node no phandle reference can reach
 };
 
 [[nodiscard]] std::string_view to_string(FindingKind k);
@@ -48,6 +57,12 @@ enum class FindingSeverity : uint8_t { kWarning, kError };
 struct Finding {
   FindingKind kind = FindingKind::kNoSchema;
   FindingSeverity severity = FindingSeverity::kError;
+  /// Stable rule id for registry-driven checkers (dtc -W style). Empty for
+  /// the fixed-rule checkers; rule_id() falls back to the kind name.
+  std::string rule;
+  /// Source position of the offending node/property (invalid when the tree
+  /// was synthesized programmatically).
+  support::SourceLocation location;
   /// Node path (or VM index rendering) the finding is about.
   std::string subject;
   /// Property involved, when applicable.
@@ -62,6 +77,11 @@ struct Finding {
   uint64_t witness = 0;
   /// Human-readable explanation.
   std::string message;
+
+  /// `rule` when set, else the kind name — the id reports key on.
+  [[nodiscard]] std::string_view rule_id() const {
+    return rule.empty() ? to_string(kind) : std::string_view(rule);
+  }
 
   [[nodiscard]] std::string render() const;
 };

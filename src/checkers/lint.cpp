@@ -9,13 +9,15 @@ namespace llhsc::checkers {
 namespace {
 
 Finding warn(FindingKind kind, std::string subject, std::string message,
-             std::string delta = {}) {
+             std::string delta = {},
+             support::SourceLocation location = {}) {
   Finding f;
   f.kind = kind;
   f.severity = FindingSeverity::kWarning;
   f.subject = std::move(subject);
   f.message = std::move(message);
   f.delta = std::move(delta);
+  f.location = std::move(location);
   return f;
 }
 
@@ -45,7 +47,7 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
       out.push_back(warn(FindingKind::kNameConvention, path,
                          "node name '" + node.name() +
                              "' violates the DT spec character set / length",
-                         node.provenance()));
+                         node.provenance(), node.location()));
     }
 
     const dts::Property* reg = node.find_property("reg");
@@ -54,11 +56,11 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
       if (reg != nullptr && !has_unit) {
         out.push_back(warn(FindingKind::kUnitAddressMissing, path,
                            "node has a reg property but no unit address",
-                           node.provenance()));
+                           node.provenance(), node.location()));
       } else if (reg == nullptr && has_unit) {
         out.push_back(warn(FindingKind::kUnitAddressMissing, path,
                            "node has a unit address but no reg property",
-                           node.provenance()));
+                           node.provenance(), node.location()));
       } else if (reg != nullptr && has_unit) {
         auto addr = first_reg_address(tree, node, path);
         auto unit = support::parse_integer(
@@ -69,7 +71,8 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
               "unit address @" + std::string(node.unit_address()) +
                   " does not match the first reg address " +
                   support::hex(*addr),
-              !reg->provenance.empty() ? reg->provenance : node.provenance());
+              !reg->provenance.empty() ? reg->provenance : node.provenance(),
+              reg->location.valid() ? reg->location : node.location());
           f.base_a = *unit;
           f.base_b = *addr;
           out.push_back(std::move(f));
@@ -80,7 +83,7 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
           out.push_back(warn(FindingKind::kNameConvention, path,
                              "unit address '@" + std::string(ua) +
                                  "' has a leading zero or 0x prefix",
-                             node.provenance()));
+                             node.provenance(), node.location()));
         }
       }
     }
@@ -93,7 +96,9 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
                            "property name '" + p.name +
                                "' violates the DT spec character set / length",
                            !p.provenance.empty() ? p.provenance
-                                                 : node.provenance()));
+                                                 : node.provenance(),
+                           p.location.valid() ? p.location
+                                              : node.location()));
       }
     }
   }
@@ -108,7 +113,9 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
                            "status must be okay/disabled/reserved/fail*, got " +
                                (v ? "\"" + *v + "\"" : "a non-string value"),
                            !status->provenance.empty() ? status->provenance
-                                                       : node.provenance()));
+                                                       : node.provenance(),
+                           status->location.valid() ? status->location
+                                                    : node.location()));
       }
     }
   }
@@ -129,7 +136,7 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
           warn(FindingKind::kMissingCells, path,
                "children use reg but this node declares no #address-cells "
                "(cells are inherited, which dtc flags as fragile)",
-               node.provenance()));
+               node.provenance(), node.location()));
     }
   }
 
@@ -146,7 +153,7 @@ void lint_node(const dts::Tree& tree, const dts::Node& node,
       if (!inserted) {
         Finding f = warn(FindingKind::kDuplicateUnitAddress, child_path,
                          "duplicate unit address with sibling",
-                         child->provenance());
+                         child->provenance(), child->location());
         f.other_subject = it->second;
         out.push_back(std::move(f));
       }
@@ -171,7 +178,8 @@ void lint_path_references(const dts::Tree& tree, Findings& out) {
                          "property '" + p.name + "' points at missing node " +
                              target,
                          !p.provenance.empty() ? p.provenance
-                                               : node.provenance()));
+                                               : node.provenance(),
+                         p.location.valid() ? p.location : node.location()));
     }
   };
   if (const dts::Node* aliases = tree.find("/aliases")) {

@@ -1,6 +1,10 @@
 #include "checkers/report.hpp"
 
+#include <map>
 #include <sstream>
+#include <vector>
+
+#include "checkers/crossref/rules.hpp"
 
 namespace llhsc::checkers {
 
@@ -31,11 +35,19 @@ void append_escaped(std::ostringstream& os, std::string_view s) {
 void append_finding(std::ostringstream& os, const Finding& f) {
   os << "{\"kind\": ";
   append_escaped(os, to_string(f.kind));
+  os << ", \"rule\": ";
+  append_escaped(os, f.rule_id());
   os << ", \"severity\": ";
   append_escaped(os, f.severity == FindingSeverity::kError ? "error"
                                                            : "warning");
   os << ", \"subject\": ";
   append_escaped(os, f.subject);
+  if (f.location.valid()) {
+    os << ", \"location\": {\"file\": ";
+    append_escaped(os, f.location.file);
+    os << ", \"line\": " << f.location.line
+       << ", \"column\": " << f.location.column << "}";
+  }
   if (!f.property.empty()) {
     os << ", \"property\": ";
     append_escaped(os, f.property);
@@ -81,6 +93,87 @@ std::string report_json(const Findings& findings) {
   os << "{\"errors\": " << error_count(findings)
      << ", \"warnings\": " << (findings.size() - error_count(findings))
      << ", \"findings\": " << to_json(findings) << '}';
+  return os.str();
+}
+
+std::string to_sarif(const Findings& findings, std::string_view artifact_uri) {
+  // Rules table: first-seen order over the findings, enriched from the
+  // cross-reference catalog when the id is registered there.
+  std::vector<std::string> rule_ids;
+  std::map<std::string, size_t> rule_index;
+  for (const Finding& f : findings) {
+    std::string id(f.rule_id());
+    if (rule_index.emplace(id, rule_ids.size()).second) {
+      rule_ids.push_back(std::move(id));
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"llhsc\",\n"
+     << "          \"informationUri\": \"https://example.org/llhsc\",\n"
+     << "          \"rules\": [";
+  for (size_t i = 0; i < rule_ids.size(); ++i) {
+    const crossref::RuleInfo* info = crossref::find_rule(rule_ids[i]);
+    os << (i > 0 ? "," : "") << "\n            {\"id\": ";
+    append_escaped(os, rule_ids[i]);
+    if (info != nullptr) {
+      os << ", \"shortDescription\": {\"text\": ";
+      append_escaped(os, info->summary);
+      os << "}, \"defaultConfiguration\": {\"level\": ";
+      append_escaped(os, info->default_severity == FindingSeverity::kError
+                             ? "error"
+                             : "warning");
+      os << "}";
+    }
+    os << "}";
+  }
+  if (!rule_ids.empty()) os << "\n          ";
+  os << "]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i > 0 ? "," : "") << "\n        {\"ruleId\": ";
+    append_escaped(os, f.rule_id());
+    os << ", \"ruleIndex\": " << rule_index.at(std::string(f.rule_id()));
+    os << ", \"level\": ";
+    append_escaped(os, f.severity == FindingSeverity::kError ? "error"
+                                                             : "warning");
+    os << ", \"message\": {\"text\": ";
+    std::string text = f.subject;
+    if (!f.property.empty()) text += " (property '" + f.property + "')";
+    text += ": " + f.message;
+    append_escaped(os, text);
+    os << "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": ";
+    append_escaped(os, f.location.valid() ? std::string_view(f.location.file)
+                                          : artifact_uri);
+    os << "}";
+    if (f.location.valid()) {
+      os << ", \"region\": {\"startLine\": " << f.location.line;
+      if (f.location.column > 0) {
+        os << ", \"startColumn\": " << f.location.column;
+      }
+      os << "}";
+    }
+    os << "}, \"logicalLocations\": [{\"fullyQualifiedName\": ";
+    append_escaped(os, f.subject);
+    os << "}]}]}";
+  }
+  if (!findings.empty()) os << "\n      ";
+  os << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
   return os.str();
 }
 

@@ -19,4 +19,12 @@ namespace llhsc::checkers {
 /// One summary object: {"errors": N, "warnings": M, "findings": [...]}.
 [[nodiscard]] std::string report_json(const Findings& findings);
 
+/// Renders findings as a SARIF 2.1.0 log (one run, tool driver "llhsc").
+/// Every distinct rule id becomes a reportingDescriptor — enriched with the
+/// cross-reference catalog's summary and default severity when the id is a
+/// registered rule. `artifact_uri` names the checked file and is used for
+/// findings whose SourceLocation is invalid (synthesized trees).
+[[nodiscard]] std::string to_sarif(const Findings& findings,
+                                   std::string_view artifact_uri);
+
 }  // namespace llhsc::checkers

@@ -1,5 +1,7 @@
 #include "checkers/semantic.hpp"
 
+#include "checkers/crossref/context.hpp"
+
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,18 +35,16 @@ uint64_t combine_cells(const std::vector<uint64_t>& cells, size_t offset,
   return value;
 }
 
-/// Maps a (local base, size) range to the CPU view through the ancestor
-/// buses' `ranges`; nullopt when the range is not covered.
-using AddressMapper =
-    std::function<std::optional<uint64_t>(uint64_t, uint64_t)>;
-
-void extract_node_regions(const dts::Tree& tree, const dts::Node& node,
-                          const std::string& path, uint32_t ac, uint32_t sc,
-                          const std::string& cells_provenance,
-                          const AddressMapper& mapper,
+/// Extracts the regions of one node's reg through the shared context: the
+/// governing cells come from ctx.reg_cells (nearest-ancestor resolution) and
+/// the CPU-view base from ctx.translate (composition of every ancestor
+/// bus's `ranges`).
+void extract_node_regions(const crossref::AnalysisContext& ctx,
+                          const dts::Node& node, const std::string& path,
                           std::vector<MemRegion>& regions, Findings& out) {
   const dts::Property* reg = node.find_property("reg");
   if (reg == nullptr) return;
+  auto [ac, sc] = ctx.reg_cells(node);
   if (sc == 0) return;  // reg is an id (cpu cores), not an address range
   if (ac == 0 || ac > 2 || sc > 2) {
     Finding f;
@@ -52,6 +52,7 @@ void extract_node_regions(const dts::Tree& tree, const dts::Node& node,
     f.subject = path;
     f.property = "reg";
     f.delta = node.provenance();
+    f.location = reg->location.valid() ? reg->location : node.location();
     f.message = "#address-cells=" + std::to_string(ac) + " / #size-cells=" +
                 std::to_string(sc) + " outside the supported 1..2 range";
     out.push_back(std::move(f));
@@ -68,6 +69,7 @@ void extract_node_regions(const dts::Tree& tree, const dts::Node& node,
       f.subject = path;
       f.property = "reg";
       f.delta = !reg->provenance.empty() ? reg->provenance : node.provenance();
+      f.location = reg->location.valid() ? reg->location : node.location();
       f.message = "cell value " + support::hex(c) + " exceeds 32 bits";
       out.push_back(std::move(f));
       return;
@@ -83,23 +85,25 @@ void extract_node_regions(const dts::Tree& tree, const dts::Node& node,
     r.base = combine_cells(*cells, e * stride, ac);
     r.size = combine_cells(*cells, e * stride + ac, sc);
     r.local_base = r.base;
+    r.location = reg->location.valid() ? reg->location : node.location();
     // Blame resolution: the delta that last wrote reg; else the delta that
     // produced the node; else the delta that changed the governing cell
     // widths (the d3-truncation case — reg is untouched core content but the
     // re-interpretation is the delta's doing).
     r.provenance = !reg->provenance.empty()   ? reg->provenance
                    : !node.provenance().empty() ? node.provenance()
-                                                : cells_provenance;
+                                                : ctx.cells_provenance(node);
     r.region_class = classify(node);
     // Translate through the bus chain into the CPU view.
     if (r.size > 0) {
-      auto mapped = mapper(r.base, r.size);
+      auto mapped = ctx.translate(node, r.base, r.size);
       if (!mapped) {
         Finding f;
         f.kind = FindingKind::kRangesViolation;
         f.subject = path;
         f.property = "reg";
         f.delta = r.provenance;
+        f.location = r.location;
         f.base_a = r.base;
         f.size_a = r.size;
         f.message = "reg entry " + support::hex(r.base) + "+" +
@@ -112,7 +116,6 @@ void extract_node_regions(const dts::Tree& tree, const dts::Node& node,
     }
     regions.push_back(std::move(r));
   }
-  (void)tree;
 }
 
 }  // namespace
@@ -136,103 +139,23 @@ bool overlap_is_fault(RegionClass a, RegionClass b) {
 }
 
 std::vector<MemRegion> extract_regions(const dts::Tree& tree, Findings& out) {
-  std::vector<MemRegion> regions;
+  crossref::AnalysisContext ctx(tree);
+  return extract_regions(ctx, out);
+}
+
+std::vector<MemRegion> extract_regions(const crossref::AnalysisContext& ctx,
+                                       Findings& out) {
   // Cell widths resolve like Linux's of_n_addr_cells: the nearest ancestor
   // declaring #address-cells / #size-cells wins (spec defaults only when no
   // ancestor declares them). A pure spec-default reading would mis-parse the
   // running example's veth nodes, whose container inherits the root's 32-bit
-  // addressing installed by delta d3.
-  std::function<void(const dts::Node&, const std::string&, uint32_t, uint32_t,
-                     const std::string&, const AddressMapper&)>
-      walk = [&](const dts::Node& node, const std::string& path,
-                 uint32_t inherited_ac, uint32_t inherited_sc,
-                 const std::string& cells_prov, const AddressMapper& mapper) {
-        extract_node_regions(tree, node, path, inherited_ac, inherited_sc,
-                             cells_prov, mapper, regions, out);
-        // Cells applying to this node's children: own declaration if
-        // present, else what applied to this node. Track which delta wrote
-        // the declaration for blame resolution.
-        uint32_t child_ac = inherited_ac;
-        uint32_t child_sc = inherited_sc;
-        std::string child_prov = cells_prov;
-        if (const dts::Property* p = node.find_property("#address-cells")) {
-          if (auto v = p->as_u32()) {
-            child_ac = *v;
-            if (!p->provenance.empty()) child_prov = p->provenance;
-          }
-        }
-        if (const dts::Property* p = node.find_property("#size-cells")) {
-          if (auto v = p->as_u32()) {
-            child_sc = *v;
-            if (!p->provenance.empty()) child_prov = p->provenance;
-          }
-        }
-        // Bus translation: `ranges` maps child addresses (child_ac cells)
-        // into this node's space (inherited_ac cells). A boolean `ranges;`
-        // is the identity; an absent ranges keeps the identity too (flat
-        // trees rely on it); tuples restrict and translate.
-        AddressMapper child_mapper = mapper;
-        if (const dts::Property* ranges = node.find_property("ranges")) {
-          auto cells = ranges->as_cells();
-          if (cells && !cells->empty()) {
-            struct RangeEntry {
-              uint64_t child_base;
-              uint64_t parent_base;
-              uint64_t size;
-            };
-            auto entries = std::make_shared<std::vector<RangeEntry>>();
-            uint32_t stride = child_ac + inherited_ac + child_sc;
-            if (stride > 0 && child_ac >= 1 && child_ac <= 2 &&
-                inherited_ac >= 1 && inherited_ac <= 2 && child_sc >= 1 &&
-                child_sc <= 2) {
-              for (size_t e = 0; e + stride <= cells->size(); e += stride) {
-                RangeEntry entry;
-                entry.child_base = combine_cells(*cells, e, child_ac);
-                entry.parent_base =
-                    combine_cells(*cells, e + child_ac, inherited_ac);
-                entry.size = combine_cells(
-                    *cells, e + child_ac + inherited_ac, child_sc);
-                entries->push_back(entry);
-              }
-              AddressMapper parent_mapper = mapper;
-              child_mapper = [entries, parent_mapper](
-                                 uint64_t base,
-                                 uint64_t size) -> std::optional<uint64_t> {
-                for (const RangeEntry& entry : *entries) {
-                  if (base >= entry.child_base &&
-                      base + size <= entry.child_base + entry.size) {
-                    return parent_mapper(base - entry.child_base +
-                                             entry.parent_base,
-                                         size);
-                  }
-                }
-                return std::nullopt;
-              };
-            }
-          }
-          // Boolean `ranges;` or malformed tuples: identity (mapper reused).
-        }
-        for (const auto& child : node.children()) {
-          std::string child_path =
-              path == "/" ? "/" + child->name() : path + "/" + child->name();
-          walk(*child, child_path, child_ac, child_sc, child_prov,
-               child_mapper);
-        }
-      };
-  std::string root_prov;
-  if (const dts::Property* p = tree.root().find_property("#address-cells")) {
-    if (!p->provenance.empty()) root_prov = p->provenance;
-  }
-  if (const dts::Property* p = tree.root().find_property("#size-cells")) {
-    if (!p->provenance.empty()) root_prov = p->provenance;
-  }
-  AddressMapper identity = [](uint64_t base,
-                              uint64_t) -> std::optional<uint64_t> {
-    return base;
-  };
-  for (const auto& child : tree.root().children()) {
-    walk(*child, "/" + child->name(), tree.root().address_cells_or_default(),
-         tree.root().size_cells_or_default(), root_prov, identity);
+  // addressing installed by delta d3. The context pre-computes exactly that
+  // environment (plus the ranges translation), shared with the cross-
+  // reference rules.
+  std::vector<MemRegion> regions;
+  for (const auto& [path, node] : ctx.nodes()) {
+    if (path == "/") continue;
+    extract_node_regions(ctx, *node, path, regions, out);
   }
   return regions;
 }
@@ -266,6 +189,7 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
   struct IrqClaim {
     std::string path;
     std::string provenance;
+    support::SourceLocation location;
     uint32_t parent_phandle;
     uint64_t line;
     logic::BvTerm term;
@@ -280,6 +204,8 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
     claim.path = path;
     claim.provenance =
         !irq->provenance.empty() ? irq->provenance : node.provenance();
+    claim.location =
+        irq->location.valid() ? irq->location : node.location();
     claim.parent_phandle = 0;
     if (const dts::Property* ip = node.find_property("interrupt-parent")) {
       claim.parent_phandle = ip->as_u32().value_or(0);
@@ -303,6 +229,7 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
         f.property = "interrupts";
         f.other_subject = a.path;
         f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+        f.location = b.location;
         f.base_a = b.line;
         f.message = "interrupt line " + std::to_string(b.line) +
                     " already claimed by " + a.path;
@@ -328,6 +255,7 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
         f.subject = r.path;
         f.property = "reg";
         f.delta = r.provenance;
+        f.location = r.location;
         f.base_a = r.base;
         f.message = "region at " + support::hex(r.base) + " has size 0";
         out.push_back(std::move(f));
@@ -347,6 +275,7 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
       f.subject = r.path;
       f.property = "reg";
       f.delta = r.provenance;
+      f.location = r.location;
       f.base_a = r.base;
       f.size_a = r.size;
       f.message = "region " + support::hex(r.base) + "+" +
@@ -387,6 +316,7 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
         // Blame the most recent delta involved (b's provenance wins when both
         // have one — later deltas modify earlier state).
         f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+        f.location = a.location;
         f.base_a = a.base;
         f.size_a = a.size;
         f.base_b = b.base;

@@ -22,6 +22,10 @@
 
 namespace llhsc::checkers {
 
+namespace crossref {
+class AnalysisContext;
+}
+
 /// What a region is, which decides which overlaps are faults. IPC windows
 /// (veth shared memory) are carved out of RAM by design — Bao's Listing 6
 /// places the ipc at 0x70000000 inside the second memory bank — so
@@ -41,6 +45,7 @@ struct MemRegion {
   uint64_t size = 0;
   uint64_t local_base = 0;
   std::string provenance;  // delta that produced the property
+  support::SourceLocation location;  // of the reg property
   RegionClass region_class = RegionClass::kDevice;
 
   [[nodiscard]] bool is_memory() const {
@@ -67,6 +72,11 @@ struct SemanticOptions {
 /// by a full set of cells) are reported through `out`.
 [[nodiscard]] std::vector<MemRegion> extract_regions(const dts::Tree& tree,
                                                      Findings& out);
+/// Same extraction over a pre-built cross-reference context, so the cells
+/// environment and `ranges` translation are computed once and shared with
+/// the cross-reference rules.
+[[nodiscard]] std::vector<MemRegion> extract_regions(
+    const crossref::AnalysisContext& ctx, Findings& out);
 
 class SemanticChecker {
  public:

@@ -42,6 +42,16 @@ Findings SyntacticChecker::check(const dts::Tree& tree) {
   Findings out;
   tree.visit([&](const std::string& path, const dts::Node& node) {
     Findings node_findings = check_node(tree, node, path);
+    for (Finding& f : node_findings) {
+      // Findings about a present property point at the property; everything
+      // else (missing-required, no-schema, child rules) at the node.
+      if (!f.location.valid()) {
+        const dts::Property* p =
+            f.property.empty() ? nullptr : node.find_property(f.property);
+        f.location = (p != nullptr && p->location.valid()) ? p->location
+                                                           : node.location();
+      }
+    }
     out.insert(out.end(), node_findings.begin(), node_findings.end());
   });
   return out;

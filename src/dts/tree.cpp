@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <map>
 
 #include "support/strings.hpp"
 
@@ -308,16 +309,38 @@ std::string Tree::path_of(const Node& node) const {
 }
 
 bool Tree::resolve_references(support::DiagnosticEngine& diags) {
-  // Pass 1: assign phandles to every node that is the target of a reference.
-  uint32_t next_phandle = 1;
-  // Find the highest existing phandle first to avoid collisions.
-  visit([&](const std::string&, Node& n) {
-    if (const Property* p = n.find_property("phandle")) {
-      if (auto v = p->as_u32()) next_phandle = std::max(next_phandle, *v + 1);
+  bool ok = true;
+  // Pass 1: index every explicit phandle so auto-assignment can never alias
+  // one, and diagnose the aliasing dtc rejects: two nodes carrying the same
+  // explicit value, and phandle properties that are not a single u32 (which
+  // assignment used to silently overwrite).
+  std::map<uint32_t, std::string> explicit_phandles;  // value -> first holder
+  visit([&](const std::string& path, Node& n) {
+    const Property* p = n.find_property("phandle");
+    if (p == nullptr) return;
+    auto v = p->as_u32();
+    if (!v) {
+      diags.error("dts-bad-phandle",
+                  "phandle property of node " + path +
+                      " is not a single u32 cell",
+                  p->location);
+      ok = false;
+      return;
+    }
+    auto [it, inserted] = explicit_phandles.emplace(*v, path);
+    if (!inserted) {
+      diags.error("dts-duplicate-phandle",
+                  "phandle value " + std::to_string(*v) + " of node " + path +
+                      " is already carried by " + it->second,
+                  p->location);
+      ok = false;
     }
   });
-
-  bool ok = true;
+  uint32_t next_phandle = 1;
+  auto fresh_phandle = [&] {
+    while (explicit_phandles.count(next_phandle) > 0) ++next_phandle;
+    return next_phandle++;
+  };
   visit([&](const std::string& path, Node& n) {
     for (Property& p : n.properties()) {
       for (Chunk& chunk : p.chunks) {
@@ -337,8 +360,13 @@ bool Tree::resolve_references(support::DiagnosticEngine& diags) {
             uint32_t phandle;
             if (ph != nullptr && ph->as_u32()) {
               phandle = *ph->as_u32();
+            } else if (ph != nullptr) {
+              // Malformed phandle already diagnosed in pass 1; don't make it
+              // worse by overwriting the property.
+              continue;
             } else {
-              phandle = next_phandle++;
+              phandle = fresh_phandle();
+              explicit_phandles.emplace(phandle, path_of(*target));
               target->set_property(Property::cells("phandle", {phandle}));
             }
             cell = Cell::literal(phandle);

@@ -1,0 +1,324 @@
+// Cross-reference engine tests: one minimal negative DTS per rule id,
+// asserting rule id + severity + source location, plus registry behaviour
+// (per-rule disable and severity override) and context facts.
+#include "checkers/crossref/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "checkers/crossref/context.hpp"
+#include "dts/parser.hpp"
+
+namespace llhsc::checkers::crossref {
+namespace {
+
+std::unique_ptr<dts::Tree> parse_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  auto t = dts::parse_dts(src, "t.dts", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return t;
+}
+
+Findings run(const dts::Tree& tree, CrossRefOptions options = {}) {
+  return CrossRefChecker(std::move(options)).check(tree);
+}
+
+/// The single finding carrying `rule`, failing the test when absent or
+/// ambiguous is not required — first match wins.
+const Finding* find_by_rule(const Findings& fs, std::string_view rule) {
+  for (const Finding& f : fs) {
+    if (f.rule_id() == rule) return &f;
+  }
+  return nullptr;
+}
+
+void expect_rule(const Findings& fs, std::string_view rule,
+                 FindingSeverity severity) {
+  const Finding* f = find_by_rule(fs, rule);
+  ASSERT_NE(f, nullptr) << "missing rule " << rule << "\n" << render(fs);
+  EXPECT_EQ(f->severity, severity) << f->render();
+  EXPECT_TRUE(f->location.valid()) << f->render();
+  EXPECT_EQ(f->location.file, "t.dts") << f->render();
+  EXPECT_GT(f->location.line, 0u) << f->render();
+}
+
+TEST(CrossRef, CleanTreeHasNoFindings) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    intc: interrupt-controller@1000 {
+        reg = <0x1000 0x100>;
+        interrupt-controller;
+        #interrupt-cells = <2>;
+    };
+    clk: clock-controller@2000 {
+        reg = <0x2000 0x100>;
+        #clock-cells = <1>;
+    };
+    uart@3000 {
+        reg = <0x3000 0x100>;
+        interrupt-parent = <&intc>;
+        interrupts = <5 4>;
+        clocks = <&clk 0>;
+    };
+};
+)");
+  Findings f = run(*tree);
+  EXPECT_TRUE(f.empty()) << render(f);
+}
+
+TEST(CrossRef, DanglingPhandleInArgsList) {
+  auto tree = parse_ok(R"(
+/ { uart@3000 { clocks = <0x77 0>; }; };
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "phandle-dangling", FindingSeverity::kError);
+  EXPECT_EQ(find_by_rule(f, "phandle-dangling")->subject, "/uart@3000");
+}
+
+TEST(CrossRef, DuplicateExplicitPhandle) {
+  // Duplicate phandles are a parse-time error when references resolve; the
+  // rule must still catch trees built or merged programmatically.
+  dts::Tree tree;
+  auto a = std::make_unique<dts::Node>("a");
+  a->set_property(dts::Property::cells("phandle", {7}));
+  a->set_location({"t.dts", 2, 1});
+  auto b = std::make_unique<dts::Node>("b");
+  b->set_property(dts::Property::cells("phandle", {7}));
+  b->set_location({"t.dts", 3, 1});
+  tree.root().add_child(std::move(a));
+  tree.root().add_child(std::move(b));
+  Findings f = run(tree);
+  const Finding* dup = find_by_rule(f, "phandle-duplicate");
+  ASSERT_NE(dup, nullptr) << render(f);
+  EXPECT_EQ(dup->severity, FindingSeverity::kError);
+  EXPECT_EQ(dup->subject, "/b");
+  EXPECT_EQ(dup->other_subject, "/a");
+  EXPECT_TRUE(dup->location.valid());
+}
+
+TEST(CrossRef, DanglingInterruptParent) {
+  auto tree = parse_ok(R"(
+/ { uart@3000 { interrupt-parent = <0xdead>; interrupts = <5>; }; };
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "interrupt-parent-dangling", FindingSeverity::kError);
+}
+
+TEST(CrossRef, InterruptCellsArity) {
+  auto tree = parse_ok(R"(
+/ {
+    intc: pic {
+        interrupt-controller;
+        #interrupt-cells = <3>;
+    };
+    uart@3000 { interrupt-parent = <&intc>; interrupts = <1 2>; };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "interrupt-cells-arity", FindingSeverity::kError);
+  EXPECT_EQ(find_by_rule(f, "interrupt-cells-arity")->other_subject, "/pic");
+}
+
+TEST(CrossRef, InterruptProviderMissingCells) {
+  auto tree = parse_ok(R"(
+/ {
+    intc: pic { interrupt-controller; };
+    uart@3000 { interrupt-parent = <&intc>; interrupts = <5>; };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "interrupt-provider-missing-cells", FindingSeverity::kError);
+}
+
+TEST(CrossRef, ImplicitInterruptParentViaAncestor) {
+  // Without interrupt-parent, the nearest ancestor interrupt-controller
+  // types the specifier (DT spec implicit parent).
+  auto tree = parse_ok(R"(
+/ {
+    pic {
+        interrupt-controller;
+        #interrupt-cells = <2>;
+        child { interrupts = <1 2 3>; };
+    };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "interrupt-cells-arity", FindingSeverity::kError);
+}
+
+TEST(CrossRef, PhandleArgsArity) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller { #clock-cells = <2>; };
+    uart@3000 { clocks = <&clk 1>; };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "phandle-args-arity", FindingSeverity::kError);
+}
+
+TEST(CrossRef, PhandleArgsMultipleEntriesAndSuffixMatch) {
+  auto tree = parse_ok(R"(
+/ {
+    gpio: gpio-controller { #gpio-cells = <2>; };
+    spi@4000 {
+        cs-gpios = <&gpio 1 0>, <&gpio 2>;
+    };
+};
+)");
+  Findings f = run(*tree);
+  const Finding* arity = find_by_rule(f, "phandle-args-arity");
+  ASSERT_NE(arity, nullptr) << render(f);
+  EXPECT_NE(arity->message.find("entry 1"), std::string::npos)
+      << arity->message;
+}
+
+TEST(CrossRef, ProviderMissingCells) {
+  auto tree = parse_ok(R"(
+/ {
+    notclk: widget { };
+    uart@3000 { clocks = <&notclk 0>; };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "provider-missing-cells", FindingSeverity::kError);
+}
+
+TEST(CrossRef, InterruptTreeCycle) {
+  auto tree = parse_ok(R"(
+/ {
+    a: pic-a {
+        interrupt-controller;
+        #interrupt-cells = <1>;
+        interrupt-parent = <&b>;
+    };
+    b: pic-b {
+        interrupt-controller;
+        #interrupt-cells = <1>;
+        interrupt-parent = <&a>;
+    };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "interrupt-tree-cycle", FindingSeverity::kError);
+}
+
+TEST(CrossRef, SelfInterruptParentTerminatesTree) {
+  // A controller whose interrupt parent is itself is the root of the
+  // interrupt tree (of_irq_find_parent semantics), not a cycle.
+  auto tree = parse_ok(R"(
+/ {
+    interrupt-parent = <&gic>;
+    gic: interrupt-controller@1000 {
+        interrupt-controller;
+        #interrupt-cells = <2>;
+    };
+    uart@3000 { interrupts = <5 4>; };
+};
+)");
+  Findings f = run(*tree);
+  EXPECT_EQ(find_by_rule(f, "interrupt-tree-cycle"), nullptr) << render(f);
+}
+
+TEST(CrossRef, RangesCoverage) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    bus@10000000 {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        reg = <0x10000000 0x10000>;
+        ranges = <0x0 0x10000000 0x1000>;
+        dev@2000 { reg = <0x2000 0x100>; };
+    };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "ranges-coverage", FindingSeverity::kWarning);
+}
+
+TEST(CrossRef, ProviderOrphan) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller { #clock-cells = <0>; };
+};
+)");
+  Findings f = run(*tree);
+  expect_rule(f, "provider-orphan", FindingSeverity::kWarning);
+}
+
+TEST(CrossRef, DisableRuleSuppressesFinding) {
+  auto tree = parse_ok(R"(
+/ { uart@3000 { interrupt-parent = <0xdead>; interrupts = <5>; }; };
+)");
+  CrossRefOptions opts;
+  opts.disabled.insert("interrupt-parent-dangling");
+  Findings f = run(*tree, opts);
+  EXPECT_EQ(find_by_rule(f, "interrupt-parent-dangling"), nullptr)
+      << render(f);
+}
+
+TEST(CrossRef, SeverityOverride) {
+  auto tree = parse_ok(R"(
+/ { uart@3000 { interrupt-parent = <0xdead>; interrupts = <5>; }; };
+)");
+  CrossRefOptions opts;
+  opts.severity_overrides["interrupt-parent-dangling"] =
+      FindingSeverity::kWarning;
+  Findings f = run(*tree, opts);
+  const Finding* found = find_by_rule(f, "interrupt-parent-dangling");
+  ASSERT_NE(found, nullptr) << render(f);
+  EXPECT_EQ(found->severity, FindingSeverity::kWarning);
+}
+
+TEST(CrossRef, CatalogIdsAreUniqueAndResolvable) {
+  std::set<std::string_view> seen;
+  for (const RuleInfo& r : rule_catalog()) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate id " << r.id;
+    EXPECT_EQ(find_rule(r.id), &r);
+    EXPECT_FALSE(r.summary.empty());
+  }
+  EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+TEST(AnalysisContext, IndexesAndTranslation) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    clk: clock-controller@2000 { reg = <0x2000 0x100>; #clock-cells = <0>; };
+    consumer { clocks = <&clk>; };
+    bus@40000000 {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        reg = <0x40000000 0x10000>;
+        ranges = <0x0 0x40000000 0x10000>;
+        dev@2000 { reg = <0x2000 0x100>; };
+    };
+};
+)");
+  AnalysisContext ctx(*tree);
+  const dts::Node* clk = ctx.node_for_label("clk");
+  ASSERT_NE(clk, nullptr);
+  EXPECT_EQ(ctx.path_of(*clk), "/clock-controller@2000");
+  // resolve_references assigned clk a phandle; the index must agree.
+  auto ph = clk->find_property("phandle")->as_u32();
+  ASSERT_TRUE(ph.has_value());
+  EXPECT_EQ(ctx.node_for_phandle(*ph), clk);
+  EXPECT_EQ(ctx.node_for_phandle(0xdead), nullptr);
+
+  const dts::Node* dev = ctx.node_at("/bus@40000000/dev@2000");
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(ctx.reg_cells(*dev), (std::pair<uint32_t, uint32_t>{1, 1}));
+  EXPECT_EQ(ctx.translate(*dev, 0x2000, 0x100),
+            std::optional<uint64_t>(0x40002000));
+  EXPECT_EQ(ctx.translate(*dev, 0x20000, 0x100), std::nullopt);
+  EXPECT_EQ(ctx.parent_of(*dev), ctx.node_at("/bus@40000000"));
+}
+
+}  // namespace
+}  // namespace llhsc::checkers::crossref

@@ -1,0 +1,86 @@
+// SARIF 2.1.0 emitter tests: structural assertions plus a golden-file
+// comparison (tests/checkers/data/crossref_golden.sarif) over a fixed DTS so
+// format drift is caught byte-for-byte.
+#include "checkers/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "checkers/crossref/rules.hpp"
+#include "dts/parser.hpp"
+
+namespace llhsc::checkers {
+namespace {
+
+// The acceptance example: a dangling interrupt-parent and a wrong-arity
+// clocks entry.
+constexpr std::string_view kBadDts = R"(/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    clk: clock-controller@1000 {
+        reg = <0x1000 0x100>;
+        #clock-cells = <1>;
+    };
+    uart@2000 {
+        reg = <0x2000 0x100>;
+        interrupt-parent = <0xdead>;
+        interrupts = <5>;
+        clocks = <&clk>;
+    };
+};
+)";
+
+Findings bad_findings() {
+  support::DiagnosticEngine de;
+  auto tree = dts::parse_dts(kBadDts, "t.dts", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return crossref::CrossRefChecker().check(*tree);
+}
+
+TEST(Sarif, ContainsRuleIdsLevelsAndLocations) {
+  std::string sarif = to_sarif(bad_findings(), "t.dts");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"llhsc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"interrupt-parent-dangling\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"phandle-args-arity\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"t.dts\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+}
+
+TEST(Sarif, EmptyFindingsIsStillAValidRun) {
+  std::string sarif = to_sarif({}, "clean.dts");
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(sarif.find("\"rules\": []"), std::string::npos);
+}
+
+TEST(Sarif, SynthesizedFindingFallsBackToArtifactUri) {
+  Finding f;
+  f.kind = FindingKind::kAddressOverlap;
+  f.subject = "/a[0]";
+  f.message = "overlap";
+  std::string sarif = to_sarif({f}, "fallback.dts");
+  EXPECT_NE(sarif.find("\"uri\": \"fallback.dts\""), std::string::npos);
+  EXPECT_EQ(sarif.find("\"region\""), std::string::npos)
+      << "no region without a valid location";
+}
+
+TEST(Sarif, MatchesGoldenFile) {
+  std::string sarif = to_sarif(bad_findings(), "t.dts");
+  std::ifstream in(std::string(LLHSC_TEST_DATA_DIR) +
+                   "/crossref_golden.sarif");
+  ASSERT_TRUE(in.good()) << "golden file missing";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(sarif, golden.str())
+      << "SARIF output drifted from the golden file; if intentional, "
+         "regenerate tests/checkers/data/crossref_golden.sarif";
+}
+
+}  // namespace
+}  // namespace llhsc::checkers

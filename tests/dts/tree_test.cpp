@@ -227,5 +227,56 @@ TEST(Tree, ResolveRespectsExistingPhandles) {
   EXPECT_NE((*cells)[1], 7u) << "fresh phandle must not collide";
 }
 
+TEST(Tree, ResolveDiagnosesDuplicateExplicitPhandles) {
+  Tree t;
+  t.root().get_or_create_child("a").set_property(
+      Property::cells("phandle", {7}));
+  t.root().get_or_create_child("b").set_property(
+      Property::cells("phandle", {7}));
+
+  support::DiagnosticEngine de;
+  EXPECT_FALSE(t.resolve_references(de));
+  EXPECT_TRUE(de.contains_code("dts-duplicate-phandle")) << de.render();
+}
+
+TEST(Tree, ResolveDiagnosesMalformedPhandleWithoutOverwriting) {
+  Tree t;
+  Node& a = t.root().get_or_create_child("a");
+  a.add_label("la");
+  a.set_property(Property::strings("phandle", {"nope"}));
+  Node& user = t.root().get_or_create_child("user");
+  Property p;
+  p.name = "link";
+  p.chunks.push_back(Chunk::make_cells({Cell::reference("la")}));
+  user.set_property(std::move(p));
+
+  support::DiagnosticEngine de;
+  EXPECT_FALSE(t.resolve_references(de));
+  EXPECT_TRUE(de.contains_code("dts-bad-phandle")) << de.render();
+  EXPECT_EQ(a.find_property("phandle")->as_string(), "nope")
+      << "assignment must not silently replace a malformed phandle";
+}
+
+TEST(Tree, AutoAssignmentSkipsExplicitValues) {
+  // A gap-filling assignment must never alias an explicit phandle, even one
+  // larger than the running counter.
+  Tree t;
+  Node& a = t.root().get_or_create_child("a");
+  a.add_label("la");
+  Node& taken = t.root().get_or_create_child("taken");
+  taken.set_property(Property::cells("phandle", {1}));
+  Node& user = t.root().get_or_create_child("user");
+  Property p;
+  p.name = "link";
+  p.chunks.push_back(Chunk::make_cells({Cell::reference("la")}));
+  user.set_property(std::move(p));
+
+  support::DiagnosticEngine de;
+  ASSERT_TRUE(t.resolve_references(de));
+  auto assigned = a.find_property("phandle")->as_u32();
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_NE(*assigned, 1u) << "value 1 is explicitly taken";
+}
+
 }  // namespace
 }  // namespace llhsc::dts

@@ -1,8 +1,11 @@
 // llhsc — the command-line tool. Thin driver over the library:
 //
 //   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3]
-//               [--no-lint] [--no-syntax] [--no-semantics]
-//       Run the checkers on one DTS; exit 1 on errors.
+//               [--format text|json|sarif] [--no-lint] [--no-crossref]
+//               [--no-syntax] [--no-semantics] [--disable-rule id,...]
+//               [--rule-severity id=error|warning,...]
+//       Run the checkers on one DTS; exit 1 on errors. The cross-reference
+//       rule catalog is in docs/rules.md.
 //
 //   llhsc generate --core <core.dts> --deltas <file.deltas>
 //                  --features f1,f2,... [--out <dir>] [--name <vm>]
@@ -20,6 +23,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "checkers/crossref/rules.hpp"
 #include "checkers/lint.hpp"
 #include "checkers/report.hpp"
 #include "checkers/semantic.hpp"
@@ -144,19 +148,70 @@ std::unique_ptr<dts::Tree> parse_file_or_die(const std::string& path) {
   return tree;
 }
 
+/// Maps --disable-rule / --rule-severity onto CrossRefOptions. Unknown rule
+/// ids are reported and rejected so typos don't silently disable nothing.
+std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
+    const Args& args) {
+  checkers::crossref::CrossRefOptions opts;
+  bool ok = true;
+  for (const std::string& id : support::split(args.get("disable-rule"), ',')) {
+    auto t = support::trim(id);
+    if (t.empty()) continue;
+    if (checkers::crossref::find_rule(t) == nullptr) {
+      std::cerr << "unknown rule id '" << std::string(t)
+                << "' in --disable-rule\n";
+      ok = false;
+      continue;
+    }
+    opts.disabled.insert(std::string(t));
+  }
+  for (const std::string& ov : support::split(args.get("rule-severity"), ',')) {
+    auto t = support::trim(ov);
+    if (t.empty()) continue;
+    size_t eq = t.find('=');
+    std::string id(support::trim(t.substr(0, eq == std::string_view::npos
+                                                 ? t.size()
+                                                 : eq)));
+    std::string sev = eq == std::string_view::npos
+                          ? std::string()
+                          : std::string(support::trim(t.substr(eq + 1)));
+    if (checkers::crossref::find_rule(id) == nullptr ||
+        (sev != "error" && sev != "warning")) {
+      std::cerr << "bad --rule-severity entry '" << std::string(t)
+                << "' (want <rule-id>=error|warning)\n";
+      ok = false;
+      continue;
+    }
+    opts.severity_overrides[id] = sev == "error"
+                                      ? checkers::FindingSeverity::kError
+                                      : checkers::FindingSeverity::kWarning;
+  }
+  if (!ok) return std::nullopt;
+  return opts;
+}
+
 int cmd_check(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
-                 "[--backend builtin|z3] [--no-lint] [--no-syntax] "
-                 "[--no-semantics]\n";
+                 "[--backend builtin|z3] [--format text|json|sarif] "
+                 "[--no-lint] [--no-syntax] [--no-semantics] "
+                 "[--no-crossref] [--disable-rule id,...] "
+                 "[--rule-severity id=error|warning,...]\n";
     return 2;
   }
+  auto xopts = crossref_options_from(args);
+  if (!xopts) return 2;
   auto tree = parse_file_or_die(args.positional[0]);
   smt::Backend backend = backend_from(args);
   checkers::Findings all;
 
   if (!args.has("no-lint")) {
     checkers::Findings f = checkers::LintChecker().check(*tree);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  if (!args.has("no-crossref")) {
+    checkers::crossref::CrossRefChecker checker(*xopts);
+    checkers::Findings f = checker.check(*tree);
     all.insert(all.end(), f.begin(), f.end());
   }
   if (!args.has("no-syntax")) {
@@ -174,6 +229,8 @@ int cmd_check(const Args& args) {
   size_t errors = checkers::error_count(all);
   if (args.get("format") == "json") {
     std::cout << checkers::report_json(all) << "\n";
+  } else if (args.get("format") == "sarif") {
+    std::cout << checkers::to_sarif(all, args.positional[0]);
   } else {
     if (!args.has("quiet")) std::cout << checkers::render(all);
     std::cout << args.positional[0] << ": " << errors << " error(s), "
@@ -455,7 +512,10 @@ int cmd_overlay(const Args& args) {
 int usage() {
   std::cerr << "llhsc — DeviceTree syntax and semantic checker\n"
                "commands:\n"
-               "  check <file.dts>   run lint + syntactic + semantic checks\n"
+               "  check <file.dts>   run lint + cross-reference + syntactic\n"
+               "                     + semantic checks (--format text|json|\n"
+               "                     sarif, --no-crossref, --disable-rule,\n"
+               "                     --rule-severity; see docs/rules.md)\n"
                "  generate           derive a product from a DTS product line\n"
                "  demo               run the paper's running example\n"
                "  products           enumerate products (--model <f.fm>)\n"
