@@ -65,6 +65,35 @@ void BM_PipelineStageAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineStageAblation)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
+// Serial vs parallel scaling: the two-VM example widened to eight VMs
+// (alternating Fig. 1b / Fig. 1c configurations) so there is enough per-VM
+// work to amortise across the pool. Allocation is disabled because eight
+// VMs deliberately reuse the two-VM example's exclusive CPUs. Real time is
+// what matters here, not aggregate CPU time.
+void BM_PipelineParallel(benchmark::State& state) {
+  Fixture fx;
+  std::vector<core::VmSpec> vms;
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back({"vm" + std::to_string(i + 1),
+                   i % 2 == 0 ? core::fig1b_features()
+                              : core::fig1c_features()});
+  }
+  core::PipelineOptions opts;
+  opts.check_allocation = false;
+  opts.jobs = static_cast<unsigned>(state.range(0));
+  bool ok = false;
+  for (auto _ : state) {
+    core::Pipeline pipeline(fx.model, core::exclusive_cpus(fx.model), *fx.pl,
+                            fx.schemas, opts);
+    core::PipelineResult result = pipeline.run(vms);
+    ok = result.ok;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ok"] = ok ? 1 : 0;
+  state.SetLabel("jobs=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PipelineParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 // Failure path: the omitted-d4 configuration (checkers find the collisions).
 void BM_PipelineFaultDetection(benchmark::State& state) {
   feature::FeatureModel model = feature::running_example_model();

@@ -1,6 +1,8 @@
 #include "checkers/finding.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "support/strings.hpp"
 
@@ -26,6 +28,7 @@ std::string_view to_string(FindingKind k) {
     case FindingKind::kSizeOverflow: return "size-overflow";
     case FindingKind::kZeroSizeRegion: return "zero-size-region";
     case FindingKind::kInterruptCollision: return "interrupt-collision";
+    case FindingKind::kSolverTimeout: return "solver-timeout";
     case FindingKind::kNameConvention: return "name-convention";
     case FindingKind::kUnitAddressMismatch: return "unit-address-mismatch";
     case FindingKind::kUnitAddressMissing: return "unit-address-missing";
@@ -76,6 +79,19 @@ std::string render(const Findings& findings) {
   std::ostringstream os;
   for (const Finding& f : findings) os << f.render() << '\n';
   return os.str();
+}
+
+void sort_by_location(Findings& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.location.file, a.location.line,
+                                     a.location.column) <
+                                std::tie(b.location.file, b.location.line,
+                                         b.location.column) ||
+                            (a.location == b.location &&
+                             std::forward_as_tuple(a.rule_id(), a.subject) <
+                                 std::forward_as_tuple(b.rule_id(), b.subject));
+                   });
 }
 
 }  // namespace llhsc::checkers

@@ -33,6 +33,7 @@ enum class FindingKind : uint8_t {
   kSizeOverflow,           // base + size wraps around the address space
   kZeroSizeRegion,         // region with size 0 (warning)
   kInterruptCollision,     // two devices claim the same interrupt line
+  kSolverTimeout,          // a solver query exceeded its deadline
   // Lint (dtc-style structural warnings)
   kNameConvention,         // node/property name violates the DT spec charset
   kUnitAddressMismatch,    // unit address disagrees with the first reg entry
@@ -94,5 +95,9 @@ using Findings = std::vector<Finding>;
 [[nodiscard]] bool contains(const Findings& findings, FindingKind kind);
 /// Renders all findings, one per line.
 [[nodiscard]] std::string render(const Findings& findings);
+/// Stable sort by (source location, rule id, subject). The pipeline applies
+/// this per (VM, stage) chunk before merging so parallel collection renders
+/// byte-identically to a serial run.
+void sort_by_location(Findings& findings);
 
 }  // namespace llhsc::checkers

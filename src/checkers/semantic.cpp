@@ -163,10 +163,42 @@ std::vector<MemRegion> extract_regions(const crossref::AnalysisContext& ctx,
 SemanticChecker::SemanticChecker(smt::Backend backend, SemanticOptions options)
     : options_(options), solver_(backend) {}
 
+void SemanticChecker::arm_deadline() {
+  deadline_ = options_.solver_timeout_ms > 0
+                  ? support::Deadline::after_ms(options_.solver_timeout_ms)
+                  : support::Deadline();
+  solver_.set_deadline(deadline_);
+  timeout_reported_ = false;
+  skipped_queries_ = 0;
+}
+
+bool SemanticChecker::query_timed_out(smt::CheckResult r,
+                                      const std::string& where,
+                                      Findings& out) {
+  if (r != smt::CheckResult::kUnknown) return false;
+  ++skipped_queries_;
+  if (!timeout_reported_) {
+    timeout_reported_ = true;
+    Finding f;
+    f.kind = FindingKind::kSolverTimeout;
+    f.subject = where;
+    f.message =
+        options_.solver_timeout_ms > 0
+            ? "solver query exceeded the " +
+                  std::to_string(options_.solver_timeout_ms) +
+                  " ms budget; this and the remaining semantic checks were "
+                  "not decided"
+            : "solver returned unknown; this semantic check was not decided";
+    out.push_back(std::move(f));
+  }
+  return true;
+}
+
 Findings SemanticChecker::check(const dts::Tree& tree) {
   Findings out;
+  arm_deadline();
   std::vector<MemRegion> regions = extract_regions(tree, out);
-  Findings overlap = check_regions(regions);
+  Findings overlap = check_regions_impl(regions);
   out.insert(out.end(), overlap.begin(), overlap.end());
 
   if (options_.check_interrupts) {
@@ -174,6 +206,11 @@ Findings SemanticChecker::check(const dts::Tree& tree) {
     out.insert(out.end(), irq.begin(), irq.end());
   }
   return out;
+}
+
+Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
+  arm_deadline();
+  return check_regions_impl(regions);
 }
 
 // Interrupt uniqueness through the solver (the paper's conclusions name
@@ -222,7 +259,13 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
       const IrqClaim& b = claims[j];
       if (a.parent_phandle != b.parent_phandle) continue;
       std::vector<logic::Formula> same{bv.eq(a.term, b.term)};
-      if (solver_.check_assuming(same) == smt::CheckResult::kSat) {
+      smt::CheckResult irq_r = solver_.check_assuming(same);
+      if (query_timed_out(irq_r,
+                          "interrupt check of " + a.path + " vs " + b.path,
+                          out)) {
+        return out;
+      }
+      if (irq_r == smt::CheckResult::kSat) {
         Finding f;
         f.kind = FindingKind::kInterruptCollision;
         f.subject = b.path;
@@ -240,7 +283,8 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
   return out;
 }
 
-Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
+Findings SemanticChecker::check_regions_impl(
+    const std::vector<MemRegion>& regions) {
   Findings out;
   auto& fa = solver_.formulas();
   auto& bv = solver_.bitvectors();
@@ -267,8 +311,12 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
     auto size_t_ = bv.bv_const(r.size, width);
     solver_.push();
     solver_.add(bv.uadd_overflow(base_t, size_t_));
-    bool wraps = solver_.check() == smt::CheckResult::kSat;
+    smt::CheckResult wrap_r = solver_.check();
     solver_.pop();
+    if (query_timed_out(wrap_r, "wrap-around check of " + r.path, out)) {
+      return out;
+    }
+    bool wraps = wrap_r == smt::CheckResult::kSat;
     if (wraps) {
       Finding f;
       f.kind = FindingKind::kSizeOverflow;
@@ -305,9 +353,15 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
       solver_.push();
       solver_.add(in_range(a));
       solver_.add(in_range(b));
-      bool overlaps = solver_.check() == smt::CheckResult::kSat;
+      smt::CheckResult overlap_r = solver_.check();
+      bool overlaps = overlap_r == smt::CheckResult::kSat;
       uint64_t witness = overlaps ? solver_.model_bv(x) : 0;
       solver_.pop();
+      if (query_timed_out(overlap_r,
+                          "overlap check of " + a.path + " vs " + b.path,
+                          out)) {
+        return out;
+      }
       if (overlaps) {
         Finding f;
         f.kind = FindingKind::kAddressOverlap;

@@ -19,6 +19,7 @@
 #include "checkers/finding.hpp"
 #include "dts/tree.hpp"
 #include "smt/solver.hpp"
+#include "support/deadline.hpp"
 
 namespace llhsc::checkers {
 
@@ -64,6 +65,12 @@ struct SemanticOptions {
   /// Memory banks from the same memory node are allowed to be adjacent but
   /// not overlapping (always checked); devices never may overlap anything.
   bool check_interrupts = true;
+  /// Wall-clock budget in ms for one check() call's solver work (0 =
+  /// unlimited). When the budget runs out, the remaining queries are skipped
+  /// and one kSolverTimeout error finding reports how many were dropped —
+  /// a pathological query degrades into a visible error, never a hang or a
+  /// silent pass.
+  uint64_t solver_timeout_ms = 0;
 };
 
 /// Extracts all regions from reg properties. Nodes whose parent declares
@@ -94,10 +101,20 @@ class SemanticChecker {
 
  private:
   Findings check_interrupts(const dts::Tree& tree);
+  Findings check_regions_impl(const std::vector<MemRegion>& regions);
+  /// Starts one check() call's solver budget from options_.solver_timeout_ms.
+  void arm_deadline();
+  /// True when the last query was cut off; records a kSolverTimeout finding
+  /// once per check() call (`where` names the query that hit the limit).
+  bool query_timed_out(smt::CheckResult r, const std::string& where,
+                       Findings& out);
 
   SemanticOptions options_;
   smt::Solver solver_;
   uint64_t fresh_counter_ = 0;
+  support::Deadline deadline_;
+  bool timeout_reported_ = false;
+  size_t skipped_queries_ = 0;
 };
 
 }  // namespace llhsc::checkers

@@ -1,9 +1,46 @@
 #include "core/pipeline.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+
 #include "dts/printer.hpp"
 #include "fdt/fdt.hpp"
+#include "support/thread_pool.hpp"
 
 namespace llhsc::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Everything one worker produces for one tree (a VM, or the platform as the
+/// last unit). Findings arrive as per-stage chunks, each location-sorted
+/// before it is appended, so the merged report is independent of how the
+/// units were scheduled across threads.
+struct UnitResult {
+  std::unique_ptr<dts::Tree> tree;
+  checkers::Findings findings;
+  support::DiagnosticEngine diagnostics;
+  std::vector<StageTrace> stages;
+
+  std::string dts_text;
+  std::vector<uint8_t> dtb;
+  baogen::VmConfig config;
+  std::string qemu_command;
+  baogen::PlatformConfig platform_config;
+  std::string platform_config_c;
+
+  /// The fail-fast abort fired before this unit started.
+  bool skipped = false;
+};
+
+}  // namespace
 
 Pipeline::Pipeline(const feature::FeatureModel& model,
                    std::vector<feature::FeatureId> exclusive,
@@ -16,98 +53,185 @@ Pipeline::Pipeline(const feature::FeatureModel& model,
       options_(options) {}
 
 PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
+  const Clock::time_point run_start = Clock::now();
   PipelineResult result;
+  const unsigned jobs = support::ThreadPool::resolve_jobs(options_.jobs);
+  result.trace.jobs = jobs;
 
   // -- Stage 1: resource allocation (§IV-A) --
+  // Inherently global (exclusivity reasons across every VM at once), so it
+  // runs serially before the per-VM units fan out.
   if (options_.check_allocation) {
+    const Clock::time_point t0 = Clock::now();
     checkers::ResourceAllocationChecker rac(*model_, exclusive_,
                                             options_.backend);
     std::vector<std::set<std::string>> features;
     features.reserve(vms.size());
     for (const VmSpec& vm : vms) features.push_back(vm.features);
     checkers::Findings alloc = rac.check(features);
+    checkers::sort_by_location(alloc);
+    result.trace.stages.push_back(
+        StageTrace{"*", "allocation", ms_since(t0), 0, alloc.size()});
     result.findings.insert(result.findings.end(), alloc.begin(), alloc.end());
     if (options_.fail_fast && checkers::error_count(result.findings) > 0) {
+      result.trace.complete = false;
+      result.trace.total_ms = ms_since(run_start);
+      result.ok = false;
       return result;
     }
   }
 
-  // -- Stage 2: delta application (§III-B) --
+  // -- Stages 2-5 as independent work units: one per VM, platform last --
   std::set<std::string> platform_features;
   for (const VmSpec& vm : vms) {
     platform_features.insert(vm.features.begin(), vm.features.end());
   }
-  for (const VmSpec& vm : vms) {
-    auto tree = product_line_->derive(vm.features, result.diagnostics);
-    if (tree == nullptr) {
-      if (options_.fail_fast) return result;
-      continue;
-    }
-    GeneratedVm gen;
-    gen.name = vm.name;
-    gen.tree = std::move(tree);
-    result.vms.push_back(std::move(gen));
-  }
-  result.platform_tree =
-      product_line_->derive(platform_features, result.diagnostics);
-  if (result.diagnostics.has_errors() && options_.fail_fast) return result;
 
-  // -- Stages 3+4: syntactic and semantic checks per generated DTS --
-  auto check_tree = [&](const dts::Tree& tree) {
-    if (options_.check_lint) {
-      checkers::Findings f = checkers::LintChecker().check(tree);
-      result.findings.insert(result.findings.end(), f.begin(), f.end());
+  const size_t unit_count = vms.size() + 1;
+  std::vector<UnitResult> units(unit_count);
+  // Fail-fast across units is best-effort: an error in one unit stops units
+  // that have not started yet; units already running finish their current
+  // stage. Everything collected is merged regardless.
+  std::atomic<bool> abort{false};
+
+  auto run_unit = [&](size_t idx) {
+    UnitResult& u = units[idx];
+    if (options_.fail_fast && abort.load(std::memory_order_relaxed)) {
+      u.skipped = true;
+      return;
     }
-    if (options_.check_syntax) {
-      checkers::SyntacticChecker syn(*schemas_, options_.backend);
-      checkers::Findings f = syn.check(tree);
-      result.findings.insert(result.findings.end(), f.begin(), f.end());
+    const bool is_platform = idx == vms.size();
+    const std::string unit_name = is_platform ? "platform" : vms[idx].name;
+
+    // Stage 2: delta application (§III-B).
+    const Clock::time_point t0 = Clock::now();
+    u.tree = product_line_->derive(
+        is_platform ? platform_features : vms[idx].features, u.diagnostics);
+    u.stages.push_back(StageTrace{unit_name, "derive", ms_since(t0), 0, 0});
+    if (u.tree == nullptr || u.diagnostics.has_errors()) {
+      if (options_.fail_fast) abort.store(true, std::memory_order_relaxed);
+      if (u.tree == nullptr) return;
     }
-    if (options_.check_semantics) {
-      checkers::SemanticChecker sem(options_.backend);
-      checkers::Findings f = sem.check(tree);
-      result.findings.insert(result.findings.end(), f.begin(), f.end());
+
+    // Stages 3+4 (+ lint): each stage is one chunk; sorted on arrival.
+    // Returns false when fail-fast ends the unit at this stage.
+    auto run_stage = [&](const char* stage,
+                         const std::function<checkers::Findings(uint64_t&)>&
+                             fn) -> bool {
+      const Clock::time_point s0 = Clock::now();
+      uint64_t checks = 0;
+      checkers::Findings f = fn(checks);
+      checkers::sort_by_location(f);
+      u.stages.push_back(
+          StageTrace{unit_name, stage, ms_since(s0), checks, f.size()});
+      const bool had_errors = checkers::error_count(f) > 0;
+      u.findings.insert(u.findings.end(), f.begin(), f.end());
+      if (had_errors && options_.fail_fast) {
+        abort.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+
+    const bool check_this = !is_platform || options_.check_platform;
+    if (check_this && options_.check_lint) {
+      if (!run_stage("lint", [&](uint64_t&) {
+            return checkers::LintChecker().check(*u.tree);
+          })) {
+        return;
+      }
     }
+    if (check_this && options_.check_syntax) {
+      if (!run_stage("syntactic", [&](uint64_t& checks) {
+            checkers::SyntacticChecker syn(*schemas_, options_.backend);
+            checkers::Findings f = syn.check(*u.tree);
+            checks = syn.solver_checks();
+            return f;
+          })) {
+        return;
+      }
+    }
+    if (check_this && options_.check_semantics) {
+      if (!run_stage("semantic", [&](uint64_t& checks) {
+            checkers::SemanticOptions sem_options;
+            sem_options.solver_timeout_ms = options_.solver_timeout_ms;
+            checkers::SemanticChecker sem(options_.backend, sem_options);
+            checkers::Findings f = sem.check(*u.tree);
+            checks = sem.solver_checks();
+            return f;
+          })) {
+        return;
+      }
+    }
+
+    // Stage 5: artifact emission.
+    const Clock::time_point e0 = Clock::now();
+    u.dts_text = dts::print_dts(*u.tree);
+    if (options_.emit_dtb) {
+      if (auto blob = fdt::emit(*u.tree, u.diagnostics)) {
+        u.dtb = std::move(*blob);
+      }
+    }
+    if (is_platform) {
+      u.platform_config = baogen::extract_platform(*u.tree, u.diagnostics);
+      u.platform_config_c = baogen::render_platform_c(u.platform_config);
+    } else {
+      u.config = baogen::extract_vm(*u.tree, vms[idx].name, u.diagnostics);
+      baogen::QemuOptions qemu;
+      qemu.kernel_image = vms[idx].name + "image.bin";
+      qemu.dtb_path = vms[idx].name + ".dtb";
+      u.qemu_command = baogen::render_qemu_command(u.config, qemu);
+    }
+    u.stages.push_back(StageTrace{unit_name, "emit", ms_since(e0), 0, 0});
   };
-  for (const GeneratedVm& vm : result.vms) check_tree(*vm.tree);
-  if (options_.check_platform && result.platform_tree != nullptr) {
-    check_tree(*result.platform_tree);
-  }
-  if (checkers::error_count(result.findings) > 0 && options_.fail_fast) {
-    return result;
+
+  if (jobs <= 1) {
+    for (size_t idx = 0; idx < unit_count; ++idx) run_unit(idx);
+  } else {
+    support::ThreadPool pool(jobs);
+    support::parallel_for(pool, unit_count, run_unit);
   }
 
-  // -- Stage 5: artifact emission --
-  std::vector<baogen::VmConfig> vm_configs;
-  for (GeneratedVm& vm : result.vms) {
-    vm.dts_text = dts::print_dts(*vm.tree);
-    if (options_.emit_dtb) {
-      if (auto blob = fdt::emit(*vm.tree, result.diagnostics)) {
-        vm.dtb = std::move(*blob);
-      }
+  // -- Deterministic merge in VM declaration order (platform last) --
+  for (size_t idx = 0; idx < unit_count; ++idx) {
+    UnitResult& u = units[idx];
+    if (u.skipped) continue;
+    result.findings.insert(result.findings.end(), u.findings.begin(),
+                           u.findings.end());
+    result.diagnostics.merge(u.diagnostics);
+    for (StageTrace& s : u.stages) {
+      result.trace.stages.push_back(std::move(s));
     }
-    vm.config = baogen::extract_vm(*vm.tree, vm.name, result.diagnostics);
-    baogen::QemuOptions qemu;
-    qemu.kernel_image = vm.name + "image.bin";
-    qemu.dtb_path = vm.name + ".dtb";
-    vm.qemu_command = baogen::render_qemu_command(vm.config, qemu);
-    vm_configs.push_back(vm.config);
-  }
-  if (result.platform_tree != nullptr) {
-    result.platform_dts_text = dts::print_dts(*result.platform_tree);
-    if (options_.emit_dtb) {
-      if (auto blob = fdt::emit(*result.platform_tree, result.diagnostics)) {
-        result.platform_dtb = std::move(*blob);
-      }
+    if (u.tree == nullptr) continue;
+    if (idx == vms.size()) {
+      result.platform_tree = std::move(u.tree);
+      result.platform_dts_text = std::move(u.dts_text);
+      result.platform_dtb = std::move(u.dtb);
+      result.platform_config = std::move(u.platform_config);
+      result.platform_config_c = std::move(u.platform_config_c);
+    } else {
+      GeneratedVm gen;
+      gen.name = vms[idx].name;
+      gen.tree = std::move(u.tree);
+      gen.dts_text = std::move(u.dts_text);
+      gen.dtb = std::move(u.dtb);
+      gen.config = std::move(u.config);
+      gen.qemu_command = std::move(u.qemu_command);
+      result.vms.push_back(std::move(gen));
     }
-    result.platform_config =
-        baogen::extract_platform(*result.platform_tree, result.diagnostics);
-    result.platform_config_c =
-        baogen::render_platform_c(result.platform_config);
   }
-  result.vm_config_c =
-      baogen::render_config_c(baogen::assemble_config(std::move(vm_configs)));
 
+  const bool aborted = abort.load(std::memory_order_relaxed);
+  if (!aborted) {
+    std::vector<baogen::VmConfig> vm_configs;
+    vm_configs.reserve(result.vms.size());
+    for (const GeneratedVm& vm : result.vms) vm_configs.push_back(vm.config);
+    result.vm_config_c = baogen::render_config_c(
+        baogen::assemble_config(std::move(vm_configs)));
+  }
+
+  result.trace.complete = !aborted;
+  result.trace.total_ms = ms_since(run_start);
   result.ok = result.error_count() == 0;
   return result;
 }

@@ -24,6 +24,7 @@
 #include "checkers/resource_allocation.hpp"
 #include "checkers/semantic.hpp"
 #include "checkers/syntactic.hpp"
+#include "core/trace.hpp"
 #include "delta/delta.hpp"
 #include "feature/analysis.hpp"
 #include "schema/schema.hpp"
@@ -47,7 +48,17 @@ struct PipelineOptions {
   /// Emit DTB blobs for every generated DTS.
   bool emit_dtb = true;
   /// Stop at the first failing stage (true) or run all checks (false).
+  /// Findings and trace entries collected before the stop are always kept
+  /// and merged — fail-fast bounds the work, never the report.
   bool fail_fast = false;
+  /// Worker threads for the per-VM stages 2-5 (1 = serial, 0 = one per
+  /// hardware thread). Every VM is an independent work unit with its own
+  /// solver and diagnostics; results merge in VM declaration order, so
+  /// findings, diagnostics and artifacts are byte-identical for any value.
+  unsigned jobs = 1;
+  /// Per-tree wall-clock budget for the semantic checker's solver work, in
+  /// ms (0 = unlimited). Expiry yields a kSolverTimeout error finding.
+  uint64_t solver_timeout_ms = 0;
 };
 
 struct GeneratedVm {
@@ -64,6 +75,9 @@ struct PipelineResult {
   bool ok = false;
   checkers::Findings findings;
   support::DiagnosticEngine diagnostics;
+  /// Per-stage wall time / solver checks / finding counts. Populated even
+  /// when the run aborts early (trace.complete is false then).
+  PipelineTrace trace;
 
   std::vector<GeneratedVm> vms;
   std::unique_ptr<dts::Tree> platform_tree;

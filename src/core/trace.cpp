@@ -1,0 +1,94 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace llhsc::core {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+std::string format_ms(double ms) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << ms;
+  return os.str();
+}
+
+}  // namespace
+
+uint64_t PipelineTrace::total_solver_checks() const {
+  uint64_t n = 0;
+  for (const StageTrace& s : stages) n += s.solver_checks;
+  return n;
+}
+
+size_t PipelineTrace::total_findings() const {
+  size_t n = 0;
+  for (const StageTrace& s : stages) n += s.findings;
+  return n;
+}
+
+std::string PipelineTrace::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"total_ms\": " << format_ms(total_ms) << ",\n";
+  os << "  \"complete\": " << (complete ? "true" : "false") << ",\n";
+  os << "  \"solver_checks\": " << total_solver_checks() << ",\n";
+  os << "  \"findings\": " << total_findings() << ",\n";
+  os << "  \"stages\": [";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageTrace& s = stages[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"unit\": ";
+    append_escaped(os, s.unit);
+    os << ", \"stage\": ";
+    append_escaped(os, s.stage);
+    os << ", \"wall_ms\": " << format_ms(s.wall_ms)
+       << ", \"solver_checks\": " << s.solver_checks
+       << ", \"findings\": " << s.findings << '}';
+  }
+  if (!stages.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+std::string PipelineTrace::render_table() const {
+  size_t unit_w = 4, stage_w = 5;
+  for (const StageTrace& s : stages) {
+    unit_w = std::max(unit_w, s.unit.size());
+    stage_w = std::max(stage_w, s.stage.size());
+  }
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(unit_w)) << "unit" << "  "
+     << std::setw(static_cast<int>(stage_w)) << "stage" << "  "
+     << std::right << std::setw(10) << "wall_ms" << "  " << std::setw(7)
+     << "checks" << "  " << std::setw(8) << "findings" << '\n';
+  for (const StageTrace& s : stages) {
+    os << std::left << std::setw(static_cast<int>(unit_w)) << s.unit << "  "
+       << std::setw(static_cast<int>(stage_w)) << s.stage << "  "
+       << std::right << std::setw(10) << format_ms(s.wall_ms) << "  "
+       << std::setw(7) << s.solver_checks << "  " << std::setw(8)
+       << s.findings << '\n';
+  }
+  os << "total " << format_ms(total_ms) << " ms, "
+     << total_solver_checks() << " solver checks, " << total_findings()
+     << " findings, jobs=" << jobs
+     << (complete ? "" : " (incomplete: fail-fast abort)") << '\n';
+  return os.str();
+}
+
+}  // namespace llhsc::core

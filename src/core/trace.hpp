@@ -1,0 +1,46 @@
+// Pipeline observability: one StageTrace per (work unit, stage) pair that
+// actually ran, collected per-unit during the parallel phase and merged in
+// declaration order, so the trace is as deterministic as the findings
+// (timings excepted — wall_ms is measured, everything else is exact).
+// Rendered two ways: a JSON document (--trace-json, schema in
+// docs/pipeline.md) and an aligned summary table (--verbose).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhsc::core {
+
+struct StageTrace {
+  /// VM name, "platform", or "*" for whole-run stages (allocation).
+  std::string unit;
+  /// "allocation" | "derive" | "lint" | "syntactic" | "semantic" | "emit".
+  std::string stage;
+  double wall_ms = 0.0;
+  /// Solver check() calls issued by this stage (0 for solver-free stages).
+  uint64_t solver_checks = 0;
+  /// Findings this stage produced.
+  size_t findings = 0;
+};
+
+struct PipelineTrace {
+  /// Worker threads the run used (1 = serial).
+  unsigned jobs = 1;
+  /// End-to-end wall time of Pipeline::run.
+  double total_ms = 0.0;
+  /// False when fail_fast aborted the run before every stage executed; the
+  /// recorded stages are still valid partial data.
+  bool complete = true;
+  std::vector<StageTrace> stages;
+
+  [[nodiscard]] uint64_t total_solver_checks() const;
+  [[nodiscard]] size_t total_findings() const;
+
+  /// The --trace-json document (stable key order, 3-decimal timings).
+  [[nodiscard]] std::string to_json() const;
+  /// The --verbose summary table.
+  [[nodiscard]] std::string render_table() const;
+};
+
+}  // namespace llhsc::core

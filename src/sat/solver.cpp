@@ -374,19 +374,33 @@ SolveResult Solver::search_loop() {
     max_learnts_ = std::max(1000.0, static_cast<double>(problem_clauses) / 3.0);
   }
 
+  uint64_t steps_until_poll = kDeadlinePollInterval;
   while (true) {
+    if (--steps_until_poll == 0) {
+      steps_until_poll = kDeadlinePollInterval;
+      if (deadline_.expired()) return SolveResult::kUnknown;
+    }
     ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
-      if (decision_level() == 0) return SolveResult::kUnsat;
+      if (decision_level() == 0) {
+        // A conflict below every assumption level means the clause database
+        // alone is unsatisfiable — latch it, or the consumed trail would let
+        // a later solve() miss the all-false clause and report a bogus model.
+        ok_ = false;
+        return SolveResult::kUnsat;
+      }
       int btlevel = 0;
       analyze(conflict, learnt, btlevel);
       cancel_until(btlevel);
       if (learnt.size() == 1) {
         // Unit clauses always backtrack to level 0; assumptions are replayed
         // as pseudo-decisions by the no-conflict branch below.
-        if (!enqueue(learnt[0], kNoReason)) return SolveResult::kUnsat;
+        if (!enqueue(learnt[0], kNoReason)) {
+          ok_ = false;  // the learned unit contradicts the level-0 trail
+          return SolveResult::kUnsat;
+        }
       } else {
         ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
         clauses_.push_back(Clause{learnt, 0.0, true, false});
@@ -446,6 +460,7 @@ SolveResult Solver::search_loop() {
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return SolveResult::kUnsat;
+  if (deadline_.expired()) return SolveResult::kUnknown;
   assumptions_ = assumptions;
   core_.clear();
   cancel_until(0);

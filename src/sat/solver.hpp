@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "support/deadline.hpp"
+
 namespace llhsc::sat {
 
 /// Variables are dense 0-based indices; a Lit packs variable and sign.
@@ -64,8 +66,9 @@ struct SolverStats {
   uint64_t reductions = 0;
 };
 
-/// Result of Solver::solve.
-enum class SolveResult : uint8_t { kSat, kUnsat };
+/// Result of Solver::solve. kUnknown is only produced when a deadline was
+/// set and expired before the search finished.
+enum class SolveResult : uint8_t { kSat, kUnsat, kUnknown };
 
 class Solver {
  public:
@@ -86,6 +89,13 @@ class Solver {
 
   /// Solves the current formula under the given assumptions.
   SolveResult solve(const std::vector<Lit>& assumptions = {});
+
+  /// Bounds subsequent solve() calls: when the deadline expires mid-search,
+  /// solve returns kUnknown instead of running on. A default-constructed
+  /// Deadline removes the limit. The deadline is polled in the CDCL search
+  /// loop every kDeadlinePollInterval iterations, so solve() overshoots the
+  /// budget by at most one poll interval's worth of work.
+  void set_deadline(const support::Deadline& deadline) { deadline_ = deadline; }
 
   /// After kSat: model value of a variable (kUndef only for never-used vars).
   [[nodiscard]] Value model_value(Var v) const;
@@ -184,6 +194,8 @@ class Solver {
 
   std::vector<Lit> assumptions_;
   std::vector<Lit> core_;
+  static constexpr uint64_t kDeadlinePollInterval = 2048;
+  support::Deadline deadline_;
 
   // conflict-analysis scratch
   std::vector<uint8_t> seen_;

@@ -35,8 +35,13 @@ class BuiltinBackend final : public SolverBackend {
 
   void pop() override {
     assert(!scopes_.empty());
+    if (scopes_.empty()) return;       // unbalanced pop: keep the store sound
     sat_.add_clause(~scopes_.back());  // retire this scope's assertions
     scopes_.pop_back();
+  }
+
+  void set_deadline(const support::Deadline& deadline) override {
+    sat_.set_deadline(deadline);
   }
 
   CheckResult check(std::span<const logic::Formula> assumptions) override {
@@ -48,8 +53,12 @@ class BuiltinBackend final : public SolverBackend {
       assumption_map_.emplace_back(l, f);
       assume.push_back(l);
     }
-    return sat_.solve(assume) == sat::SolveResult::kSat ? CheckResult::kSat
-                                                        : CheckResult::kUnsat;
+    switch (sat_.solve(assume)) {
+      case sat::SolveResult::kSat: return CheckResult::kSat;
+      case sat::SolveResult::kUnsat: return CheckResult::kUnsat;
+      case sat::SolveResult::kUnknown: return CheckResult::kUnknown;
+    }
+    return CheckResult::kUnknown;
   }
 
   std::vector<logic::Formula> unsat_core() override {

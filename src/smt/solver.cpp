@@ -51,6 +51,10 @@ void Solver::add(logic::Formula f) { backend_->add(f); }
 void Solver::push() { backend_->push(); }
 void Solver::pop() { backend_->pop(); }
 
+void Solver::set_deadline(const support::Deadline& deadline) {
+  backend_->set_deadline(deadline);
+}
+
 CheckResult Solver::check() { return check_assuming({}); }
 
 CheckResult Solver::check_assuming(std::span<const logic::Formula> assumptions) {
@@ -58,6 +62,7 @@ CheckResult Solver::check_assuming(std::span<const logic::Formula> assumptions) 
   CheckResult r = backend_->check(assumptions);
   if (r == CheckResult::kSat) ++stats_.sat_results;
   if (r == CheckResult::kUnsat) ++stats_.unsat_results;
+  if (r == CheckResult::kUnknown) ++stats_.unknown_results;
   return r;
 }
 

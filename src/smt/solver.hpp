@@ -19,6 +19,7 @@
 
 #include "logic/bitvector.hpp"
 #include "logic/formula.hpp"
+#include "support/deadline.hpp"
 
 namespace llhsc::smt {
 
@@ -33,6 +34,8 @@ struct SolverStats {
   uint64_t checks = 0;
   uint64_t sat_results = 0;
   uint64_t unsat_results = 0;
+  /// Checks that hit a deadline (or that the backend gave up on).
+  uint64_t unknown_results = 0;
 };
 
 /// Backend implementation interface. Consumes formulas/terms built in the
@@ -43,6 +46,10 @@ class SolverBackend {
   virtual void add(logic::Formula f) = 0;
   virtual void push() = 0;
   virtual void pop() = 0;
+  /// Bounds subsequent check() calls; an expired deadline yields kUnknown
+  /// (builtin: polled in the CDCL search loop; z3: mapped to the solver's
+  /// timeout parameter). A default Deadline removes the limit.
+  virtual void set_deadline(const support::Deadline& deadline) = 0;
   virtual CheckResult check(std::span<const logic::Formula> assumptions) = 0;
   [[nodiscard]] virtual bool model_bool(logic::BoolVar v) = 0;
   [[nodiscard]] virtual uint64_t model_bv(logic::BvTerm t) = 0;
@@ -73,6 +80,9 @@ class Solver {
   void add(logic::Formula f);
   void push();
   void pop();
+  /// Wall-clock budget for each subsequent check; expired checks return
+  /// kUnknown instead of blocking. Reset with a default Deadline.
+  void set_deadline(const support::Deadline& deadline);
   CheckResult check();
   CheckResult check_assuming(std::span<const logic::Formula> assumptions);
 

@@ -24,7 +24,25 @@ class Z3Backend final : public SolverBackend {
   void push() override { solver_.push(); }
   void pop() override { solver_.pop(); }
 
+  void set_deadline(const support::Deadline& deadline) override {
+    deadline_ = deadline;
+  }
+
   CheckResult check(std::span<const logic::Formula> assumptions) override {
+    // Map the deadline onto Z3's per-check timeout. 4294967295 (UINT32_MAX)
+    // is Z3's "no timeout" sentinel; an already-expired deadline still gets
+    // 1ms so the check returns unknown promptly instead of running free.
+    z3::params params(ctx_);
+    unsigned timeout_ms = UINT32_MAX;
+    if (!deadline_.unlimited()) {
+      uint64_t left = deadline_.remaining_ms();
+      timeout_ms = left == 0 ? 1u
+                   : left >= UINT32_MAX
+                       ? UINT32_MAX - 1
+                       : static_cast<unsigned>(left);
+    }
+    params.set("timeout", timeout_ms);
+    solver_.set(params);
     z3::expr_vector assume(ctx_);
     assumption_map_.clear();
     for (logic::Formula f : assumptions) {
@@ -201,6 +219,7 @@ class Z3Backend final : public SolverBackend {
   logic::BvArena* bitvectors_;
   z3::context ctx_;
   z3::solver solver_;
+  support::Deadline deadline_;
   std::optional<z3::model> model_;
   bool has_model_ = false;
   std::unordered_map<uint32_t, z3::expr> formula_cache_;

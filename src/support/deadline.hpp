@@ -1,0 +1,45 @@
+// A wall-clock budget threaded through long-running solver calls. Default
+// constructed deadlines never expire, so call sites can pass one
+// unconditionally and only pay the clock read when a limit was requested.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace llhsc::support {
+
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now. after_ms(0) is already expired —
+  /// useful for tests; callers that mean "unlimited" pass a default Deadline.
+  [[nodiscard]] static Deadline after_ms(uint64_t ms) {
+    Deadline d;
+    d.limited_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  [[nodiscard]] bool unlimited() const { return !limited_; }
+
+  [[nodiscard]] bool expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds left: UINT64_MAX when unlimited, 0 when expired.
+  [[nodiscard]] uint64_t remaining_ms() const {
+    if (!limited_) return UINT64_MAX;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    at_ - std::chrono::steady_clock::now())
+                    .count();
+    return left > 0 ? static_cast<uint64_t>(left) : 0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool limited_ = false;
+};
+
+}  // namespace llhsc::support

@@ -1,0 +1,87 @@
+#include "support/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace llhsc::support {
+
+unsigned ThreadPool::resolve_jobs(unsigned jobs) {
+  if (jobs > 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = resolve_jobs(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, size_t count,
+                  const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {  // nothing to overlap; skip the queue round-trip
+    fn(0);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace llhsc::support

@@ -462,6 +462,141 @@ TEST_P(SemanticTest, FindingsCarryProvenance) {
   }
 }
 
+// The §IV-C d3 scenario across buses: the overlapping regions live under
+// parents with DIFFERENT #address-cells. The dma's reg was authored for the
+// 2-cell world; its parent's truncation to 1/1 cells re-reads it as two
+// 32-bit regions, the first of which floods [0x0, 0x50000000) and collides
+// with the memory bank whose parent kept 2-cell addressing.
+TEST_P(SemanticTest, TruncationAcrossBusesWithDifferentAddressCells) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000>;
+    };
+    soc {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        ranges;
+        dma@5000000000 { reg = <0x0 0x50000000 0x0 0x1000>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  bool memory_vs_dma = false;
+  for (const Finding& finding : f) {
+    if (finding.kind != FindingKind::kAddressOverlap) continue;
+    memory_vs_dma =
+        finding.subject.rfind("/memory@40000000", 0) == 0 &&
+        finding.other_subject.rfind("/soc/dma@5000000000", 0) == 0;
+    if (memory_vs_dma) {
+      EXPECT_GE(finding.witness, 0x40000000u);
+      EXPECT_LT(finding.witness, 0x50000000u);
+      break;
+    }
+  }
+  EXPECT_TRUE(memory_vs_dma)
+      << "expected the truncated dma region to overlap the memory bank: "
+      << render(f);
+}
+
+// Control for the test above: with the soc bus kept at 2-cell addressing the
+// reg is one region at the device's true address 0x50'00000000, far above
+// the end of memory, and nothing overlaps.
+TEST_P(SemanticTest, NoTruncationNoOverlap) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000>;
+    };
+    soc {
+        #address-cells = <2>;
+        #size-cells = <2>;
+        ranges;
+        dma@5000000000 { reg = <0x50 0x00000000 0x0 0x1000>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_FALSE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+}
+
+// The d3 blame chain: the overlap introduced purely by re-interpretation
+// must blame the delta that rewrote the governing cell widths.
+TEST_P(SemanticTest, TruncationOverlapBlamesTheCellsDelta) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000 0x0 0x60000000 0x0 0x20000000>;
+    };
+};
+)");
+  dts::Property cells = dts::Property::cells("#address-cells", {1});
+  cells.provenance = "d3";
+  tree->root().set_property(std::move(cells));
+  Findings f = check(*tree);
+  ASSERT_TRUE(contains(f, FindingKind::kAddressOverlap)) << render(f);
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kAddressOverlap) {
+      EXPECT_EQ(finding.delta, "d3") << finding.render();
+    }
+  }
+}
+
+// A solver budget that cannot cover the query load must surface as exactly
+// one error-severity kSolverTimeout finding (remaining queries are skipped,
+// not silently passed) — and the run terminates promptly instead of hanging.
+TEST(SemanticTimeout, ExhaustedBudgetReportsOneTimeoutFinding) {
+  std::vector<MemRegion> regions;
+  for (int i = 0; i < 48; ++i) {
+    MemRegion r;
+    r.path = "/r" + std::to_string(i);
+    r.base = static_cast<uint64_t>(i) * 0x1000;
+    r.size = 0x800;
+    r.region_class = RegionClass::kDevice;
+    regions.push_back(std::move(r));
+  }
+  SemanticOptions opts;
+  opts.solver_timeout_ms = 1;
+  SemanticChecker checker(smt::Backend::kBuiltin, opts);
+  Findings f = checker.check_regions(regions);
+  int timeouts = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kSolverTimeout) {
+      ++timeouts;
+      EXPECT_EQ(finding.severity, FindingSeverity::kError);
+    }
+  }
+  EXPECT_EQ(timeouts, 1) << render(f);
+  EXPECT_GT(error_count(f), 0u);
+}
+
+TEST(SemanticTimeout, GenerousBudgetDoesNotFire) {
+  std::vector<MemRegion> regions;
+  for (int i = 0; i < 4; ++i) {
+    MemRegion r;
+    r.path = "/r" + std::to_string(i);
+    r.base = static_cast<uint64_t>(i) * 0x10000;
+    r.size = 0x1000;
+    r.region_class = RegionClass::kDevice;
+    regions.push_back(std::move(r));
+  }
+  SemanticOptions opts;
+  opts.solver_timeout_ms = 60000;
+  SemanticChecker checker(smt::Backend::kBuiltin, opts);
+  Findings f = checker.check_regions(regions);
+  EXPECT_FALSE(contains(f, FindingKind::kSolverTimeout)) << render(f);
+  EXPECT_EQ(error_count(f), 0u) << render(f);
+}
+
 // Property sweep: random region sets, solver verdict vs interval arithmetic.
 struct RandomRegionsCase {
   uint32_t seed;

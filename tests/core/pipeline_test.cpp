@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "checkers/report.hpp"
 #include "core/running_example.hpp"
 #include "fdt/fdt.hpp"
 #include "schema/builtin_schemas.hpp"
@@ -193,6 +194,136 @@ TEST_P(PipelineTest, GeneratedDtsRoundTripsThroughParser) {
     EXPECT_FALSE(de.has_errors()) << de.render();
     EXPECT_EQ(reparsed->node_count(), vm.tree->node_count());
   }
+}
+
+// The tentpole determinism guarantee: a parallel run is byte-identical to a
+// serial one in every user-visible output — findings in all three formats,
+// diagnostics, DTS text, DTB blobs and generated C. Uses the broken product
+// line so the comparison covers a finding-rich report, not just empty ones.
+TEST_P(PipelineTest, ParallelRunIsByteIdenticalToSerial) {
+  support::DiagnosticEngine de;
+  auto broken_pl = running_example_product_line_without_d4(de);
+  ASSERT_NE(broken_pl, nullptr) << de.render();
+  auto run_with = [&](unsigned jobs) {
+    PipelineOptions opts;
+    opts.jobs = jobs;
+    Pipeline pipeline = make_pipeline(*broken_pl, opts);
+    return pipeline.run(paper_vms());
+  };
+  PipelineResult serial = run_with(1);
+  PipelineResult parallel = run_with(4);
+
+  EXPECT_EQ(serial.ok, parallel.ok);
+  EXPECT_EQ(checkers::render(serial.findings),
+            checkers::render(parallel.findings));
+  EXPECT_EQ(checkers::report_json(serial.findings),
+            checkers::report_json(parallel.findings));
+  EXPECT_EQ(checkers::to_sarif(serial.findings, "pipeline"),
+            checkers::to_sarif(parallel.findings, "pipeline"));
+  EXPECT_EQ(serial.diagnostics.render(), parallel.diagnostics.render());
+
+  ASSERT_EQ(serial.vms.size(), parallel.vms.size());
+  for (size_t i = 0; i < serial.vms.size(); ++i) {
+    EXPECT_EQ(serial.vms[i].name, parallel.vms[i].name);
+    EXPECT_EQ(serial.vms[i].dts_text, parallel.vms[i].dts_text);
+    EXPECT_EQ(serial.vms[i].dtb, parallel.vms[i].dtb);
+    EXPECT_EQ(serial.vms[i].qemu_command, parallel.vms[i].qemu_command);
+  }
+  EXPECT_EQ(serial.platform_dts_text, parallel.platform_dts_text);
+  EXPECT_EQ(serial.platform_dtb, parallel.platform_dtb);
+  EXPECT_EQ(serial.platform_config_c, parallel.platform_config_c);
+  EXPECT_EQ(serial.vm_config_c, parallel.vm_config_c);
+
+  // The trace's structure (unit/stage sequence and finding counts) is also
+  // deterministic; only the timings differ.
+  ASSERT_EQ(serial.trace.stages.size(), parallel.trace.stages.size());
+  for (size_t i = 0; i < serial.trace.stages.size(); ++i) {
+    EXPECT_EQ(serial.trace.stages[i].unit, parallel.trace.stages[i].unit);
+    EXPECT_EQ(serial.trace.stages[i].stage, parallel.trace.stages[i].stage);
+    EXPECT_EQ(serial.trace.stages[i].findings,
+              parallel.trace.stages[i].findings);
+  }
+  EXPECT_EQ(parallel.trace.jobs, 4u);
+}
+
+TEST_P(PipelineTest, CleanParallelRunMatchesSerial) {
+  auto run_with = [&](unsigned jobs) {
+    PipelineOptions opts;
+    opts.jobs = jobs;
+    Pipeline pipeline = make_pipeline(*pl, opts);
+    return pipeline.run(paper_vms());
+  };
+  PipelineResult serial = run_with(1);
+  PipelineResult parallel = run_with(4);
+  EXPECT_TRUE(parallel.ok) << checkers::render(parallel.findings);
+  EXPECT_EQ(checkers::render(serial.findings),
+            checkers::render(parallel.findings));
+  EXPECT_EQ(serial.vm_config_c, parallel.vm_config_c);
+  EXPECT_EQ(serial.platform_dts_text, parallel.platform_dts_text);
+}
+
+TEST_P(PipelineTest, TraceRecordsEveryStage) {
+  Pipeline pipeline = make_pipeline(*pl);
+  PipelineResult result = pipeline.run(paper_vms());
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.trace.complete);
+  EXPECT_GT(result.trace.total_ms, 0.0);
+  auto has = [&](const std::string& unit, const std::string& stage) {
+    for (const StageTrace& s : result.trace.stages) {
+      if (s.unit == unit && s.stage == stage) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("*", "allocation"));
+  for (const char* unit : {"vm1", "vm2", "platform"}) {
+    for (const char* stage :
+         {"derive", "lint", "syntactic", "semantic", "emit"}) {
+      EXPECT_TRUE(has(unit, stage)) << unit << "/" << stage;
+    }
+  }
+  // The solver-backed stages actually issued solver checks.
+  for (const StageTrace& s : result.trace.stages) {
+    if (s.stage == "syntactic" || s.stage == "semantic") {
+      EXPECT_GT(s.solver_checks, 0u) << s.unit << "/" << s.stage;
+    }
+  }
+  // Both renderings carry the structure.
+  std::string json = result.trace.to_json();
+  EXPECT_NE(json.find("\"jobs\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"complete\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"semantic\""), std::string::npos);
+  std::string table = result.trace.render_table();
+  EXPECT_NE(table.find("semantic"), std::string::npos);
+  EXPECT_NE(table.find("platform"), std::string::npos);
+}
+
+// Satellite of the fail-fast fix: a later-stage failure must not suppress
+// the findings already collected, and the partial trace survives. jobs=1
+// makes the abort point deterministic (vm1 fails, vm2/platform are skipped).
+TEST_P(PipelineTest, FailFastKeepsPartialFindingsAndTrace) {
+  support::DiagnosticEngine de;
+  auto broken_pl = running_example_product_line_without_d4(de);
+  ASSERT_NE(broken_pl, nullptr) << de.render();
+  PipelineOptions opts;
+  opts.fail_fast = true;
+  opts.jobs = 1;
+  Pipeline pipeline = make_pipeline(*broken_pl, opts);
+  PipelineResult result = pipeline.run(paper_vms());
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.trace.complete);
+  // vm1's semantic findings (the truncated-bank overlaps) are retained.
+  EXPECT_TRUE(checkers::contains(result.findings,
+                                 checkers::FindingKind::kAddressOverlap))
+      << checkers::render(result.findings);
+  bool vm1_semantic = false, vm2_any = false;
+  for (const StageTrace& s : result.trace.stages) {
+    vm1_semantic = vm1_semantic || (s.unit == "vm1" && s.stage == "semantic");
+    vm2_any = vm2_any || s.unit == "vm2";
+  }
+  EXPECT_TRUE(vm1_semantic) << "the failing stage itself is traced";
+  EXPECT_FALSE(vm2_any) << "serial fail-fast stops before vm2";
+  EXPECT_NE(result.trace.to_json().find("\"complete\": false"),
+            std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, PipelineTest,

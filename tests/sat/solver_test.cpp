@@ -341,6 +341,52 @@ TEST(SatSolver, LargeChainPropagationIsFast) {
   EXPECT_TRUE(s.model_bool(vars[N - 1]));
 }
 
+TEST(SatSolver, UnsatVerdictIsStableAcrossRepeatedSolves) {
+  // Regression: a conflict reached at decision level 0 *during search*
+  // (i.e. after learned units, not at add_clause time) must latch ok_.
+  // Before the fix, the first solve consumed the level-0 trail, returned
+  // kUnsat, and a second solve produced a bogus model.
+  Solver s;
+  Var v[6];
+  for (auto& x : v) x = s.new_var();
+  auto L = [&](int i) { return Lit::positive(v[i]); };
+  // Unsat over binary clauses only, so nothing is decided at add time.
+  s.add_clause(L(0), L(5));
+  s.add_clause(L(5), L(4));
+  s.add_clause(L(3), L(2));
+  s.add_clause(L(4), L(2));
+  s.add_clause(L(1), ~L(4));
+  s.add_clause(L(2), ~L(5));
+  s.add_clause(~L(1), L(3));
+  s.add_clause(~L(3), ~L(4));
+  s.add_clause(L(4), ~L(5));
+  s.add_clause(L(2), ~L(3));
+  s.add_clause(~L(2), L(5));
+  ASSERT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_FALSE(s.okay());
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, ExpiredDeadlineReturnsUnknown) {
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  s.add_clause(Lit::positive(x), Lit::positive(y));
+  s.set_deadline(support::Deadline::after_ms(0));
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  // Clearing the deadline restores normal operation.
+  s.set_deadline(support::Deadline());
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, UnlimitedDeadlineNeverReturnsUnknown) {
+  Solver s;
+  Var x = s.new_var();
+  s.add_clause(Lit::positive(x));
+  s.set_deadline(support::Deadline::after_ms(60000));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
 TEST(SatSolver, StatsArePopulated) {
   Solver s;
   Var x = s.new_var(), y = s.new_var();

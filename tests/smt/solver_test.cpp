@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
 
 namespace llhsc::smt {
@@ -310,7 +311,87 @@ TEST_P(ScopeStressTest, BackendsAgreeUnderRandomScoping) {
   EXPECT_EQ(run(Backend::kBuiltin, seed), run(Backend::kZ3, seed));
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ScopeStressTest, ::testing::Range(1u, 16u));
+INSTANTIATE_TEST_SUITE_P(Seeds, ScopeStressTest, ::testing::Range(1u, 41u));
+
+// Regression: a base-level unsat verdict must survive repeated checks. The
+// builtin backend's CDCL core used to consume its level-0 trail on the way
+// to the first kUnsat and report a bogus kSat on the next check.
+TEST_P(SmtBackendTest, RepeatedCheckOfUnsatBaseIsStable) {
+  Solver s(GetParam());
+  auto& fa = s.formulas();
+  logic::Formula a = s.bool_var("a");
+  logic::Formula b = s.bool_var("b");
+  s.add(fa.mk_or(a, b));
+  s.add(fa.mk_or(a, fa.mk_not(b)));
+  s.add(fa.mk_or(fa.mk_not(a), b));
+  s.add(fa.mk_or(fa.mk_not(a), fa.mk_not(b)));
+  EXPECT_EQ(s.check(), CheckResult::kUnsat);
+  EXPECT_EQ(s.check(), CheckResult::kUnsat);
+  EXPECT_EQ(s.check(), CheckResult::kUnsat);
+}
+
+// Regression for the same defect through the scope API: the exact
+// push/add/check/pop/add/check interleaving the semantic checker issues.
+TEST_P(SmtBackendTest, AddAfterPopOfUnsatScope) {
+  Solver s(GetParam());
+  auto& fa = s.formulas();
+  logic::Formula a = s.bool_var("a");
+  logic::Formula b = s.bool_var("b");
+  s.push();
+  s.add(a);
+  s.add(fa.mk_not(a));
+  EXPECT_EQ(s.check(), CheckResult::kUnsat);
+  EXPECT_EQ(s.check(), CheckResult::kUnsat);
+  s.pop();
+  s.add(b);
+  EXPECT_EQ(s.check(), CheckResult::kSat);
+  EXPECT_TRUE(s.model_bool(b));
+  s.push();
+  s.add(fa.mk_not(b));
+  EXPECT_EQ(s.check(), CheckResult::kUnsat);
+  s.pop();
+  s.add(fa.mk_or(a, b));
+  EXPECT_EQ(s.check(), CheckResult::kSat);
+}
+
+// An expired deadline turns any query into kUnknown without touching the
+// asserted formula; clearing it restores normal service.
+TEST_P(SmtBackendTest, ExpiredDeadlineYieldsUnknown) {
+  Solver s(GetParam());
+  auto& bv = s.bitvectors();
+  auto x = s.bv_var("x", 64);
+  auto y = s.bv_var("y", 64);
+  // 64-bit semiprime factoring: far beyond a 0ms budget on any backend.
+  s.add(bv.eq(bv.bv_mul(x, y), bv.bv_const(0xffffffffffffffc5ull, 64)));
+  s.add(bv.ugt(x, bv.bv_const(1, 64)));
+  s.add(bv.ugt(y, bv.bv_const(1, 64)));
+  s.set_deadline(support::Deadline::after_ms(0));
+  EXPECT_EQ(s.check(), CheckResult::kUnknown);
+  EXPECT_EQ(s.stats().unknown_results, 1u);
+}
+
+// A hard query under a small budget must come back kUnknown in roughly the
+// budgeted time — a pathological instance degrades into a visible timeout,
+// never a hang. The instance is 28-bit multiplication commutativity, which
+// bit-blasted CDCL cannot decide quickly (Z3 rewrites it away, so this is
+// builtin-only).
+TEST(SmtDeadline, HardQueryTerminatesNearTheBudget) {
+  Solver s(Backend::kBuiltin);
+  auto& fa = s.formulas();
+  auto& bv = s.bitvectors();
+  auto x = s.bv_var("x", 28);
+  auto y = s.bv_var("y", 28);
+  s.add(fa.mk_not(bv.eq(bv.bv_mul(x, y), bv.bv_mul(y, x))));
+  s.set_deadline(support::Deadline::after_ms(200));
+  auto t0 = std::chrono::steady_clock::now();
+  CheckResult r = s.check();
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  EXPECT_EQ(r, CheckResult::kUnknown);
+  // ~2x the 200ms budget; generous slack for sanitizer-instrumented runs.
+  EXPECT_LT(ms, 2500.0);
+}
 
 }  // namespace
 }  // namespace llhsc::smt

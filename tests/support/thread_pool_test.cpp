@@ -1,0 +1,119 @@
+// Thread pool + parallel_for tests, including the exception contract the
+// pipeline relies on (first failure rethrown, every index still attempted)
+// and the Deadline arithmetic the solver deadline path builds on.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/deadline.hpp"
+
+namespace llhsc::support {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    for (int i = 0; i < 5; ++i) {
+      pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, RethrowsTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> attempted{0};
+  EXPECT_THROW(
+      parallel_for(pool, 16,
+                   [&](size_t i) {
+                     attempted.fetch_add(1, std::memory_order_relaxed);
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Remaining indices still ran; the pool stays usable.
+  EXPECT_EQ(attempted.load(), 16);
+  std::atomic<int> done{0};
+  parallel_for(pool, 4, [&](size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ParallelFor, SingleIndexRunsOnTheCaller) {
+  ThreadPool pool(4);
+  std::thread::id runner;
+  parallel_for(pool, 1, [&](size_t) { runner = std::this_thread::get_id(); });
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), UINT64_MAX);
+}
+
+TEST(Deadline, ZeroBudgetIsAlreadyExpired) {
+  Deadline d = Deadline::after_ms(0);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0u);
+}
+
+TEST(Deadline, FutureBudgetHasTimeRemaining) {
+  Deadline d = Deadline::after_ms(60000);
+  EXPECT_FALSE(d.expired());
+  uint64_t left = d.remaining_ms();
+  EXPECT_GT(left, 0u);
+  EXPECT_LE(left, 60000u);
+}
+
+}  // namespace
+}  // namespace llhsc::support

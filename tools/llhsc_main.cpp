@@ -12,9 +12,15 @@
 //       Derive one product from a DTS product line, check it, and write
 //       <name>.dts / <name>.dtb.
 //
-//   llhsc demo [--out <dir>]
+//   llhsc demo [--out <dir>] [--jobs N] [--solver-timeout-ms N]
+//              [--trace-json <file>] [--verbose]
 //       Run the paper's running example end to end and write every artifact
-//       (VM DTSs, platform DTS, DTBs, platform.c, config.c).
+//       (VM DTSs, platform DTS, DTBs, platform.c, config.c). --jobs checks
+//       the VMs in parallel (output is byte-identical to --jobs 1);
+//       --trace-json / --verbose expose the per-stage trace.
+//
+// Exit codes (all commands): 0 success (warnings allowed), 1 findings or
+// input rejected by a checker/parser, 2 usage or I/O error.
 //
 //   llhsc products
 //       Enumerate the valid products of the running-example feature model.
@@ -67,7 +73,7 @@ Args parse_args(int argc, char** argv) {
       std::string key = a.substr(2);
       // Flags take a value unless they are known booleans.
       bool boolean = key.rfind("no-", 0) == 0 || key == "quiet" ||
-                     key == "count-only";
+                     key == "count-only" || key == "verbose";
       if (!boolean && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
@@ -99,6 +105,20 @@ bool write_file(const std::string& path, const std::vector<uint8_t>& data) {
   return write_file(path, std::string_view(
                               reinterpret_cast<const char*>(data.data()),
                               data.size()));
+}
+
+/// Parses an unsigned integer option. Exits 2 (usage error) on junk so a
+/// typo never silently becomes a default.
+uint64_t uint_option_or_die(const Args& args, const std::string& key,
+                            uint64_t fallback) {
+  if (!args.has(key)) return fallback;
+  auto v = support::parse_integer(args.get(key));
+  if (!v) {
+    std::cerr << "bad --" << key << " value '" << args.get(key)
+              << "' (want an unsigned integer)\n";
+    std::exit(2);
+  }
+  return *v;
 }
 
 smt::Backend backend_from(const Args& args) {
@@ -199,6 +219,12 @@ int cmd_check(const Args& args) {
                  "[--rule-severity id=error|warning,...]\n";
     return 2;
   }
+  const std::string format = args.get("format", "text");
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "unknown --format '" << format
+              << "' (want text|json|sarif)\n";
+    return 2;
+  }
   auto xopts = crossref_options_from(args);
   if (!xopts) return 2;
   auto tree = parse_file_or_die(args.positional[0]);
@@ -221,15 +247,18 @@ int cmd_check(const Args& args) {
     all.insert(all.end(), f.begin(), f.end());
   }
   if (!args.has("no-semantics")) {
-    checkers::SemanticChecker checker(backend);
+    checkers::SemanticOptions sem_options;
+    sem_options.solver_timeout_ms =
+        uint_option_or_die(args, "solver-timeout-ms", 0);
+    checkers::SemanticChecker checker(backend, sem_options);
     checkers::Findings f = checker.check(*tree);
     all.insert(all.end(), f.begin(), f.end());
   }
 
   size_t errors = checkers::error_count(all);
-  if (args.get("format") == "json") {
+  if (format == "json") {
     std::cout << checkers::report_json(all) << "\n";
-  } else if (args.get("format") == "sarif") {
+  } else if (format == "sarif") {
     std::cout << checkers::to_sarif(all, args.positional[0]);
   } else {
     if (!args.has("quiet")) std::cout << checkers::render(all);
@@ -314,10 +343,21 @@ int cmd_demo(const Args& args) {
   }
   core::PipelineOptions opts;
   opts.backend = backend_from(args);
+  opts.jobs = static_cast<unsigned>(uint_option_or_die(args, "jobs", 1));
+  opts.solver_timeout_ms = uint_option_or_die(args, "solver-timeout-ms", 0);
   core::Pipeline pipeline(model, core::exclusive_cpus(model), *pl, schemas,
                           opts);
   core::PipelineResult result = pipeline.run(
       {{"vm1", core::fig1b_features()}, {"vm2", core::fig1c_features()}});
+  // Trace goes out before the success check: a failed run still leaves its
+  // partial timing/finding data behind for inspection.
+  if (args.has("trace-json")) {
+    if (!write_file(args.get("trace-json"), result.trace.to_json())) {
+      std::cerr << "cannot write " << args.get("trace-json") << "\n";
+      return 2;
+    }
+  }
+  if (args.has("verbose")) std::cerr << result.trace.render_table();
   std::cout << checkers::render(result.findings);
   if (!result.ok) {
     std::cerr << result.diagnostics.render() << "pipeline failed\n";
@@ -517,7 +557,9 @@ int usage() {
                "                     sarif, --no-crossref, --disable-rule,\n"
                "                     --rule-severity; see docs/rules.md)\n"
                "  generate           derive a product from a DTS product line\n"
-               "  demo               run the paper's running example\n"
+               "  demo               run the paper's running example (--jobs N,\n"
+               "                     --solver-timeout-ms N, --trace-json <file>,\n"
+               "                     --verbose)\n"
                "  products           enumerate products (--model <f.fm>)\n"
                "  analyze            feature-model analyses (--model <f.fm>)\n"
                "  allocate           VM allocation feasibility (--model, \n"
