@@ -4,6 +4,8 @@
 // individually).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/pipeline.hpp"
 #include "core/running_example.hpp"
 #include "feature/analysis.hpp"
@@ -93,6 +95,61 @@ void BM_PipelineParallel(benchmark::State& state) {
   state.SetLabel("jobs=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_PipelineParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Query-planner ablation on the eight-VM workload (the PR3 acceptance
+// workload): exhaustive per-pair solving vs the planned path vs a warm
+// persistent cache. Counters expose the trace totals the --trace-json
+// output reports, so the ratio is auditable from the benchmark output.
+//   mode 0 — exhaustive (plan_queries=false)
+//   mode 1 — planned (sweep-line + bucket prefilters, batched queries)
+//   mode 2 — planned with a pre-populated --cache-dir (warm: zero queries)
+void BM_PipelineEightVmPlanner(benchmark::State& state) {
+  Fixture fx;
+  std::vector<core::VmSpec> vms;
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back({"vm" + std::to_string(i + 1),
+                   i % 2 == 0 ? core::fig1b_features()
+                              : core::fig1c_features()});
+  }
+  const int64_t mode = state.range(0);
+  core::PipelineOptions opts;
+  opts.check_allocation = false;
+  opts.plan_queries = mode != 0;
+  std::string cache_dir;
+  if (mode == 2) {
+    cache_dir =
+        (std::filesystem::temp_directory_path() / "llhsc-bench-pipeline-qc")
+            .string();
+    std::filesystem::remove_all(cache_dir);
+    opts.cache_dir = cache_dir;
+    core::Pipeline warmup(fx.model, core::exclusive_cpus(fx.model), *fx.pl,
+                          fx.schemas, opts);
+    benchmark::DoNotOptimize(warmup.run(vms));
+  }
+  uint64_t checks = 0, issued = 0, pruned = 0, hits = 0;
+  for (auto _ : state) {
+    core::Pipeline pipeline(fx.model, core::exclusive_cpus(fx.model), *fx.pl,
+                            fx.schemas, opts);
+    core::PipelineResult result = pipeline.run(vms);
+    checks = issued = pruned = hits = 0;
+    for (const core::StageTrace& s : result.trace.stages) {
+      if (s.stage != "semantic") continue;
+      checks += s.solver_checks;
+      issued += s.queries_issued;
+      pruned += s.queries_pruned;
+      hits += s.cache_hits;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  if (!cache_dir.empty()) std::filesystem::remove_all(cache_dir);
+  state.counters["semantic_solver_checks"] = static_cast<double>(checks);
+  state.counters["queries_issued"] = static_cast<double>(issued);
+  state.counters["queries_pruned"] = static_cast<double>(pruned);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  const char* mode_name[] = {"exhaustive", "planned", "warm-cache"};
+  state.SetLabel(mode_name[mode]);
+}
+BENCHMARK(BM_PipelineEightVmPlanner)->Arg(0)->Arg(1)->Arg(2);
 
 // Failure path: the omitted-d4 configuration (checkers find the collisions).
 void BM_PipelineFaultDetection(benchmark::State& state) {

@@ -2,10 +2,13 @@
 
 #include "checkers/crossref/context.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
+#include "checkers/interval_baseline.hpp"
 #include "support/strings.hpp"
 
 namespace llhsc::checkers {
@@ -19,8 +22,13 @@ RegionClass classify(const dts::Node& node) {
     }
   }
   if (const dts::Property* c = node.find_property("compatible")) {
-    auto one = c->as_string();
-    if (one == std::optional<std::string>("veth")) return RegionClass::kIpc;
+    // compatible is a stringlist (most-specific first); the veth binding may
+    // appear at any position, e.g. compatible = "acme,veth-2", "veth".
+    if (auto list = c->as_string_list()) {
+      for (const std::string& entry : *list) {
+        if (entry == "veth") return RegionClass::kIpc;
+      }
+    }
   }
   if (node.base_name().rfind("veth", 0) == 0) return RegionClass::kIpc;
   return RegionClass::kDevice;
@@ -33,6 +41,70 @@ uint64_t combine_cells(const std::vector<uint64_t>& cells, size_t offset,
     value = (value << 32) | (cells[offset + i] & 0xffffffffull);
   }
   return value;
+}
+
+/// The value the solver's w-bit encoding actually sees (bv_const truncates).
+uint64_t mask_to(uint64_t value, uint32_t width) {
+  return width >= 64 ? value : (value & ((1ull << width) - 1));
+}
+
+/// Mirror of the solver's uadd_overflow verdict on masked base/size: true
+/// iff base + size >= 2^width, in which case [base, base+size) is empty in
+/// the w-bit encoding (the end wraps to or below the base) and the region
+/// cannot overlap anything.
+bool region_wraps(uint64_t base_m, uint64_t size_m, uint32_t width) {
+  if (size_m == 0) return false;
+  if (width >= 64) return base_m > UINT64_MAX - size_m;
+  return base_m + size_m >= (1ull << width);
+}
+
+Finding zero_size_finding(const MemRegion& r) {
+  Finding f;
+  f.kind = FindingKind::kZeroSizeRegion;
+  f.severity = FindingSeverity::kWarning;
+  f.subject = r.path;
+  f.property = "reg";
+  f.delta = r.provenance;
+  f.location = r.location;
+  f.base_a = r.base;
+  f.message = "region at " + support::hex(r.base) + " has size 0";
+  return f;
+}
+
+Finding wrap_finding(const MemRegion& r, uint32_t width) {
+  Finding f;
+  f.kind = FindingKind::kSizeOverflow;
+  f.subject = r.path;
+  f.property = "reg";
+  f.delta = r.provenance;
+  f.location = r.location;
+  f.base_a = r.base;
+  f.size_a = r.size;
+  f.message = "region " + support::hex(r.base) + "+" + support::hex(r.size) +
+              " wraps around the " + std::to_string(width) +
+              "-bit address space";
+  return f;
+}
+
+Finding overlap_finding(const MemRegion& a, const MemRegion& b,
+                        uint64_t witness) {
+  Finding f;
+  f.kind = FindingKind::kAddressOverlap;
+  f.subject = a.path + "[" + std::to_string(a.entry_index) + "]";
+  f.other_subject = b.path + "[" + std::to_string(b.entry_index) + "]";
+  // Blame the most recent delta involved (b's provenance wins when both
+  // have one — later deltas modify earlier state).
+  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+  f.location = a.location;
+  f.base_a = a.base;
+  f.size_a = a.size;
+  f.base_b = b.base;
+  f.size_b = b.size;
+  f.witness = witness;
+  f.message = "regions " + support::hex(a.base) + "+" + support::hex(a.size) +
+              " and " + support::hex(b.base) + "+" + support::hex(b.size) +
+              " overlap (witness address " + support::hex(witness) + ")";
+  return f;
 }
 
 /// Extracts the regions of one node's reg through the shared context: the
@@ -160,8 +232,23 @@ std::vector<MemRegion> extract_regions(const crossref::AnalysisContext& ctx,
   return regions;
 }
 
+/// One claim per `interrupts` tuple of one node. Tuples are compared
+/// whole (all #interrupt-cells cells), tuple[0] is the line named in
+/// findings (matching the single-cell message format).
+struct SemanticChecker::IrqClaim {
+  std::string path;
+  std::string provenance;
+  support::SourceLocation location;
+  uint32_t parent_phandle = 0;
+  size_t entry_index = 0;
+  std::vector<uint64_t> tuple;       // cells, masked to 32 bits
+  std::vector<logic::BvTerm> terms;  // created on first solver use
+};
+
 SemanticChecker::SemanticChecker(smt::Backend backend, SemanticOptions options)
-    : options_(options), solver_(backend) {}
+    : options_(options),
+      solver_(backend),
+      planner_(solver_, options.plan ? options.cache_dir : std::string()) {}
 
 void SemanticChecker::arm_deadline() {
   deadline_ = options_.solver_timeout_ms > 0
@@ -213,97 +300,237 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
   return check_regions_impl(regions);
 }
 
+SemanticChecker::OverlapQuery SemanticChecker::build_overlap_query(
+    const MemRegion& a, const MemRegion& b) {
+  auto& fa = solver_.formulas();
+  auto& bv = solver_.bitvectors();
+  const uint32_t width = options_.address_bits;
+  OverlapQuery q;
+  const std::string ns = "ov" + std::to_string(fresh_counter_++);
+  q.x = bv.bv_var(ns + ".x", width);
+  auto in_range = [&](const MemRegion& r) {
+    auto base_t = bv.bv_const(r.base, width);
+    auto end_t = bv.bv_add(base_t, bv.bv_const(r.size, width));
+    // base <= x < base + size; the wrap case is reported separately, and
+    // for wrapped regions the conjunction below under-approximates.
+    return fa.mk_and(bv.uge(q.x, base_t), bv.ult(q.x, end_t));
+  };
+  q.formulas.push_back(in_range(a));
+  q.formulas.push_back(in_range(b));
+  // Witness pin (see header): the larger masked base is in the intersection
+  // iff the intersection is non-empty, so this keeps the query
+  // equisatisfiable while fixing the model value every backend reports.
+  const uint64_t pin =
+      std::max(mask_to(a.base, width), mask_to(b.base, width));
+  q.formulas.push_back(bv.eq(q.x, bv.bv_const(pin, width)));
+  return q;
+}
+
+std::vector<SemanticChecker::IrqClaim> SemanticChecker::collect_irq_claims(
+    const dts::Tree& tree) {
+  // Pass 1: phandle -> #interrupt-cells, to know each claim's tuple stride.
+  std::unordered_map<uint32_t, uint32_t> interrupt_cells;
+  tree.visit([&](const std::string&, const dts::Node& node) {
+    const dts::Property* ph = node.find_property("phandle");
+    if (ph == nullptr) return;
+    auto phv = ph->as_u32();
+    if (!phv) return;
+    uint32_t ic = 1;
+    if (const dts::Property* icp = node.find_property("#interrupt-cells")) {
+      ic = icp->as_u32().value_or(1);
+    }
+    interrupt_cells[*phv] = ic == 0 ? 1 : ic;
+  });
+
+  // Pass 2: walk with interrupt-parent inheritance (a node without its own
+  // interrupt-parent uses the nearest ancestor's, per the DT spec).
+  std::vector<IrqClaim> claims;
+  std::function<void(const dts::Node&, const std::string&, uint32_t)> walk =
+      [&](const dts::Node& node, const std::string& path, uint32_t parent) {
+        if (const dts::Property* ip = node.find_property("interrupt-parent")) {
+          parent = ip->as_u32().value_or(0);
+        }
+        const dts::Property* irq = node.find_property("interrupts");
+        if (irq != nullptr) {
+          auto cells = irq->as_cells();
+          if (cells && !cells->empty()) {
+            size_t stride = 1;
+            auto it = interrupt_cells.find(parent);
+            if (it != interrupt_cells.end()) stride = it->second;
+            for (size_t off = 0, e = 0; off < cells->size();
+                 off += stride, ++e) {
+              IrqClaim claim;
+              claim.path = path;
+              claim.provenance = !irq->provenance.empty() ? irq->provenance
+                                                          : node.provenance();
+              claim.location =
+                  irq->location.valid() ? irq->location : node.location();
+              claim.parent_phandle = parent;
+              claim.entry_index = e;
+              const size_t n = std::min(stride, cells->size() - off);
+              claim.tuple.reserve(n);
+              for (size_t k = 0; k < n; ++k) {
+                claim.tuple.push_back((*cells)[off + k] & 0xffffffffull);
+              }
+              claims.push_back(std::move(claim));
+            }
+          }
+        }
+        for (const auto& child : node.children()) {
+          const std::string child_path = path == "/"
+                                             ? "/" + child->name()
+                                             : path + "/" + child->name();
+          walk(*child, child_path, parent);
+        }
+      };
+  walk(tree.root(), "/", 0);
+  return claims;
+}
+
+void SemanticChecker::emit_irq_finding(const IrqClaim& a, const IrqClaim& b,
+                                       Findings& out) {
+  Finding f;
+  f.kind = FindingKind::kInterruptCollision;
+  f.subject = b.path;
+  f.property = "interrupts";
+  f.other_subject = a.path;
+  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+  f.location = b.location;
+  f.base_a = b.tuple.empty() ? 0 : b.tuple[0];
+  f.message = "interrupt line " + std::to_string(f.base_a) +
+              " already claimed by " + a.path;
+  out.push_back(std::move(f));
+}
+
 // Interrupt uniqueness through the solver (the paper's conclusions name
-// interrupts alongside memory addresses as bit-vector-validated): two device
-// nodes sharing an interrupt parent collide iff  line_a == line_b  is
-// satisfiable, where the lines are 32-bit vectors fixed to the instance
-// values. Structurally this is equality, but routing it through the solver
-// keeps every semantic rule in one constraint store (the paper's
-// extensibility argument, §VI) and allows symbolic lines later.
+// interrupts alongside memory addresses as bit-vector-validated): two claims
+// under the same interrupt parent collide iff their full specifier tuples
+// are equal — cell by cell, tuple_a[k] == tuple_b[k] satisfiable with each
+// cell fixed to its instance value. Structurally this is equality, but
+// routing it through the solver keeps every semantic rule in one constraint
+// store (the paper's extensibility argument, §VI) and allows symbolic lines
+// later. In planned mode, a hash bucket on (parent, tuple) prefilters the
+// pairs: only claims sharing a bucket can collide, so every other pair is
+// pruned without a query, and the surviving queries go through the planner
+// (batched + cached).
 Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
   Findings out;
   auto& bv = solver_.bitvectors();
-  struct IrqClaim {
-    std::string path;
-    std::string provenance;
-    support::SourceLocation location;
-    uint32_t parent_phandle;
-    uint64_t line;
-    logic::BvTerm term;
-  };
-  std::vector<IrqClaim> claims;
-  tree.visit([&](const std::string& path, const dts::Node& node) {
-    const dts::Property* irq = node.find_property("interrupts");
-    if (irq == nullptr) return;
-    auto cells = irq->as_cells();
-    if (!cells || cells->empty()) return;
-    IrqClaim claim;
-    claim.path = path;
-    claim.provenance =
-        !irq->provenance.empty() ? irq->provenance : node.provenance();
-    claim.location =
-        irq->location.valid() ? irq->location : node.location();
-    claim.parent_phandle = 0;
-    if (const dts::Property* ip = node.find_property("interrupt-parent")) {
-      claim.parent_phandle = ip->as_u32().value_or(0);
-    }
-    claim.line = (*cells)[0];
+  std::vector<IrqClaim> claims = collect_irq_claims(tree);
+
+  auto ensure_terms = [&](IrqClaim& c) {
+    if (!c.terms.empty()) return;
     const std::string ns = "irq" + std::to_string(fresh_counter_++);
-    claim.term = bv.bv_var(ns + "." + path, 32);
-    solver_.add(bv.eq(claim.term, bv.bv_const(claim.line & 0xffffffff, 32)));
-    claims.push_back(std::move(claim));
-  });
-  for (size_t i = 0; i < claims.size(); ++i) {
-    for (size_t j = i + 1; j < claims.size(); ++j) {
-      const IrqClaim& a = claims[i];
-      const IrqClaim& b = claims[j];
-      if (a.parent_phandle != b.parent_phandle) continue;
-      std::vector<logic::Formula> same{bv.eq(a.term, b.term)};
-      smt::CheckResult irq_r = solver_.check_assuming(same);
-      if (query_timed_out(irq_r,
-                          "interrupt check of " + a.path + " vs " + b.path,
-                          out)) {
-        return out;
-      }
-      if (irq_r == smt::CheckResult::kSat) {
-        Finding f;
-        f.kind = FindingKind::kInterruptCollision;
-        f.subject = b.path;
-        f.property = "interrupts";
-        f.other_subject = a.path;
-        f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
-        f.location = b.location;
-        f.base_a = b.line;
-        f.message = "interrupt line " + std::to_string(b.line) +
-                    " already claimed by " + a.path;
-        out.push_back(std::move(f));
+    c.terms.reserve(c.tuple.size());
+    for (size_t k = 0; k < c.tuple.size(); ++k) {
+      c.terms.push_back(
+          bv.bv_var(ns + "." + c.path + "." + std::to_string(k), 32));
+    }
+  };
+  auto comparable = [](const IrqClaim& a, const IrqClaim& b) {
+    return a.parent_phandle == b.parent_phandle &&
+           a.tuple.size() == b.tuple.size();
+  };
+
+  if (!options_.plan) {
+    // Exhaustive: fix every claim's cells globally, then one query per
+    // comparable pair.
+    for (IrqClaim& c : claims) {
+      ensure_terms(c);
+      for (size_t k = 0; k < c.tuple.size(); ++k) {
+        solver_.add(bv.eq(c.terms[k], bv.bv_const(c.tuple[k], 32)));
       }
     }
+    for (size_t i = 0; i < claims.size(); ++i) {
+      for (size_t j = i + 1; j < claims.size(); ++j) {
+        const IrqClaim& a = claims[i];
+        const IrqClaim& b = claims[j];
+        if (!comparable(a, b)) continue;
+        std::vector<logic::Formula> same;
+        same.reserve(a.tuple.size());
+        for (size_t k = 0; k < a.tuple.size(); ++k) {
+          same.push_back(bv.eq(a.terms[k], b.terms[k]));
+        }
+        smt::CheckResult irq_r = solver_.check_assuming(same);
+        if (query_timed_out(irq_r,
+                            "interrupt check of " + a.path + " vs " + b.path,
+                            out)) {
+          return out;
+        }
+        if (irq_r == smt::CheckResult::kSat) emit_irq_finding(a, b, out);
+      }
+    }
+    return out;
+  }
+
+  // Planned: bucket claims by (parent, tuple). Claims in different buckets
+  // cannot collide (concrete unequal tuples), so only intra-bucket pairs
+  // reach the solver; the rest of the comparable pairs are pruned. Candidate
+  // pairs are processed in the exhaustive loop's (i, j) order so the
+  // findings come out byte-identical.
+  std::map<std::pair<uint32_t, std::vector<uint64_t>>, std::vector<size_t>>
+      buckets;
+  std::map<std::pair<uint32_t, size_t>, uint64_t> comparable_group_sizes;
+  for (size_t i = 0; i < claims.size(); ++i) {
+    buckets[{claims[i].parent_phandle, claims[i].tuple}].push_back(i);
+    ++comparable_group_sizes[{claims[i].parent_phandle,
+                              claims[i].tuple.size()}];
+  }
+  uint64_t comparable_pairs = 0;
+  for (const auto& [key, n] : comparable_group_sizes) {
+    comparable_pairs += n * (n - 1) / 2;
+  }
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (const auto& [key, members] : buckets) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        candidates.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  planner_.note_pruned(comparable_pairs - candidates.size());
+
+  for (const auto& [i, j] : candidates) {
+    IrqClaim& a = claims[i];
+    IrqClaim& b = claims[j];
+    ensure_terms(a);
+    ensure_terms(b);
+    // Self-contained query (cache-portable): the cell fixings ride along
+    // instead of being asserted globally.
+    std::vector<logic::Formula> fs;
+    fs.reserve(a.tuple.size() * 3);
+    for (size_t k = 0; k < a.tuple.size(); ++k) {
+      fs.push_back(bv.eq(a.terms[k], bv.bv_const(a.tuple[k], 32)));
+      fs.push_back(bv.eq(b.terms[k], bv.bv_const(b.tuple[k], 32)));
+      fs.push_back(bv.eq(a.terms[k], b.terms[k]));
+    }
+    smt::QueryPlanner::Outcome o = planner_.check(fs);
+    if (query_timed_out(o.result,
+                        "interrupt check of " + a.path + " vs " + b.path,
+                        out)) {
+      return out;
+    }
+    if (o.result == smt::CheckResult::kSat) emit_irq_finding(a, b, out);
   }
   return out;
 }
 
 Findings SemanticChecker::check_regions_impl(
     const std::vector<MemRegion>& regions) {
+  return options_.plan ? check_regions_planned(regions)
+                       : check_regions_exhaustive(regions);
+}
+
+Findings SemanticChecker::check_regions_exhaustive(
+    const std::vector<MemRegion>& regions) {
   Findings out;
-  auto& fa = solver_.formulas();
   auto& bv = solver_.bitvectors();
   uint32_t width = options_.address_bits;
 
   for (const MemRegion& r : regions) {
     if (r.size == 0) {
-      if (options_.warn_zero_size) {
-        Finding f;
-        f.kind = FindingKind::kZeroSizeRegion;
-        f.severity = FindingSeverity::kWarning;
-        f.subject = r.path;
-        f.property = "reg";
-        f.delta = r.provenance;
-        f.location = r.location;
-        f.base_a = r.base;
-        f.message = "region at " + support::hex(r.base) + " has size 0";
-        out.push_back(std::move(f));
-      }
+      if (options_.warn_zero_size) out.push_back(zero_size_finding(r));
       continue;
     }
     // Wrap-around: base + size must not overflow the address space.
@@ -316,20 +543,8 @@ Findings SemanticChecker::check_regions_impl(
     if (query_timed_out(wrap_r, "wrap-around check of " + r.path, out)) {
       return out;
     }
-    bool wraps = wrap_r == smt::CheckResult::kSat;
-    if (wraps) {
-      Finding f;
-      f.kind = FindingKind::kSizeOverflow;
-      f.subject = r.path;
-      f.property = "reg";
-      f.delta = r.provenance;
-      f.location = r.location;
-      f.base_a = r.base;
-      f.size_a = r.size;
-      f.message = "region " + support::hex(r.base) + "+" +
-                  support::hex(r.size) + " wraps around the " +
-                  std::to_string(width) + "-bit address space";
-      out.push_back(std::move(f));
+    if (wrap_r == smt::CheckResult::kSat) {
+      out.push_back(wrap_finding(r, width));
     }
   }
 
@@ -341,47 +556,84 @@ Findings SemanticChecker::check_regions_impl(
       const MemRegion& b = regions[j];
       if (a.size == 0 || b.size == 0) continue;
       if (!overlap_is_fault(a.region_class, b.region_class)) continue;
-      const std::string ns = "ov" + std::to_string(fresh_counter_++);
-      auto x = bv.bv_var(ns + ".x", width);
-      auto in_range = [&](const MemRegion& r) {
-        auto base_t = bv.bv_const(r.base, width);
-        auto end_t = bv.bv_add(base_t, bv.bv_const(r.size, width));
-        // base <= x < base + size; the wrap case is reported separately, and
-        // for wrapped regions the conjunction below under-approximates.
-        return fa.mk_and(bv.uge(x, base_t), bv.ult(x, end_t));
-      };
+      OverlapQuery q = build_overlap_query(a, b);
       solver_.push();
-      solver_.add(in_range(a));
-      solver_.add(in_range(b));
+      for (logic::Formula f : q.formulas) solver_.add(f);
       smt::CheckResult overlap_r = solver_.check();
       bool overlaps = overlap_r == smt::CheckResult::kSat;
-      uint64_t witness = overlaps ? solver_.model_bv(x) : 0;
+      uint64_t witness = overlaps ? solver_.model_bv(q.x) : 0;
       solver_.pop();
       if (query_timed_out(overlap_r,
                           "overlap check of " + a.path + " vs " + b.path,
                           out)) {
         return out;
       }
-      if (overlaps) {
-        Finding f;
-        f.kind = FindingKind::kAddressOverlap;
-        f.subject = a.path + "[" + std::to_string(a.entry_index) + "]";
-        f.other_subject = b.path + "[" + std::to_string(b.entry_index) + "]";
-        // Blame the most recent delta involved (b's provenance wins when both
-        // have one — later deltas modify earlier state).
-        f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
-        f.location = a.location;
-        f.base_a = a.base;
-        f.size_a = a.size;
-        f.base_b = b.base;
-        f.size_b = b.size;
-        f.witness = witness;
-        f.message = "regions " + support::hex(a.base) + "+" +
-                    support::hex(a.size) + " and " + support::hex(b.base) +
-                    "+" + support::hex(b.size) +
-                    " overlap (witness address " + support::hex(witness) + ")";
-        out.push_back(std::move(f));
-      }
+      if (overlaps) out.push_back(overlap_finding(a, b, witness));
+    }
+  }
+  return out;
+}
+
+Findings SemanticChecker::check_regions_planned(
+    const std::vector<MemRegion>& regions) {
+  Findings out;
+  const uint32_t width = options_.address_bits;
+
+  // Shadow copy in the solver's w-bit semantics: bases and sizes masked,
+  // wrapped regions (whose in-range predicate is empty — see region_wraps)
+  // zeroed out so the sweep-line prefilter agrees with the encoding.
+  std::vector<MemRegion> shadow = regions;
+  for (MemRegion& s : shadow) {
+    s.base = mask_to(s.base, width);
+    s.size = mask_to(s.size, width);
+  }
+
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const MemRegion& r = regions[i];
+    if (r.size == 0) {
+      if (options_.warn_zero_size) out.push_back(zero_size_finding(r));
+      continue;
+    }
+    // The wrap check is concrete arithmetic: decided here, one solver query
+    // pruned relative to the exhaustive path.
+    planner_.note_pruned(1);
+    if (region_wraps(shadow[i].base, shadow[i].size, width)) {
+      out.push_back(wrap_finding(r, width));
+      shadow[i].size = 0;
+    }
+  }
+
+  // Queries the exhaustive path would issue: every ordered pair of nonzero
+  // regions whose class combination is a fault. Counted by class tally so
+  // the pruning counter is exact without an O(n^2) walk.
+  uint64_t nonzero = 0, ipc = 0, memory = 0;
+  for (const MemRegion& r : regions) {
+    if (r.size == 0) continue;
+    ++nonzero;
+    if (r.region_class == RegionClass::kIpc) ++ipc;
+    if (r.region_class == RegionClass::kMemory) ++memory;
+  }
+  const uint64_t queryable = nonzero * (nonzero - 1) / 2 - ipc * memory;
+
+  // Sound prefilter: the sweep-line reports every pair whose masked
+  // intervals intersect, which is exactly the set of pairs the solver can
+  // find satisfiable — everything else is pruned. Candidates arrive sorted
+  // (first, second) lexicographically, the exhaustive loop's order.
+  std::vector<OverlapPair> candidates = find_overlaps_sweepline(shadow);
+  planner_.note_pruned(queryable - candidates.size());
+
+  for (const OverlapPair& pair : candidates) {
+    const MemRegion& a = regions[pair.first];
+    const MemRegion& b = regions[pair.second];
+    OverlapQuery q = build_overlap_query(a, b);
+    smt::QueryPlanner::Outcome o = planner_.check(q.formulas, q.x);
+    if (query_timed_out(o.result,
+                        "overlap check of " + a.path + " vs " + b.path,
+                        out)) {
+      return out;
+    }
+    if (o.result == smt::CheckResult::kSat) {
+      out.push_back(overlap_finding(a, b, o.witness));
     }
   }
   return out;

@@ -18,6 +18,7 @@
 
 #include "checkers/finding.hpp"
 #include "dts/tree.hpp"
+#include "smt/query_plan.hpp"
 #include "smt/solver.hpp"
 #include "support/deadline.hpp"
 
@@ -71,6 +72,19 @@ struct SemanticOptions {
   /// a pathological query degrades into a visible error, never a hang or a
   /// silent pass.
   uint64_t solver_timeout_ms = 0;
+  /// Route queries through the smt::QueryPlanner: structurally decidable
+  /// queries (concrete wrap checks, pairs the sweep-line prefilter proves
+  /// disjoint, interrupt tuples in singleton hash buckets) never reach the
+  /// solver, and surviving queries are batched onto one incremental
+  /// instance under assumption guards. Findings are byte-identical either
+  /// way (property-tested); false exists for A/B comparison and for tests
+  /// that need every query to hit the backend.
+  bool plan = true;
+  /// Directory for the persistent query-result cache (empty = no cache).
+  /// Only consulted when `plan` is set. A warm cache answers repeated
+  /// queries without any solver work; entries are invalidated by backend
+  /// and format-version changes (see smt::QueryCache).
+  std::string cache_dir;
 };
 
 /// Extracts all regions from reg properties. Nodes whose parent declares
@@ -99,9 +113,34 @@ class SemanticChecker {
 
   [[nodiscard]] uint64_t solver_checks() const { return solver_.stats().checks; }
 
+  /// Planner counters for the last/current run (all zero when options_.plan
+  /// is false — the exhaustive path bypasses the planner entirely).
+  [[nodiscard]] const smt::QueryPlanStats& plan_stats() const {
+    return planner_.stats();
+  }
+
  private:
+  struct IrqClaim;
+  struct OverlapQuery {
+    std::vector<logic::Formula> formulas;
+    logic::BvTerm x;
+  };
+
   Findings check_interrupts(const dts::Tree& tree);
   Findings check_regions_impl(const std::vector<MemRegion>& regions);
+  Findings check_regions_exhaustive(const std::vector<MemRegion>& regions);
+  Findings check_regions_planned(const std::vector<MemRegion>& regions);
+  /// The formula-(7) query for one region pair, shared by both paths. The
+  /// witness is pinned to max(base_a, base_b) (masked to address_bits):
+  /// for concrete non-wrapping intervals that address is in the
+  /// intersection iff the intersection is non-empty, so the pin is
+  /// equisatisfiable and makes the reported witness independent of
+  /// backend, batching, and model heuristics.
+  OverlapQuery build_overlap_query(const MemRegion& a, const MemRegion& b);
+  /// Collects one claim per `interrupts` tuple (stride = the interrupt
+  /// parent's #interrupt-cells), resolving interrupt-parent by inheritance.
+  std::vector<IrqClaim> collect_irq_claims(const dts::Tree& tree);
+  void emit_irq_finding(const IrqClaim& a, const IrqClaim& b, Findings& out);
   /// Starts one check() call's solver budget from options_.solver_timeout_ms.
   void arm_deadline();
   /// True when the last query was cut off; records a kSolverTimeout finding
@@ -111,6 +150,7 @@ class SemanticChecker {
 
   SemanticOptions options_;
   smt::Solver solver_;
+  smt::QueryPlanner planner_;
   uint64_t fresh_counter_ = 0;
   support::Deadline deadline_;
   bool timeout_reported_ = false;

@@ -114,16 +114,20 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
     }
 
     // Stages 3+4 (+ lint): each stage is one chunk; sorted on arrival.
+    // The callback fills the counter fields of its StageTrace entry.
     // Returns false when fail-fast ends the unit at this stage.
     auto run_stage = [&](const char* stage,
-                         const std::function<checkers::Findings(uint64_t&)>&
+                         const std::function<checkers::Findings(StageTrace&)>&
                              fn) -> bool {
+      StageTrace st;
+      st.unit = unit_name;
+      st.stage = stage;
       const Clock::time_point s0 = Clock::now();
-      uint64_t checks = 0;
-      checkers::Findings f = fn(checks);
+      checkers::Findings f = fn(st);
+      st.wall_ms = ms_since(s0);
+      st.findings = f.size();
       checkers::sort_by_location(f);
-      u.stages.push_back(
-          StageTrace{unit_name, stage, ms_since(s0), checks, f.size()});
+      u.stages.push_back(std::move(st));
       const bool had_errors = checkers::error_count(f) > 0;
       u.findings.insert(u.findings.end(), f.begin(), f.end());
       if (had_errors && options_.fail_fast) {
@@ -135,29 +139,34 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
 
     const bool check_this = !is_platform || options_.check_platform;
     if (check_this && options_.check_lint) {
-      if (!run_stage("lint", [&](uint64_t&) {
+      if (!run_stage("lint", [&](StageTrace&) {
             return checkers::LintChecker().check(*u.tree);
           })) {
         return;
       }
     }
     if (check_this && options_.check_syntax) {
-      if (!run_stage("syntactic", [&](uint64_t& checks) {
+      if (!run_stage("syntactic", [&](StageTrace& st) {
             checkers::SyntacticChecker syn(*schemas_, options_.backend);
             checkers::Findings f = syn.check(*u.tree);
-            checks = syn.solver_checks();
+            st.solver_checks = syn.solver_checks();
             return f;
           })) {
         return;
       }
     }
     if (check_this && options_.check_semantics) {
-      if (!run_stage("semantic", [&](uint64_t& checks) {
+      if (!run_stage("semantic", [&](StageTrace& st) {
             checkers::SemanticOptions sem_options;
             sem_options.solver_timeout_ms = options_.solver_timeout_ms;
+            sem_options.plan = options_.plan_queries;
+            sem_options.cache_dir = options_.cache_dir;
             checkers::SemanticChecker sem(options_.backend, sem_options);
             checkers::Findings f = sem.check(*u.tree);
-            checks = sem.solver_checks();
+            st.solver_checks = sem.solver_checks();
+            st.queries_issued = sem.plan_stats().queries_issued;
+            st.queries_pruned = sem.plan_stats().queries_pruned;
+            st.cache_hits = sem.plan_stats().cache_hits;
             return f;
           })) {
         return;

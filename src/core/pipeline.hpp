@@ -59,6 +59,16 @@ struct PipelineOptions {
   /// Per-tree wall-clock budget for the semantic checker's solver work, in
   /// ms (0 = unlimited). Expiry yields a kSolverTimeout error finding.
   uint64_t solver_timeout_ms = 0;
+  /// Route semantic-checker queries through the smt::QueryPlanner (sweep-
+  /// line / hash-bucket prefilters + batched assumption-guarded solving).
+  /// Findings are byte-identical either way; false restores the exhaustive
+  /// one-query-per-pair path for A/B comparison.
+  bool plan_queries = true;
+  /// Directory for the persistent query-result cache shared by every unit
+  /// (empty = no cache). With a warm cache the semantic stages issue zero
+  /// solver queries on unchanged input. See smt::QueryCache for the
+  /// invalidation scheme.
+  std::string cache_dir;
 };
 
 struct GeneratedVm {

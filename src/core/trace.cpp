@@ -42,6 +42,24 @@ size_t PipelineTrace::total_findings() const {
   return n;
 }
 
+uint64_t PipelineTrace::total_queries_issued() const {
+  uint64_t n = 0;
+  for (const StageTrace& s : stages) n += s.queries_issued;
+  return n;
+}
+
+uint64_t PipelineTrace::total_queries_pruned() const {
+  uint64_t n = 0;
+  for (const StageTrace& s : stages) n += s.queries_pruned;
+  return n;
+}
+
+uint64_t PipelineTrace::total_cache_hits() const {
+  uint64_t n = 0;
+  for (const StageTrace& s : stages) n += s.cache_hits;
+  return n;
+}
+
 std::string PipelineTrace::to_json() const {
   std::ostringstream os;
   os << "{\n";
@@ -49,6 +67,9 @@ std::string PipelineTrace::to_json() const {
   os << "  \"total_ms\": " << format_ms(total_ms) << ",\n";
   os << "  \"complete\": " << (complete ? "true" : "false") << ",\n";
   os << "  \"solver_checks\": " << total_solver_checks() << ",\n";
+  os << "  \"queries_issued\": " << total_queries_issued() << ",\n";
+  os << "  \"queries_pruned\": " << total_queries_pruned() << ",\n";
+  os << "  \"cache_hits\": " << total_cache_hits() << ",\n";
   os << "  \"findings\": " << total_findings() << ",\n";
   os << "  \"stages\": [";
   for (size_t i = 0; i < stages.size(); ++i) {
@@ -59,6 +80,9 @@ std::string PipelineTrace::to_json() const {
     append_escaped(os, s.stage);
     os << ", \"wall_ms\": " << format_ms(s.wall_ms)
        << ", \"solver_checks\": " << s.solver_checks
+       << ", \"queries_issued\": " << s.queries_issued
+       << ", \"queries_pruned\": " << s.queries_pruned
+       << ", \"cache_hits\": " << s.cache_hits
        << ", \"findings\": " << s.findings << '}';
   }
   if (!stages.empty()) os << "\n  ";
@@ -76,16 +100,22 @@ std::string PipelineTrace::render_table() const {
   os << std::left << std::setw(static_cast<int>(unit_w)) << "unit" << "  "
      << std::setw(static_cast<int>(stage_w)) << "stage" << "  "
      << std::right << std::setw(10) << "wall_ms" << "  " << std::setw(7)
-     << "checks" << "  " << std::setw(8) << "findings" << '\n';
+     << "checks" << "  " << std::setw(7) << "issued" << "  " << std::setw(7)
+     << "pruned" << "  " << std::setw(7) << "cached" << "  " << std::setw(8)
+     << "findings" << '\n';
   for (const StageTrace& s : stages) {
     os << std::left << std::setw(static_cast<int>(unit_w)) << s.unit << "  "
        << std::setw(static_cast<int>(stage_w)) << s.stage << "  "
        << std::right << std::setw(10) << format_ms(s.wall_ms) << "  "
-       << std::setw(7) << s.solver_checks << "  " << std::setw(8)
+       << std::setw(7) << s.solver_checks << "  " << std::setw(7)
+       << s.queries_issued << "  " << std::setw(7) << s.queries_pruned
+       << "  " << std::setw(7) << s.cache_hits << "  " << std::setw(8)
        << s.findings << '\n';
   }
   os << "total " << format_ms(total_ms) << " ms, "
-     << total_solver_checks() << " solver checks, " << total_findings()
+     << total_solver_checks() << " solver checks, " << total_queries_issued()
+     << " issued, " << total_queries_pruned() << " pruned, "
+     << total_cache_hits() << " cache hits, " << total_findings()
      << " findings, jobs=" << jobs
      << (complete ? "" : " (incomplete: fail-fast abort)") << '\n';
   return os.str();

@@ -22,6 +22,13 @@ struct StageTrace {
   uint64_t solver_checks = 0;
   /// Findings this stage produced.
   size_t findings = 0;
+  // Query-planner counters (semantic stage only; zero elsewhere and when
+  // planning is disabled). queries_issued counts checks that reached the
+  // backend, queries_pruned the checks a prefilter decided structurally,
+  // cache_hits the checks answered from the persistent query cache.
+  uint64_t queries_issued = 0;
+  uint64_t queries_pruned = 0;
+  uint64_t cache_hits = 0;
 };
 
 struct PipelineTrace {
@@ -36,6 +43,9 @@ struct PipelineTrace {
 
   [[nodiscard]] uint64_t total_solver_checks() const;
   [[nodiscard]] size_t total_findings() const;
+  [[nodiscard]] uint64_t total_queries_issued() const;
+  [[nodiscard]] uint64_t total_queries_pruned() const;
+  [[nodiscard]] uint64_t total_cache_hits() const;
 
   /// The --trace-json document (stable key order, 3-decimal timings).
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,227 @@
+#include "smt/query_cache.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+namespace llhsc::smt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Bumped whenever the canonical text or entry format changes; part of the
+/// directory name, so stale entries are never consulted.
+constexpr int kCacheFormatVersion = 1;
+
+struct Canonicalizer {
+  const logic::FormulaArena* fa;
+  const logic::BvArena* bv;
+  std::ostringstream os;
+  // First-visit sequence numbers. Names are deliberately ignored: fresh
+  // counters differ between runs, but the query structure does not.
+  std::unordered_map<uint32_t, uint32_t> term_seq;
+  std::unordered_map<uint32_t, uint32_t> formula_seq;
+  std::unordered_map<uint32_t, uint32_t> bool_var_seq;
+
+  void term(logic::BvTerm t) {
+    auto [it, fresh] =
+        term_seq.emplace(t.id(), static_cast<uint32_t>(term_seq.size()));
+    if (!fresh) {
+      os << 't' << it->second;
+      return;
+    }
+    const logic::BvOp op = bv->term_op(t);
+    os << '(' << static_cast<int>(op) << ' ' << bv->width(t);
+    switch (op) {
+      case logic::BvOp::kConst:
+        os << ' ' << bv->const_value(t);
+        break;
+      case logic::BvOp::kVar:
+        break;
+      case logic::BvOp::kNot:
+        os << ' ';
+        term(bv->operand_a(t));
+        break;
+      case logic::BvOp::kShlConst:
+      case logic::BvOp::kLshrConst:
+        os << ' ' << bv->immediate(t) << ' ';
+        term(bv->operand_a(t));
+        break;
+      case logic::BvOp::kZeroExt:
+        os << ' ';
+        term(bv->operand_a(t));
+        break;
+      case logic::BvOp::kExtract:
+        os << ' ' << bv->immediate2(t) << ' ' << bv->immediate(t) << ' ';
+        term(bv->operand_a(t));
+        break;
+      case logic::BvOp::kIte:
+        os << ' ';
+        formula(bv->ite_condition(t));
+        os << ' ';
+        term(bv->operand_a(t));
+        os << ' ';
+        term(bv->operand_b(t));
+        break;
+      default:  // binary arithmetic / bitwise / concat
+        os << ' ';
+        term(bv->operand_a(t));
+        os << ' ';
+        term(bv->operand_b(t));
+        break;
+    }
+    os << ')';
+  }
+
+  void formula(logic::Formula f) {
+    auto [it, fresh] =
+        formula_seq.emplace(f.id(), static_cast<uint32_t>(formula_seq.size()));
+    if (!fresh) {
+      os << 'f' << it->second;
+      return;
+    }
+    const logic::Op op = fa->op(f);
+    os << '[' << static_cast<int>(op);
+    switch (op) {
+      case logic::Op::kTrue:
+      case logic::Op::kFalse:
+        break;
+      case logic::Op::kVar: {
+        const uint32_t idx = fa->var_of(f).index;
+        auto [vit, _] = bool_var_seq.emplace(
+            idx, static_cast<uint32_t>(bool_var_seq.size()));
+        os << ' ' << vit->second;
+        break;
+      }
+      case logic::Op::kBvAtom: {
+        const logic::BvAtom& atom = fa->bv_atom(f);
+        os << ' ' << static_cast<int>(atom.pred) << ' ';
+        term(logic::BvTerm::from_id(atom.lhs_term));
+        os << ' ';
+        term(logic::BvTerm::from_id(atom.rhs_term));
+        break;
+      }
+      default:
+        for (logic::Formula operand : fa->operands(f)) {
+          os << ' ';
+          formula(operand);
+        }
+        break;
+    }
+    os << ']';
+  }
+};
+
+std::string hex64(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string canonical_query_text(const logic::FormulaArena& formulas,
+                                 const logic::BvArena& bitvectors,
+                                 std::span<const logic::Formula> fs,
+                                 logic::BvTerm witness_term) {
+  Canonicalizer c{&formulas, &bitvectors, {}, {}, {}, {}};
+  for (logic::Formula f : fs) {
+    c.formula(f);
+    c.os << '\n';
+  }
+  c.os << "w ";
+  if (witness_term.valid()) {
+    c.term(witness_term);
+  } else {
+    c.os << '-';
+  }
+  c.os << '\n';
+  return c.os.str();
+}
+
+uint64_t query_fingerprint(std::string_view canonical_text) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char ch : canonical_text) {
+    h ^= ch;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+QueryCache::QueryCache(const std::string& dir, Backend backend) {
+  if (dir.empty()) return;
+  version_dir_ = dir + "/qc" + std::to_string(kCacheFormatVersion) + "-" +
+                 std::string(to_string(backend));
+  std::error_code ec;
+  fs::create_directories(version_dir_, ec);
+  enabled_ = !ec && fs::is_directory(version_dir_, ec) && !ec;
+}
+
+std::string QueryCache::entry_path(uint64_t fingerprint) const {
+  return version_dir_ + "/" + hex64(fingerprint) + ".qc";
+}
+
+std::optional<QueryCache::Entry> QueryCache::lookup(
+    const std::string& canonical_text) const {
+  if (!enabled_) return std::nullopt;
+  std::ifstream in(entry_path(query_fingerprint(canonical_text)),
+                   std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  std::istringstream hs(header);
+  std::string magic, verdict, witness_hex;
+  int version = 0;
+  if (!(hs >> magic >> version >> verdict >> witness_hex) ||
+      magic != "llhsc-qc" || version != kCacheFormatVersion) {
+    return std::nullopt;
+  }
+  Entry entry;
+  if (verdict == "sat") {
+    entry.result = CheckResult::kSat;
+  } else if (verdict == "unsat") {
+    entry.result = CheckResult::kUnsat;
+  } else {
+    return std::nullopt;
+  }
+  entry.witness = std::stoull(witness_hex, nullptr, 16);
+  // Collision guard: the stored canonical text must match the probe.
+  std::ostringstream body;
+  body << in.rdbuf();
+  if (body.str() != canonical_text) return std::nullopt;
+  return entry;
+}
+
+void QueryCache::store(const std::string& canonical_text, const Entry& entry) {
+  if (!enabled_ || entry.result == CheckResult::kUnknown) return;
+  const std::string path = entry_path(query_fingerprint(canonical_text));
+  static std::atomic<uint64_t> write_counter{0};
+  const std::string tmp =
+      path + ".tmp" + std::to_string(write_counter.fetch_add(1)) + "-" +
+      hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return;
+    out << "llhsc-qc " << kCacheFormatVersion << ' '
+        << (entry.result == CheckResult::kSat ? "sat" : "unsat") << ' '
+        << hex64(entry.witness) << '\n'
+        << canonical_text;
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  // Atomic publish; racing writers produce identical content, so whichever
+  // rename lands last is as good as the first.
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace llhsc::smt

@@ -1,0 +1,71 @@
+// Persistent query-result cache for the query planner. A solver query is a
+// set of formulas plus (optionally) one bit-vector term whose model value is
+// the witness to report; the cache maps a *structural* canonicalisation of
+// that query to the verdict and witness from an earlier run. Formula and
+// term ids are per-process (hash-consing order depends on construction
+// order), so keys are computed by re-serialising the query DAG with
+// traversal-order sequence numbers and ignoring variable names — two
+// processes that build the same query get the same key.
+//
+// Storage is one file per key under  <dir>/qc<version>-<backend>/ ; bumping
+// the format version or switching backends invalidates the whole cache by
+// construction (different subdirectory). Writes go through a temp file +
+// rename, so concurrent units racing on the same key each land a complete
+// entry and readers never observe a partial file. Lookups verify the stored
+// canonical text against the probe to defeat fingerprint collisions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "logic/bitvector.hpp"
+#include "logic/formula.hpp"
+#include "smt/solver.hpp"
+
+namespace llhsc::smt {
+
+/// Structural serialisation of one query: each formula on its own line,
+/// shared subterms back-referenced by first-visit sequence number, variable
+/// names dropped. The final line names the witness term (or "-").
+[[nodiscard]] std::string canonical_query_text(
+    const logic::FormulaArena& formulas, const logic::BvArena& bitvectors,
+    std::span<const logic::Formula> fs, logic::BvTerm witness_term);
+
+/// FNV-1a 64 over the canonical text; the cache's file name.
+[[nodiscard]] uint64_t query_fingerprint(std::string_view canonical_text);
+
+class QueryCache {
+ public:
+  struct Entry {
+    CheckResult result = CheckResult::kUnknown;
+    uint64_t witness = 0;
+  };
+
+  /// Opens (creating if needed) the versioned cache directory for `backend`
+  /// under `dir`. On any filesystem failure the cache silently disables
+  /// itself: caching is an optimisation, never a correctness dependency.
+  QueryCache(const std::string& dir, Backend backend);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Returns the stored entry for this query, or nullopt on miss (including
+  /// fingerprint collisions, unreadable entries, and a disabled cache).
+  [[nodiscard]] std::optional<Entry> lookup(
+      const std::string& canonical_text) const;
+
+  /// Persists a decided query. kUnknown results (deadline expiry) are never
+  /// stored — a later run with more budget must re-attempt them.
+  void store(const std::string& canonical_text, const Entry& entry);
+
+  [[nodiscard]] const std::string& directory() const { return version_dir_; }
+
+ private:
+  [[nodiscard]] std::string entry_path(uint64_t fingerprint) const;
+
+  std::string version_dir_;
+  bool enabled_ = false;
+};
+
+}  // namespace llhsc::smt

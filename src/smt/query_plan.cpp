@@ -1,0 +1,52 @@
+#include "smt/query_plan.hpp"
+
+#include <vector>
+
+namespace llhsc::smt {
+
+QueryPlanner::QueryPlanner(Solver& solver, const std::string& cache_dir)
+    : solver_(&solver) {
+  if (!cache_dir.empty()) {
+    cache_ = std::make_unique<QueryCache>(cache_dir, solver.backend());
+  }
+}
+
+QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,
+                                          logic::BvTerm witness_term) {
+  Outcome outcome;
+  std::string key;
+  if (cache_enabled()) {
+    key = canonical_query_text(solver_->formulas(), solver_->bitvectors(), fs,
+                               witness_term);
+    if (auto hit = cache_->lookup(key)) {
+      ++stats_.cache_hits;
+      outcome.result = hit->result;
+      outcome.witness = hit->witness;
+      outcome.from_cache = true;
+      return outcome;
+    }
+  }
+
+  logic::FormulaArena& fa = solver_->formulas();
+  const logic::Formula guard =
+      solver_->bool_var("qp.g" + std::to_string(guard_counter_++));
+  for (logic::Formula f : fs) {
+    solver_->add(fa.mk_implies(guard, f));
+  }
+  std::vector<logic::Formula> assumptions{guard};
+  outcome.result = solver_->check_assuming(assumptions);
+  ++stats_.queries_issued;
+  if (outcome.result == CheckResult::kSat && witness_term.valid()) {
+    outcome.witness = solver_->model_bv(witness_term);
+  }
+  // Retire the guard: the implications become vacuous, so this query can
+  // never constrain (or slow down) a later one on the shared instance.
+  solver_->add(fa.mk_not(guard));
+
+  if (cache_enabled() && outcome.result != CheckResult::kUnknown) {
+    cache_->store(key, {outcome.result, outcome.witness});
+  }
+  return outcome;
+}
+
+}  // namespace llhsc::smt

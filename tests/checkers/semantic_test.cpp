@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "checkers/interval_baseline.hpp"
 #include "dts/parser.hpp"
 
 namespace llhsc::checkers {
@@ -443,6 +444,111 @@ TEST_P(SemanticTest, DifferentInterruptParentsDoNotCollide) {
   EXPECT_FALSE(contains(f, FindingKind::kInterruptCollision)) << render(f);
 }
 
+// compatible is a stringlist; the veth binding may be the fallback entry,
+// not the first. Regression: classify() used as_string(), which only
+// matches a single-string compatible.
+TEST_P(SemanticTest, VethCompatibleAnywhereInStringlistIsIpc) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x40000000 0x20000000 0x60000000 0x20000000>;
+    };
+    vEthernet {
+        shm@70000000 { compatible = "acme,veth-2", "veth"; reg = <0x70000000 0x10000000>; id = <1>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  EXPECT_EQ(error_count(f), 0u)
+      << "a multi-entry compatible containing \"veth\" is an IPC window and "
+         "may overlap RAM: "
+      << render(f);
+}
+
+// Regression: check_interrupts read only cells[0] of the first entry, so a
+// collision on the second entry of a multi-entry interrupts went unseen.
+TEST_P(SemanticTest, SecondInterruptEntryCollisionDetected) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    a@1000 { reg = <0x1000 0x10>; interrupts = <5 9>; };
+    b@2000 { reg = <0x2000 0x10>; interrupts = <9>; };
+};
+)");
+  Findings f = check(*tree);
+  int collisions = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kInterruptCollision) {
+      ++collisions;
+      EXPECT_EQ(finding.base_a, 9u) << finding.render();
+    }
+  }
+  EXPECT_EQ(collisions, 1)
+      << "a's second entry and b's first both claim line 9: " << render(f);
+}
+
+// Multi-cell specifiers: the parent's #interrupt-cells sets the tuple
+// stride, and tuples compare whole — differing only in a trailing cell is
+// not a collision (the old cells[0] comparison would have flagged it).
+TEST_P(SemanticTest, StridedInterruptTuplesCompareWhole) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    gic: intc@8000000 { reg = <0x8000000 0x10000>; #interrupt-cells = <3>; };
+    a@1000 { reg = <0x1000 0x10>; interrupt-parent = <&gic>; interrupts = <0 10 4>; };
+    b@2000 { reg = <0x2000 0x10>; interrupt-parent = <&gic>; interrupts = <0 10 4>; };
+    c@3000 { reg = <0x3000 0x10>; interrupt-parent = <&gic>; interrupts = <0 10 8>; };
+};
+)");
+  Findings f = check(*tree);
+  int collisions = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kInterruptCollision) {
+      ++collisions;
+      EXPECT_EQ(finding.subject, "/b@2000") << finding.render();
+      EXPECT_EQ(finding.other_subject, "/a@1000") << finding.render();
+    }
+  }
+  EXPECT_EQ(collisions, 1) << render(f);
+}
+
+// interrupt-parent inherits from the nearest ancestor per the DT spec, so
+// equal lines routed to different inherited parents do not collide.
+TEST_P(SemanticTest, InheritedInterruptParentsResolvePerSubtree) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    pic_a: pic@100 { reg = <0x100 0x10>; #interrupt-cells = <1>; };
+    pic_b: pic@200 { reg = <0x200 0x10>; #interrupt-cells = <1>; };
+    soc_a {
+        interrupt-parent = <&pic_a>;
+        a@1000 { reg = <0x1000 0x10>; interrupts = <5>; };
+    };
+    soc_b {
+        interrupt-parent = <&pic_b>;
+        b@2000 { reg = <0x2000 0x10>; interrupts = <5>; };
+        c@3000 { reg = <0x3000 0x10>; interrupts = <5>; };
+    };
+};
+)");
+  Findings f = check(*tree);
+  int collisions = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kInterruptCollision) {
+      ++collisions;
+      EXPECT_EQ(finding.subject, "/soc_b/c@3000") << finding.render();
+    }
+  }
+  EXPECT_EQ(collisions, 1)
+      << "only b and c share the inherited parent pic_b: " << render(f);
+}
+
 TEST_P(SemanticTest, FindingsCarryProvenance) {
   auto tree = parse_ok(R"(
 / {
@@ -554,6 +660,9 @@ TEST_P(SemanticTest, TruncationOverlapBlamesTheCellsDelta) {
 // A solver budget that cannot cover the query load must surface as exactly
 // one error-severity kSolverTimeout finding (remaining queries are skipped,
 // not silently passed) — and the run terminates promptly instead of hanging.
+// plan = false: under the planner these disjoint regions never reach the
+// solver at all (see PlannedBudgetExhaustionStillReportsTimeout for the
+// planned-path variant).
 TEST(SemanticTimeout, ExhaustedBudgetReportsOneTimeoutFinding) {
   std::vector<MemRegion> regions;
   for (int i = 0; i < 48; ++i) {
@@ -566,6 +675,36 @@ TEST(SemanticTimeout, ExhaustedBudgetReportsOneTimeoutFinding) {
   }
   SemanticOptions opts;
   opts.solver_timeout_ms = 1;
+  opts.plan = false;
+  SemanticChecker checker(smt::Backend::kBuiltin, opts);
+  Findings f = checker.check_regions(regions);
+  int timeouts = 0;
+  for (const Finding& finding : f) {
+    if (finding.kind == FindingKind::kSolverTimeout) {
+      ++timeouts;
+      EXPECT_EQ(finding.severity, FindingSeverity::kError);
+    }
+  }
+  EXPECT_EQ(timeouts, 1) << render(f);
+  EXPECT_GT(error_count(f), 0u);
+}
+
+// The planned path prunes structurally-disjoint queries, but queries that
+// survive the prefilter still respect the budget: pile up enough genuinely
+// overlapping pairs and the timeout finding fires exactly as before.
+TEST(SemanticTimeout, PlannedBudgetExhaustionStillReportsTimeout) {
+  std::vector<MemRegion> regions;
+  for (int i = 0; i < 64; ++i) {
+    MemRegion r;
+    r.path = "/r" + std::to_string(i);
+    r.base = 0x1000;  // all identical: every pair is a candidate
+    r.size = 0x800;
+    r.region_class = RegionClass::kDevice;
+    regions.push_back(std::move(r));
+  }
+  SemanticOptions opts;
+  opts.solver_timeout_ms = 1;
+  opts.plan = true;
   SemanticChecker checker(smt::Backend::kBuiltin, opts);
   Findings f = checker.check_regions(regions);
   int timeouts = 0;
@@ -635,6 +774,66 @@ TEST_P(RandomRegionsTest, SolverAgreesWithIntervalArithmetic) {
     }
   }
   EXPECT_EQ(solver_overlaps, interval_overlaps);
+}
+
+// Satellite property test for the query planner: on random concrete region
+// sets the planned path must be finding-equivalent (every field, witness
+// included) to the exhaustive pairwise path, and both verdict-equivalent to
+// the structural sweep-line baseline. Mixed classes exercise the planner's
+// class-pair pruning (ipc-vs-memory is never a fault).
+TEST_P(RandomRegionsTest, PlannedPathMatchesExhaustiveAndBaseline) {
+  std::mt19937_64 rng(GetParam().seed ^ 0x9e3779b97f4a7c15ull);
+  std::uniform_int_distribution<uint64_t> base_dist(0, 1 << 20);
+  std::uniform_int_distribution<uint64_t> size_dist(1, 1 << 12);
+  std::uniform_int_distribution<int> class_dist(0, 2);
+  std::vector<MemRegion> regions;
+  for (int i = 0; i < GetParam().count; ++i) {
+    MemRegion r;
+    r.path = "/r" + std::to_string(i);
+    r.base = base_dist(rng);
+    r.size = size_dist(rng);
+    switch (class_dist(rng)) {
+      case 0: r.region_class = RegionClass::kDevice; break;
+      case 1: r.region_class = RegionClass::kIpc; break;
+      default: r.region_class = RegionClass::kMemory; break;
+    }
+    regions.push_back(std::move(r));
+  }
+
+  SemanticOptions planned_opts;
+  planned_opts.plan = true;
+  SemanticOptions exhaustive_opts;
+  exhaustive_opts.plan = false;
+  SemanticChecker planned(GetParam().backend, planned_opts);
+  SemanticChecker exhaustive(GetParam().backend, exhaustive_opts);
+  Findings pf = planned.check_regions(regions);
+  Findings ef = exhaustive.check_regions(regions);
+
+  ASSERT_EQ(pf.size(), ef.size()) << "planned:\n"
+                                  << render(pf) << "exhaustive:\n"
+                                  << render(ef);
+  for (size_t i = 0; i < pf.size(); ++i) {
+    EXPECT_EQ(pf[i].kind, ef[i].kind);
+    EXPECT_EQ(pf[i].subject, ef[i].subject);
+    EXPECT_EQ(pf[i].other_subject, ef[i].other_subject);
+    EXPECT_EQ(pf[i].base_a, ef[i].base_a);
+    EXPECT_EQ(pf[i].size_a, ef[i].size_a);
+    EXPECT_EQ(pf[i].base_b, ef[i].base_b);
+    EXPECT_EQ(pf[i].size_b, ef[i].size_b);
+    EXPECT_EQ(pf[i].witness, ef[i].witness)
+        << "planned and exhaustive witnesses must agree at " << pf[i].render();
+    EXPECT_EQ(pf[i].message, ef[i].message);
+  }
+
+  auto overlap_count = [](const Findings& fs) {
+    size_t n = 0;
+    for (const Finding& f : fs) {
+      if (f.kind == FindingKind::kAddressOverlap) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(overlap_count(pf), overlap_count(check_regions_baseline(regions)))
+      << "solver path and structural baseline must agree on the verdict";
 }
 
 std::vector<RandomRegionsCase> region_cases() {

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Benchmark smoke for the query planner (PR3): runs the planner ablations of
+# bench_semantic_overlap and bench_pipeline (the eight-VM workload) and
+# composes BENCH_pr3.json with the headline numbers — semantic solver checks
+# and queries issued/pruned/cache hits per mode, plus wall times — so CI can
+# archive the evidence for the >=10x check reduction and the zero-query warm
+# run.
+# Usage: bench_pr3.sh <build-dir> [out.json]
+set -eu
+
+BUILD="$1"
+OUT="${2:-BENCH_pr3.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_pipeline" \
+    --benchmark_filter='BM_PipelineEightVmPlanner' \
+    --benchmark_format=json > "$TMP/pipeline.json"
+"$BUILD/bench/bench_semantic_overlap" \
+    --benchmark_filter='BM_OverlapCheckPlanner/32/0' \
+    --benchmark_format=json > "$TMP/overlap.json"
+
+# Stitch the two google-benchmark reports into one artifact. Portable
+# (python3 is available wherever the rest of CI tooling runs) but dependency
+# free: the composition is plain json.
+python3 - "$TMP/pipeline.json" "$TMP/overlap.json" "$OUT" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+pipeline, overlap = load(sys.argv[1]), load(sys.argv[2])
+
+def rows(report):
+    out = []
+    for b in report.get("benchmarks", []):
+        out.append({
+            "name": b["name"],
+            "label": b.get("label", ""),
+            "real_time_ms": b["real_time"] / 1e6,
+            "solver_checks": b.get("semantic_solver_checks",
+                                   b.get("solver_checks", 0)),
+            "queries_issued": b.get("queries_issued", 0),
+            "queries_pruned": b.get("queries_pruned", 0),
+            "cache_hits": b.get("cache_hits", 0),
+        })
+    return out
+
+pipeline_rows = rows(pipeline)
+by_label = {r["label"]: r for r in pipeline_rows}
+exhaustive = by_label.get("exhaustive", {}).get("solver_checks", 0)
+planned = by_label.get("planned", {}).get("solver_checks", 0)
+warm_issued = by_label.get("warm-cache", {}).get("queries_issued", -1)
+
+result = {
+    "pr": 3,
+    "workload": "eight-VM pipeline + 32-region overlap sweep",
+    "context": pipeline.get("context", {}),
+    "eight_vm_pipeline": pipeline_rows,
+    "overlap_32_regions": rows(overlap),
+    "summary": {
+        "exhaustive_semantic_solver_checks": exhaustive,
+        "planned_semantic_solver_checks": planned,
+        "check_reduction_at_least_10x": planned * 10 <= exhaustive,
+        "warm_cache_queries_issued": warm_issued,
+    },
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+if planned * 10 > exhaustive:
+    sys.exit("planner failed the 10x reduction bar: "
+             f"planned={planned} exhaustive={exhaustive}")
+if warm_issued != 0:
+    sys.exit(f"warm-cache run issued {warm_issued} queries, expected 0")
+EOF
+
+echo "wrote $OUT"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Asserts the persistent query cache's warm-run guarantee at the CLI level:
+# a second run against the same --cache-dir issues zero solver queries and
+# produces byte-identical output — findings, witnesses and artifacts.
+#
+# Two scenarios:
+#   1. `demo` twice into the same cache: the warm trace reports zero issued
+#      queries and the artifact directories diff clean.
+#   2. `check` on the d3-truncation regression input (finding-rich, so real
+#      queries are issued and cached cold): the warm --stats line shows
+#      zero issued / nonzero cache hits, and the reports diff clean.
+# Usage: check_warm_cache.sh <llhsc-binary> <examples-data-dir>
+set -eu
+
+LLHSC="$1"
+DATA="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+mkdir "$TMP/cold" "$TMP/warm"
+
+# -- scenario 1: demo rerun --
+"$LLHSC" demo --out "$TMP/cold" --cache-dir "$TMP/qc-demo" \
+    --trace-json "$TMP/cold-trace.json" > "$TMP/cold.out"
+"$LLHSC" demo --out "$TMP/warm" --cache-dir "$TMP/qc-demo" \
+    --trace-json "$TMP/warm-trace.json" > "$TMP/warm.out"
+
+diff -r "$TMP/cold" "$TMP/warm"
+sed "s|$TMP/cold|OUT|" "$TMP/cold.out" > "$TMP/cold.norm"
+sed "s|$TMP/warm|OUT|" "$TMP/warm.out" > "$TMP/warm.norm"
+diff "$TMP/cold.norm" "$TMP/warm.norm"
+# No stage of the warm run issued a solver query.
+if grep -E '"queries_issued": [1-9]' "$TMP/warm-trace.json"; then
+    echo "warm demo rerun still issued solver queries" >&2
+    exit 1
+fi
+
+# -- scenario 2: faulty input, so the cache actually carries verdicts --
+run_check() {
+    local out="$1" err="$2" status=0
+    "$LLHSC" check "$DATA/d3-truncation.dts" --cache-dir "$TMP/qc-check" \
+        --stats > "$out" 2> "$err" || status=$?
+    # Error findings are expected: the exit contract says 1.
+    [ "$status" -eq 1 ]
+}
+run_check "$TMP/check-cold.out" "$TMP/check-cold.err"
+run_check "$TMP/check-warm.out" "$TMP/check-warm.err"
+
+# Byte-identical findings (witness addresses included).
+diff "$TMP/check-cold.out" "$TMP/check-warm.out"
+# The cold run consulted the solver; the warm run was pure cache replay.
+grep -q 'queries issued: 0,' "$TMP/check-warm.err"
+! grep -q 'queries issued: 0,' "$TMP/check-cold.err"
+grep -qE 'cache hits: [1-9]' "$TMP/check-warm.err"

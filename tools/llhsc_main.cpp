@@ -3,9 +3,13 @@
 //   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3]
 //               [--format text|json|sarif] [--no-lint] [--no-crossref]
 //               [--no-syntax] [--no-semantics] [--disable-rule id,...]
-//               [--rule-severity id=error|warning,...]
+//               [--rule-severity id=error|warning,...] [--no-plan]
+//               [--cache-dir <dir>] [--stats]
 //       Run the checkers on one DTS; exit 1 on errors. The cross-reference
-//       rule catalog is in docs/rules.md.
+//       rule catalog is in docs/rules.md; --cache-dir persists semantic
+//       solver verdicts across runs (docs/performance.md), --no-plan
+//       disables the query planner, --stats prints the planner counters
+//       on stderr.
 //
 //   llhsc generate --core <core.dts> --deltas <file.deltas>
 //                  --features f1,f2,... [--out <dir>] [--name <vm>]
@@ -13,7 +17,8 @@
 //       <name>.dts / <name>.dtb.
 //
 //   llhsc demo [--out <dir>] [--jobs N] [--solver-timeout-ms N]
-//              [--trace-json <file>] [--verbose]
+//              [--trace-json <file>] [--verbose] [--no-plan]
+//              [--cache-dir <dir>]
 //       Run the paper's running example end to end and write every artifact
 //       (VM DTSs, platform DTS, DTBs, platform.c, config.c). --jobs checks
 //       the VMs in parallel (output is byte-identical to --jobs 1);
@@ -73,7 +78,8 @@ Args parse_args(int argc, char** argv) {
       std::string key = a.substr(2);
       // Flags take a value unless they are known booleans.
       bool boolean = key.rfind("no-", 0) == 0 || key == "quiet" ||
-                     key == "count-only" || key == "verbose";
+                     key == "count-only" || key == "verbose" ||
+                     key == "stats";
       if (!boolean && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
@@ -216,7 +222,8 @@ int cmd_check(const Args& args) {
                  "[--backend builtin|z3] [--format text|json|sarif] "
                  "[--no-lint] [--no-syntax] [--no-semantics] "
                  "[--no-crossref] [--disable-rule id,...] "
-                 "[--rule-severity id=error|warning,...]\n";
+                 "[--rule-severity id=error|warning,...] "
+                 "[--no-plan] [--cache-dir dir] [--stats]\n";
     return 2;
   }
   const std::string format = args.get("format", "text");
@@ -250,9 +257,19 @@ int cmd_check(const Args& args) {
     checkers::SemanticOptions sem_options;
     sem_options.solver_timeout_ms =
         uint_option_or_die(args, "solver-timeout-ms", 0);
+    sem_options.plan = !args.has("no-plan");
+    sem_options.cache_dir = args.get("cache-dir");
     checkers::SemanticChecker checker(backend, sem_options);
     checkers::Findings f = checker.check(*tree);
     all.insert(all.end(), f.begin(), f.end());
+    // Planner counters on stderr so the report formats stay untouched.
+    if (args.has("stats")) {
+      const smt::QueryPlanStats& ps = checker.plan_stats();
+      std::cerr << "semantic solver checks: " << checker.solver_checks()
+                << ", queries issued: " << ps.queries_issued
+                << ", queries pruned: " << ps.queries_pruned
+                << ", cache hits: " << ps.cache_hits << "\n";
+    }
   }
 
   size_t errors = checkers::error_count(all);
@@ -345,6 +362,8 @@ int cmd_demo(const Args& args) {
   opts.backend = backend_from(args);
   opts.jobs = static_cast<unsigned>(uint_option_or_die(args, "jobs", 1));
   opts.solver_timeout_ms = uint_option_or_die(args, "solver-timeout-ms", 0);
+  opts.plan_queries = !args.has("no-plan");
+  opts.cache_dir = args.get("cache-dir");
   core::Pipeline pipeline(model, core::exclusive_cpus(model), *pl, schemas,
                           opts);
   core::PipelineResult result = pipeline.run(
@@ -559,7 +578,7 @@ int usage() {
                "  generate           derive a product from a DTS product line\n"
                "  demo               run the paper's running example (--jobs N,\n"
                "                     --solver-timeout-ms N, --trace-json <file>,\n"
-               "                     --verbose)\n"
+               "                     --verbose, --no-plan, --cache-dir <dir>)\n"
                "  products           enumerate products (--model <f.fm>)\n"
                "  analyze            feature-model analyses (--model <f.fm>)\n"
                "  allocate           VM allocation feasibility (--model, \n"
