@@ -1,0 +1,118 @@
+// PR4 — session re-checking through the artifact store on the eight-VM
+// workload (the two-VM running example widened by alternating Fig. 1b /
+// Fig. 1c configurations). Three rows: a cold session (empty store), a warm
+// re-check of the identical request (everything hits), and a one-delta edit
+// (only d1's body changes, so only the products activating d1 re-derive).
+// The store-counter deltas are exported so tools/bench_pr4.sh can assert
+// the incrementality — rebuilds==1, hits>0 — instead of trusting it.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/running_example.hpp"
+#include "server/session.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+server::SessionRequest eight_vm_request() {
+  server::SessionRequest r;
+  r.core_source = core::running_example_core_dts();
+  r.core_name = "custom-sbc.dts";
+  r.includes.emplace_back("cpus.dtsi", core::running_example_cpus_dtsi());
+  r.deltas_source = core::running_example_deltas();
+  r.deltas_name = "custom-sbc.deltas";
+  for (int i = 0; i < 8; ++i) {
+    r.products.push_back({"vm" + std::to_string(i + 1),
+                          i % 2 == 0 ? core::fig1b_features()
+                                     : core::fig1c_features()});
+  }
+  return r;
+}
+
+/// d1's body with a per-edit unique property value, so every bench
+/// iteration is a genuine fresh edit rather than a replay of an
+/// already-cached variant. The veth schema allows additional properties,
+/// so the edited product stays finding-free across revisions.
+std::string deltas_with_d1_edit(int revision) {
+  std::string text = core::running_example_deltas();
+  const std::string needle = "id = <0>;";
+  size_t pos = text.find(needle);
+  if (pos != std::string::npos) {
+    text.insert(pos + needle.size(),
+                "\n            edit-revision = <" +
+                    std::to_string(revision) + ">;");
+  }
+  return text;
+}
+
+void BM_SessionCheckCold(benchmark::State& state) {
+  const server::SessionRequest request = eight_vm_request();
+  int exit_code = -1;
+  uint64_t derives = 0;
+  for (auto _ : state) {
+    server::ArtifactStore store;  // cold: nothing cached
+    server::SessionOutcome out = server::run_session_check(request, store);
+    exit_code = out.exit_code;
+    derives = out.cost.derives;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["exit_code"] = static_cast<double>(exit_code);
+  state.counters["derives"] = static_cast<double>(derives);
+  state.SetLabel("cold");
+}
+BENCHMARK(BM_SessionCheckCold);
+
+void BM_SessionCheckWarm(benchmark::State& state) {
+  const server::SessionRequest request = eight_vm_request();
+  server::ArtifactStore store;
+  (void)server::run_session_check(request, store);  // prime
+  int exit_code = -1;
+  uint64_t derives = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    server::SessionOutcome out = server::run_session_check(request, store);
+    exit_code = out.exit_code;
+    derives = out.cost.derives;
+    hits = out.cost.hits;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["exit_code"] = static_cast<double>(exit_code);
+  state.counters["derives"] = static_cast<double>(derives);
+  state.counters["hits"] = static_cast<double>(hits);
+  state.SetLabel("warm");
+}
+BENCHMARK(BM_SessionCheckWarm);
+
+void BM_SessionOneDeltaEdit(benchmark::State& state) {
+  server::ArtifactStore store;
+  (void)server::run_session_check(eight_vm_request(), store);  // prime
+  int revision = 1;
+  int exit_code = -1;
+  uint64_t derives = 0;
+  uint64_t unit_checks = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    server::SessionRequest request = eight_vm_request();
+    request.deltas_source = deltas_with_d1_edit(revision++);
+    state.ResumeTiming();
+    server::SessionOutcome out = server::run_session_check(request, store);
+    exit_code = out.exit_code;
+    derives = out.cost.derives;
+    unit_checks = out.cost.unit_checks;
+    hits = out.cost.hits;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["exit_code"] = static_cast<double>(exit_code);
+  state.counters["derives"] = static_cast<double>(derives);
+  state.counters["unit_checks"] = static_cast<double>(unit_checks);
+  state.counters["hits"] = static_cast<double>(hits);
+  state.SetLabel("one-delta-edit");
+}
+BENCHMARK(BM_SessionOneDeltaEdit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -29,6 +29,7 @@ std::string_view to_string(FindingKind k) {
     case FindingKind::kZeroSizeRegion: return "zero-size-region";
     case FindingKind::kInterruptCollision: return "interrupt-collision";
     case FindingKind::kSolverTimeout: return "solver-timeout";
+    case FindingKind::kCacheUnavailable: return "cache-unavailable";
     case FindingKind::kNameConvention: return "name-convention";
     case FindingKind::kUnitAddressMismatch: return "unit-address-mismatch";
     case FindingKind::kUnitAddressMissing: return "unit-address-missing";

@@ -34,6 +34,7 @@ enum class FindingKind : uint8_t {
   kZeroSizeRegion,         // region with size 0 (warning)
   kInterruptCollision,     // two devices claim the same interrupt line
   kSolverTimeout,          // a solver query exceeded its deadline
+  kCacheUnavailable,       // --cache-dir unusable; checks ran uncached
   // Lint (dtc-style structural warnings)
   kNameConvention,         // node/property name violates the DT spec charset
   kUnitAddressMismatch,    // unit address disagrees with the first reg entry

@@ -284,6 +284,19 @@ bool SemanticChecker::query_timed_out(smt::CheckResult r,
 Findings SemanticChecker::check(const dts::Tree& tree) {
   Findings out;
   arm_deadline();
+  // A requested-but-unusable cache degrades to a cold run, which is sound —
+  // but the user asked for persistence, so say once why they are not
+  // getting it (checked at open: file in the way, unwritable directory).
+  if (!cache_error_reported_ && !planner_.cache_error().empty()) {
+    cache_error_reported_ = true;
+    Finding f;
+    f.kind = FindingKind::kCacheUnavailable;
+    f.severity = FindingSeverity::kWarning;
+    f.subject = options_.cache_dir;
+    f.message = "query cache disabled: " + planner_.cache_error() +
+                "; semantic checks ran without persistent caching";
+    out.push_back(std::move(f));
+  }
   std::vector<MemRegion> regions = extract_regions(tree, out);
   Findings overlap = check_regions_impl(regions);
   out.insert(out.end(), overlap.begin(), overlap.end());

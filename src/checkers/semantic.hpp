@@ -154,6 +154,7 @@ class SemanticChecker {
   uint64_t fresh_counter_ = 0;
   support::Deadline deadline_;
   bool timeout_reported_ = false;
+  bool cache_error_reported_ = false;
   size_t skipped_queries_ = 0;
 };
 

@@ -167,6 +167,7 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
             st.queries_issued = sem.plan_stats().queries_issued;
             st.queries_pruned = sem.plan_stats().queries_pruned;
             st.cache_hits = sem.plan_stats().cache_hits;
+            st.cache_errors = sem.plan_stats().cache_errors;
             return f;
           })) {
         return;

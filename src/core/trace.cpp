@@ -60,6 +60,12 @@ uint64_t PipelineTrace::total_cache_hits() const {
   return n;
 }
 
+uint64_t PipelineTrace::total_cache_errors() const {
+  uint64_t n = 0;
+  for (const StageTrace& s : stages) n += s.cache_errors;
+  return n;
+}
+
 std::string PipelineTrace::to_json() const {
   std::ostringstream os;
   os << "{\n";
@@ -70,6 +76,7 @@ std::string PipelineTrace::to_json() const {
   os << "  \"queries_issued\": " << total_queries_issued() << ",\n";
   os << "  \"queries_pruned\": " << total_queries_pruned() << ",\n";
   os << "  \"cache_hits\": " << total_cache_hits() << ",\n";
+  os << "  \"cache_errors\": " << total_cache_errors() << ",\n";
   os << "  \"findings\": " << total_findings() << ",\n";
   os << "  \"stages\": [";
   for (size_t i = 0; i < stages.size(); ++i) {
@@ -83,6 +90,7 @@ std::string PipelineTrace::to_json() const {
        << ", \"queries_issued\": " << s.queries_issued
        << ", \"queries_pruned\": " << s.queries_pruned
        << ", \"cache_hits\": " << s.cache_hits
+       << ", \"cache_errors\": " << s.cache_errors
        << ", \"findings\": " << s.findings << '}';
   }
   if (!stages.empty()) os << "\n  ";
@@ -115,8 +123,11 @@ std::string PipelineTrace::render_table() const {
   os << "total " << format_ms(total_ms) << " ms, "
      << total_solver_checks() << " solver checks, " << total_queries_issued()
      << " issued, " << total_queries_pruned() << " pruned, "
-     << total_cache_hits() << " cache hits, " << total_findings()
-     << " findings, jobs=" << jobs
+     << total_cache_hits() << " cache hits, ";
+  if (total_cache_errors() > 0) {
+    os << total_cache_errors() << " cache errors, ";
+  }
+  os << total_findings() << " findings, jobs=" << jobs
      << (complete ? "" : " (incomplete: fail-fast abort)") << '\n';
   return os.str();
 }

@@ -29,6 +29,9 @@ struct StageTrace {
   uint64_t queries_issued = 0;
   uint64_t queries_pruned = 0;
   uint64_t cache_hits = 0;
+  /// 1 when this stage requested the persistent cache but could not use it
+  /// (unwritable/non-directory --cache-dir); the stage ran uncached.
+  uint64_t cache_errors = 0;
 };
 
 struct PipelineTrace {
@@ -46,6 +49,7 @@ struct PipelineTrace {
   [[nodiscard]] uint64_t total_queries_issued() const;
   [[nodiscard]] uint64_t total_queries_pruned() const;
   [[nodiscard]] uint64_t total_cache_hits() const;
+  [[nodiscard]] uint64_t total_cache_errors() const;
 
   /// The --trace-json document (stable key order, 3-decimal timings).
   [[nodiscard]] std::string to_json() const;

@@ -88,7 +88,10 @@ void Lexer::skip_trivia() {
         advance();
       }
       if (!closed) {
+        // Anchor at the opening '/*' — at EOF "here()" would point one past
+        // the buffer, a location no editor can jump to.
         diags_->error("dts-lex", "unterminated block comment", start);
+        diags_->note("dts-lex", "comment opened here is never closed", start);
       }
     } else {
       return;
@@ -220,7 +223,9 @@ Token Lexer::lex_token() {
       }
     }
     if (at_end_of_buffer()) {
+      // Same anchoring as block comments: the opening quote, not EOF.
       diags_->error("dts-lex", "unterminated string literal", loc);
+      diags_->note("dts-lex", "string opened here is never closed", loc);
       return at(make(TokenKind::kEnd));
     }
     advance();  // closing quote

@@ -13,21 +13,25 @@ void SourceManager::register_file(std::string name, std::string content) {
 }
 
 std::optional<std::string> SourceManager::load(const std::string& name) const {
+  auto found = [&](std::string content) -> std::optional<std::string> {
+    if (observer_) observer_(name, content);
+    return content;
+  };
   auto it = files_.find(name);
-  if (it != files_.end()) return it->second;
+  if (it != files_.end()) return found(it->second);
   if (!base_directory_.empty()) {
     std::ifstream in(base_directory_ + "/" + name, std::ios::binary);
     if (in) {
       std::ostringstream buf;
       buf << in.rdbuf();
-      return buf.str();
+      return found(buf.str());
     }
   }
   std::ifstream in(name, std::ios::binary);
   if (in) {
     std::ostringstream buf;
     buf << in.rdbuf();
-    return buf.str();
+    return found(buf.str());
   }
   return std::nullopt;
 }

@@ -10,6 +10,7 @@
 // includes "cpus.dtsi" from the main DTS).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -31,9 +32,20 @@ class SourceManager {
   /// Returns the buffer for `name`, loading from disk on fallback.
   [[nodiscard]] std::optional<std::string> load(const std::string& name) const;
 
+  /// Observes every successful load() with the include name and its content,
+  /// so a caller can content-address a parse against its transitive includes
+  /// (the server's artifact store records (name, hash) dependency edges from
+  /// this). One observer at a time; pass {} to clear.
+  using LoadObserver = std::function<void(const std::string& name,
+                                          const std::string& content)>;
+  void set_load_observer(LoadObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   std::map<std::string, std::string> files_;
   std::string base_directory_;
+  LoadObserver observer_;
 };
 
 struct ParseOptions {

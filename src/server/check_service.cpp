@@ -1,0 +1,252 @@
+#include "server/check_service.hpp"
+
+#include <sstream>
+
+#include "checkers/crossref/rules.hpp"
+#include "checkers/lint.hpp"
+#include "checkers/report.hpp"
+#include "checkers/semantic.hpp"
+#include "checkers/syntactic.hpp"
+#include "dts/parser.hpp"
+#include "schema/builtin_schemas.hpp"
+#include "schema/yaml_lite.hpp"
+#include "support/strings.hpp"
+
+namespace llhsc::server {
+
+namespace {
+
+smt::Backend resolve_backend(const CheckRequest& request,
+                             std::string& error_text) {
+  if (request.backend == "z3") return smt::Backend::kZ3;
+  if (request.backend != "builtin") {
+    error_text += "warning: unknown backend '" + request.backend +
+                  "', using builtin\n";
+  }
+  return smt::Backend::kBuiltin;
+}
+
+/// The CLI's --disable-rule / --rule-severity mapping, error text included
+/// byte-for-byte. nullopt means reject with exit 2.
+std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
+    const CheckRequest& request, std::string& error_text) {
+  checkers::crossref::CrossRefOptions opts;
+  bool ok = true;
+  for (const std::string& id : support::split(request.disable_rule, ',')) {
+    auto t = support::trim(id);
+    if (t.empty()) continue;
+    if (checkers::crossref::find_rule(t) == nullptr) {
+      error_text +=
+          "unknown rule id '" + std::string(t) + "' in --disable-rule\n";
+      ok = false;
+      continue;
+    }
+    opts.disabled.insert(std::string(t));
+  }
+  for (const std::string& ov : support::split(request.rule_severity, ',')) {
+    auto t = support::trim(ov);
+    if (t.empty()) continue;
+    size_t eq = t.find('=');
+    std::string id(support::trim(
+        t.substr(0, eq == std::string_view::npos ? t.size() : eq)));
+    std::string sev = eq == std::string_view::npos
+                          ? std::string()
+                          : std::string(support::trim(t.substr(eq + 1)));
+    if (checkers::crossref::find_rule(id) == nullptr ||
+        (sev != "error" && sev != "warning")) {
+      error_text += "bad --rule-severity entry '" + std::string(t) +
+                    "' (want <rule-id>=error|warning)\n";
+      ok = false;
+      continue;
+    }
+    opts.severity_overrides[id] = sev == "error"
+                                      ? checkers::FindingSeverity::kError
+                                      : checkers::FindingSeverity::kWarning;
+  }
+  if (!ok) return std::nullopt;
+  return opts;
+}
+
+void render_outcome(const CheckRequest& request,
+                    const checkers::Findings& findings, CheckOutcome& out) {
+  out.errors = checkers::error_count(findings);
+  out.warnings = findings.size() - out.errors;
+  if (request.format == "json") {
+    out.output += checkers::report_json(findings) + "\n";
+  } else if (request.format == "sarif") {
+    out.output += checkers::to_sarif(findings, request.path);
+  } else {
+    if (!request.quiet) out.output += checkers::render(findings);
+    out.output += request.path + ": " + std::to_string(out.errors) +
+                  " error(s), " + std::to_string(out.warnings) +
+                  " warning(s)\n";
+  }
+  out.exit_code = out.errors == 0 ? 0 : 1;
+}
+
+void append_stats_line(const CheckRequest& request, const CheckArtifact& art,
+                       CheckOutcome& out) {
+  if (!request.stats || !request.semantics) return;
+  out.error_text += "semantic solver checks: " +
+                    std::to_string(art.solver_checks) +
+                    ", queries issued: " + std::to_string(art.queries_issued) +
+                    ", queries pruned: " + std::to_string(art.queries_pruned) +
+                    ", cache hits: " + std::to_string(art.cache_hits) +
+                    ", cache errors: " + std::to_string(art.cache_errors) +
+                    "\n";
+}
+
+}  // namespace
+
+uint64_t check_options_fingerprint(const CheckRequest& request) {
+  std::ostringstream os;
+  os << request.backend << '\n'
+     << request.lint << request.crossref << request.syntax << request.semantics
+     << '\n'
+     << request.disable_rule << '\n'
+     << request.rule_severity << '\n'
+     << support::fnv1a64(request.schemas_text) << '\n'
+     << request.solver_timeout_ms << '\n'
+     << request.plan << '\n'
+     << request.cache_dir << '\n';
+  return support::fnv1a64(os.str());
+}
+
+CheckArtifact run_checkers(const dts::Tree& tree, const CheckRequest& request,
+                           const schema::SchemaSet* schemas) {
+  CheckArtifact art;
+  std::string scratch;  // backend warning already emitted by run_check
+  const smt::Backend backend = resolve_backend(request, scratch);
+
+  if (request.lint) {
+    checkers::Findings f = checkers::LintChecker().check(tree);
+    art.findings.insert(art.findings.end(), f.begin(), f.end());
+  }
+  if (request.crossref) {
+    auto xopts = crossref_options_from(request, scratch);
+    checkers::crossref::CrossRefChecker checker(
+        xopts ? *xopts : checkers::crossref::CrossRefOptions{});
+    checkers::Findings f = checker.check(tree);
+    art.findings.insert(art.findings.end(), f.begin(), f.end());
+  }
+  if (request.syntax && schemas != nullptr) {
+    checkers::SyntacticChecker checker(*schemas, backend);
+    checkers::Findings f = checker.check(tree);
+    art.findings.insert(art.findings.end(), f.begin(), f.end());
+  }
+  if (request.semantics) {
+    checkers::SemanticOptions sem_options;
+    sem_options.solver_timeout_ms = request.solver_timeout_ms;
+    sem_options.plan = request.plan;
+    sem_options.cache_dir = request.cache_dir;
+    checkers::SemanticChecker checker(backend, sem_options);
+    checkers::Findings f = checker.check(tree);
+    art.findings.insert(art.findings.end(), f.begin(), f.end());
+    art.solver_checks = checker.solver_checks();
+    art.queries_issued = checker.plan_stats().queries_issued;
+    art.queries_pruned = checker.plan_stats().queries_pruned;
+    art.cache_hits = checker.plan_stats().cache_hits;
+    art.cache_errors = checker.plan_stats().cache_errors;
+  }
+  return art;
+}
+
+CheckOutcome run_check(const CheckRequest& request, ArtifactStore* store) {
+  CheckOutcome out;
+
+  if (request.format != "text" && request.format != "json" &&
+      request.format != "sarif") {
+    out.error_text +=
+        "unknown --format '" + request.format + "' (want text|json|sarif)\n";
+    out.exit_code = 2;
+    return out;
+  }
+  if (!crossref_options_from(request, out.error_text)) {
+    out.exit_code = 2;
+    return out;
+  }
+
+  // Parse — identical failure contract to the CLI's parse_file_or_die:
+  // exit 1 with the rendered diagnostics; parse *warnings* on a usable tree
+  // are not rendered.
+  dts::SourceManager sources;
+  for (const auto& [name, content] : request.includes) {
+    sources.register_file(name, content);
+  }
+  if (!request.base_directory.empty()) {
+    sources.set_base_directory(request.base_directory);
+  }
+
+  std::shared_ptr<const TreeArtifact> tree_artifact;
+  if (store != nullptr) {
+    tree_artifact =
+        store->tree(request.source, request.path, sources,
+                    &out.trace.tree_cache_hit);
+  } else {
+    auto artifact = std::make_shared<TreeArtifact>();
+    support::DiagnosticEngine diags;
+    auto parsed = dts::parse_dts(request.source, request.path, sources, diags);
+    artifact->tree = std::move(parsed);
+    artifact->diagnostics_text = diags.render();
+    artifact->parse_errors = artifact->tree == nullptr || diags.has_errors();
+    tree_artifact = artifact;
+  }
+  if (tree_artifact->parse_errors) {
+    out.error_text += tree_artifact->diagnostics_text;
+    out.exit_code = 1;
+    return out;
+  }
+
+  // The backend warning is emitted here — after the parse, like the CLI.
+  std::string backend_warning;
+  resolve_backend(request, backend_warning);
+  out.error_text += backend_warning;
+
+  // Schema-set resolution before the (cacheable) checker battery, so an
+  // exit-2 never has to come out of a cached verdict. Matches the CLI's
+  // lazy schemas_from(): parse errors surface only when syntax runs.
+  schema::SchemaSet schemas;
+  if (request.syntax) {
+    if (!request.schemas_text.empty()) {
+      support::DiagnosticEngine diags;
+      schema::load_schema_stream(request.schemas_text, schemas, diags);
+      if (diags.has_errors()) {
+        out.error_text += diags.render();
+        out.exit_code = 2;
+        return out;
+      }
+    } else {
+      schemas = schema::builtin_schemas();
+    }
+  }
+
+  std::shared_ptr<const CheckArtifact> verdict;
+  if (store != nullptr) {
+    const uint64_t key = fnv_combine(check_options_fingerprint(request),
+                                     tree_artifact->key);
+    verdict = store->unit_check(
+        key,
+        [&]() {
+          CheckArtifact art =
+              run_checkers(*tree_artifact->tree, request,
+                           request.syntax ? &schemas : nullptr);
+          art.key = key;
+          return art;
+        },
+        &out.trace.check_cache_hit);
+  } else {
+    verdict = std::make_shared<const CheckArtifact>(run_checkers(
+        *tree_artifact->tree, request, request.syntax ? &schemas : nullptr));
+  }
+
+  append_stats_line(request, *verdict, out);
+  render_outcome(request, verdict->findings, out);
+  out.trace.solver_checks = verdict->solver_checks;
+  out.trace.queries_issued = verdict->queries_issued;
+  out.trace.queries_pruned = verdict->queries_pruned;
+  out.trace.cache_hits = verdict->cache_hits;
+  out.trace.cache_errors = verdict->cache_errors;
+  return out;
+}
+
+}  // namespace llhsc::server

@@ -1,0 +1,77 @@
+// Fixed-bucket latency histogram for the daemon's `stats` endpoint.
+// Buckets are powers of two in microseconds (1µs .. ~2¹⁹ms), so recording
+// is one clz + one relaxed atomic increment — cheap enough for every
+// request — and a percentile is the upper bound of the first bucket whose
+// cumulative count crosses the rank. That upper bound overestimates by at
+// most 2×, which is the right trade for a monitoring figure that must never
+// allocate or lock on the hot path.
+//
+// All timing flows in as steady_clock durations measured by the caller; the
+// histogram itself never reads any clock (no wall-clock anywhere near the
+// verdict paths).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace llhsc::server {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // bucket i covers [2^i, 2^(i+1)) µs
+
+  void record(uint64_t micros) {
+    buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint64_t total_micros() const {
+    return total_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (0 < p <= 100); 0 when nothing was recorded. Reads are racy against
+  /// record() by design — monitoring numbers, not invariants.
+  [[nodiscard]] uint64_t percentile_micros(double p) const {
+    const uint64_t n = count();
+    if (n == 0) return 0;
+    // ceil(n * p / 100) computed in integers to stay clock- and FP-env-free.
+    const uint64_t rank_scaled =
+        static_cast<uint64_t>(p * 100.0);  // p in hundredths of a percent
+    uint64_t rank = (n * rank_scaled + 9999) / 10000;
+    if (rank == 0) rank = 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      cumulative += buckets_[i].load(std::memory_order_relaxed);
+      if (cumulative >= rank) return upper_bound_micros(i);
+    }
+    return upper_bound_micros(kBuckets - 1);
+  }
+
+  [[nodiscard]] uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static constexpr uint64_t upper_bound_micros(size_t i) {
+    return i + 1 >= 64 ? UINT64_MAX : (uint64_t{1} << (i + 1));
+  }
+
+ private:
+  [[nodiscard]] static size_t bucket_of(uint64_t micros) {
+    size_t b = 0;
+    while (b + 1 < kBuckets && micros >= (uint64_t{1} << (b + 1))) ++b;
+    return b;
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_micros_{0};
+};
+
+}  // namespace llhsc::server

@@ -1,0 +1,389 @@
+#include "server/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace llhsc::server {
+
+namespace {
+
+const Json kNullJson;
+const std::string kEmptyString;
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::integer(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::unsigned_integer(uint64_t v) {
+  // Counters comfortably fit int64; saturate rather than wrap if one ever
+  // does not, so the wire never carries a negative count.
+  return integer(v > static_cast<uint64_t>(INT64_MAX)
+                     ? INT64_MAX
+                     : static_cast<int64_t>(v));
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+int64_t Json::as_int(int64_t fallback) const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<int64_t>(double_);
+  return fallback;
+}
+
+uint64_t Json::as_uint(uint64_t fallback) const {
+  if (kind_ == Kind::kInt) return int_ < 0 ? fallback : static_cast<uint64_t>(int_);
+  if (kind_ == Kind::kDouble) {
+    return double_ < 0 ? fallback : static_cast<uint64_t>(double_);
+  }
+  return fallback;
+}
+
+double Json::as_double(double fallback) const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return fallback;
+}
+
+const std::string& Json::as_string() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (kind_ == Kind::kObject) {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return v;
+    }
+  }
+  return kNullJson;
+}
+
+bool Json::has(std::string_view key) const {
+  return kind_ == Kind::kObject && !at(key).is_null();
+}
+
+Json& Json::set(std::string key, Json value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+void json_escape_to(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string Json::dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out = std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", double_);
+      out = buf;
+      break;
+    }
+    case Kind::kString:
+      json_escape_to(out, string_);
+      break;
+    case Kind::kArray: {
+      out = "[";
+      bool first = true;
+      for (const Json& item : items_) {
+        if (!first) out += ',';
+        first = false;
+        out += item.dump();
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [k, v] : fields_) {
+        if (!first) out += ',';
+        first = false;
+        json_escape_to(out, k);
+        out += ':';
+        out += v.dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  /// Nesting guard: a hostile request must not stack-overflow the daemon.
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return std::nullopt;
+      char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode the code point (BMP only; the daemon's own writer
+          // emits \u only below 0x20, so this path exists for foreign
+          // clients).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_value() {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    char c = text[pos];
+    if (c == 'n') return literal("null") ? std::optional<Json>(Json::null()) : std::nullopt;
+    if (c == 't') return literal("true") ? std::optional<Json>(Json::boolean(true)) : std::nullopt;
+    if (c == 'f') return literal("false") ? std::optional<Json>(Json::boolean(false)) : std::nullopt;
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Json::string(std::move(*s));
+    }
+    if (c == '[') {
+      ++pos;
+      ++depth;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) {
+        --depth;
+        return arr;
+      }
+      while (true) {
+        auto v = parse_value();
+        if (!v) return std::nullopt;
+        arr.push(std::move(*v));
+        if (consume(',')) continue;
+        if (consume(']')) {
+          --depth;
+          return arr;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      ++depth;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) {
+        --depth;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key) return std::nullopt;
+        if (!consume(':')) return std::nullopt;
+        auto v = parse_value();
+        if (!v) return std::nullopt;
+        obj.set(std::move(*key), std::move(*v));
+        if (consume(',')) continue;
+        if (consume('}')) {
+          --depth;
+          return obj;
+        }
+        return std::nullopt;
+      }
+    }
+    // number
+    size_t start = pos;
+    if (c == '-') ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      char d = text[pos];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++pos;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
+        is_double = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) return std::nullopt;
+    std::string_view num = text.substr(start, pos - start);
+    if (!is_double) {
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (ec == std::errc() && p == num.data() + num.size()) {
+        return Json::integer(v);
+      }
+    }
+    // std::from_chars for double is not universally available; strtod on a
+    // bounded copy is.
+    std::string copy(num);
+    char* end = nullptr;
+    double v = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return std::nullopt;
+    return Json::number(v);
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.parse_value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace llhsc::server

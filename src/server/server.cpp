@@ -1,0 +1,529 @@
+#include "server/server.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "server/check_service.hpp"
+#include "server/session.hpp"
+#include "support/deadline.hpp"
+
+namespace llhsc::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The currently-running server's self-pipe write end, for the signal
+/// handler. One daemon per process; a plain sig_atomic_t-sized store is all
+/// the handler may touch besides write().
+std::atomic<int> g_signal_pipe{-1};
+
+extern "C" void llhscd_signal_handler(int) {
+  const int fd = g_signal_pipe.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // The return value is deliberately unused: if the pipe is full a stop
+    // byte is already pending.
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+uint64_t micros_since(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+CheckRequest check_request_from(const Json& params) {
+  CheckRequest r;
+  r.path = params.at("path").as_string();
+  r.source = params.at("source").as_string();
+  r.base_directory = params.at("base_directory").as_string();
+  for (const auto& [name, content] : params.at("includes").fields()) {
+    r.includes.emplace_back(name, content.as_string());
+  }
+  if (params.has("format")) r.format = params.at("format").as_string();
+  r.lint = params.at("lint").as_bool(true);
+  r.crossref = params.at("crossref").as_bool(true);
+  r.syntax = params.at("syntax").as_bool(true);
+  r.semantics = params.at("semantics").as_bool(true);
+  r.quiet = params.at("quiet").as_bool(false);
+  r.stats = params.at("stats").as_bool(false);
+  if (params.has("backend")) r.backend = params.at("backend").as_string();
+  r.schemas_text = params.at("schemas_text").as_string();
+  r.schemas_path = params.at("schemas_path").as_string();
+  r.disable_rule = params.at("disable_rule").as_string();
+  r.rule_severity = params.at("rule_severity").as_string();
+  r.solver_timeout_ms = params.at("solver_timeout_ms").as_uint(0);
+  r.plan = params.at("plan").as_bool(true);
+  r.cache_dir = params.at("cache_dir").as_string();
+  return r;
+}
+
+SessionRequest session_request_from(const Json& params) {
+  SessionRequest r;
+  r.core_source = params.at("core_source").as_string();
+  r.core_name = params.at("core_name").as_string();
+  r.deltas_source = params.at("deltas_source").as_string();
+  r.deltas_name = params.at("deltas_name").as_string();
+  r.model_source = params.at("model_source").as_string();
+  r.model_name = params.at("model_name").as_string();
+  r.base_directory = params.at("base_directory").as_string();
+  for (const auto& [name, content] : params.at("includes").fields()) {
+    r.includes.emplace_back(name, content.as_string());
+  }
+  for (const Json& p : params.at("products").items()) {
+    SessionProduct product;
+    product.name = p.at("name").as_string();
+    for (const Json& f : p.at("features").items()) {
+      product.features.insert(f.as_string());
+    }
+    r.products.push_back(std::move(product));
+  }
+  r.check_platform = params.at("check_platform").as_bool(false);
+  r.check_allocation = params.at("check_allocation").as_bool(false);
+  for (const Json& f : params.at("exclusive").items()) {
+    r.exclusive.push_back(f.as_string());
+  }
+  if (params.has("backend")) r.backend = params.at("backend").as_string();
+  r.lint = params.at("lint").as_bool(true);
+  r.syntax = params.at("syntax").as_bool(true);
+  r.semantics = params.at("semantics").as_bool(true);
+  r.schemas_text = params.at("schemas_text").as_string();
+  r.solver_timeout_ms = params.at("solver_timeout_ms").as_uint(0);
+  r.plan = params.at("plan").as_bool(true);
+  r.cache_dir = params.at("cache_dir").as_string();
+  return r;
+}
+
+Json check_outcome_json(const CheckOutcome& outcome) {
+  Json trace = Json::object();
+  trace.set("tree_cache_hit", Json::boolean(outcome.trace.tree_cache_hit));
+  trace.set("check_cache_hit", Json::boolean(outcome.trace.check_cache_hit));
+  trace.set("solver_checks",
+            Json::unsigned_integer(outcome.trace.solver_checks));
+  trace.set("queries_issued",
+            Json::unsigned_integer(outcome.trace.queries_issued));
+  trace.set("queries_pruned",
+            Json::unsigned_integer(outcome.trace.queries_pruned));
+  trace.set("cache_hits", Json::unsigned_integer(outcome.trace.cache_hits));
+  trace.set("cache_errors",
+            Json::unsigned_integer(outcome.trace.cache_errors));
+
+  Json result = Json::object();
+  result.set("exit_code", Json::integer(outcome.exit_code));
+  result.set("stdout", Json::string(outcome.output));
+  result.set("stderr", Json::string(outcome.error_text));
+  result.set("errors", Json::unsigned_integer(outcome.errors));
+  result.set("warnings", Json::unsigned_integer(outcome.warnings));
+  result.set("trace", std::move(trace));
+  return result;
+}
+
+Json store_stats_json(const StoreStats& s) {
+  Json j = Json::object();
+  j.set("hits", Json::unsigned_integer(s.hits));
+  j.set("misses", Json::unsigned_integer(s.misses));
+  j.set("evictions", Json::unsigned_integer(s.evictions));
+  j.set("tree_parses", Json::unsigned_integer(s.tree_parses));
+  j.set("delta_parses", Json::unsigned_integer(s.delta_parses));
+  j.set("model_parses", Json::unsigned_integer(s.model_parses));
+  j.set("product_line_builds",
+        Json::unsigned_integer(s.product_line_builds));
+  j.set("derives", Json::unsigned_integer(s.derives));
+  j.set("unit_checks", Json::unsigned_integer(s.unit_checks));
+  return j;
+}
+
+Json session_outcome_json(const SessionOutcome& outcome) {
+  Json units = Json::array();
+  for (const SessionUnitResult& u : outcome.units) {
+    Json unit = Json::object();
+    unit.set("name", Json::string(u.name));
+    unit.set("composed_cache_hit", Json::boolean(u.composed_cache_hit));
+    unit.set("check_cache_hit", Json::boolean(u.check_cache_hit));
+    unit.set("errors", Json::unsigned_integer(u.errors));
+    unit.set("warnings", Json::unsigned_integer(u.warnings));
+    unit.set("report", Json::string(u.report));
+    units.push(std::move(unit));
+  }
+  Json result = Json::object();
+  result.set("exit_code", Json::integer(outcome.exit_code));
+  result.set("stderr", Json::string(outcome.error_text));
+  result.set("units", std::move(units));
+  result.set("cost", store_stats_json(outcome.cost));
+  return result;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), store_(options_.store_capacity) {}
+
+Server::~Server() = default;
+
+void Server::log_line(const std::string& text) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  std::ostream& os = options_.log != nullptr ? *options_.log : std::cerr;
+  os << text << '\n';
+  os.flush();
+}
+
+void Server::request_stop() {
+  // The lock pairs with run()'s cleanup: the write end is never closed
+  // while a stop request is mid-write.
+  std::lock_guard<std::mutex> lock(stop_pipe_mutex_);
+  const int fd = stop_pipe_write_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::respond(const std::shared_ptr<Connection>& conn,
+                     const Json& response) {
+  std::string line = response.dump();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  size_t off = 0;
+  while (off < line.size()) {
+    // MSG_NOSIGNAL: a client that hung up turns into EPIPE, not SIGPIPE.
+    ssize_t n = ::send(conn->fd, line.data() + off, line.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client gone; the verdict stays cached for the next ask
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void Server::respond_error(const std::shared_ptr<Connection>& conn,
+                           const Json& id, const std::string& code,
+                           const std::string& message) {
+  Json error = Json::object();
+  error.set("code", Json::string(code));
+  error.set("message", Json::string(message));
+  Json response = Json::object();
+  response.set("id", id);
+  response.set("ok", Json::boolean(false));
+  response.set("error", std::move(error));
+  respond(conn, response);
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  auto parsed = Json::parse(line);
+  if (!parsed || !parsed->is_object()) {
+    rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+    respond_error(conn, Json::null(), "bad_request",
+                  "request is not a JSON object");
+    return;
+  }
+  const Json request = std::move(*parsed);
+  const Json id = request.at("id");
+  const std::string method = request.at("method").as_string();
+
+  if (method == "ping") {
+    pings_.fetch_add(1, std::memory_order_relaxed);
+    Json result = Json::object();
+    result.set("pong", Json::boolean(true));
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(true));
+    response.set("result", std::move(result));
+    respond(conn, response);
+    return;
+  }
+
+  if (method == "stats") {
+    Json errors = Json::object();
+    errors.set("overloaded", Json::unsigned_integer(rejected_overloaded_));
+    errors.set("bad_request", Json::unsigned_integer(rejected_bad_request_));
+    errors.set("shutting_down",
+               Json::unsigned_integer(rejected_shutting_down_));
+    errors.set("deadline_exceeded",
+               Json::unsigned_integer(rejected_deadline_));
+    Json latency = Json::object();
+    latency.set("count", Json::unsigned_integer(latency_.count()));
+    const uint64_t n = latency_.count();
+    latency.set("mean_us",
+                Json::unsigned_integer(n == 0 ? 0
+                                              : latency_.total_micros() / n));
+    latency.set("p50_us", Json::unsigned_integer(latency_.percentile_micros(50)));
+    latency.set("p95_us", Json::unsigned_integer(latency_.percentile_micros(95)));
+    Json result = Json::object();
+    result.set("requests_total", Json::unsigned_integer(requests_total_));
+    result.set("checks", Json::unsigned_integer(checks_));
+    result.set("sessions", Json::unsigned_integer(sessions_));
+    result.set("pings", Json::unsigned_integer(pings_));
+    result.set("in_flight", Json::unsigned_integer(admitted_.load()));
+    result.set("errors", std::move(errors));
+    result.set("latency", std::move(latency));
+    result.set("store", store_stats_json(store_.stats()));
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(true));
+    response.set("result", std::move(result));
+    respond(conn, response);
+    return;
+  }
+
+  if (method == "shutdown") {
+    Json result = Json::object();
+    result.set("stopping", Json::boolean(true));
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(true));
+    response.set("result", std::move(result));
+    respond(conn, response);
+    request_stop();
+    return;
+  }
+
+  if (method != "check" && method != "session") {
+    rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+    respond_error(conn, id, "bad_request", "unknown method '" + method + "'");
+    return;
+  }
+
+  if (draining_.load(std::memory_order_acquire)) {
+    rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+    respond_error(conn, id, "shutting_down",
+                  "daemon is draining; retry against a fresh instance");
+    return;
+  }
+
+  // Bounded admission: overload is an explicit, immediate answer — never an
+  // unbounded queue the client cannot see.
+  if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.queue_limit) {
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    respond_error(conn, id, "overloaded",
+                  "admission queue is full (limit " +
+                      std::to_string(options_.queue_limit) + ")");
+    return;
+  }
+
+  uint64_t deadline_ms = request.at("deadline_ms").as_uint(0);
+  if (deadline_ms == 0) deadline_ms = options_.default_deadline_ms;
+  const support::Deadline deadline =
+      deadline_ms > 0 ? support::Deadline::after_ms(deadline_ms)
+                      : support::Deadline();
+
+  const Json params = request.at("params");
+  pool_->submit([this, conn, id, method, params, deadline]() {
+    const Clock::time_point start = Clock::now();
+    if (deadline.expired()) {
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+      respond_error(conn, id, "deadline_exceeded",
+                    "deadline expired before the request was scheduled");
+      log_line("llhscd: " + method + " deadline_exceeded");
+      return;
+    }
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(true));
+    if (method == "check") {
+      CheckRequest cr = check_request_from(params);
+      // The request deadline bounds solver work: the tighter of the
+      // client's solver budget and what is left of the deadline wins.
+      if (!deadline.unlimited()) {
+        const uint64_t remaining = deadline.remaining_ms();
+        cr.solver_timeout_ms =
+            cr.solver_timeout_ms == 0
+                ? remaining
+                : std::min(cr.solver_timeout_ms, remaining);
+        if (cr.solver_timeout_ms == 0) cr.solver_timeout_ms = 1;
+      }
+      CheckOutcome outcome = run_check(cr, &store_);
+      checks_.fetch_add(1, std::memory_order_relaxed);
+      response.set("result", check_outcome_json(outcome));
+    } else {
+      SessionRequest sr = session_request_from(params);
+      if (!deadline.unlimited()) {
+        const uint64_t remaining = deadline.remaining_ms();
+        sr.solver_timeout_ms =
+            sr.solver_timeout_ms == 0
+                ? remaining
+                : std::min(sr.solver_timeout_ms, remaining);
+        if (sr.solver_timeout_ms == 0) sr.solver_timeout_ms = 1;
+      }
+      SessionOutcome outcome = run_session_check(sr, store_);
+      sessions_.fetch_add(1, std::memory_order_relaxed);
+      response.set("result", session_outcome_json(outcome));
+    }
+    const uint64_t us = micros_since(start);
+    latency_.record(us);
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    respond(conn, response);
+    log_line("llhscd: " + method + " ok " + std::to_string(us) + "us");
+  });
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, line);
+    }
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i] == conn) {
+      connections_.erase(connections_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+int Server::run() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    log_line("llhscd: cannot create socket: " +
+             std::string(std::strerror(errno)));
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    log_line("llhscd: socket path too long: " + options_.socket_path);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 2;
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    log_line("llhscd: cannot bind/listen on " + options_.socket_path + ": " +
+             std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 2;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    log_line("llhscd: cannot create stop pipe: " +
+             std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 2;
+  }
+  stop_pipe_read_ = pipe_fds[0];
+  stop_pipe_write_.store(pipe_fds[1], std::memory_order_release);
+  g_signal_pipe.store(pipe_fds[1], std::memory_order_relaxed);
+
+  struct sigaction sa{};
+  sa.sa_handler = llhscd_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old_int{};
+  struct sigaction old_term{};
+  ::sigaction(SIGINT, &sa, &old_int);
+  ::sigaction(SIGTERM, &sa, &old_term);
+
+  pool_ = std::make_unique<support::ThreadPool>(
+      support::ThreadPool::resolve_jobs(options_.jobs));
+  log_line("llhscd: listening on " + options_.socket_path + " (" +
+           std::to_string(pool_->size()) + " workers, queue limit " +
+           std::to_string(options_.queue_limit) + ")");
+
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_read_, POLLIN, 0};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop byte
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      continue;
+    }
+    auto conn = std::make_shared<Connection>(client);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+      readers_.emplace_back(&Server::reader_loop, this, conn);
+    }
+  }
+
+  // -- Drain: no new work, admitted work finishes and responds --
+  draining_.store(true, std::memory_order_release);
+  log_line("llhscd: draining (" + std::to_string(admitted_.load()) +
+           " request(s) in flight)");
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    // Shut the read side only: readers see EOF and exit; in-flight
+    // responses still go out on the write side.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  // Readers first (after the join no thread can submit new pool work), then
+  // the pool barrier — admitted requests finish and respond.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) t.join();
+  pool_->wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
+  }
+  pool_.reset();
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  g_signal_pipe.store(-1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stop_pipe_mutex_);
+    stop_pipe_write_.store(-1, std::memory_order_release);
+    ::close(pipe_fds[1]);
+  }
+  ::close(stop_pipe_read_);
+  stop_pipe_read_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  log_line("llhscd: drained, bye");
+  return 0;
+}
+
+}  // namespace llhsc::server

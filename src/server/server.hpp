@@ -1,0 +1,134 @@
+// llhscd — the long-running check daemon. Line-delimited JSON over a
+// Unix-domain socket:
+//
+//   request:  {"id": <any>, "method": "ping"|"check"|"session"|"stats"|
+//              "shutdown", "params": {...}, "deadline_ms": <int>}\n
+//   response: {"id": <echoed>, "ok": true, "result": {...}}\n
+//           | {"id": <echoed>, "ok": false,
+//              "error": {"code": "bad_request"|"overloaded"|
+//                        "shutting_down"|"deadline_exceeded",
+//                        "message": "..."}}\n
+//
+// Architecture: one accept thread multiplexing the listen socket and a
+// self-pipe (the SIGINT/SIGTERM handler writes one byte — async-signal-safe
+// — and the poll loop does the actual shutdown outside signal context); one
+// reader thread per connection; check/session work scheduled onto a shared
+// support::ThreadPool, with a bounded admission count — requests beyond
+// queue_limit are answered `overloaded` immediately instead of queueing
+// without bound. Responses to one connection are serialised by a
+// per-connection write mutex, so concurrent requests on one socket never
+// interleave bytes.
+//
+// Shutdown is a drain: stop accepting, shut down the read side of every
+// connection, let admitted requests finish and respond, then unlink the
+// socket and return 0. A `shutdown` request triggers the same path.
+//
+// `check` responses carry the exact stdout/stderr bytes and exit code the
+// one-shot CLI produces for the same input (both funnel through
+// server::run_check). `session` requests get incremental re-checking over
+// the shared ArtifactStore (see session.hpp). `stats` reports cumulative
+// counters, store statistics, and a p50/p95 latency histogram — all timing
+// from steady_clock; the daemon never reads wall-clock time on any path
+// that contributes to a verdict.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/artifact_store.hpp"
+#include "server/histogram.hpp"
+#include "server/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace llhsc::server {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Worker threads for check/session execution (0 = hardware concurrency).
+  unsigned jobs = 0;
+  /// Admitted (queued + running) check/session requests beyond this are
+  /// rejected with `overloaded`.
+  size_t queue_limit = 64;
+  /// Deadline applied to requests that do not carry their own deadline_ms
+  /// (0 = unlimited).
+  uint64_t default_deadline_ms = 0;
+  /// Per-class ArtifactStore capacity.
+  size_t store_capacity = 512;
+  /// Trace/log sink; null = stderr.
+  std::ostream* log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, serves until a signal / shutdown request / stop(),
+  /// drains, unlinks the socket. Returns 0 on clean shutdown, 2 on setup
+  /// failure. Installs SIGINT/SIGTERM handlers for the duration.
+  int run();
+
+  /// Thread-safe: asks a running server to drain and stop.
+  void request_stop();
+
+  /// The bound socket path (for tests).
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mutex;
+  };
+
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void respond(const std::shared_ptr<Connection>& conn, const Json& response);
+  void respond_error(const std::shared_ptr<Connection>& conn, const Json& id,
+                     const std::string& code, const std::string& message);
+  void log_line(const std::string& text);
+
+  ServerOptions options_;
+  ArtifactStore store_;
+  std::unique_ptr<support::ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_read_ = -1;
+  std::atomic<int> stop_pipe_write_{-1};
+  /// Serialises request_stop()'s write against run()'s close of the write
+  /// end (the signal handler uses its own async-signal-safe self-pipe).
+  std::mutex stop_pipe_mutex_;
+  std::atomic<bool> draining_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+
+  std::atomic<size_t> admitted_{0};  // queued + running check/session work
+
+  // Cumulative request counters for `stats`.
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> sessions_{0};
+  std::atomic<uint64_t> pings_{0};
+  std::atomic<uint64_t> rejected_overloaded_{0};
+  std::atomic<uint64_t> rejected_bad_request_{0};
+  std::atomic<uint64_t> rejected_shutting_down_{0};
+  std::atomic<uint64_t> rejected_deadline_{0};
+  LatencyHistogram latency_;
+
+  std::mutex log_mutex_;
+};
+
+}  // namespace llhsc::server

@@ -154,11 +154,41 @@ uint64_t query_fingerprint(std::string_view canonical_text) {
 
 QueryCache::QueryCache(const std::string& dir, Backend backend) {
   if (dir.empty()) return;
+  std::error_code ec;
+  if (fs::exists(dir, ec) && !ec && !fs::is_directory(dir, ec)) {
+    error_ = "cache directory '" + dir + "' exists but is not a directory";
+    return;
+  }
   version_dir_ = dir + "/qc" + std::to_string(kCacheFormatVersion) + "-" +
                  std::string(to_string(backend));
-  std::error_code ec;
+  ec.clear();
   fs::create_directories(version_dir_, ec);
-  enabled_ = !ec && fs::is_directory(version_dir_, ec) && !ec;
+  if (ec || !fs::is_directory(version_dir_, ec) || ec) {
+    error_ = "cannot create cache directory '" + version_dir_ + "'" +
+             (ec ? ": " + ec.message() : "");
+    return;
+  }
+  // Probe write: create_directories succeeding does not prove the directory
+  // is writable (read-only remount, sticky permissions). One tiny file,
+  // written and removed, decides it up front instead of every store()
+  // silently failing later.
+  static std::atomic<uint64_t> probe_counter{0};
+  const std::string probe =
+      version_dir_ + "/.probe" + std::to_string(probe_counter.fetch_add(1)) +
+      "-" + hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(probe, std::ios::binary);
+    out << "llhsc-qc-probe\n";
+    if (!out.good()) {
+      error_ = "cache directory '" + version_dir_ + "' is not writable";
+      ec.clear();
+      fs::remove(probe, ec);
+      return;
+    }
+  }
+  ec.clear();
+  fs::remove(probe, ec);
+  enabled_ = true;
 }
 
 std::string QueryCache::entry_path(uint64_t fingerprint) const {

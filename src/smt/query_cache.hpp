@@ -44,11 +44,18 @@ class QueryCache {
   };
 
   /// Opens (creating if needed) the versioned cache directory for `backend`
-  /// under `dir`. On any filesystem failure the cache silently disables
-  /// itself: caching is an optimisation, never a correctness dependency.
+  /// under `dir`. On any filesystem failure — `dir` is a file, the
+  /// directory cannot be created, or a probe write fails (read-only mount,
+  /// permissions) — the cache disables itself and records why in error():
+  /// caching is an optimisation, never a correctness dependency, but the
+  /// failure must be *visible* (the semantic checker turns it into one
+  /// warning finding) rather than a silent cold run every time.
   QueryCache(const std::string& dir, Backend backend);
 
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Why the cache is disabled ("" when enabled or never requested).
+  [[nodiscard]] const std::string& error() const { return error_; }
 
   /// Returns the stored entry for this query, or nullopt on miss (including
   /// fingerprint collisions, unreadable entries, and a disabled cache).
@@ -66,6 +73,7 @@ class QueryCache {
 
   std::string version_dir_;
   bool enabled_ = false;
+  std::string error_;
 };
 
 }  // namespace llhsc::smt

@@ -8,7 +8,13 @@ QueryPlanner::QueryPlanner(Solver& solver, const std::string& cache_dir)
     : solver_(&solver) {
   if (!cache_dir.empty()) {
     cache_ = std::make_unique<QueryCache>(cache_dir, solver.backend());
+    if (!cache_->enabled()) stats_.cache_errors = 1;
   }
+}
+
+const std::string& QueryPlanner::cache_error() const {
+  static const std::string kEmpty;
+  return cache_ == nullptr ? kEmpty : cache_->error();
 }
 
 QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,

@@ -46,6 +46,9 @@ struct QueryPlanStats {
   uint64_t queries_pruned = 0;
   /// Queries answered from the persistent cache.
   uint64_t cache_hits = 0;
+  /// 1 when a cache directory was requested but could not be used (file in
+  /// the way, unwritable, creation failure) — the run proceeded uncached.
+  uint64_t cache_errors = 0;
 };
 
 class QueryPlanner {
@@ -76,6 +79,8 @@ class QueryPlanner {
   [[nodiscard]] bool cache_enabled() const {
     return cache_ != nullptr && cache_->enabled();
   }
+  /// Why the requested cache is unusable ("" when fine or not requested).
+  [[nodiscard]] const std::string& cache_error() const;
 
  private:
   Solver* solver_;

@@ -39,4 +39,16 @@ namespace llhsc::support {
 /// Simple glob match supporting '*' and '?' (used by schema `pattern`).
 [[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
 
+/// FNV-1a 64-bit over arbitrary bytes — the content-addressing hash shared
+/// by the solver query cache and the server's artifact store.
+[[nodiscard]] constexpr uint64_t fnv1a64(std::string_view bytes,
+                                         uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace llhsc::support

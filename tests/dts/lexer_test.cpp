@@ -143,6 +143,56 @@ TEST(Lexer, UnterminatedStringReportsError) {
   EXPECT_TRUE(de.has_errors());
 }
 
+TEST(Lexer, UnterminatedCommentAnchorsAtOpeningDelimiter) {
+  // The error must point at the '/*' (line 2, column 3), never one past the
+  // end of the buffer, and a note must flag the comment as never closed.
+  support::DiagnosticEngine de;
+  lex("a\n  /* opened\nbut never closed", de);
+  ASSERT_TRUE(de.has_errors());
+  const support::Diagnostic* error = nullptr;
+  bool note_seen = false;
+  for (const auto& d : de.diagnostics()) {
+    if (d.severity == support::Severity::kError) error = &d;
+    if (d.severity == support::Severity::kNote &&
+        d.message.find("never closed") != std::string::npos) {
+      note_seen = true;
+    }
+  }
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->message, "unterminated block comment");
+  EXPECT_EQ(error->location.line, 2u);
+  EXPECT_EQ(error->location.column, 3u);
+  EXPECT_TRUE(note_seen);
+}
+
+TEST(Lexer, UnterminatedStringAnchorsAtOpeningQuote) {
+  support::DiagnosticEngine de;
+  lex("x = \"runs off the end", de);
+  ASSERT_TRUE(de.has_errors());
+  const support::Diagnostic* error = nullptr;
+  bool note_seen = false;
+  for (const auto& d : de.diagnostics()) {
+    if (d.severity == support::Severity::kError) error = &d;
+    if (d.severity == support::Severity::kNote &&
+        d.message.find("never closed") != std::string::npos) {
+      note_seen = true;
+    }
+  }
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->message, "unterminated string literal");
+  EXPECT_EQ(error->location.line, 1u);
+  EXPECT_EQ(error->location.column, 5u);
+  EXPECT_TRUE(note_seen);
+}
+
+TEST(Lexer, UnterminatedStringWithTrailingBackslashAtEof) {
+  // A dangling escape at EOF must not read past the buffer or loop forever.
+  support::DiagnosticEngine de;
+  lex("\"ends with escape\\", de);
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_TRUE(de.contains_code("dts-lex"));
+}
+
 TEST(Lexer, AngleBracketsAndShifts) {
   auto toks = lex_ok("< > << >>");
   EXPECT_EQ(toks[0].kind, TokenKind::kLAngle);

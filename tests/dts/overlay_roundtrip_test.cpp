@@ -1,0 +1,83 @@
+// Overlay round-trip over the real example data: apply enable-uart0.dtso to
+// custom-sbc.dts, print the result, re-parse the print, and require the
+// re-parsed tree to print identically — printer output must be a fixpoint
+// under parse, or generated .dts artifacts would drift on every hop.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dts/overlay.hpp"
+#include "dts/parser.hpp"
+#include "dts/printer.hpp"
+
+namespace llhsc::dts {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(OverlayRoundTrip, EnableUart0OnCustomSbc) {
+  const std::string data_dir = LLHSC_EXAMPLES_DATA_DIR;
+  const std::string base_text = read_file(data_dir + "/custom-sbc.dts");
+  const std::string overlay_text = read_file(data_dir + "/enable-uart0.dtso");
+
+  support::DiagnosticEngine diags;
+  SourceManager sources;
+  sources.set_base_directory(data_dir);  // resolves /include/ "cpus.dtsi"
+  auto base = parse_dts(base_text, "custom-sbc.dts", sources, diags);
+  ASSERT_NE(base, nullptr) << diags.render();
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+
+  auto overlay =
+      parse_overlay(overlay_text, "enable-uart0.dtso", sources, diags);
+  ASSERT_TRUE(overlay.has_value()) << diags.render();
+  ASSERT_TRUE(apply_overlay(*base, *overlay, diags)) << diags.render();
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+
+  const std::string printed = print_dts(*base);
+  // The overlay's effect must be visible in the printed tree.
+  EXPECT_NE(printed.find("status = \"okay\""), std::string::npos);
+  EXPECT_NE(printed.find("current-speed"), std::string::npos);
+
+  // Re-parse the print. The printed tree is self-contained (includes were
+  // spliced during the first parse), so no base directory is needed.
+  support::DiagnosticEngine diags2;
+  SourceManager sources2;
+  auto reparsed = parse_dts(printed, "roundtrip.dts", sources2, diags2);
+  ASSERT_NE(reparsed, nullptr) << diags2.render();
+  ASSERT_FALSE(diags2.has_errors()) << diags2.render();
+
+  EXPECT_EQ(print_dts(*reparsed), printed)
+      << "print -> parse -> print must be a fixpoint";
+}
+
+TEST(OverlayRoundTrip, RepeatedApplicationIsDeterministic) {
+  // Two independent apply runs over freshly parsed trees must print the
+  // same bytes — overlay application must not depend on allocation order.
+  const std::string data_dir = LLHSC_EXAMPLES_DATA_DIR;
+  const std::string base_text = read_file(data_dir + "/custom-sbc.dts");
+  const std::string overlay_text = read_file(data_dir + "/enable-uart0.dtso");
+
+  auto run = [&]() {
+    support::DiagnosticEngine diags;
+    SourceManager sources;
+    sources.set_base_directory(data_dir);
+    auto base = parse_dts(base_text, "custom-sbc.dts", sources, diags);
+    EXPECT_NE(base, nullptr) << diags.render();
+    auto overlay =
+        parse_overlay(overlay_text, "enable-uart0.dtso", sources, diags);
+    EXPECT_TRUE(overlay.has_value()) << diags.render();
+    EXPECT_TRUE(apply_overlay(*base, *overlay, diags)) << diags.render();
+    return print_dts(*base);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace llhsc::dts

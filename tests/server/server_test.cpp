@@ -1,0 +1,331 @@
+#include "server/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/check_service.hpp"
+
+namespace llhsc::server {
+namespace {
+
+constexpr const char* kDts = R"(/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+};
+)";
+
+/// Blocking line-oriented client over the daemon's Unix socket.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // The server thread may still be between bind and listen: retry briefly.
+    for (int i = 0; i < 200; ++i) {
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        connected_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  bool send_line(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    size_t off = 0;
+    while (off < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<Json> recv_response() {
+    char chunk[4096];
+    while (buffer_.find('\n') == std::string::npos) {
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    size_t newline = buffer_.find('\n');
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return Json::parse(line);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+Json check_request(int id, const std::string& source) {
+  Json params = Json::object();
+  params.set("path", Json::string("test.dts"));
+  params.set("source", Json::string(source));
+  Json request = Json::object();
+  request.set("id", Json::integer(id));
+  request.set("method", Json::string("check"));
+  request.set("params", std::move(params));
+  return request;
+}
+
+/// One Server on a background thread, torn down via the wire protocol (or
+/// request_stop as a fallback) so every test also exercises the drain path.
+class ServerFixture {
+ public:
+  explicit ServerFixture(size_t queue_limit = 64) {
+    char tmpl[] = "/tmp/llhscd_test_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+    ServerOptions options;
+    options.socket_path = dir_ + "/d.sock";
+    options.jobs = 4;
+    options.queue_limit = queue_limit;
+    options.log = &log_;
+    server_ = std::make_unique<Server>(std::move(options));
+    thread_ = std::thread([this]() { exit_code_ = server_->run(); });
+  }
+
+  ~ServerFixture() {
+    if (thread_.joinable()) {
+      server_->request_stop();
+      thread_.join();
+    }
+    ::unlink((dir_ + "/d.sock").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return server_->socket_path();
+  }
+
+  int shutdown_and_join() {
+    Client client(socket_path());
+    EXPECT_TRUE(client.connected());
+    Json request = Json::object();
+    request.set("id", Json::integer(0));
+    request.set("method", Json::string("shutdown"));
+    EXPECT_TRUE(client.send_line(request.dump()));
+    auto response = client.recv_response();
+    EXPECT_TRUE(response.has_value());
+    thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  std::string dir_;
+  std::ostringstream log_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+TEST(Server, PingPong) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(R"({"id": 5, "method": "ping"})"));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->at("id").as_int(), 5);
+  EXPECT_TRUE(response->at("ok").as_bool());
+  EXPECT_TRUE(response->at("result").at("pong").as_bool());
+}
+
+TEST(Server, CheckResponseMatchesRunCheckBytes) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(check_request(1, kDts).dump()));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->at("ok").as_bool()) << response->dump();
+  const Json& result = response->at("result");
+
+  CheckRequest local;
+  local.path = "test.dts";
+  local.source = kDts;
+  CheckOutcome expected = run_check(local, nullptr);
+  EXPECT_EQ(result.at("exit_code").as_int(), expected.exit_code);
+  EXPECT_EQ(result.at("stdout").as_string(), expected.output);
+  EXPECT_EQ(result.at("stderr").as_string(), expected.error_text);
+}
+
+TEST(Server, WarmCheckHitsArtifactCache) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(check_request(1, kDts).dump()));
+  auto cold = client.recv_response();
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_FALSE(cold->at("result").at("trace").at("tree_cache_hit").as_bool());
+
+  ASSERT_TRUE(client.send_line(check_request(2, kDts).dump()));
+  auto warm = client.recv_response();
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->at("result").at("trace").at("tree_cache_hit").as_bool());
+  EXPECT_TRUE(warm->at("result").at("trace").at("check_cache_hit").as_bool());
+  EXPECT_EQ(warm->at("result").at("stdout").as_string(),
+            cold->at("result").at("stdout").as_string());
+}
+
+TEST(Server, EightConcurrentClients) {
+  ServerFixture fixture;
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  // int, not vector<bool>: each thread writes its own element, and
+  // vector<bool> packs elements into shared words.
+  std::vector<int> ok(kClients, 0);
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i]() {
+      Client client(fixture.socket_path());
+      if (!client.connected()) return;
+      // Half the clients share one source (exercising the in-flight build
+      // latch), half get distinct sources (exercising parallel builds).
+      std::string source(kDts);
+      if (i % 2 == 1) {
+        source += "/* client " + std::to_string(i) + " */\n";
+      }
+      if (!client.send_line(check_request(i, source).dump())) return;
+      auto response = client.recv_response();
+      ok[i] = response.has_value() && response->at("ok").as_bool(false) &&
+              response->at("id").as_int(-1) == i &&
+              response->at("result").at("exit_code").as_int(-1) == 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(ok[i]) << "client " << i;
+  }
+}
+
+TEST(Server, StatsReportsCountersAndLatency) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(check_request(1, kDts).dump()));
+  ASSERT_TRUE(client.recv_response().has_value());
+  ASSERT_TRUE(client.send_line(R"({"id": 2, "method": "stats"})"));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  const Json& result = response->at("result");
+  EXPECT_EQ(result.at("checks").as_uint(), 1u);
+  EXPECT_GE(result.at("requests_total").as_uint(), 2u);
+  EXPECT_EQ(result.at("latency").at("count").as_uint(), 1u);
+  EXPECT_GT(result.at("latency").at("p95_us").as_uint(), 0u);
+  EXPECT_EQ(result.at("store").at("tree_parses").as_uint(), 1u);
+}
+
+TEST(Server, MalformedLineIsBadRequest) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line("this is not json"));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->at("ok").as_bool(true));
+  EXPECT_EQ(response->at("error").at("code").as_string(), "bad_request");
+  // The connection survives a bad line.
+  ASSERT_TRUE(client.send_line(R"({"id": 9, "method": "ping"})"));
+  auto pong = client.recv_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->at("ok").as_bool());
+}
+
+TEST(Server, UnknownMethodIsBadRequest) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(R"({"id": 1, "method": "frobnicate"})"));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(Server, ZeroQueueLimitRejectsAsOverloaded) {
+  ServerFixture fixture(/*queue_limit=*/0);
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(check_request(1, kDts).dump()));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->at("ok").as_bool(true));
+  EXPECT_EQ(response->at("error").at("code").as_string(), "overloaded");
+}
+
+TEST(Server, ShutdownRequestDrainsCleanly) {
+  ServerFixture fixture;
+  {
+    Client client(fixture.socket_path());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.send_line(check_request(1, kDts).dump()));
+    ASSERT_TRUE(client.recv_response().has_value());
+  }
+  EXPECT_EQ(fixture.shutdown_and_join(), 0);
+}
+
+TEST(Server, SessionRequestOverTheWire) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  Json product = Json::object();
+  product.set("name", Json::string("pa"));
+  Json features = Json::array();
+  features.push(Json::string("fa"));
+  product.set("features", std::move(features));
+  Json products = Json::array();
+  products.push(std::move(product));
+  Json params = Json::object();
+  params.set("core_source", Json::string(kDts));
+  params.set("core_name", Json::string("core.dts"));
+  params.set("deltas_source",
+             Json::string("delta da when fa {\n"
+                          "    modifies memory@40000000 { status = \"okay\"; }\n"
+                          "}\n"));
+  params.set("deltas_name", Json::string("t.deltas"));
+  params.set("products", std::move(products));
+  Json request = Json::object();
+  request.set("id", Json::integer(3));
+  request.set("method", Json::string("session"));
+  request.set("params", std::move(params));
+  ASSERT_TRUE(client.send_line(request.dump()));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->at("ok").as_bool(false)) << response->dump();
+  const Json& result = response->at("result");
+  EXPECT_EQ(result.at("exit_code").as_int(-1), 0);
+  ASSERT_EQ(result.at("units").items().size(), 1u);
+  EXPECT_EQ(result.at("units").items()[0].at("name").as_string(), "pa");
+  EXPECT_EQ(result.at("cost").at("derives").as_uint(), 1u);
+}
+
+}  // namespace
+}  // namespace llhsc::server

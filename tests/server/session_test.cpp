@@ -1,0 +1,127 @@
+#include "server/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::server {
+namespace {
+
+constexpr const char* kCore = R"(/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    uart0: uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+};
+)";
+
+constexpr const char* kDeltas =
+    "delta da when fa {\n"
+    "    modifies uart@20000000 { clock-frequency = <1000000>; }\n"
+    "}\n"
+    "delta db when fb {\n"
+    "    modifies memory@40000000 { status = \"okay\"; }\n"
+    "}\n";
+
+SessionRequest base_request() {
+  SessionRequest r;
+  r.core_source = kCore;
+  r.core_name = "core.dts";
+  r.deltas_source = kDeltas;
+  r.deltas_name = "t.deltas";
+  r.products.push_back({"pa", {"fa"}});
+  r.products.push_back({"pb", {"fb"}});
+  return r;
+}
+
+TEST(Session, ColdRunChecksEveryProduct) {
+  ArtifactStore store;
+  SessionOutcome out = run_session_check(base_request(), store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  ASSERT_EQ(out.units.size(), 2u);
+  EXPECT_EQ(out.units[0].name, "pa");
+  EXPECT_EQ(out.units[1].name, "pb");
+  EXPECT_FALSE(out.units[0].composed_cache_hit);
+  EXPECT_FALSE(out.units[1].composed_cache_hit);
+  EXPECT_EQ(out.cost.tree_parses, 1u);
+  EXPECT_EQ(out.cost.delta_parses, 1u);
+  EXPECT_EQ(out.cost.product_line_builds, 1u);
+  EXPECT_EQ(out.cost.derives, 2u);
+  EXPECT_EQ(out.cost.unit_checks, 2u);
+}
+
+TEST(Session, WarmRunIsAllHits) {
+  ArtifactStore store;
+  (void)run_session_check(base_request(), store);
+  SessionOutcome out = run_session_check(base_request(), store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  ASSERT_EQ(out.units.size(), 2u);
+  EXPECT_TRUE(out.units[0].composed_cache_hit);
+  EXPECT_TRUE(out.units[0].check_cache_hit);
+  EXPECT_TRUE(out.units[1].composed_cache_hit);
+  EXPECT_TRUE(out.units[1].check_cache_hit);
+  EXPECT_EQ(out.cost.tree_parses, 0u);
+  EXPECT_EQ(out.cost.delta_parses, 0u);
+  EXPECT_EQ(out.cost.derives, 0u);
+  EXPECT_EQ(out.cost.unit_checks, 0u);
+}
+
+TEST(Session, EditingOneModuleRechecksOnlyItsProduct) {
+  ArtifactStore store;
+  (void)run_session_check(base_request(), store);
+
+  // Edit db's body: pb must re-derive and re-check, pa must stay cached.
+  SessionRequest edited = base_request();
+  edited.deltas_source =
+      "delta da when fa {\n"
+      "    modifies uart@20000000 { clock-frequency = <1000000>; }\n"
+      "}\n"
+      "delta db when fb {\n"
+      "    modifies memory@40000000 { status = \"disabled\"; }\n"
+      "}\n";
+  SessionOutcome out = run_session_check(edited, store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  ASSERT_EQ(out.units.size(), 2u);
+  EXPECT_TRUE(out.units[0].composed_cache_hit) << "pa does not activate db";
+  EXPECT_TRUE(out.units[0].check_cache_hit);
+  EXPECT_FALSE(out.units[1].composed_cache_hit);
+  EXPECT_FALSE(out.units[1].check_cache_hit);
+  EXPECT_EQ(out.cost.tree_parses, 0u) << "core text unchanged";
+  EXPECT_EQ(out.cost.delta_parses, 1u);
+  EXPECT_EQ(out.cost.derives, 1u) << "only pb's composed tree rebuilds";
+  EXPECT_EQ(out.cost.unit_checks, 1u);
+}
+
+TEST(Session, PlatformUnitIsUnionOfSelections) {
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.check_platform = true;
+  SessionOutcome out = run_session_check(request, store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  ASSERT_EQ(out.units.size(), 3u);
+  EXPECT_EQ(out.units.back().name, "platform");
+  // The platform activates both modules, so its composed tree is distinct
+  // from both products': three derives.
+  EXPECT_EQ(out.cost.derives, 3u);
+}
+
+TEST(Session, CoreParseErrorRejectsRequest) {
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.core_source = "/dts-v1/;\n/ { broken";
+  SessionOutcome out = run_session_check(request, store);
+  EXPECT_EQ(out.exit_code, 1);
+  EXPECT_FALSE(out.error_text.empty());
+  EXPECT_TRUE(out.units.empty());
+}
+
+TEST(Session, AllocationRequiresModel) {
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.check_allocation = true;
+  SessionOutcome out = run_session_check(request, store);
+  EXPECT_EQ(out.exit_code, 2);
+  EXPECT_NE(out.error_text.find("feature model"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llhsc::server

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Benchmark smoke for the check daemon's session store (PR4): runs the
+# cold/warm/one-delta-edit rows of bench_server on the eight-VM workload and
+# composes BENCH_pr4.json with the headline numbers. Fails unless the warm
+# re-check is >=5x faster than the cold session and the one-delta edit
+# rebuilt exactly one composed tree (derives==1) while everything else hit
+# the artifact cache (hits>0).
+# Usage: bench_pr4.sh <build-dir> [out.json]
+set -eu
+
+BUILD="$1"
+OUT="${2:-BENCH_pr4.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_server" \
+    --benchmark_filter='BM_Session' \
+    --benchmark_format=json > "$TMP/server.json"
+
+# Compose the google-benchmark report into one artifact. Portable (python3
+# is available wherever the rest of CI tooling runs) but dependency free.
+python3 - "$TMP/server.json" "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+rows = []
+for b in report.get("benchmarks", []):
+    rows.append({
+        "name": b["name"],
+        "label": b.get("label", ""),
+        "real_time_us": b["real_time"] / 1e3,
+        "exit_code": int(b.get("exit_code", -1)),
+        "derives": int(b.get("derives", -1)),
+        "unit_checks": int(b.get("unit_checks", -1)),
+        "hits": int(b.get("hits", -1)),
+    })
+
+by_label = {r["label"]: r for r in rows}
+cold = by_label.get("cold", {})
+warm = by_label.get("warm", {})
+edit = by_label.get("one-delta-edit", {})
+speedup = (cold.get("real_time_us", 0) / warm["real_time_us"]
+           if warm.get("real_time_us") else 0.0)
+
+result = {
+    "pr": 4,
+    "workload": "eight-VM session (alternating Fig. 1b / Fig. 1c) through "
+                "the llhscd artifact store",
+    "context": report.get("context", {}),
+    "rows": rows,
+    "summary": {
+        "cold_us": cold.get("real_time_us"),
+        "warm_us": warm.get("real_time_us"),
+        "warm_speedup": round(speedup, 1),
+        "warm_speedup_at_least_5x": speedup >= 5.0,
+        "one_delta_edit_derives": edit.get("derives"),
+        "one_delta_edit_unit_checks": edit.get("unit_checks"),
+        "one_delta_edit_hits": edit.get("hits"),
+    },
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+if speedup < 5.0:
+    sys.exit(f"warm session is only {speedup:.1f}x faster than cold, "
+             "expected >=5x")
+if edit.get("derives") != 1:
+    sys.exit("one-delta edit rebuilt "
+             f"{edit.get('derives')} composed trees, expected exactly 1")
+if edit.get("hits", 0) <= 0:
+    sys.exit("one-delta edit recorded no artifact-cache hits")
+for r in rows:
+    if r["exit_code"] != 0:
+        sys.exit(f"{r['name']} exited {r['exit_code']}, expected 0")
+EOF
+
+echo "wrote $OUT"

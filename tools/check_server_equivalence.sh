@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# The daemon's headline guarantee, enforced end-to-end: for every DTS in the
+# example corpus and every output format, `llhsc check --serve <sock>` must
+# produce byte-identical stdout, byte-identical stderr and the same exit
+# code as the one-shot `llhsc check` — the daemon is a cache, never a
+# different checker. Finishes by SIGTERMing the daemon and requiring a clean
+# drain: exit 0, socket unlinked, the drain handshake in the log.
+# Usage: check_server_equivalence.sh <llhsc> <llhscd> <examples-data-dir> [log]
+set -eu
+
+LLHSC="$1"
+LLHSCD="$2"
+DATA="$3"
+TMP="$(mktemp -d)"
+LOG="${4:-$TMP/llhscd.log}"
+SOCK="$TMP/d.sock"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$LLHSCD" --socket "$SOCK" --jobs 2 --log "$LOG" &
+DAEMON_PID=$!
+
+# Wait for the socket to come up (the daemon binds before serving).
+for _ in $(seq 1 200); do
+    [ -S "$SOCK" ] && break
+    sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+
+compare() {
+    local dts="$1"; shift
+    local name; name="$(basename "$dts")"
+    local direct_status=0 served_status=0
+    "$LLHSC" check "$dts" "$@" \
+        > "$TMP/direct.out" 2> "$TMP/direct.err" || direct_status=$?
+    "$LLHSC" check "$dts" "$@" --serve "$SOCK" \
+        > "$TMP/served.out" 2> "$TMP/served.err" || served_status=$?
+    if [ "$direct_status" -ne "$served_status" ]; then
+        echo "exit mismatch on $name $*: direct=$direct_status" \
+             "served=$served_status" >&2
+        exit 1
+    fi
+    diff "$TMP/direct.out" "$TMP/served.out" \
+        || { echo "stdout diverged on $name $*" >&2; exit 1; }
+    diff "$TMP/direct.err" "$TMP/served.err" \
+        || { echo "stderr diverged on $name $*" >&2; exit 1; }
+}
+
+CHECKED=0
+for dts in "$DATA"/*.dts; do
+    for fmt in text json sarif; do
+        compare "$dts" --format "$fmt"
+    done
+    # --stats exercises the planner-counter line (trace replay on the warm
+    # path must reproduce it byte-for-byte, cache-hit or not).
+    compare "$dts" --stats
+    CHECKED=$((CHECKED + 1))
+done
+[ "$CHECKED" -ge 2 ] || { echo "corpus too small: $CHECKED files" >&2; exit 1; }
+
+# A warm repeat stays byte-identical even though it is served from cache.
+first="$(ls "$DATA"/*.dts | head -n 1)"
+compare "$first" --stats
+
+# Clean drain: SIGTERM, exit 0, socket gone, handshake logged.
+kill -TERM "$DAEMON_PID"
+DRAIN_STATUS=0
+wait "$DAEMON_PID" || DRAIN_STATUS=$?
+DAEMON_PID=""
+if [ "$DRAIN_STATUS" -ne 0 ]; then
+    echo "daemon exited $DRAIN_STATUS on SIGTERM, expected 0" >&2
+    exit 1
+fi
+if [ -e "$SOCK" ]; then
+    echo "daemon left $SOCK behind after drain" >&2
+    exit 1
+fi
+grep -q "drained" "$LOG" || { echo "no drain handshake in log" >&2; exit 1; }
+
+echo "equivalence held on $CHECKED inputs x 4 option sets"

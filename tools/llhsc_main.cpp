@@ -29,6 +29,12 @@
 //
 //   llhsc products
 //       Enumerate the valid products of the running-example feature model.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <iostream>
@@ -51,6 +57,8 @@
 #include "feature/text_format.hpp"
 #include "schema/builtin_schemas.hpp"
 #include "schema/yaml_lite.hpp"
+#include "server/check_service.hpp"
+#include "server/json.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -216,6 +224,110 @@ std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
   return opts;
 }
 
+/// Ships a check request to a running llhscd over its Unix socket and
+/// replays the response's stdout/stderr/exit code locally. The daemon runs
+/// the same server::run_check the local path does, so the bytes match.
+int serve_check(const std::string& socket_path, server::CheckRequest request) {
+  namespace fs = std::filesystem;
+  // The daemon's cwd is not ours: any path it must touch goes absolute.
+  std::error_code ec;
+  if (!request.base_directory.empty()) {
+    fs::path abs = fs::absolute(request.base_directory, ec);
+    if (!ec) request.base_directory = abs.string();
+  }
+  if (!request.cache_dir.empty()) {
+    fs::path abs = fs::absolute(request.cache_dir, ec);
+    if (!ec) request.cache_dir = abs.string();
+  }
+
+  server::Json params = server::Json::object();
+  params.set("path", server::Json::string(request.path));
+  params.set("source", server::Json::string(request.source));
+  params.set("base_directory", server::Json::string(request.base_directory));
+  params.set("format", server::Json::string(request.format));
+  params.set("lint", server::Json::boolean(request.lint));
+  params.set("crossref", server::Json::boolean(request.crossref));
+  params.set("syntax", server::Json::boolean(request.syntax));
+  params.set("semantics", server::Json::boolean(request.semantics));
+  params.set("quiet", server::Json::boolean(request.quiet));
+  params.set("stats", server::Json::boolean(request.stats));
+  params.set("backend", server::Json::string(request.backend));
+  params.set("schemas_text", server::Json::string(request.schemas_text));
+  params.set("schemas_path", server::Json::string(request.schemas_path));
+  params.set("disable_rule", server::Json::string(request.disable_rule));
+  params.set("rule_severity", server::Json::string(request.rule_severity));
+  params.set("solver_timeout_ms",
+             server::Json::unsigned_integer(request.solver_timeout_ms));
+  params.set("plan", server::Json::boolean(request.plan));
+  params.set("cache_dir", server::Json::string(request.cache_dir));
+  server::Json req = server::Json::object();
+  req.set("id", server::Json::integer(1));
+  req.set("method", server::Json::string("check"));
+  req.set("params", std::move(params));
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "cannot create socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long: " << socket_path << "\n";
+    ::close(fd);
+    return 2;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::cerr << "cannot connect to " << socket_path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 2;
+  }
+  std::string line = req.dump();
+  line += '\n';
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      std::cerr << "cannot send request to " << socket_path << "\n";
+      ::close(fd);
+      return 2;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  while (reply.find('\n') == std::string::npos) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t newline = reply.find('\n');
+  if (newline == std::string::npos) {
+    std::cerr << "no response from " << socket_path << "\n";
+    return 2;
+  }
+  auto response = server::Json::parse(reply.substr(0, newline));
+  if (!response || !response->is_object()) {
+    std::cerr << "malformed response from " << socket_path << "\n";
+    return 2;
+  }
+  if (!response->at("ok").as_bool(false)) {
+    const server::Json& error = response->at("error");
+    std::cerr << "daemon error (" << error.at("code").as_string()
+              << "): " << error.at("message").as_string() << "\n";
+    return 2;
+  }
+  const server::Json& result = response->at("result");
+  std::cout << result.at("stdout").as_string();
+  std::cerr << result.at("stderr").as_string();
+  return static_cast<int>(result.at("exit_code").as_int(2));
+}
+
 int cmd_check(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
@@ -223,66 +335,62 @@ int cmd_check(const Args& args) {
                  "[--no-lint] [--no-syntax] [--no-semantics] "
                  "[--no-crossref] [--disable-rule id,...] "
                  "[--rule-severity id=error|warning,...] "
-                 "[--no-plan] [--cache-dir dir] [--stats]\n";
+                 "[--no-plan] [--cache-dir dir] [--stats] "
+                 "[--serve sock]\n";
     return 2;
   }
+  // Fast-fail validation in the CLI's historical order (format, then rule
+  // lists, then I/O); run_check re-validates, but by then these are clean.
   const std::string format = args.get("format", "text");
   if (format != "text" && format != "json" && format != "sarif") {
     std::cerr << "unknown --format '" << format
               << "' (want text|json|sarif)\n";
     return 2;
   }
-  auto xopts = crossref_options_from(args);
-  if (!xopts) return 2;
-  auto tree = parse_file_or_die(args.positional[0]);
-  smt::Backend backend = backend_from(args);
-  checkers::Findings all;
+  if (!crossref_options_from(args)) return 2;
 
-  if (!args.has("no-lint")) {
-    checkers::Findings f = checkers::LintChecker().check(*tree);
-    all.insert(all.end(), f.begin(), f.end());
-  }
-  if (!args.has("no-crossref")) {
-    checkers::crossref::CrossRefChecker checker(*xopts);
-    checkers::Findings f = checker.check(*tree);
-    all.insert(all.end(), f.begin(), f.end());
-  }
-  if (!args.has("no-syntax")) {
-    schema::SchemaSet schemas = schemas_from(args);
-    checkers::SyntacticChecker checker(schemas, backend);
-    checkers::Findings f = checker.check(*tree);
-    all.insert(all.end(), f.begin(), f.end());
-  }
-  if (!args.has("no-semantics")) {
-    checkers::SemanticOptions sem_options;
-    sem_options.solver_timeout_ms =
-        uint_option_or_die(args, "solver-timeout-ms", 0);
-    sem_options.plan = !args.has("no-plan");
-    sem_options.cache_dir = args.get("cache-dir");
-    checkers::SemanticChecker checker(backend, sem_options);
-    checkers::Findings f = checker.check(*tree);
-    all.insert(all.end(), f.begin(), f.end());
-    // Planner counters on stderr so the report formats stay untouched.
-    if (args.has("stats")) {
-      const smt::QueryPlanStats& ps = checker.plan_stats();
-      std::cerr << "semantic solver checks: " << checker.solver_checks()
-                << ", queries issued: " << ps.queries_issued
-                << ", queries pruned: " << ps.queries_pruned
-                << ", cache hits: " << ps.cache_hits << "\n";
+  server::CheckRequest request;
+  request.path = args.positional[0];
+  {
+    auto source = read_file(request.path);
+    if (!source) {
+      std::cerr << "cannot open " << request.path << "\n";
+      return 2;
     }
+    request.source = std::move(*source);
   }
+  size_t slash = request.path.find_last_of('/');
+  request.base_directory =
+      slash == std::string::npos ? "." : request.path.substr(0, slash);
+  request.format = format;
+  request.lint = !args.has("no-lint");
+  request.crossref = !args.has("no-crossref");
+  request.syntax = !args.has("no-syntax");
+  request.semantics = !args.has("no-semantics");
+  request.quiet = args.has("quiet");
+  request.stats = args.has("stats");
+  request.backend = args.get("backend", "builtin");
+  if (request.syntax && args.has("schemas")) {
+    auto text = read_file(args.get("schemas"));
+    if (!text) {
+      std::cerr << "cannot open schemas file " << args.get("schemas") << "\n";
+      return 2;
+    }
+    request.schemas_text = std::move(*text);
+    request.schemas_path = args.get("schemas");
+  }
+  request.disable_rule = args.get("disable-rule");
+  request.rule_severity = args.get("rule-severity");
+  request.solver_timeout_ms = uint_option_or_die(args, "solver-timeout-ms", 0);
+  request.plan = !args.has("no-plan");
+  request.cache_dir = args.get("cache-dir");
 
-  size_t errors = checkers::error_count(all);
-  if (format == "json") {
-    std::cout << checkers::report_json(all) << "\n";
-  } else if (format == "sarif") {
-    std::cout << checkers::to_sarif(all, args.positional[0]);
-  } else {
-    if (!args.has("quiet")) std::cout << checkers::render(all);
-    std::cout << args.positional[0] << ": " << errors << " error(s), "
-              << (all.size() - errors) << " warning(s)\n";
-  }
-  return errors == 0 ? 0 : 1;
+  if (args.has("serve")) return serve_check(args.get("serve"), request);
+
+  server::CheckOutcome outcome = server::run_check(request, nullptr);
+  std::cout << outcome.output;
+  std::cerr << outcome.error_text;
+  return outcome.exit_code;
 }
 
 int cmd_generate(const Args& args) {

@@ -1,0 +1,82 @@
+// llhscd — the persistent llhsc check daemon (docs/server.md). Serves
+// line-delimited JSON check/session/stats requests over a Unix-domain
+// socket; `llhsc check --serve <sock>` is the matching client.
+//
+//   llhscd --socket <path> [--jobs N] [--queue-limit N]
+//          [--store-capacity N] [--default-deadline-ms N] [--log <file>]
+//
+// Exit codes: 0 clean drain (signal or `shutdown` request), 2 usage or
+// setup failure.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: llhscd --socket <path> [--jobs N] [--queue-limit N] "
+               "[--store-capacity N] [--default-deadline-ms N] "
+               "[--log <file>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  llhsc::server::ServerOptions options;
+  std::string log_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto uint_value = [&](const std::string& flag) -> uint64_t {
+      const char* v = value();
+      auto parsed =
+          v != nullptr ? llhsc::support::parse_integer(v) : std::nullopt;
+      if (!parsed) {
+        std::cerr << "bad " << flag << " value (want an unsigned integer)\n";
+        std::exit(2);
+      }
+      return *parsed;
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.socket_path = v;
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<unsigned>(uint_value("--jobs"));
+    } else if (arg == "--queue-limit") {
+      options.queue_limit = static_cast<size_t>(uint_value("--queue-limit"));
+    } else if (arg == "--store-capacity") {
+      options.store_capacity =
+          static_cast<size_t>(uint_value("--store-capacity"));
+    } else if (arg == "--default-deadline-ms") {
+      options.default_deadline_ms = uint_value("--default-deadline-ms");
+    } else if (arg == "--log") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      log_path = v;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (options.socket_path.empty()) return usage();
+
+  std::ofstream log_file;
+  if (!log_path.empty()) {
+    log_file.open(log_path, std::ios::app);
+    if (!log_file) {
+      std::cerr << "cannot open log file " << log_path << "\n";
+      return 2;
+    }
+    options.log = &log_file;
+  }
+
+  llhsc::server::Server server(std::move(options));
+  return server.run();
+}
