@@ -160,6 +160,14 @@ std::shared_ptr<const TreeArtifact> ArtifactStore::tree(
     artifact->tree = std::move(parsed);
     artifact->diagnostics_text = diags.render();
     artifact->parse_errors = artifact->tree == nullptr || diags.has_errors();
+    // The artifact's key folds in every include edge. The cache slot above
+    // is addressed by (source, filename) alone, so an include edit re-parses
+    // under the same slot — but derived keys (product lines, composed trees,
+    // check verdicts) start from artifact->key and must see the new include
+    // content, or they would resolve to verdicts computed over the old text.
+    for (const auto& [name, hash] : artifact->includes) {
+      artifact->key = fnv_combine(support::fnv1a64(name, artifact->key), hash);
+    }
     return artifact;
   };
 

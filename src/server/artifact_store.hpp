@@ -9,9 +9,20 @@
 // a TreeArtifact records the (include-name, content-hash) pairs its parse
 // loaded, and a lookup revalidates each against the request's SourceManager
 // — an edited .dtsi invalidates every tree that included it even though the
-// main source text is unchanged. Derived artifacts (composed trees, check
-// verdicts) embed their inputs' keys in their own key, so the edges are
-// carried by construction.
+// main source text is unchanged. The re-parse happens under the same
+// (source, filename) cache slot, but the published artifact's *key* folds
+// the include hashes in, so it changes with the include content. Derived
+// artifacts (composed trees, check verdicts) embed their inputs' keys in
+// their own key, so an include edit propagates to every downstream verdict
+// by construction — never a stale verdict served over a fresh parse.
+//
+// Keys are 64-bit FNV-1a, a deliberate tradeoff: the store is a per-process
+// cache over one editing session's inputs, so the birthday bound (~2^32
+// distinct inputs before a collision is likely) is far beyond any real
+// workload — but a collision *would* silently serve another input's
+// parse/verdict, with no detection path. If this store ever backs a shared
+// or persistent service, widen the keys (e.g. two independently-seeded FNV
+// streams) or verify source text on hit before trusting the arithmetic.
 //
 // Concurrency: every public method is thread-safe. A get-or-build on a key
 // another thread is already building *waits for that build* instead of
@@ -58,6 +69,9 @@ struct StoreStats {
 
 /// One parsed DTS with its include dependency edges.
 struct TreeArtifact {
+  /// Effective content key: fnv(main source, filename) folded with every
+  /// include's (name, content-hash) edge — changes when any transitive
+  /// input byte changes, so keys derived from it inherit include freshness.
   uint64_t key = 0;
   std::shared_ptr<const dts::Tree> tree;  // null when the parse failed hard
   std::string diagnostics_text;           // full render of the parse diags

@@ -222,6 +222,8 @@ CheckOutcome run_check(const CheckRequest& request, ArtifactStore* store) {
 
   std::shared_ptr<const CheckArtifact> verdict;
   if (store != nullptr) {
+    // tree_artifact->key is include-aware (see TreeArtifact::key): an
+    // edited .dtsi re-parses the tree *and* lands here as a new verdict key.
     const uint64_t key = fnv_combine(check_options_fingerprint(request),
                                      tree_artifact->key);
     verdict = store->unit_check(

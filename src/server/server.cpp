@@ -378,6 +378,27 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
   });
 }
 
+void Server::reap_finished_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::thread::id id : finished_reader_ids_) {
+      for (size_t i = 0; i < readers_.size(); ++i) {
+        if (readers_[i].get_id() == id) {
+          done.push_back(std::move(readers_[i]));
+          readers_.erase(readers_.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+    }
+    finished_reader_ids_.clear();
+  }
+  // Joined outside the lock. Every id was pushed as the reader's last
+  // locked action, so each join only waits for a handful of epilogue
+  // instructions — never for connection I/O.
+  for (std::thread& t : done) t.join();
+}
+
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   std::string buffer;
   char chunk[4096];
@@ -395,6 +416,10 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       handle_line(conn, line);
     }
   }
+  // Reap readers that finished before this one (our own id is not queued
+  // yet, so we never join ourselves), then queue our handle for the next
+  // reaper — the accept loop or a later-finishing reader.
+  reap_finished_readers();
   std::lock_guard<std::mutex> lock(connections_mutex_);
   for (size_t i = 0; i < connections_.size(); ++i) {
     if (connections_[i] == conn) {
@@ -402,6 +427,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       break;
     }
   }
+  finished_reader_ids_.push_back(std::this_thread::get_id());
 }
 
 int Server::run() {
@@ -421,6 +447,25 @@ int Server::run() {
   }
   std::strncpy(addr.sun_path, options_.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
+  // Never steal a live daemon's socket: if something is accepting on the
+  // path, refuse to start. Only a stale socket file — one that refuses
+  // connections (or nothing at all) — is unlinked before bind.
+  {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool live =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0;
+      ::close(probe);
+      if (live) {
+        log_line("llhscd: " + options_.socket_path +
+                 " is served by a running daemon; refusing to start");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return 2;
+      }
+    }
+  }
   ::unlink(options_.socket_path.c_str());
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
@@ -459,6 +504,7 @@ int Server::run() {
            std::to_string(options_.queue_limit) + ")");
 
   for (;;) {
+    reap_finished_readers();
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
     fds[1] = {stop_pipe_read_, POLLIN, 0};
@@ -502,6 +548,7 @@ int Server::run() {
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     readers.swap(readers_);
+    finished_reader_ids_.clear();  // the swap takes reaped-pending handles too
   }
   for (std::thread& t : readers) t.join();
   pool_->wait_idle();

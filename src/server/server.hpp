@@ -92,6 +92,10 @@ class Server {
   };
 
   void reader_loop(std::shared_ptr<Connection> conn);
+  /// Joins reader threads whose loop has ended — called by the accept loop
+  /// and by each finishing reader, so a long-lived daemon never accumulates
+  /// dead thread handles across client connections.
+  void reap_finished_readers();
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
   void respond(const std::shared_ptr<Connection>& conn, const Json& response);
@@ -114,6 +118,12 @@ class Server {
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::thread> readers_;
+  /// Ids of readers_ entries whose loop has returned; joined by the next
+  /// reap_finished_readers() call. A reader pushes its own id only after
+  /// its handle is in readers_ (both happen under connections_mutex_, and
+  /// the accept loop registers the handle before the thread can take the
+  /// lock), so every id here resolves to a joinable handle.
+  std::vector<std::thread::id> finished_reader_ids_;
 
   std::atomic<size_t> admitted_{0};  // queued + running check/session work
 

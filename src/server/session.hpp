@@ -3,7 +3,7 @@
 // (feature selections), and checker options; everything expensive funnels
 // through the ArtifactStore:
 //
-//   core text      -> TreeArtifact        (content key + include edges)
+//   core text      -> TreeArtifact        (include-aware content key)
 //   deltas text    -> DeltaArtifact       (per-module fingerprints)
 //   (core, deltas) -> ProductLineArtifact (one clone of the core)
 //   (core, active-module fingerprints in application order)
@@ -14,6 +14,9 @@
 // product activates, in application order. Editing one delta module
 // therefore re-derives only the products that activate it: every other
 // product's composed key is unchanged and its cached verdict is reused.
+// Editing the core — or any .dtsi it includes — changes the core's
+// effective key, which flows into every product-line, composed, and check
+// key, so the whole session re-derives, as it must.
 // The request reports the store-counter delta so callers (and the PR's
 // bench) can assert that incrementality — rebuilds, hits — rather than
 // trust it.

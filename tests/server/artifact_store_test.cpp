@@ -72,6 +72,12 @@ TEST(ArtifactStore, IncludeEditInvalidatesTree) {
   EXPECT_FALSE(hit);
   EXPECT_NE(b.get(), c.get());
   EXPECT_EQ(store.stats().tree_parses, 2u);
+  // The effective key must change with the include content too — derived
+  // artifacts (product lines, composed trees, check verdicts) key off it,
+  // and a stable key would hand them stale cached results over the fresh
+  // parse.
+  EXPECT_EQ(a->key, b->key);
+  EXPECT_NE(b->key, c->key) << "key must fold the include content hashes";
 }
 
 TEST(ArtifactStore, ParseErrorsAreCachedToo) {

@@ -1,0 +1,65 @@
+#include "server/check_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::server {
+namespace {
+
+// A layout whose verdict is decided entirely inside the included .dtsi: the
+// clean variant keeps the uart clear of the memory bank, the clashing
+// variant parks it on the bank's base address (the paper's §I-A clash).
+constexpr const char* kCleanSoc = R"(/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+};
+)";
+
+constexpr const char* kClashingSoc = R"(/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    uart@40000000 { compatible = "ns16550a"; reg = <0x40000000 0x1000>; };
+};
+)";
+
+CheckRequest include_request(const char* soc_content) {
+  CheckRequest r;
+  r.path = "top.dts";
+  r.source = "/dts-v1/;\n/include/ \"soc.dtsi\"\n";
+  r.includes.emplace_back("soc.dtsi", soc_content);
+  return r;
+}
+
+TEST(CheckService, IncludeEditChangesCachedVerdict) {
+  ArtifactStore store;
+  CheckOutcome clean = run_check(include_request(kCleanSoc), &store);
+  EXPECT_EQ(clean.exit_code, 0) << clean.error_text;
+  EXPECT_EQ(clean.errors, 0u);
+
+  // Same main source, same options — only the .dtsi changed. The stale
+  // verdict must NOT come back from the unit-check cache.
+  CheckOutcome clash = run_check(include_request(kClashingSoc), &store);
+  EXPECT_FALSE(clash.trace.tree_cache_hit);
+  EXPECT_FALSE(clash.trace.check_cache_hit)
+      << "verdict key must change when an include changes";
+  EXPECT_EQ(clash.exit_code, 1) << clash.output;
+  EXPECT_GT(clash.errors, 0u) << "the uart/memory clash must surface";
+
+  // And the cached-store answer matches the storeless one byte-for-byte.
+  CheckOutcome oneshot = run_check(include_request(kClashingSoc), nullptr);
+  EXPECT_EQ(clash.output, oneshot.output);
+  EXPECT_EQ(clash.error_text, oneshot.error_text);
+  EXPECT_EQ(clash.exit_code, oneshot.exit_code);
+
+  // Restoring the original include restores the clean verdict as a pure
+  // cache hit: both keys stay live in the store.
+  CheckOutcome restored = run_check(include_request(kCleanSoc), &store);
+  EXPECT_TRUE(restored.trace.check_cache_hit);
+  EXPECT_EQ(restored.exit_code, 0);
+  EXPECT_EQ(restored.output, clean.output);
+}
+
+}  // namespace
+}  // namespace llhsc::server

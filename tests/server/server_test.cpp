@@ -292,6 +292,29 @@ TEST(Server, ShutdownRequestDrainsCleanly) {
   EXPECT_EQ(fixture.shutdown_and_join(), 0);
 }
 
+TEST(Server, RefusesToStealALiveSocket) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  // A second daemon pointed at the same path must refuse to start instead
+  // of unlinking the live socket out from under the first.
+  ServerOptions options;
+  options.socket_path = fixture.socket_path();
+  std::ostringstream log;
+  options.log = &log;
+  Server second(std::move(options));
+  EXPECT_EQ(second.run(), 2);
+  EXPECT_NE(log.str().find("refusing to start"), std::string::npos)
+      << log.str();
+
+  // The first daemon still owns the socket and still serves.
+  ASSERT_TRUE(client.send_line(R"({"id": 1, "method": "ping"})"));
+  auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->at("ok").as_bool());
+}
+
 TEST(Server, SessionRequestOverTheWire) {
   ServerFixture fixture;
   Client client(fixture.socket_path());

@@ -91,6 +91,53 @@ TEST(Session, EditingOneModuleRechecksOnlyItsProduct) {
   EXPECT_EQ(out.cost.unit_checks, 1u);
 }
 
+TEST(Session, IncludeEditRebuildsEveryUnit) {
+  // The same nodes as kCore, but loaded through a .dtsi — the core's main
+  // text never changes in this test, only the include's content.
+  constexpr const char* kSocV1 = R"(/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    uart0: uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+};
+)";
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.core_source = "/dts-v1/;\n/include/ \"soc.dtsi\"\n";
+  request.includes.emplace_back("soc.dtsi", kSocV1);
+  SessionOutcome cold = run_session_check(request, store);
+  EXPECT_EQ(cold.exit_code, 0) << cold.error_text;
+  EXPECT_EQ(cold.cost.derives, 2u);
+
+  SessionOutcome warm = run_session_check(request, store);
+  EXPECT_EQ(warm.cost.tree_parses, 0u);
+  EXPECT_EQ(warm.cost.derives, 0u) << "unchanged include must stay cached";
+
+  // Edit only the .dtsi: the core's effective key changes, so the product
+  // line, every composed tree, and every verdict must rebuild — a cached
+  // unit check here would be a verdict over the old include content.
+  SessionRequest edited = request;
+  edited.includes[0].second = R"(/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x2000000>; };
+    uart0: uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+};
+)";
+  SessionOutcome out = run_session_check(edited, store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  ASSERT_EQ(out.units.size(), 2u);
+  EXPECT_FALSE(out.units[0].composed_cache_hit);
+  EXPECT_FALSE(out.units[0].check_cache_hit);
+  EXPECT_FALSE(out.units[1].composed_cache_hit);
+  EXPECT_FALSE(out.units[1].check_cache_hit);
+  EXPECT_EQ(out.cost.tree_parses, 1u);
+  EXPECT_EQ(out.cost.delta_parses, 0u) << "delta text unchanged";
+  EXPECT_EQ(out.cost.product_line_builds, 1u) << "wraps the new core tree";
+  EXPECT_EQ(out.cost.derives, 2u);
+  EXPECT_EQ(out.cost.unit_checks, 2u);
+}
+
 TEST(Session, PlatformUnitIsUnionOfSelections) {
   ArtifactStore store;
   SessionRequest request = base_request();
