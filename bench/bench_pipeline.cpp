@@ -9,6 +9,7 @@
 #include "core/pipeline.hpp"
 #include "core/running_example.hpp"
 #include "feature/analysis.hpp"
+#include "obs/obs.hpp"
 #include "schema/builtin_schemas.hpp"
 
 using namespace llhsc;
@@ -150,6 +151,37 @@ void BM_PipelineEightVmPlanner(benchmark::State& state) {
   state.SetLabel(mode_name[mode]);
 }
 BENCHMARK(BM_PipelineEightVmPlanner)->Arg(0)->Arg(1)->Arg(2);
+
+// PR5 tracing-overhead gate (tools/bench_pr5.sh): the planned eight-VM
+// workload with span capture killed. Compared against
+// BM_PipelineEightVmPlanner/1 (identical work, spans on) to bound the
+// observability layer's cost. Counter events still record either way — they
+// are the accounting substrate behind the verdicts, not a profiling
+// preference (src/obs/obs.hpp).
+void BM_PipelineEightVmNoTrace(benchmark::State& state) {
+  Fixture fx;
+  std::vector<core::VmSpec> vms;
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back({"vm" + std::to_string(i + 1),
+                   i % 2 == 0 ? core::fig1b_features()
+                              : core::fig1c_features()});
+  }
+  core::PipelineOptions opts;
+  opts.check_allocation = false;
+  obs::set_enabled(false);
+  bool ok = false;
+  for (auto _ : state) {
+    core::Pipeline pipeline(fx.model, core::exclusive_cpus(fx.model), *fx.pl,
+                            fx.schemas, opts);
+    core::PipelineResult result = pipeline.run(vms);
+    ok = result.ok;
+    benchmark::DoNotOptimize(result);
+  }
+  obs::set_enabled(true);
+  state.counters["ok"] = ok ? 1 : 0;
+  state.SetLabel("planned-notrace");
+}
+BENCHMARK(BM_PipelineEightVmNoTrace);
 
 // Failure path: the omitted-d4 configuration (checkers find the collisions).
 void BM_PipelineFaultDetection(benchmark::State& state) {

@@ -1,4 +1,4 @@
-// PR4 — session re-checking through the artifact store on the eight-VM
+// PR4 — session re-checking through the api::CheckStore on the eight-VM
 // workload (the two-VM running example widened by alternating Fig. 1b /
 // Fig. 1c configurations). Three rows: a cold session (empty store), a warm
 // re-check of the identical request (everything hits), and a one-delta edit
@@ -9,15 +9,15 @@
 
 #include <string>
 
+#include "api/llhsc.hpp"
 #include "core/running_example.hpp"
-#include "server/session.hpp"
 
 using namespace llhsc;
 
 namespace {
 
-server::SessionRequest eight_vm_request() {
-  server::SessionRequest r;
+api::SessionRequest eight_vm_request() {
+  api::SessionRequest r;
   r.core_source = core::running_example_core_dts();
   r.core_name = "custom-sbc.dts";
   r.includes.emplace_back("cpus.dtsi", core::running_example_cpus_dtsi());
@@ -48,12 +48,12 @@ std::string deltas_with_d1_edit(int revision) {
 }
 
 void BM_SessionCheckCold(benchmark::State& state) {
-  const server::SessionRequest request = eight_vm_request();
+  const api::SessionRequest request = eight_vm_request();
   int exit_code = -1;
   uint64_t derives = 0;
   for (auto _ : state) {
-    server::ArtifactStore store;  // cold: nothing cached
-    server::SessionOutcome out = server::run_session_check(request, store);
+    api::CheckStore store;  // cold: nothing cached
+    api::SessionResult out = api::run_session(request, store);
     exit_code = out.exit_code;
     derives = out.cost.derives;
     benchmark::DoNotOptimize(out);
@@ -65,14 +65,14 @@ void BM_SessionCheckCold(benchmark::State& state) {
 BENCHMARK(BM_SessionCheckCold);
 
 void BM_SessionCheckWarm(benchmark::State& state) {
-  const server::SessionRequest request = eight_vm_request();
-  server::ArtifactStore store;
-  (void)server::run_session_check(request, store);  // prime
+  const api::SessionRequest request = eight_vm_request();
+  api::CheckStore store;
+  (void)api::run_session(request, store);  // prime
   int exit_code = -1;
   uint64_t derives = 0;
   uint64_t hits = 0;
   for (auto _ : state) {
-    server::SessionOutcome out = server::run_session_check(request, store);
+    api::SessionResult out = api::run_session(request, store);
     exit_code = out.exit_code;
     derives = out.cost.derives;
     hits = out.cost.hits;
@@ -86,8 +86,8 @@ void BM_SessionCheckWarm(benchmark::State& state) {
 BENCHMARK(BM_SessionCheckWarm);
 
 void BM_SessionOneDeltaEdit(benchmark::State& state) {
-  server::ArtifactStore store;
-  (void)server::run_session_check(eight_vm_request(), store);  // prime
+  api::CheckStore store;
+  (void)api::run_session(eight_vm_request(), store);  // prime
   int revision = 1;
   int exit_code = -1;
   uint64_t derives = 0;
@@ -95,10 +95,10 @@ void BM_SessionOneDeltaEdit(benchmark::State& state) {
   uint64_t hits = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    server::SessionRequest request = eight_vm_request();
+    api::SessionRequest request = eight_vm_request();
     request.deltas_source = deltas_with_d1_edit(revision++);
     state.ResumeTiming();
-    server::SessionOutcome out = server::run_session_check(request, store);
+    api::SessionResult out = api::run_session(request, store);
     exit_code = out.exit_code;
     derives = out.cost.derives;
     unit_checks = out.cost.unit_checks;

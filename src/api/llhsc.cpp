@@ -1,0 +1,22 @@
+#include "api/llhsc.hpp"
+
+namespace llhsc::api {
+
+CheckResult run_check(const CheckRequest& request) {
+  return server::run_check(request, nullptr);
+}
+
+CheckResult run_check(const CheckRequest& request, CheckStore& store) {
+  return server::run_check(request, &store.raw());
+}
+
+SessionResult run_session(const SessionRequest& request, CheckStore& store) {
+  return server::run_session_check(request, store.raw());
+}
+
+int run_server(const ServerOptions& options) {
+  server::Server daemon(options);
+  return daemon.run();
+}
+
+}  // namespace llhsc::api

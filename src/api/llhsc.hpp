@@ -1,0 +1,66 @@
+// The public llhsc embedding API — the one entry point tools, benches and
+// external embedders program against. Everything here is a thin, stable
+// façade over the server layer: `run_check` is exactly the one-shot
+// `llhsc check` flow, `run_session` the incremental product-line check, and
+// `run_server` the llhscd daemon loop. The façade adds no behaviour of its
+// own, so the CLI, the daemon and an embedder calling this header produce
+// byte-identical reports for identical inputs.
+//
+// Observability: install an obs::TraceSink (obs/obs.hpp) around any of
+// these calls to capture the span/counter event stream; export it with
+// obs::write_chrome_trace for a Perfetto-loadable profile
+// (docs/observability.md).
+#pragma once
+
+#include <memory>
+
+#include "server/artifact_store.hpp"
+#include "server/check_service.hpp"
+#include "server/server.hpp"
+#include "server/session.hpp"
+
+namespace llhsc::api {
+
+// Request/result vocabulary, re-exported under the stable namespace. The
+// definitions live with the server implementation; embedders include only
+// this header.
+using CheckRequest = server::CheckRequest;
+using CheckResult = server::CheckOutcome;
+using SessionRequest = server::SessionRequest;
+using SessionProduct = server::SessionProduct;
+using SessionResult = server::SessionOutcome;
+using ServerOptions = server::ServerOptions;
+using StoreStats = server::StoreStats;
+
+/// A content-addressed artifact cache shared across run_check/run_session
+/// calls: parses and check verdicts are reused when sources and options are
+/// unchanged. Thread-safe; one store may serve concurrent calls.
+class CheckStore {
+ public:
+  explicit CheckStore(size_t capacity = 512) : store_(capacity) {}
+
+  [[nodiscard]] StoreStats stats() const { return store_.stats(); }
+
+  /// The underlying store, for layers (the daemon) that need it directly.
+  [[nodiscard]] server::ArtifactStore& raw() { return store_; }
+
+ private:
+  server::ArtifactStore store_;
+};
+
+/// Runs the full check battery over one in-memory DTS. Without a store
+/// every call parses and checks from scratch (the one-shot CLI path).
+[[nodiscard]] CheckResult run_check(const CheckRequest& request);
+[[nodiscard]] CheckResult run_check(const CheckRequest& request,
+                                    CheckStore& store);
+
+/// Incremental product-line check: derives and checks every product, with
+/// per-unit verdicts cached in `store` keyed by composed-tree content.
+[[nodiscard]] SessionResult run_session(const SessionRequest& request,
+                                        CheckStore& store);
+
+/// Runs the llhscd daemon loop until a signal or shutdown request; returns
+/// its exit code (0 clean shutdown, 2 setup failure).
+[[nodiscard]] int run_server(const ServerOptions& options);
+
+}  // namespace llhsc::api

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "checkers/crossref/rules.hpp"
+#include "support/json.hpp"
 
 namespace llhsc::checkers {
 
@@ -32,68 +33,63 @@ void append_escaped(std::ostringstream& os, std::string_view s) {
   os << '"';
 }
 
-void append_finding(std::ostringstream& os, const Finding& f) {
-  os << "{\"kind\": ";
-  append_escaped(os, to_string(f.kind));
-  os << ", \"rule\": ";
-  append_escaped(os, f.rule_id());
-  os << ", \"severity\": ";
-  append_escaped(os, f.severity == FindingSeverity::kError ? "error"
-                                                           : "warning");
-  os << ", \"subject\": ";
-  append_escaped(os, f.subject);
+using support::Json;
+
+Json finding_json(const Finding& f) {
+  Json j = Json::object();
+  j.set("kind", Json::string(std::string(to_string(f.kind))));
+  j.set("rule", Json::string(std::string(f.rule_id())));
+  j.set("severity", Json::string(f.severity == FindingSeverity::kError
+                                     ? "error"
+                                     : "warning"));
+  j.set("subject", Json::string(f.subject));
   if (f.location.valid()) {
-    os << ", \"location\": {\"file\": ";
-    append_escaped(os, f.location.file);
-    os << ", \"line\": " << f.location.line
-       << ", \"column\": " << f.location.column << "}";
+    Json loc = Json::object();
+    loc.set("file", Json::string(f.location.file));
+    loc.set("line", Json::unsigned_integer(f.location.line));
+    loc.set("column", Json::unsigned_integer(f.location.column));
+    j.set("location", std::move(loc));
   }
-  if (!f.property.empty()) {
-    os << ", \"property\": ";
-    append_escaped(os, f.property);
-  }
-  if (!f.other_subject.empty()) {
-    os << ", \"other\": ";
-    append_escaped(os, f.other_subject);
-  }
-  if (!f.delta.empty()) {
-    os << ", \"delta\": ";
-    append_escaped(os, f.delta);
-  }
+  if (!f.property.empty()) j.set("property", Json::string(f.property));
+  if (!f.other_subject.empty()) j.set("other", Json::string(f.other_subject));
+  if (!f.delta.empty()) j.set("delta", Json::string(f.delta));
   bool has_addresses = f.base_a != 0 || f.size_a != 0 || f.base_b != 0 ||
                        f.size_b != 0 || f.kind == FindingKind::kAddressOverlap;
   if (has_addresses) {
-    os << ", \"addresses\": {\"base_a\": " << f.base_a
-       << ", \"size_a\": " << f.size_a << ", \"base_b\": " << f.base_b
-       << ", \"size_b\": " << f.size_b << "}";
+    Json addr = Json::object();
+    addr.set("base_a", Json::unsigned_integer(f.base_a));
+    addr.set("size_a", Json::unsigned_integer(f.size_a));
+    addr.set("base_b", Json::unsigned_integer(f.base_b));
+    addr.set("size_b", Json::unsigned_integer(f.size_b));
+    j.set("addresses", std::move(addr));
     if (f.kind == FindingKind::kAddressOverlap) {
-      os << ", \"witness\": " << f.witness;
+      j.set("witness", Json::unsigned_integer(f.witness));
     }
   }
-  os << ", \"message\": ";
-  append_escaped(os, f.message);
-  os << '}';
+  j.set("message", Json::string(f.message));
+  return j;
+}
+
+Json findings_json(const Findings& findings) {
+  Json arr = Json::array();
+  for (const Finding& f : findings) arr.push(finding_json(f));
+  return arr;
 }
 
 }  // namespace
 
 std::string to_json(const Findings& findings) {
-  std::ostringstream os;
-  os << '[';
-  for (size_t i = 0; i < findings.size(); ++i) {
-    if (i > 0) os << ", ";
-    append_finding(os, findings[i]);
-  }
-  os << ']';
-  return os.str();
+  return findings_json(findings).dump(Json::Style::kSpaced);
 }
 
 std::string report_json(const Findings& findings) {
-  std::ostringstream os;
-  os << "{\"errors\": " << error_count(findings)
-     << ", \"warnings\": " << (findings.size() - error_count(findings))
-     << ", \"findings\": " << to_json(findings) << '}';
-  return os.str();
+  Json doc = Json::object();
+  doc.set("schema_version", Json::integer(1));
+  doc.set("errors", Json::unsigned_integer(error_count(findings)));
+  doc.set("warnings",
+          Json::unsigned_integer(findings.size() - error_count(findings)));
+  doc.set("findings", findings_json(findings));
+  return doc.dump(Json::Style::kSpaced);
 }
 
 std::string to_sarif(const Findings& findings, std::string_view artifact_uri) {

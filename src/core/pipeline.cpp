@@ -6,6 +6,7 @@
 
 #include "dts/printer.hpp"
 #include "fdt/fdt.hpp"
+#include "obs/summary.hpp"
 #include "support/thread_pool.hpp"
 
 namespace llhsc::core {
@@ -22,12 +23,14 @@ double ms_since(Clock::time_point start) {
 /// Everything one worker produces for one tree (a VM, or the platform as the
 /// last unit). Findings arrive as per-stage chunks, each location-sorted
 /// before it is appended, so the merged report is independent of how the
-/// units were scheduled across threads.
+/// units were scheduled across threads. The unit's obs events (stage spans +
+/// solver/planner counters) travel the same way and are reduced into
+/// StageTrace rows at merge time.
 struct UnitResult {
   std::unique_ptr<dts::Tree> tree;
   checkers::Findings findings;
   support::DiagnosticEngine diagnostics;
-  std::vector<StageTrace> stages;
+  std::vector<obs::Event> events;
 
   std::string dts_text;
   std::vector<uint8_t> dtb;
@@ -39,6 +42,19 @@ struct UnitResult {
   /// The fail-fast abort fired before this unit started.
   bool skipped = false;
 };
+
+/// Reduces an event stream into StageTrace rows (docs/observability.md):
+/// one row per stage span, counters attributed by (unit, scope).
+void append_reduced_stages(const std::vector<obs::Event>& events,
+                           std::vector<StageTrace>& out) {
+  obs::Summary summary = obs::reduce(events);
+  for (const obs::StageSummary& row : summary.stages) {
+    out.push_back(StageTrace{row.unit, row.stage, row.wall_ms,
+                             row.solver_checks, row.findings,
+                             row.queries_issued, row.queries_pruned,
+                             row.cache_hits, row.cache_errors});
+  }
+}
 
 }  // namespace
 
@@ -60,19 +76,29 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
 
   // -- Stage 1: resource allocation (§IV-A) --
   // Inherently global (exclusivity reasons across every VM at once), so it
-  // runs serially before the per-VM units fan out.
+  // runs serially before the per-VM units fan out. Its events (and the
+  // reduced StageTrace row) lead the merged stream.
+  obs::TraceSink alloc_sink;
   if (options_.check_allocation) {
-    const Clock::time_point t0 = Clock::now();
-    checkers::ResourceAllocationChecker rac(*model_, exclusive_,
-                                            options_.backend);
-    std::vector<std::set<std::string>> features;
-    features.reserve(vms.size());
-    for (const VmSpec& vm : vms) features.push_back(vm.features);
-    checkers::Findings alloc = rac.check(features);
-    checkers::sort_by_location(alloc);
-    result.trace.stages.push_back(
-        StageTrace{"*", "allocation", ms_since(t0), 0, alloc.size()});
-    result.findings.insert(result.findings.end(), alloc.begin(), alloc.end());
+    {
+      obs::ScopedSink sink_guard(&alloc_sink);
+      obs::ScopedUnit unit_guard("*");
+      obs::ScopedScope scope_guard("allocation");
+      obs::Span span("stage.allocation", "stage");
+      checkers::ResourceAllocationChecker rac(*model_, exclusive_,
+                                              options_.backend);
+      std::vector<std::set<std::string>> features;
+      features.reserve(vms.size());
+      for (const VmSpec& vm : vms) features.push_back(vm.features);
+      checkers::Findings alloc = rac.check(features);
+      checkers::sort_by_location(alloc);
+      obs::count("stage.findings", "stage",
+                 static_cast<int64_t>(alloc.size()));
+      result.findings.insert(result.findings.end(), alloc.begin(),
+                             alloc.end());
+    }
+    result.events = alloc_sink.take();
+    append_reduced_stages(result.events, result.trace.stages);
     if (options_.fail_fast && checkers::error_count(result.findings) > 0) {
       result.trace.complete = false;
       result.trace.total_ms = ms_since(run_start);
@@ -94,40 +120,37 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
   // stage. Everything collected is merged regardless.
   std::atomic<bool> abort{false};
 
-  auto run_unit = [&](size_t idx) {
-    UnitResult& u = units[idx];
-    if (options_.fail_fast && abort.load(std::memory_order_relaxed)) {
-      u.skipped = true;
-      return;
-    }
-    const bool is_platform = idx == vms.size();
-    const std::string unit_name = is_platform ? "platform" : vms[idx].name;
-
+  // The stage logic for one unit. Stage identities and counters are
+  // recorded as obs events into the ambient (per-unit) sink; StageTrace
+  // rows are reduced from them at merge time.
+  auto unit_body = [&](size_t idx, UnitResult& u, bool is_platform) {
     // Stage 2: delta application (§III-B).
-    const Clock::time_point t0 = Clock::now();
-    u.tree = product_line_->derive(
-        is_platform ? platform_features : vms[idx].features, u.diagnostics);
-    u.stages.push_back(StageTrace{unit_name, "derive", ms_since(t0), 0, 0});
+    {
+      obs::ScopedScope scope_guard("derive");
+      obs::Span span("stage.derive", "stage");
+      u.tree = product_line_->derive(
+          is_platform ? platform_features : vms[idx].features, u.diagnostics);
+    }
     if (u.tree == nullptr || u.diagnostics.has_errors()) {
       if (options_.fail_fast) abort.store(true, std::memory_order_relaxed);
       if (u.tree == nullptr) return;
     }
 
     // Stages 3+4 (+ lint): each stage is one chunk; sorted on arrival.
-    // The callback fills the counter fields of its StageTrace entry.
+    // `span_name` is the stage's span identity ("stage." + stage); both are
+    // literals because spans keep only the pointer until they record.
     // Returns false when fail-fast ends the unit at this stage.
-    auto run_stage = [&](const char* stage,
-                         const std::function<checkers::Findings(StageTrace&)>&
-                             fn) -> bool {
-      StageTrace st;
-      st.unit = unit_name;
-      st.stage = stage;
-      const Clock::time_point s0 = Clock::now();
-      checkers::Findings f = fn(st);
-      st.wall_ms = ms_since(s0);
-      st.findings = f.size();
+    auto run_stage = [&](const char* stage, const char* span_name,
+                         const std::function<checkers::Findings()>& fn)
+        -> bool {
+      checkers::Findings f;
+      {
+        obs::ScopedScope scope_guard(stage);
+        obs::Span span(span_name, "stage");
+        f = fn();
+        obs::count("stage.findings", "stage", static_cast<int64_t>(f.size()));
+      }
       checkers::sort_by_location(f);
-      u.stages.push_back(std::move(st));
       const bool had_errors = checkers::error_count(f) > 0;
       u.findings.insert(u.findings.end(), f.begin(), f.end());
       if (had_errors && options_.fail_fast) {
@@ -139,60 +162,74 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
 
     const bool check_this = !is_platform || options_.check_platform;
     if (check_this && options_.check_lint) {
-      if (!run_stage("lint", [&](StageTrace&) {
+      if (!run_stage("lint", "stage.lint", [&] {
             return checkers::LintChecker().check(*u.tree);
           })) {
         return;
       }
     }
     if (check_this && options_.check_syntax) {
-      if (!run_stage("syntactic", [&](StageTrace& st) {
+      if (!run_stage("syntactic", "stage.syntactic", [&] {
             checkers::SyntacticChecker syn(*schemas_, options_.backend);
-            checkers::Findings f = syn.check(*u.tree);
-            st.solver_checks = syn.solver_checks();
-            return f;
+            return syn.check(*u.tree);
           })) {
         return;
       }
     }
     if (check_this && options_.check_semantics) {
-      if (!run_stage("semantic", [&](StageTrace& st) {
+      if (!run_stage("semantic", "stage.semantic", [&] {
             checkers::SemanticOptions sem_options;
             sem_options.solver_timeout_ms = options_.solver_timeout_ms;
             sem_options.plan = options_.plan_queries;
             sem_options.cache_dir = options_.cache_dir;
             checkers::SemanticChecker sem(options_.backend, sem_options);
-            checkers::Findings f = sem.check(*u.tree);
-            st.solver_checks = sem.solver_checks();
-            st.queries_issued = sem.plan_stats().queries_issued;
-            st.queries_pruned = sem.plan_stats().queries_pruned;
-            st.cache_hits = sem.plan_stats().cache_hits;
-            st.cache_errors = sem.plan_stats().cache_errors;
-            return f;
+            return sem.check(*u.tree);
           })) {
         return;
       }
     }
 
     // Stage 5: artifact emission.
-    const Clock::time_point e0 = Clock::now();
-    u.dts_text = dts::print_dts(*u.tree);
-    if (options_.emit_dtb) {
-      if (auto blob = fdt::emit(*u.tree, u.diagnostics)) {
-        u.dtb = std::move(*blob);
+    {
+      obs::ScopedScope scope_guard("emit");
+      obs::Span span("stage.emit", "stage");
+      u.dts_text = dts::print_dts(*u.tree);
+      if (options_.emit_dtb) {
+        if (auto blob = fdt::emit(*u.tree, u.diagnostics)) {
+          u.dtb = std::move(*blob);
+        }
+      }
+      if (is_platform) {
+        u.platform_config = baogen::extract_platform(*u.tree, u.diagnostics);
+        u.platform_config_c = baogen::render_platform_c(u.platform_config);
+      } else {
+        u.config = baogen::extract_vm(*u.tree, vms[idx].name, u.diagnostics);
+        baogen::QemuOptions qemu;
+        qemu.kernel_image = vms[idx].name + "image.bin";
+        qemu.dtb_path = vms[idx].name + ".dtb";
+        u.qemu_command = baogen::render_qemu_command(u.config, qemu);
       }
     }
-    if (is_platform) {
-      u.platform_config = baogen::extract_platform(*u.tree, u.diagnostics);
-      u.platform_config_c = baogen::render_platform_c(u.platform_config);
-    } else {
-      u.config = baogen::extract_vm(*u.tree, vms[idx].name, u.diagnostics);
-      baogen::QemuOptions qemu;
-      qemu.kernel_image = vms[idx].name + "image.bin";
-      qemu.dtb_path = vms[idx].name + ".dtb";
-      u.qemu_command = baogen::render_qemu_command(u.config, qemu);
+  };
+
+  auto run_unit = [&](size_t idx) {
+    UnitResult& u = units[idx];
+    if (options_.fail_fast && abort.load(std::memory_order_relaxed)) {
+      u.skipped = true;
+      return;
     }
-    u.stages.push_back(StageTrace{unit_name, "emit", ms_since(e0), 0, 0});
+    const bool is_platform = idx == vms.size();
+    const std::string unit_name = is_platform ? "platform" : vms[idx].name;
+    // One sink per unit: events from concurrent units never interleave, and
+    // the merge below orders them by declaration index, so the trace is as
+    // deterministic as the findings.
+    obs::TraceSink unit_sink;
+    {
+      obs::ScopedSink sink_guard(&unit_sink);
+      obs::ScopedUnit unit_guard(unit_name);
+      unit_body(idx, u, is_platform);
+    }
+    u.events = unit_sink.take();
   };
 
   if (jobs <= 1) {
@@ -209,9 +246,10 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
     result.findings.insert(result.findings.end(), u.findings.begin(),
                            u.findings.end());
     result.diagnostics.merge(u.diagnostics);
-    for (StageTrace& s : u.stages) {
-      result.trace.stages.push_back(std::move(s));
-    }
+    append_reduced_stages(u.events, result.trace.stages);
+    result.events.insert(result.events.end(),
+                         std::make_move_iterator(u.events.begin()),
+                         std::make_move_iterator(u.events.end()));
     if (u.tree == nullptr) continue;
     if (idx == vms.size()) {
       result.platform_tree = std::move(u.tree);

@@ -27,6 +27,7 @@
 #include "core/trace.hpp"
 #include "delta/delta.hpp"
 #include "feature/analysis.hpp"
+#include "obs/obs.hpp"
 #include "schema/schema.hpp"
 
 namespace llhsc::core {
@@ -85,9 +86,15 @@ struct PipelineResult {
   bool ok = false;
   checkers::Findings findings;
   support::DiagnosticEngine diagnostics;
-  /// Per-stage wall time / solver checks / finding counts. Populated even
-  /// when the run aborts early (trace.complete is false then).
+  /// Per-stage wall time / solver checks / finding counts, reduced from
+  /// `events` (one row per stage span). Populated even when the run aborts
+  /// early (trace.complete is false then).
   PipelineTrace trace;
+  /// The raw obs event stream the trace was reduced from: stage spans,
+  /// per-query solver/planner spans, cache counters. Ordered allocation
+  /// first, then per unit in declaration order. Feeds `--profile`
+  /// (obs::chrome_trace_json); empty when span capture is disabled.
+  std::vector<obs::Event> events;
 
   std::vector<GeneratedVm> vms;
   std::unique_ptr<dts::Tree> platform_tree;

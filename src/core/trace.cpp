@@ -4,23 +4,11 @@
 #include <iomanip>
 #include <sstream>
 
+#include "support/json.hpp"
+
 namespace llhsc::core {
 
 namespace {
-
-void append_escaped(std::ostringstream& os, std::string_view s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default: os << c;
-    }
-  }
-  os << '"';
-}
 
 std::string format_ms(double ms) {
   std::ostringstream os;
@@ -67,35 +55,34 @@ uint64_t PipelineTrace::total_cache_errors() const {
 }
 
 std::string PipelineTrace::to_json() const {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"jobs\": " << jobs << ",\n";
-  os << "  \"total_ms\": " << format_ms(total_ms) << ",\n";
-  os << "  \"complete\": " << (complete ? "true" : "false") << ",\n";
-  os << "  \"solver_checks\": " << total_solver_checks() << ",\n";
-  os << "  \"queries_issued\": " << total_queries_issued() << ",\n";
-  os << "  \"queries_pruned\": " << total_queries_pruned() << ",\n";
-  os << "  \"cache_hits\": " << total_cache_hits() << ",\n";
-  os << "  \"cache_errors\": " << total_cache_errors() << ",\n";
-  os << "  \"findings\": " << total_findings() << ",\n";
-  os << "  \"stages\": [";
-  for (size_t i = 0; i < stages.size(); ++i) {
-    const StageTrace& s = stages[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"unit\": ";
-    append_escaped(os, s.unit);
-    os << ", \"stage\": ";
-    append_escaped(os, s.stage);
-    os << ", \"wall_ms\": " << format_ms(s.wall_ms)
-       << ", \"solver_checks\": " << s.solver_checks
-       << ", \"queries_issued\": " << s.queries_issued
-       << ", \"queries_pruned\": " << s.queries_pruned
-       << ", \"cache_hits\": " << s.cache_hits
-       << ", \"cache_errors\": " << s.cache_errors
-       << ", \"findings\": " << s.findings << '}';
+  using support::Json;
+  Json doc = Json::object();
+  doc.set("schema_version", Json::integer(1));
+  doc.set("jobs", Json::unsigned_integer(jobs));
+  doc.set("total_ms", Json::number(total_ms));
+  doc.set("complete", Json::boolean(complete));
+  doc.set("solver_checks", Json::unsigned_integer(total_solver_checks()));
+  doc.set("queries_issued", Json::unsigned_integer(total_queries_issued()));
+  doc.set("queries_pruned", Json::unsigned_integer(total_queries_pruned()));
+  doc.set("cache_hits", Json::unsigned_integer(total_cache_hits()));
+  doc.set("cache_errors", Json::unsigned_integer(total_cache_errors()));
+  doc.set("findings", Json::unsigned_integer(total_findings()));
+  Json stage_rows = Json::array();
+  for (const StageTrace& s : stages) {
+    Json row = Json::object();
+    row.set("unit", Json::string(s.unit));
+    row.set("stage", Json::string(s.stage));
+    row.set("wall_ms", Json::number(s.wall_ms));
+    row.set("solver_checks", Json::unsigned_integer(s.solver_checks));
+    row.set("queries_issued", Json::unsigned_integer(s.queries_issued));
+    row.set("queries_pruned", Json::unsigned_integer(s.queries_pruned));
+    row.set("cache_hits", Json::unsigned_integer(s.cache_hits));
+    row.set("cache_errors", Json::unsigned_integer(s.cache_errors));
+    row.set("findings", Json::unsigned_integer(s.findings));
+    stage_rows.push(std::move(row));
   }
-  if (!stages.empty()) os << "\n  ";
-  os << "]\n}\n";
-  return os.str();
+  doc.set("stages", std::move(stage_rows));
+  return doc.dump(Json::Style::kPretty) + "\n";
 }
 
 std::string PipelineTrace::render_table() const {

@@ -1,9 +1,12 @@
 // Pipeline observability: one StageTrace per (work unit, stage) pair that
-// actually ran, collected per-unit during the parallel phase and merged in
-// declaration order, so the trace is as deterministic as the findings
-// (timings excepted — wall_ms is measured, everything else is exact).
-// Rendered two ways: a JSON document (--trace-json, schema in
-// docs/pipeline.md) and an aligned summary table (--verbose).
+// actually ran. Since PR 5 the rows are a *reduction* of the obs event
+// stream (src/obs/summary.hpp) — the pipeline records stage spans and the
+// solver/planner layers record counters, and this struct is rebuilt from
+// them, merged in unit declaration order, so the trace is as deterministic
+// as the findings (timings excepted — wall_ms is measured, everything else
+// is exact). Rendered two ways: a JSON document with a top-level
+// "schema_version": 1 (--trace-json, schema in docs/pipeline.md and
+// docs/observability.md) and an aligned summary table (--verbose).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,51 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "support/json.hpp"
+
+namespace llhsc::obs {
+
+using support::Json;
+
+std::string chrome_trace_json(const std::vector<Event>& events) {
+  Json trace_events = Json::array();
+  for (const Event& e : events) {
+    Json ev = Json::object();
+    ev.set("name", Json::string(e.name));
+    ev.set("cat", Json::string(e.category));
+    ev.set("ph", Json::string(e.kind == Event::Kind::kSpan ? "X" : "C"));
+    ev.set("ts", Json::unsigned_integer(e.ts_us));
+    if (e.kind == Event::Kind::kSpan) {
+      ev.set("dur", Json::unsigned_integer(e.dur_us));
+    }
+    ev.set("pid", Json::integer(1));
+    ev.set("tid", Json::unsigned_integer(e.tid));
+    Json args = Json::object();
+    if (e.kind == Event::Kind::kCounter) {
+      // The counter's own name keys its value, so Perfetto plots one
+      // series per counter.
+      args.set(e.name, Json::integer(e.delta));
+    }
+    if (!e.unit.empty()) args.set("unit", Json::string(e.unit));
+    if (!e.scope.empty()) args.set("scope", Json::string(e.scope));
+    for (const auto& [k, v] : e.args) args.set(k, Json::string(v));
+    ev.set("args", std::move(args));
+    trace_events.push(std::move(ev));
+  }
+  Json doc = Json::object();
+  doc.set("schema_version", Json::integer(1));
+  doc.set("displayTimeUnit", Json::string("ms"));
+  doc.set("traceEvents", std::move(trace_events));
+  return doc.dump(Json::Style::kPretty) + "\n";
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json(events);
+  return static_cast<bool>(out);
+}
+
+}  // namespace llhsc::obs

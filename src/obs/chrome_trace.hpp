@@ -1,0 +1,20 @@
+// Chrome trace-event exporter: serialises an event stream as a JSON object
+// with a "traceEvents" array, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Spans become "X" (complete) events, counters become "C"
+// events; see docs/observability.md for the key schema.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace llhsc::obs {
+
+[[nodiscard]] std::string chrome_trace_json(const std::vector<Event>& events);
+
+/// Writes chrome_trace_json(events) to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events);
+
+}  // namespace llhsc::obs

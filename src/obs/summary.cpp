@@ -1,0 +1,78 @@
+#include "obs/summary.hpp"
+
+namespace llhsc::obs {
+
+namespace {
+
+constexpr char kSep = '\x1f';
+constexpr std::string_view kStagePrefix = "stage.";
+
+uint64_t non_negative(int64_t v) {
+  return v > 0 ? static_cast<uint64_t>(v) : 0;
+}
+
+}  // namespace
+
+std::string Summary::key(std::string_view unit, std::string_view scope,
+                         std::string_view name) {
+  std::string k;
+  k.reserve(unit.size() + scope.size() + name.size() + 2);
+  k.append(unit);
+  k.push_back(kSep);
+  k.append(scope);
+  k.push_back(kSep);
+  k.append(name);
+  return k;
+}
+
+int64_t Summary::scoped(std::string_view scope, std::string_view name) const {
+  int64_t total = 0;
+  for (const auto& [k, v] : scoped_counters) {
+    const size_t first = k.find(kSep);
+    const size_t second = k.find(kSep, first + 1);
+    std::string_view key_view(k);
+    if (key_view.substr(first + 1, second - first - 1) == scope &&
+        key_view.substr(second + 1) == name) {
+      total += v;
+    }
+  }
+  return total;
+}
+
+int64_t Summary::counter(std::string_view name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+Summary reduce(const std::vector<Event>& events) {
+  Summary out;
+  for (const Event& e : events) {
+    if (e.kind == Event::Kind::kCounter) {
+      out.counters[e.name] += e.delta;
+      out.scoped_counters[Summary::key(e.unit, e.scope, e.name)] += e.delta;
+      continue;
+    }
+    if (e.category == "stage" && e.name.starts_with(kStagePrefix)) {
+      StageSummary row;
+      row.unit = e.unit;
+      row.stage = e.name.substr(kStagePrefix.size());
+      row.wall_ms = static_cast<double>(e.dur_us) / 1000.0;
+      out.stages.push_back(std::move(row));
+    }
+  }
+  for (StageSummary& row : out.stages) {
+    auto total = [&](const char* name) {
+      auto it = out.scoped_counters.find(Summary::key(row.unit, row.stage, name));
+      return it == out.scoped_counters.end() ? int64_t{0} : it->second;
+    };
+    row.findings = static_cast<size_t>(non_negative(total("stage.findings")));
+    row.solver_checks = non_negative(total("solver.checks"));
+    row.queries_issued = non_negative(total("planner.queries_issued"));
+    row.queries_pruned = non_negative(total("planner.queries_pruned"));
+    row.cache_hits = non_negative(total("planner.cache_hits"));
+    row.cache_errors = non_negative(total("planner.cache_errors"));
+  }
+  return out;
+}
+
+}  // namespace llhsc::obs

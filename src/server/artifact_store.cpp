@@ -4,6 +4,7 @@
 
 #include "dts/printer.hpp"
 #include "feature/text_format.hpp"
+#include "obs/obs.hpp"
 #include "support/strings.hpp"
 
 namespace llhsc::server {
@@ -104,22 +105,29 @@ std::shared_ptr<const T> ArtifactStore::get_or_build(
     const std::function<std::shared_ptr<const T>()>& build, bool* was_hit,
     uint64_t StoreStats::* built_counter) {
   if (auto cached = cache.lookup(key)) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.hits;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hits;
+    }
+    obs::count("store.hit", "store", 1);
     if (was_hit != nullptr) *was_hit = true;
     return cached;
   }
   bool built = false;
   uint64_t evictions = 0;
   auto value = cache.build_or_wait(key, build, capacity_, built, evictions);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.evictions += evictions;
-  if (built) {
-    ++stats_.misses;
-    ++(stats_.*built_counter);
-  } else {
-    ++stats_.hits;  // piggybacked on another worker's build
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.evictions += evictions;
+    if (built) {
+      ++stats_.misses;
+      ++(stats_.*built_counter);
+    } else {
+      ++stats_.hits;  // piggybacked on another worker's build
+    }
   }
+  obs::count("store.eviction", "store", static_cast<int64_t>(evictions));
+  obs::count(built ? "store.miss" : "store.hit", "store", 1);
   if (was_hit != nullptr) *was_hit = !built;
   return value;
 }
@@ -141,8 +149,11 @@ std::shared_ptr<const TreeArtifact> ArtifactStore::tree(
   };
 
   if (auto cached = trees_.lookup(key); cached != nullptr && validate(*cached)) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.hits;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hits;
+    }
+    obs::count("store.hit", "store", 1);
     if (was_hit != nullptr) *was_hit = true;
     return cached;
   }
@@ -177,14 +188,18 @@ std::shared_ptr<const TreeArtifact> ArtifactStore::tree(
   // A waiter shares the builder's parse; its include edges were recorded
   // against the builder's sources, but the content hashes are what matter
   // and both requests supplied the same main source (same key).
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.evictions += evictions;
-  if (built) {
-    ++stats_.misses;
-    ++stats_.tree_parses;
-  } else {
-    ++stats_.hits;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.evictions += evictions;
+    if (built) {
+      ++stats_.misses;
+      ++stats_.tree_parses;
+    } else {
+      ++stats_.hits;
+    }
   }
+  obs::count("store.eviction", "store", static_cast<int64_t>(evictions));
+  obs::count(built ? "store.miss" : "store.hit", "store", 1);
   if (was_hit != nullptr) *was_hit = !built;
   return value;
 }

@@ -1,5 +1,6 @@
 #include "server/check_service.hpp"
 
+#include <functional>
 #include <sstream>
 
 #include "checkers/crossref/rules.hpp"
@@ -8,6 +9,8 @@
 #include "checkers/semantic.hpp"
 #include "checkers/syntactic.hpp"
 #include "dts/parser.hpp"
+#include "obs/obs.hpp"
+#include "obs/summary.hpp"
 #include "schema/builtin_schemas.hpp"
 #include "schema/yaml_lite.hpp"
 #include "support/strings.hpp"
@@ -118,36 +121,68 @@ CheckArtifact run_checkers(const dts::Tree& tree, const CheckRequest& request,
   std::string scratch;  // backend warning already emitted by run_check
   const smt::Backend backend = resolve_backend(request, scratch);
 
-  if (request.lint) {
-    checkers::Findings f = checkers::LintChecker().check(tree);
-    art.findings.insert(art.findings.end(), f.begin(), f.end());
+  // The battery records into a local sink first: the artifact's counters are
+  // a reduction of that stream (the same obs::reduce behind --trace-json and
+  // the daemon stats reply), and the raw events then splice into whatever
+  // sink the caller installed so --profile sees per-query spans too.
+  obs::TraceSink* outer = obs::current_sink();
+  obs::TraceSink local;
+  {
+    obs::ScopedSink sink_guard(&local);
+    auto run_stage = [&](const char* stage, const char* span_name,
+                         const std::function<checkers::Findings()>& fn) {
+      obs::ScopedScope scope_guard(stage);
+      obs::Span span(span_name, "stage");
+      checkers::Findings f = fn();
+      obs::count("stage.findings", "stage", static_cast<int64_t>(f.size()));
+      art.findings.insert(art.findings.end(), f.begin(), f.end());
+    };
+
+    if (request.lint) {
+      run_stage("lint", "stage.lint",
+                [&] { return checkers::LintChecker().check(tree); });
+    }
+    if (request.crossref) {
+      run_stage("crossref", "stage.crossref", [&] {
+        auto xopts = crossref_options_from(request, scratch);
+        checkers::crossref::CrossRefChecker checker(
+            xopts ? *xopts : checkers::crossref::CrossRefOptions{});
+        return checker.check(tree);
+      });
+    }
+    if (request.syntax && schemas != nullptr) {
+      run_stage("syntactic", "stage.syntactic", [&] {
+        checkers::SyntacticChecker checker(*schemas, backend);
+        return checker.check(tree);
+      });
+    }
+    if (request.semantics) {
+      run_stage("semantic", "stage.semantic", [&] {
+        checkers::SemanticOptions sem_options;
+        sem_options.solver_timeout_ms = request.solver_timeout_ms;
+        sem_options.plan = request.plan;
+        sem_options.cache_dir = request.cache_dir;
+        checkers::SemanticChecker checker(backend, sem_options);
+        return checker.check(tree);
+      });
+    }
   }
-  if (request.crossref) {
-    auto xopts = crossref_options_from(request, scratch);
-    checkers::crossref::CrossRefChecker checker(
-        xopts ? *xopts : checkers::crossref::CrossRefOptions{});
-    checkers::Findings f = checker.check(tree);
-    art.findings.insert(art.findings.end(), f.begin(), f.end());
-  }
-  if (request.syntax && schemas != nullptr) {
-    checkers::SyntacticChecker checker(*schemas, backend);
-    checkers::Findings f = checker.check(tree);
-    art.findings.insert(art.findings.end(), f.begin(), f.end());
-  }
-  if (request.semantics) {
-    checkers::SemanticOptions sem_options;
-    sem_options.solver_timeout_ms = request.solver_timeout_ms;
-    sem_options.plan = request.plan;
-    sem_options.cache_dir = request.cache_dir;
-    checkers::SemanticChecker checker(backend, sem_options);
-    checkers::Findings f = checker.check(tree);
-    art.findings.insert(art.findings.end(), f.begin(), f.end());
-    art.solver_checks = checker.solver_checks();
-    art.queries_issued = checker.plan_stats().queries_issued;
-    art.queries_pruned = checker.plan_stats().queries_pruned;
-    art.cache_hits = checker.plan_stats().cache_hits;
-    art.cache_errors = checker.plan_stats().cache_errors;
-  }
+
+  std::vector<obs::Event> events = local.take();
+  const obs::Summary summary = obs::reduce(events);
+  // The verdict counters keep their historical meaning: solver/planner work
+  // of the *semantic* stage (the syntactic checker's solver calls were never
+  // part of the --stats line).
+  auto semantic = [&](const char* name) {
+    int64_t v = summary.scoped("semantic", name);
+    return v < 0 ? 0u : static_cast<uint64_t>(v);
+  };
+  art.solver_checks = semantic("solver.checks");
+  art.queries_issued = semantic("planner.queries_issued");
+  art.queries_pruned = semantic("planner.queries_pruned");
+  art.cache_hits = semantic("planner.cache_hits");
+  art.cache_errors = semantic("planner.cache_errors");
+  if (outer != nullptr) outer->extend(std::move(events));
   return art;
 }
 

@@ -1,88 +1,14 @@
-// Minimal JSON value model for the llhscd wire protocol (docs/server.md).
-// The daemon speaks line-delimited JSON over a Unix-domain socket; this is
-// the parser/serialiser both ends share. Deliberately small: objects keep
-// insertion order (stable responses), numbers distinguish integers from
-// doubles (counters must round-trip exactly), strings hold arbitrary bytes
-// (DTS sources and rendered reports travel inside string fields).
-//
-// Not a general-purpose JSON library — no comments, no NaN/Inf, and the
-// parser rejects trailing garbage so a framing bug surfaces as a protocol
-// error instead of a silently truncated request.
+// The JSON value model moved to support/json.* so the wire protocol, the
+// findings report, the pipeline trace and the observability profile all
+// share one serialiser (docs/observability.md). This header keeps the old
+// llhsc::server spelling alive for existing includes.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <optional>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
+#include "support/json.hpp"
 
 namespace llhsc::server {
 
-class Json {
- public:
-  enum class Kind : uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
-
-  Json() = default;
-  static Json null() { return Json(); }
-  static Json boolean(bool b);
-  static Json integer(int64_t v);
-  static Json unsigned_integer(uint64_t v);
-  static Json number(double v);
-  static Json string(std::string s);
-  static Json array();
-  static Json object();
-
-  [[nodiscard]] Kind kind() const { return kind_; }
-  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
-  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
-  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
-  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
-
-  // -- readers (defaults returned on kind mismatch: protocol fields are
-  //    optional, so "absent or wrong type" uniformly means "default") --
-  [[nodiscard]] bool as_bool(bool fallback = false) const;
-  [[nodiscard]] int64_t as_int(int64_t fallback = 0) const;
-  [[nodiscard]] uint64_t as_uint(uint64_t fallback = 0) const;
-  [[nodiscard]] double as_double(double fallback = 0.0) const;
-  [[nodiscard]] const std::string& as_string() const;
-  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
-  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& fields()
-      const {
-    return fields_;
-  }
-
-  /// Object field lookup; returns a shared null value when absent.
-  [[nodiscard]] const Json& at(std::string_view key) const;
-  [[nodiscard]] bool has(std::string_view key) const;
-
-  // -- builders --
-  Json& set(std::string key, Json value);  // object field (insertion order)
-  Json& push(Json value);                  // array element
-
-  /// Compact single-line serialisation (the wire format: one request or
-  /// response per line, '\n'-terminated by the transport).
-  [[nodiscard]] std::string dump() const;
-
-  /// Parses exactly one JSON document; nullopt on any syntax error or
-  /// trailing non-whitespace.
-  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
-
- private:
-  Kind kind_ = Kind::kNull;
-  bool bool_ = false;
-  int64_t int_ = 0;
-  double double_ = 0.0;
-  std::string string_;
-  std::vector<Json> items_;                              // kArray
-  std::vector<std::pair<std::string, Json>> fields_;     // kObject
-};
-
-/// Appends `s` JSON-escaped (quotes included) to `out`. Control bytes are
-/// \u00XX-escaped; everything else passes through verbatim, so UTF-8 and
-/// raw report bytes round-trip.
-void json_escape_to(std::string& out, std::string_view s);
+using support::Json;
+using support::json_escape_to;
 
 }  // namespace llhsc::server

@@ -11,7 +11,9 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <optional>
 
+#include "obs/chrome_trace.hpp"
 #include "server/check_service.hpp"
 #include "server/session.hpp"
 #include "support/deadline.hpp"
@@ -194,8 +196,8 @@ void Server::request_stop() {
   }
 }
 
-void Server::respond(const std::shared_ptr<Connection>& conn,
-                     const Json& response) {
+void Server::respond(const std::shared_ptr<Connection>& conn, Json response) {
+  response.set("schema_version", Json::integer(1));
   std::string line = response.dump();
   line += '\n';
   std::lock_guard<std::mutex> lock(conn->write_mutex);
@@ -267,6 +269,20 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
                                               : latency_.total_micros() / n));
     latency.set("p50_us", Json::unsigned_integer(latency_.percentile_micros(50)));
     latency.set("p95_us", Json::unsigned_integer(latency_.percentile_micros(95)));
+    // Accumulated from each CheckOutcome's trace, which is itself a
+    // reduction of the obs event stream — the same source the one-shot
+    // CLI's --stats line reads, so the two surfaces agree by construction.
+    Json check_counters = Json::object();
+    check_counters.set("solver_checks",
+                       Json::unsigned_integer(check_solver_checks_));
+    check_counters.set("queries_issued",
+                       Json::unsigned_integer(check_queries_issued_));
+    check_counters.set("queries_pruned",
+                       Json::unsigned_integer(check_queries_pruned_));
+    check_counters.set("cache_hits",
+                       Json::unsigned_integer(check_cache_hits_));
+    check_counters.set("cache_errors",
+                       Json::unsigned_integer(check_cache_errors_));
     Json result = Json::object();
     result.set("requests_total", Json::unsigned_integer(requests_total_));
     result.set("checks", Json::unsigned_integer(checks_));
@@ -275,6 +291,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     result.set("in_flight", Json::unsigned_integer(admitted_.load()));
     result.set("errors", std::move(errors));
     result.set("latency", std::move(latency));
+    result.set("check_counters", std::move(check_counters));
     result.set("store", store_stats_json(store_.stats()));
     Json response = Json::object();
     response.set("id", id);
@@ -328,7 +345,10 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
                       : support::Deadline();
 
   const Json params = request.at("params");
-  pool_->submit([this, conn, id, method, params, deadline]() {
+  // Admission timestamp: when profiling, the gap between this and the pool
+  // picking the task up becomes the request.wait span.
+  const uint64_t admit_us = obs::now_us();
+  pool_->submit([this, conn, id, method, params, deadline, admit_us]() {
     const Clock::time_point start = Clock::now();
     if (deadline.expired()) {
       admitted_.fetch_sub(1, std::memory_order_acq_rel);
@@ -341,35 +361,62 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     Json response = Json::object();
     response.set("id", id);
     response.set("ok", Json::boolean(true));
-    if (method == "check") {
-      CheckRequest cr = check_request_from(params);
-      // The request deadline bounds solver work: the tighter of the
-      // client's solver budget and what is left of the deadline wins.
-      if (!deadline.unlimited()) {
-        const uint64_t remaining = deadline.remaining_ms();
-        cr.solver_timeout_ms =
-            cr.solver_timeout_ms == 0
-                ? remaining
-                : std::min(cr.solver_timeout_ms, remaining);
-        if (cr.solver_timeout_ms == 0) cr.solver_timeout_ms = 1;
+    const bool profiling = !options_.profile_path.empty();
+    obs::TraceSink request_sink;
+    {
+      // Sink first, span second: the span records at block exit while the
+      // sink is still installed.
+      std::optional<obs::ScopedSink> sink_guard;
+      std::optional<obs::Span> service_span;
+      if (profiling) {
+        const uint64_t service_start_us = obs::now_us();
+        sink_guard.emplace(&request_sink);
+        obs::record_span(request_sink, "request.wait", "request", admit_us,
+                         service_start_us - admit_us, {{"method", method}});
+        service_span.emplace("request.service", "request");
+        if (service_span->active()) service_span->arg("method", method);
       }
-      CheckOutcome outcome = run_check(cr, &store_);
-      checks_.fetch_add(1, std::memory_order_relaxed);
-      response.set("result", check_outcome_json(outcome));
-    } else {
-      SessionRequest sr = session_request_from(params);
-      if (!deadline.unlimited()) {
-        const uint64_t remaining = deadline.remaining_ms();
-        sr.solver_timeout_ms =
-            sr.solver_timeout_ms == 0
-                ? remaining
-                : std::min(sr.solver_timeout_ms, remaining);
-        if (sr.solver_timeout_ms == 0) sr.solver_timeout_ms = 1;
+      if (method == "check") {
+        CheckRequest cr = check_request_from(params);
+        // The request deadline bounds solver work: the tighter of the
+        // client's solver budget and what is left of the deadline wins.
+        if (!deadline.unlimited()) {
+          const uint64_t remaining = deadline.remaining_ms();
+          cr.solver_timeout_ms =
+              cr.solver_timeout_ms == 0
+                  ? remaining
+                  : std::min(cr.solver_timeout_ms, remaining);
+          if (cr.solver_timeout_ms == 0) cr.solver_timeout_ms = 1;
+        }
+        CheckOutcome outcome = run_check(cr, &store_);
+        checks_.fetch_add(1, std::memory_order_relaxed);
+        check_solver_checks_.fetch_add(outcome.trace.solver_checks,
+                                       std::memory_order_relaxed);
+        check_queries_issued_.fetch_add(outcome.trace.queries_issued,
+                                        std::memory_order_relaxed);
+        check_queries_pruned_.fetch_add(outcome.trace.queries_pruned,
+                                        std::memory_order_relaxed);
+        check_cache_hits_.fetch_add(outcome.trace.cache_hits,
+                                    std::memory_order_relaxed);
+        check_cache_errors_.fetch_add(outcome.trace.cache_errors,
+                                      std::memory_order_relaxed);
+        response.set("result", check_outcome_json(outcome));
+      } else {
+        SessionRequest sr = session_request_from(params);
+        if (!deadline.unlimited()) {
+          const uint64_t remaining = deadline.remaining_ms();
+          sr.solver_timeout_ms =
+              sr.solver_timeout_ms == 0
+                  ? remaining
+                  : std::min(sr.solver_timeout_ms, remaining);
+          if (sr.solver_timeout_ms == 0) sr.solver_timeout_ms = 1;
+        }
+        SessionOutcome outcome = run_session_check(sr, store_);
+        sessions_.fetch_add(1, std::memory_order_relaxed);
+        response.set("result", session_outcome_json(outcome));
       }
-      SessionOutcome outcome = run_session_check(sr, store_);
-      sessions_.fetch_add(1, std::memory_order_relaxed);
-      response.set("result", session_outcome_json(outcome));
     }
+    if (profiling) profile_sink_.extend(request_sink.take());
     const uint64_t us = micros_since(start);
     latency_.record(us);
     admitted_.fetch_sub(1, std::memory_order_acq_rel);
@@ -569,6 +616,14 @@ int Server::run() {
   ::close(stop_pipe_read_);
   stop_pipe_read_ = -1;
   ::unlink(options_.socket_path.c_str());
+  if (!options_.profile_path.empty()) {
+    if (obs::write_chrome_trace(options_.profile_path,
+                                profile_sink_.take())) {
+      log_line("llhscd: profile written to " + options_.profile_path);
+    } else {
+      log_line("llhscd: cannot write profile to " + options_.profile_path);
+    }
+  }
   log_line("llhscd: drained, bye");
   return 0;
 }

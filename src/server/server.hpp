@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "server/artifact_store.hpp"
 #include "server/histogram.hpp"
 #include "server/json.hpp"
@@ -61,6 +62,11 @@ struct ServerOptions {
   size_t store_capacity = 512;
   /// Trace/log sink; null = stderr.
   std::ostream* log = nullptr;
+  /// Chrome-trace profile written at shutdown ("" = no profiling). While
+  /// set, every check/session request records per-request spans
+  /// (request.wait / request.service) plus the stage/solver events of the
+  /// work it ran.
+  std::string profile_path;
 };
 
 class Server {
@@ -98,7 +104,9 @@ class Server {
   void reap_finished_readers();
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
-  void respond(const std::shared_ptr<Connection>& conn, const Json& response);
+  /// Stamps the wire schema_version and writes one response line. Takes the
+  /// document by value because every reply gets the stamp exactly once.
+  void respond(const std::shared_ptr<Connection>& conn, Json response);
   void respond_error(const std::shared_ptr<Connection>& conn, const Json& id,
                      const std::string& code, const std::string& message);
   void log_line(const std::string& text);
@@ -137,6 +145,19 @@ class Server {
   std::atomic<uint64_t> rejected_shutting_down_{0};
   std::atomic<uint64_t> rejected_deadline_{0};
   LatencyHistogram latency_;
+
+  // Cumulative check-work counters for `stats`, accumulated from each
+  // CheckOutcome's trace — i.e. from the same obs-event reduction that backs
+  // the one-shot CLI's --stats line, so the two surfaces cannot drift.
+  std::atomic<uint64_t> check_solver_checks_{0};
+  std::atomic<uint64_t> check_queries_issued_{0};
+  std::atomic<uint64_t> check_queries_pruned_{0};
+  std::atomic<uint64_t> check_cache_hits_{0};
+  std::atomic<uint64_t> check_cache_errors_{0};
+
+  /// Per-request event streams accumulate here when profiling; exported as
+  /// one Chrome trace at shutdown.
+  obs::TraceSink profile_sink_;
 
   std::mutex log_mutex_;
 };

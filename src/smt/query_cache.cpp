@@ -7,6 +7,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace llhsc::smt {
 
 namespace {
@@ -198,6 +200,13 @@ std::string QueryCache::entry_path(uint64_t fingerprint) const {
 std::optional<QueryCache::Entry> QueryCache::lookup(
     const std::string& canonical_text) const {
   if (!enabled_) return std::nullopt;
+  std::optional<Entry> found = lookup_uncounted(canonical_text);
+  obs::count(found ? "qcache.hit" : "qcache.miss", "qcache", 1);
+  return found;
+}
+
+std::optional<QueryCache::Entry> QueryCache::lookup_uncounted(
+    const std::string& canonical_text) const {
   std::ifstream in(entry_path(query_fingerprint(canonical_text)),
                    std::ios::binary);
   if (!in) return std::nullopt;
@@ -251,7 +260,11 @@ void QueryCache::store(const std::string& canonical_text, const Entry& entry) {
   // rename lands last is as good as the first.
   std::error_code ec;
   fs::rename(tmp, path, ec);
-  if (ec) fs::remove(tmp, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  obs::count("qcache.store", "qcache", 1);
 }
 
 }  // namespace llhsc::smt

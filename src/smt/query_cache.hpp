@@ -69,6 +69,9 @@ class QueryCache {
   [[nodiscard]] const std::string& directory() const { return version_dir_; }
 
  private:
+  [[nodiscard]] std::optional<Entry> lookup_uncounted(
+      const std::string& canonical_text) const;
+
   [[nodiscard]] std::string entry_path(uint64_t fingerprint) const;
 
   std::string version_dir_;

@@ -2,14 +2,24 @@
 
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace llhsc::smt {
 
 QueryPlanner::QueryPlanner(Solver& solver, const std::string& cache_dir)
     : solver_(&solver) {
   if (!cache_dir.empty()) {
     cache_ = std::make_unique<QueryCache>(cache_dir, solver.backend());
-    if (!cache_->enabled()) stats_.cache_errors = 1;
+    if (!cache_->enabled()) {
+      stats_.cache_errors = 1;
+      obs::count("planner.cache_errors", "planner", 1);
+    }
   }
+}
+
+void QueryPlanner::note_pruned(uint64_t n) {
+  stats_.queries_pruned += n;
+  obs::count("planner.queries_pruned", "planner", static_cast<int64_t>(n));
 }
 
 const std::string& QueryPlanner::cache_error() const {
@@ -19,6 +29,7 @@ const std::string& QueryPlanner::cache_error() const {
 
 QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,
                                           logic::BvTerm witness_term) {
+  obs::Span span("planner.check", "planner");
   Outcome outcome;
   std::string key;
   if (cache_enabled()) {
@@ -26,9 +37,14 @@ QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,
                                witness_term);
     if (auto hit = cache_->lookup(key)) {
       ++stats_.cache_hits;
+      obs::count("planner.cache_hits", "planner", 1);
       outcome.result = hit->result;
       outcome.witness = hit->witness;
       outcome.from_cache = true;
+      if (span.active()) {
+        span.arg("verdict", std::string(to_string(outcome.result)));
+        span.arg("from_cache", "true");
+      }
       return outcome;
     }
   }
@@ -42,6 +58,7 @@ QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,
   std::vector<logic::Formula> assumptions{guard};
   outcome.result = solver_->check_assuming(assumptions);
   ++stats_.queries_issued;
+  obs::count("planner.queries_issued", "planner", 1);
   if (outcome.result == CheckResult::kSat && witness_term.valid()) {
     outcome.witness = solver_->model_bv(witness_term);
   }
@@ -51,6 +68,10 @@ QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,
 
   if (cache_enabled() && outcome.result != CheckResult::kUnknown) {
     cache_->store(key, {outcome.result, outcome.witness});
+  }
+  if (span.active()) {
+    span.arg("verdict", std::string(to_string(outcome.result)));
+    span.arg("from_cache", "false");
   }
   return outcome;
 }

@@ -73,7 +73,7 @@ class QueryPlanner {
                 logic::BvTerm witness_term = {});
 
   /// Records queries a prefilter discharged without building them.
-  void note_pruned(uint64_t n) { stats_.queries_pruned += n; }
+  void note_pruned(uint64_t n);
 
   [[nodiscard]] const QueryPlanStats& stats() const { return stats_; }
   [[nodiscard]] bool cache_enabled() const {

@@ -1,5 +1,7 @@
 #include "smt/solver.hpp"
 
+#include "obs/obs.hpp"
+
 namespace llhsc::smt {
 
 // Backend factories (defined in their own translation units).
@@ -52,17 +54,28 @@ void Solver::push() { backend_->push(); }
 void Solver::pop() { backend_->pop(); }
 
 void Solver::set_deadline(const support::Deadline& deadline) {
+  deadline_ = deadline;
   backend_->set_deadline(deadline);
 }
 
 CheckResult Solver::check() { return check_assuming({}); }
 
 CheckResult Solver::check_assuming(std::span<const logic::Formula> assumptions) {
+  obs::Span span("solver.check", "solver");
   ++stats_.checks;
   CheckResult r = backend_->check(assumptions);
   if (r == CheckResult::kSat) ++stats_.sat_results;
   if (r == CheckResult::kUnsat) ++stats_.unsat_results;
   if (r == CheckResult::kUnknown) ++stats_.unknown_results;
+  obs::count("solver.checks", "solver", 1);
+  if (span.active()) {
+    span.arg("backend", std::string(to_string(backend_kind_)));
+    span.arg("verdict", std::string(to_string(r)));
+    span.arg("assumptions", std::to_string(assumptions.size()));
+    span.arg("deadline_ms", deadline_.unlimited()
+                                ? "unlimited"
+                                : std::to_string(deadline_.remaining_ms()));
+  }
   return r;
 }
 

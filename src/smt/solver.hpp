@@ -110,6 +110,8 @@ class Solver {
   logic::BvArena bitvectors_;
   std::unique_ptr<SolverBackend> backend_;
   SolverStats stats_;
+  /// Mirror of the backend's budget, so per-query spans can report it.
+  support::Deadline deadline_;
 };
 
 /// Factory used by tests/benches to sweep both backends.

@@ -1,16 +1,21 @@
-#include "server/json.hpp"
+#include "support/json.hpp"
 
 #include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
 
-namespace llhsc::server {
+namespace llhsc::support {
 
 namespace {
 
 const Json kNullJson;
 const std::string kEmptyString;
+
+void append_indent(std::string& out, int indent) {
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+}
 
 }  // namespace
 
@@ -146,53 +151,74 @@ void json_escape_to(std::string& out, std::string_view s) {
   out += '"';
 }
 
-std::string Json::dump() const {
+std::string Json::dump() const { return dump(Style::kCompact); }
+
+std::string Json::dump(Style style) const {
   std::string out;
+  dump_to(out, style, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, Style style, int indent) const {
   switch (kind_) {
     case Kind::kNull:
-      out = "null";
+      out += "null";
       break;
     case Kind::kBool:
-      out = bool_ ? "true" : "false";
+      out += bool_ ? "true" : "false";
       break;
     case Kind::kInt:
-      out = std::to_string(int_);
+      out += std::to_string(int_);
       break;
     case Kind::kDouble: {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.6f", double_);
-      out = buf;
+      out += buf;
       break;
     }
     case Kind::kString:
       json_escape_to(out, string_);
       break;
     case Kind::kArray: {
-      out = "[";
+      if (style == Style::kPretty && items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
       bool first = true;
       for (const Json& item : items_) {
         if (!first) out += ',';
+        if (!first && style == Style::kSpaced) out += ' ';
         first = false;
-        out += item.dump();
+        if (style == Style::kPretty) append_indent(out, indent + 1);
+        item.dump_to(out, style, indent + 1);
       }
+      if (style == Style::kPretty) append_indent(out, indent);
       out += ']';
       break;
     }
     case Kind::kObject: {
-      out = "{";
+      if (style == Style::kPretty && fields_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
       bool first = true;
       for (const auto& [k, v] : fields_) {
         if (!first) out += ',';
+        if (!first && style == Style::kSpaced) out += ' ';
         first = false;
+        if (style == Style::kPretty) append_indent(out, indent + 1);
         json_escape_to(out, k);
         out += ':';
-        out += v.dump();
+        if (style != Style::kCompact) out += ' ';
+        v.dump_to(out, style, indent + 1);
       }
+      if (style == Style::kPretty) append_indent(out, indent);
       out += '}';
       break;
     }
   }
-  return out;
 }
 
 namespace {
@@ -386,4 +412,4 @@ std::optional<Json> Json::parse(std::string_view text) {
   return v;
 }
 
-}  // namespace llhsc::server
+}  // namespace llhsc::support

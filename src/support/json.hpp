@@ -1,0 +1,104 @@
+// Minimal JSON value model shared by every machine-readable llhsc output:
+// the llhscd wire protocol (docs/server.md), the findings report
+// (--format json), the pipeline trace (--trace-json, docs/pipeline.md) and
+// the observability profile (--profile, docs/observability.md). Objects keep
+// insertion order (stable output), numbers distinguish integers from doubles
+// (counters must round-trip exactly), strings hold arbitrary bytes (DTS
+// sources and rendered reports travel inside string fields).
+//
+// Not a general-purpose JSON library — no comments, no NaN/Inf, and the
+// parser rejects trailing garbage so a framing bug surfaces as a protocol
+// error instead of a silently truncated request.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace llhsc::support {
+
+class Json {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Serialisation styles. All three produce the same document; they differ
+  /// only in whitespace, so parse(dump(style)) round-trips for each.
+  enum class Style : uint8_t {
+    /// `{"k":1,"a":[2,3]}` — the wire format: one request or response per
+    /// line, '\n'-terminated by the transport.
+    kCompact,
+    /// `{"k": 1, "a": [2, 3]}` — single line with breathing room; the
+    /// findings report (--format json) uses this.
+    kSpaced,
+    /// Multi-line, two-space indent — --trace-json and --profile documents.
+    kPretty,
+  };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json integer(int64_t v);
+  static Json unsigned_integer(uint64_t v);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  // -- readers (defaults returned on kind mismatch: protocol fields are
+  //    optional, so "absent or wrong type" uniformly means "default") --
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] int64_t as_int(int64_t fallback = 0) const;
+  [[nodiscard]] uint64_t as_uint(uint64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& fields()
+      const {
+    return fields_;
+  }
+
+  /// Object field lookup; returns a shared null value when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  // -- builders --
+  Json& set(std::string key, Json value);  // object field (insertion order)
+  Json& push(Json value);                  // array element
+
+  /// Compact single-line serialisation (Style::kCompact).
+  [[nodiscard]] std::string dump() const;
+  [[nodiscard]] std::string dump(Style style) const;
+
+  /// Parses exactly one JSON document; nullopt on any syntax error or
+  /// trailing non-whitespace.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, Style style, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                              // kArray
+  std::vector<std::pair<std::string, Json>> fields_;     // kObject
+};
+
+/// Appends `s` JSON-escaped (quotes included) to `out`. Control bytes are
+/// \u00XX-escaped; everything else passes through verbatim, so UTF-8 and
+/// raw report bytes round-trip.
+void json_escape_to(std::string& out, std::string_view s);
+
+}  // namespace llhsc::support

@@ -244,6 +244,37 @@ TEST(Server, StatsReportsCountersAndLatency) {
   EXPECT_EQ(result.at("store").at("tree_parses").as_uint(), 1u);
 }
 
+TEST(Server, StatsCheckCountersMatchTheCheckTrace) {
+  ServerFixture fixture;
+  Client client(fixture.socket_path());
+  ASSERT_TRUE(client.connected());
+  // Two overlapping regions so the semantic stage genuinely reaches the
+  // solver — kDts alone has no region pair and every counter stays zero.
+  std::string source(kDts);
+  source.insert(source.rfind("};"),
+                "    mmio@40800000 { reg = <0x40800000 0x1000000>; };\n");
+  ASSERT_TRUE(client.send_line(check_request(1, source).dump()));
+  auto check = client.recv_response();
+  ASSERT_TRUE(check.has_value());
+  // Every reply is stamped with the wire schema version.
+  EXPECT_EQ(check->at("schema_version").as_int(), 1);
+  const Json& trace = check->at("result").at("trace");
+
+  ASSERT_TRUE(client.send_line(R"({"id": 2, "method": "stats"})"));
+  auto stats = client.recv_response();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->at("schema_version").as_int(), 1);
+  // The daemon's cumulative counters are accumulated from each check's
+  // trace, which is itself a reduction of the obs event stream — with one
+  // check served, the stats section must equal that check's trace verbatim.
+  const Json& counters = stats->at("result").at("check_counters");
+  for (const char* name : {"solver_checks", "queries_issued", "queries_pruned",
+                           "cache_hits", "cache_errors"}) {
+    EXPECT_EQ(counters.at(name).as_uint(), trace.at(name).as_uint()) << name;
+  }
+  EXPECT_GT(counters.at("solver_checks").as_uint(), 0u);
+}
+
 TEST(Server, MalformedLineIsBadRequest) {
   ServerFixture fixture;
   Client client(fixture.socket_path());

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # The daemon's headline guarantee, enforced end-to-end: for every DTS in the
-# example corpus and every output format, `llhsc check --serve <sock>` must
+# example corpus and every output format, `llhsc check --socket <sock>` must
 # produce byte-identical stdout, byte-identical stderr and the same exit
 # code as the one-shot `llhsc check` — the daemon is a cache, never a
-# different checker. Finishes by SIGTERMing the daemon and requiring a clean
-# drain: exit 0, socket unlinked, the drain handshake in the log.
+# different checker. Also asserts that --profile (on both client and daemon)
+# produces parseable Chrome-trace JSON without disturbing the equivalence.
+# Finishes by SIGTERMing the daemon and requiring a clean drain: exit 0,
+# socket unlinked, the drain handshake in the log.
 # Usage: check_server_equivalence.sh <llhsc> <llhscd> <examples-data-dir> [log]
 set -eu
 
@@ -21,7 +23,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$LLHSCD" --socket "$SOCK" --jobs 2 --log "$LOG" &
+"$LLHSCD" --socket "$SOCK" --jobs 2 --log-file "$LOG" \
+    --profile "$TMP/daemon-profile.json" &
 DAEMON_PID=$!
 
 # Wait for the socket to come up (the daemon binds before serving).
@@ -37,7 +40,7 @@ compare() {
     local direct_status=0 served_status=0
     "$LLHSC" check "$dts" "$@" \
         > "$TMP/direct.out" 2> "$TMP/direct.err" || direct_status=$?
-    "$LLHSC" check "$dts" "$@" --serve "$SOCK" \
+    "$LLHSC" check "$dts" "$@" --socket "$SOCK" \
         > "$TMP/served.out" 2> "$TMP/served.err" || served_status=$?
     if [ "$direct_status" -ne "$served_status" ]; then
         echo "exit mismatch on $name $*: direct=$direct_status" \
@@ -66,6 +69,14 @@ done
 first="$(ls "$DATA"/*.dts | head -n 1)"
 compare "$first" --stats
 
+# --profile must not disturb the equivalence, and both the client-side and
+# the (deferred, daemon-side) profiles must be valid JSON.
+compare "$first" --stats --profile "$TMP/client-profile.json"
+python3 -m json.tool "$TMP/client-profile.json" > /dev/null \
+    || { echo "client --profile is not valid JSON" >&2; exit 1; }
+grep -q '"traceEvents"' "$TMP/client-profile.json" \
+    || { echo "client profile has no traceEvents" >&2; exit 1; }
+
 # Clean drain: SIGTERM, exit 0, socket gone, handshake logged.
 kill -TERM "$DAEMON_PID"
 DRAIN_STATUS=0
@@ -80,5 +91,14 @@ if [ -e "$SOCK" ]; then
     exit 1
 fi
 grep -q "drained" "$LOG" || { echo "no drain handshake in log" >&2; exit 1; }
+
+# The daemon writes its profile at drain: per-request spans plus the stage/
+# solver events of every check it ran.
+[ -f "$TMP/daemon-profile.json" ] \
+    || { echo "daemon never wrote its --profile" >&2; exit 1; }
+python3 -m json.tool "$TMP/daemon-profile.json" > /dev/null \
+    || { echo "daemon --profile is not valid JSON" >&2; exit 1; }
+grep -q '"request.service"' "$TMP/daemon-profile.json" \
+    || { echo "daemon profile has no request.service spans" >&2; exit 1; }
 
 echo "equivalence held on $CHECKED inputs x 4 option sets"

@@ -1,15 +1,19 @@
-// llhsc — the command-line tool. Thin driver over the library:
+// llhsc — the command-line tool. Thin driver over the public api::
+// facade (src/api/llhsc.hpp):
 //
 //   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3]
 //               [--format text|json|sarif] [--no-lint] [--no-crossref]
 //               [--no-syntax] [--no-semantics] [--disable-rule id,...]
 //               [--rule-severity id=error|warning,...] [--no-plan]
-//               [--cache-dir <dir>] [--stats]
+//               [--cache-dir <dir>] [--stats] [--socket <sock>]
+//               [--profile <file>]
 //       Run the checkers on one DTS; exit 1 on errors. The cross-reference
 //       rule catalog is in docs/rules.md; --cache-dir persists semantic
 //       solver verdicts across runs (docs/performance.md), --no-plan
 //       disables the query planner, --stats prints the planner counters
-//       on stderr.
+//       on stderr, --socket ships the request to a running llhscd,
+//       --profile writes a Chrome-trace JSON profile of the run
+//       (docs/observability.md).
 //
 //   llhsc generate --core <core.dts> --deltas <file.deltas>
 //                  --features f1,f2,... [--out <dir>] [--name <vm>]
@@ -18,11 +22,12 @@
 //
 //   llhsc demo [--out <dir>] [--jobs N] [--solver-timeout-ms N]
 //              [--trace-json <file>] [--verbose] [--no-plan]
-//              [--cache-dir <dir>]
+//              [--cache-dir <dir>] [--profile <file>]
 //       Run the paper's running example end to end and write every artifact
 //       (VM DTSs, platform DTS, DTBs, platform.c, config.c). --jobs checks
 //       the VMs in parallel (output is byte-identical to --jobs 1);
-//       --trace-json / --verbose expose the per-stage trace.
+//       --trace-json / --verbose expose the per-stage trace, --profile the
+//       raw span/counter stream it was reduced from.
 //
 // Exit codes (all commands): 0 success (warnings allowed), 1 findings or
 // input rejected by a checker/parser, 2 usage or I/O error.
@@ -36,10 +41,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
+#include "api/llhsc.hpp"
 #include "checkers/crossref/rules.hpp"
 #include "checkers/lint.hpp"
 #include "checkers/report.hpp"
@@ -52,53 +58,23 @@
 #include "dts/printer.hpp"
 #include "fdt/fdt.hpp"
 #include "feature/analysis.hpp"
-#include "feature/multivm.hpp"
 #include "feature/configurator.hpp"
+#include "feature/multivm.hpp"
 #include "feature/text_format.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
 #include "schema/builtin_schemas.hpp"
 #include "schema/yaml_lite.hpp"
-#include "server/check_service.hpp"
-#include "server/json.hpp"
+#include "support/flags.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace {
 
 using namespace llhsc;
-
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> options;  // --key value / --key
-  [[nodiscard]] bool has(const std::string& key) const {
-    return options.count(key) > 0;
-  }
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback = "") const {
-    auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args args;
-  for (int i = 2; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      std::string key = a.substr(2);
-      // Flags take a value unless they are known booleans.
-      bool boolean = key.rfind("no-", 0) == 0 || key == "quiet" ||
-                     key == "count-only" || key == "verbose" ||
-                     key == "stats";
-      if (!boolean && i + 1 < argc) {
-        args.options[key] = argv[++i];
-      } else {
-        args.options[key] = "1";
-      }
-    } else {
-      args.positional.push_back(a);
-    }
-  }
-  return args;
-}
+using support::FlagKind;
+using support::FlagSpec;
+using support::ParsedFlags;
 
 std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -121,22 +97,21 @@ bool write_file(const std::string& path, const std::vector<uint8_t>& data) {
                               data.size()));
 }
 
-/// Parses an unsigned integer option. Exits 2 (usage error) on junk so a
-/// typo never silently becomes a default.
-uint64_t uint_option_or_die(const Args& args, const std::string& key,
-                            uint64_t fallback) {
-  if (!args.has(key)) return fallback;
-  auto v = support::parse_integer(args.get(key));
-  if (!v) {
-    std::cerr << "bad --" << key << " value '" << args.get(key)
-              << "' (want an unsigned integer)\n";
-    std::exit(2);
+/// Parses one command's flags. Deprecation warnings always print; a parse
+/// error prints and returns nullopt (the caller prints usage and exits 2).
+std::optional<ParsedFlags> parse_or_report(const std::vector<FlagSpec>& specs,
+                                           int argc, char** argv) {
+  ParsedFlags args = support::parse_flags(specs, argc, argv, 2);
+  for (const std::string& w : args.warnings) std::cerr << w << "\n";
+  if (!args.ok) {
+    std::cerr << args.error << "\n";
+    return std::nullopt;
   }
-  return *v;
+  return args;
 }
 
-smt::Backend backend_from(const Args& args) {
-  std::string name = args.get("backend", "builtin");
+smt::Backend backend_from(const ParsedFlags& args) {
+  std::string name = args.value("backend", "builtin");
   if (name == "z3") return smt::Backend::kZ3;
   if (name != "builtin") {
     std::cerr << "warning: unknown backend '" << name << "', using builtin\n";
@@ -144,11 +119,12 @@ smt::Backend backend_from(const Args& args) {
   return smt::Backend::kBuiltin;
 }
 
-schema::SchemaSet schemas_from(const Args& args) {
+schema::SchemaSet schemas_from(const ParsedFlags& args) {
   if (args.has("schemas")) {
-    auto text = read_file(args.get("schemas"));
+    auto text = read_file(args.value("schemas"));
     if (!text) {
-      std::cerr << "cannot open schemas file " << args.get("schemas") << "\n";
+      std::cerr << "cannot open schemas file " << args.value("schemas")
+                << "\n";
       std::exit(2);
     }
     support::DiagnosticEngine diags;
@@ -185,10 +161,11 @@ std::unique_ptr<dts::Tree> parse_file_or_die(const std::string& path) {
 /// Maps --disable-rule / --rule-severity onto CrossRefOptions. Unknown rule
 /// ids are reported and rejected so typos don't silently disable nothing.
 std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
-    const Args& args) {
+    const ParsedFlags& args) {
   checkers::crossref::CrossRefOptions opts;
   bool ok = true;
-  for (const std::string& id : support::split(args.get("disable-rule"), ',')) {
+  for (const std::string& id :
+       support::split(args.value("disable-rule"), ',')) {
     auto t = support::trim(id);
     if (t.empty()) continue;
     if (checkers::crossref::find_rule(t) == nullptr) {
@@ -199,7 +176,8 @@ std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
     }
     opts.disabled.insert(std::string(t));
   }
-  for (const std::string& ov : support::split(args.get("rule-severity"), ',')) {
+  for (const std::string& ov :
+       support::split(args.value("rule-severity"), ',')) {
     auto t = support::trim(ov);
     if (t.empty()) continue;
     size_t eq = t.find('=');
@@ -227,8 +205,9 @@ std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
 /// Ships a check request to a running llhscd over its Unix socket and
 /// replays the response's stdout/stderr/exit code locally. The daemon runs
 /// the same server::run_check the local path does, so the bytes match.
-int serve_check(const std::string& socket_path, server::CheckRequest request) {
+int serve_check(const std::string& socket_path, api::CheckRequest request) {
   namespace fs = std::filesystem;
+  using support::Json;
   // The daemon's cwd is not ours: any path it must touch goes absolute.
   std::error_code ec;
   if (!request.base_directory.empty()) {
@@ -240,29 +219,29 @@ int serve_check(const std::string& socket_path, server::CheckRequest request) {
     if (!ec) request.cache_dir = abs.string();
   }
 
-  server::Json params = server::Json::object();
-  params.set("path", server::Json::string(request.path));
-  params.set("source", server::Json::string(request.source));
-  params.set("base_directory", server::Json::string(request.base_directory));
-  params.set("format", server::Json::string(request.format));
-  params.set("lint", server::Json::boolean(request.lint));
-  params.set("crossref", server::Json::boolean(request.crossref));
-  params.set("syntax", server::Json::boolean(request.syntax));
-  params.set("semantics", server::Json::boolean(request.semantics));
-  params.set("quiet", server::Json::boolean(request.quiet));
-  params.set("stats", server::Json::boolean(request.stats));
-  params.set("backend", server::Json::string(request.backend));
-  params.set("schemas_text", server::Json::string(request.schemas_text));
-  params.set("schemas_path", server::Json::string(request.schemas_path));
-  params.set("disable_rule", server::Json::string(request.disable_rule));
-  params.set("rule_severity", server::Json::string(request.rule_severity));
+  Json params = Json::object();
+  params.set("path", Json::string(request.path));
+  params.set("source", Json::string(request.source));
+  params.set("base_directory", Json::string(request.base_directory));
+  params.set("format", Json::string(request.format));
+  params.set("lint", Json::boolean(request.lint));
+  params.set("crossref", Json::boolean(request.crossref));
+  params.set("syntax", Json::boolean(request.syntax));
+  params.set("semantics", Json::boolean(request.semantics));
+  params.set("quiet", Json::boolean(request.quiet));
+  params.set("stats", Json::boolean(request.stats));
+  params.set("backend", Json::string(request.backend));
+  params.set("schemas_text", Json::string(request.schemas_text));
+  params.set("schemas_path", Json::string(request.schemas_path));
+  params.set("disable_rule", Json::string(request.disable_rule));
+  params.set("rule_severity", Json::string(request.rule_severity));
   params.set("solver_timeout_ms",
-             server::Json::unsigned_integer(request.solver_timeout_ms));
-  params.set("plan", server::Json::boolean(request.plan));
-  params.set("cache_dir", server::Json::string(request.cache_dir));
-  server::Json req = server::Json::object();
-  req.set("id", server::Json::integer(1));
-  req.set("method", server::Json::string("check"));
+             Json::unsigned_integer(request.solver_timeout_ms));
+  params.set("plan", Json::boolean(request.plan));
+  params.set("cache_dir", Json::string(request.cache_dir));
+  Json req = Json::object();
+  req.set("id", Json::integer(1));
+  req.set("method", Json::string("check"));
   req.set("params", std::move(params));
 
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -311,37 +290,60 @@ int serve_check(const std::string& socket_path, server::CheckRequest request) {
     std::cerr << "no response from " << socket_path << "\n";
     return 2;
   }
-  auto response = server::Json::parse(reply.substr(0, newline));
+  auto response = Json::parse(reply.substr(0, newline));
   if (!response || !response->is_object()) {
     std::cerr << "malformed response from " << socket_path << "\n";
     return 2;
   }
   if (!response->at("ok").as_bool(false)) {
-    const server::Json& error = response->at("error");
+    const Json& error = response->at("error");
     std::cerr << "daemon error (" << error.at("code").as_string()
               << "): " << error.at("message").as_string() << "\n";
     return 2;
   }
-  const server::Json& result = response->at("result");
+  const Json& result = response->at("result");
   std::cout << result.at("stdout").as_string();
   std::cerr << result.at("stderr").as_string();
   return static_cast<int>(result.at("exit_code").as_int(2));
 }
 
-int cmd_check(const Args& args) {
-  if (args.positional.empty()) {
-    std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
-                 "[--backend builtin|z3] [--format text|json|sarif] "
-                 "[--no-lint] [--no-syntax] [--no-semantics] "
-                 "[--no-crossref] [--disable-rule id,...] "
-                 "[--rule-severity id=error|warning,...] "
-                 "[--no-plan] [--cache-dir dir] [--stats] "
-                 "[--serve sock]\n";
-    return 2;
-  }
+int usage_check() {
+  std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
+               "[--backend builtin|z3] [--format text|json|sarif] "
+               "[--no-lint] [--no-syntax] [--no-semantics] "
+               "[--no-crossref] [--disable-rule id,...] "
+               "[--rule-severity id=error|warning,...] "
+               "[--no-plan] [--cache-dir dir] [--stats] "
+               "[--socket sock] [--profile file]\n";
+  return 2;
+}
+
+int cmd_check(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"schemas"},
+      {"backend"},
+      {"format"},
+      {"no-lint", FlagKind::kBool},
+      {"no-crossref", FlagKind::kBool},
+      {"no-syntax", FlagKind::kBool},
+      {"no-semantics", FlagKind::kBool},
+      {"quiet", FlagKind::kBool},
+      {"stats", FlagKind::kBool},
+      {"disable-rule"},
+      {"rule-severity"},
+      {"solver-timeout-ms", FlagKind::kUint},
+      {"no-plan", FlagKind::kBool},
+      {"cache-dir"},
+      {"socket", FlagKind::kString, "serve"},
+      {"profile"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  if (!parsed) return usage_check();
+  const ParsedFlags& args = *parsed;
+  if (args.positional.empty()) return usage_check();
   // Fast-fail validation in the CLI's historical order (format, then rule
   // lists, then I/O); run_check re-validates, but by then these are clean.
-  const std::string format = args.get("format", "text");
+  const std::string format = args.value("format", "text");
   if (format != "text" && format != "json" && format != "sarif") {
     std::cerr << "unknown --format '" << format
               << "' (want text|json|sarif)\n";
@@ -349,7 +351,7 @@ int cmd_check(const Args& args) {
   }
   if (!crossref_options_from(args)) return 2;
 
-  server::CheckRequest request;
+  api::CheckRequest request;
   request.path = args.positional[0];
   {
     auto source = read_file(request.path);
@@ -369,50 +371,79 @@ int cmd_check(const Args& args) {
   request.semantics = !args.has("no-semantics");
   request.quiet = args.has("quiet");
   request.stats = args.has("stats");
-  request.backend = args.get("backend", "builtin");
+  request.backend = args.value("backend", "builtin");
   if (request.syntax && args.has("schemas")) {
-    auto text = read_file(args.get("schemas"));
+    auto text = read_file(args.value("schemas"));
     if (!text) {
-      std::cerr << "cannot open schemas file " << args.get("schemas") << "\n";
+      std::cerr << "cannot open schemas file " << args.value("schemas")
+                << "\n";
       return 2;
     }
     request.schemas_text = std::move(*text);
-    request.schemas_path = args.get("schemas");
+    request.schemas_path = args.value("schemas");
   }
-  request.disable_rule = args.get("disable-rule");
-  request.rule_severity = args.get("rule-severity");
-  request.solver_timeout_ms = uint_option_or_die(args, "solver-timeout-ms", 0);
+  request.disable_rule = args.value("disable-rule");
+  request.rule_severity = args.value("rule-severity");
+  request.solver_timeout_ms = args.uint_value("solver-timeout-ms", 0);
   request.plan = !args.has("no-plan");
-  request.cache_dir = args.get("cache-dir");
+  request.cache_dir = args.value("cache-dir");
 
-  if (args.has("serve")) return serve_check(args.get("serve"), request);
-
-  server::CheckOutcome outcome = server::run_check(request, nullptr);
-  std::cout << outcome.output;
-  std::cerr << outcome.error_text;
-  return outcome.exit_code;
+  // With --profile, the run's event stream (stage spans, per-query solver
+  // spans, cache counters — or one client.request span when the work
+  // happens in a daemon) is exported as Chrome-trace JSON afterwards.
+  const std::string profile_path = args.value("profile");
+  obs::TraceSink profile_sink;
+  int code;
+  {
+    std::optional<obs::ScopedSink> sink_guard;
+    if (!profile_path.empty()) sink_guard.emplace(&profile_sink);
+    if (args.has("socket")) {
+      obs::Span span("client.request", "client");
+      if (span.active()) span.arg("socket", args.value("socket"));
+      code = serve_check(args.value("socket"), std::move(request));
+    } else {
+      api::CheckResult outcome = api::run_check(request);
+      std::cout << outcome.output;
+      std::cerr << outcome.error_text;
+      code = outcome.exit_code;
+    }
+  }
+  if (!profile_path.empty() &&
+      !obs::write_chrome_trace(profile_path, profile_sink.take())) {
+    std::cerr << "cannot write " << profile_path << "\n";
+    return 2;
+  }
+  return code;
 }
 
-int cmd_generate(const Args& args) {
-  if (!args.has("core") || !args.has("deltas") || !args.has("features")) {
+int cmd_generate(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"core"},   {"deltas"}, {"features"}, {"out"},
+      {"name"},   {"backend"}, {"schemas"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  const bool ok = parsed && parsed->has("core") && parsed->has("deltas") &&
+                  parsed->has("features");
+  if (!ok) {
     std::cerr << "usage: llhsc generate --core <core.dts> --deltas <f.deltas> "
                  "--features f1,f2,... [--out dir] [--name vm]\n";
     return 2;
   }
-  auto core_text = read_file(args.get("core"));
-  auto delta_text = read_file(args.get("deltas"));
+  const ParsedFlags& args = *parsed;
+  auto core_text = read_file(args.value("core"));
+  auto delta_text = read_file(args.value("deltas"));
   if (!core_text || !delta_text) {
     std::cerr << "cannot open core or deltas file\n";
     return 2;
   }
   support::DiagnosticEngine diags;
   dts::SourceManager sm;
-  std::string core_path = args.get("core");
+  std::string core_path = args.value("core");
   size_t slash = core_path.find_last_of('/');
   sm.set_base_directory(slash == std::string::npos ? "."
                                                    : core_path.substr(0, slash));
   auto core = dts::parse_dts(*core_text, core_path, sm, diags);
-  auto deltas = delta::parse_deltas(*delta_text, args.get("deltas"), diags);
+  auto deltas = delta::parse_deltas(*delta_text, args.value("deltas"), diags);
   if (core == nullptr || diags.has_errors()) {
     std::cerr << diags.render();
     return 1;
@@ -420,7 +451,7 @@ int cmd_generate(const Args& args) {
   delta::ProductLine pl(std::move(core), std::move(deltas));
 
   std::set<std::string> features;
-  for (const std::string& f : support::split(args.get("features"), ',')) {
+  for (const std::string& f : support::split(args.value("features"), ',')) {
     auto t = support::trim(f);
     if (!t.empty()) features.insert(std::string(t));
   }
@@ -443,8 +474,8 @@ int cmd_generate(const Args& args) {
     return 1;
   }
 
-  std::string out_dir = args.get("out", ".");
-  std::string name = args.get("name", "product");
+  std::string out_dir = args.value("out", ".");
+  std::string name = args.value("name", "product");
   std::string dts_path = out_dir + "/" + name + ".dts";
   if (!write_file(dts_path, dts::print_dts(*tree))) {
     std::cerr << "cannot write " << dts_path << "\n";
@@ -456,8 +487,27 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
-int cmd_demo(const Args& args) {
-  std::string out_dir = args.get("out", ".");
+int cmd_demo(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"out"},
+      {"jobs", FlagKind::kUint},
+      {"solver-timeout-ms", FlagKind::kUint},
+      {"trace-json"},
+      {"verbose", FlagKind::kBool},
+      {"no-plan", FlagKind::kBool},
+      {"cache-dir"},
+      {"backend"},
+      {"profile"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  if (!parsed) {
+    std::cerr << "usage: llhsc demo [--out dir] [--jobs N] "
+                 "[--solver-timeout-ms N] [--trace-json file] [--verbose] "
+                 "[--no-plan] [--cache-dir dir] [--profile file]\n";
+    return 2;
+  }
+  const ParsedFlags& args = *parsed;
+  std::string out_dir = args.value("out", ".");
   feature::FeatureModel model = feature::running_example_model();
   schema::SchemaSet schemas = schema::builtin_schemas();
   support::DiagnosticEngine diags;
@@ -468,19 +518,25 @@ int cmd_demo(const Args& args) {
   }
   core::PipelineOptions opts;
   opts.backend = backend_from(args);
-  opts.jobs = static_cast<unsigned>(uint_option_or_die(args, "jobs", 1));
-  opts.solver_timeout_ms = uint_option_or_die(args, "solver-timeout-ms", 0);
+  opts.jobs = static_cast<unsigned>(args.uint_value("jobs", 1));
+  opts.solver_timeout_ms = args.uint_value("solver-timeout-ms", 0);
   opts.plan_queries = !args.has("no-plan");
-  opts.cache_dir = args.get("cache-dir");
+  opts.cache_dir = args.value("cache-dir");
   core::Pipeline pipeline(model, core::exclusive_cpus(model), *pl, schemas,
                           opts);
   core::PipelineResult result = pipeline.run(
       {{"vm1", core::fig1b_features()}, {"vm2", core::fig1c_features()}});
-  // Trace goes out before the success check: a failed run still leaves its
-  // partial timing/finding data behind for inspection.
+  // Trace and profile go out before the success check: a failed run still
+  // leaves its partial timing/finding data behind for inspection.
   if (args.has("trace-json")) {
-    if (!write_file(args.get("trace-json"), result.trace.to_json())) {
-      std::cerr << "cannot write " << args.get("trace-json") << "\n";
+    if (!write_file(args.value("trace-json"), result.trace.to_json())) {
+      std::cerr << "cannot write " << args.value("trace-json") << "\n";
+      return 2;
+    }
+  }
+  if (args.has("profile")) {
+    if (!obs::write_chrome_trace(args.value("profile"), result.events)) {
+      std::cerr << "cannot write " << args.value("profile") << "\n";
       return 2;
     }
   }
@@ -503,15 +559,15 @@ int cmd_demo(const Args& args) {
   return 0;
 }
 
-feature::FeatureModel model_from(const Args& args) {
+feature::FeatureModel model_from(const ParsedFlags& args) {
   if (args.has("model")) {
-    auto text = read_file(args.get("model"));
+    auto text = read_file(args.value("model"));
     if (!text) {
-      std::cerr << "cannot open model file " << args.get("model") << "\n";
+      std::cerr << "cannot open model file " << args.value("model") << "\n";
       std::exit(2);
     }
     support::DiagnosticEngine diags;
-    auto model = feature::parse_model(*text, args.get("model"), diags);
+    auto model = feature::parse_model(*text, args.value("model"), diags);
     if (!model) {
       std::cerr << diags.render();
       std::exit(1);
@@ -521,7 +577,13 @@ feature::FeatureModel model_from(const Args& args) {
   return feature::running_example_model();
 }
 
-int cmd_products(const Args& args) {
+int cmd_products(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"model"}, {"count-only", FlagKind::kBool}, {"backend"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  if (!parsed) return 2;
+  const ParsedFlags& args = *parsed;
   feature::FeatureModel model = model_from(args);
   smt::Solver solver(backend_from(args));
   if (args.has("count-only")) {
@@ -544,10 +606,16 @@ int cmd_products(const Args& args) {
   return 0;
 }
 
-int cmd_allocate(const Args& args) {
+int cmd_allocate(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"model"}, {"exclusive"}, {"vms", FlagKind::kUint}, {"backend"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  if (!parsed) return 2;
+  const ParsedFlags& args = *parsed;
   feature::FeatureModel model = model_from(args);
   std::vector<feature::FeatureId> exclusive;
-  for (const std::string& name : support::split(args.get("exclusive"), ',')) {
+  for (const std::string& name : support::split(args.value("exclusive"), ',')) {
     auto t = support::trim(name);
     if (t.empty()) continue;
     auto id = model.find(t);
@@ -558,11 +626,7 @@ int cmd_allocate(const Args& args) {
     exclusive.push_back(*id);
   }
   smt::Backend backend = backend_from(args);
-  int limit = 16;
-  if (args.has("vms")) {
-    auto v = support::parse_integer(args.get("vms"));
-    if (v) limit = static_cast<int>(*v);
-  }
+  int limit = static_cast<int>(args.uint_value("vms", 16));
   for (int m = 1; m <= limit; ++m) {
     bool ok = feature::allocation_feasible(model, backend, m, exclusive);
     std::cout << m << " VM" << (m > 1 ? "s" : " ") << ": "
@@ -575,7 +639,11 @@ int cmd_allocate(const Args& args) {
   return 0;
 }
 
-int cmd_analyze(const Args& args) {
+int cmd_analyze(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {{"model"}, {"backend"}};
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  if (!parsed) return 2;
+  const ParsedFlags& args = *parsed;
   feature::FeatureModel model = model_from(args);
   smt::Solver solver(backend_from(args));
   std::cout << "features:        " << model.size() << "\n";
@@ -601,11 +669,17 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-int cmd_configure(const Args& args) {
+int cmd_configure(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"model"}, {"decide"}, {"backend"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  if (!parsed) return 2;
+  const ParsedFlags& args = *parsed;
   feature::FeatureModel model = model_from(args);
   feature::Configurator cfg(model, backend_from(args));
   // Scripted decisions: --decide "veth0=on,uart@30000000=off,veth0=retract"
-  for (const std::string& d : support::split(args.get("decide"), ',')) {
+  for (const std::string& d : support::split(args.value("decide"), ',')) {
     auto t = support::trim(d);
     if (t.empty()) continue;
     size_t eq = t.find('=');
@@ -639,22 +713,28 @@ int cmd_configure(const Args& args) {
   return 0;
 }
 
-int cmd_overlay(const Args& args) {
-  if (!args.has("base") || !args.has("overlay")) {
+int cmd_overlay(int argc, char** argv) {
+  static const std::vector<FlagSpec> kFlags = {
+      {"base"}, {"overlay"}, {"out"},
+  };
+  auto parsed = parse_or_report(kFlags, argc, argv);
+  const bool ok = parsed && parsed->has("base") && parsed->has("overlay");
+  if (!ok) {
     std::cerr << "usage: llhsc overlay --base <base.dts> --overlay <o.dtso> "
                  "[--out <file.dts>]\n";
     return 2;
   }
-  auto base = parse_file_or_die(args.get("base"));
-  auto overlay_text = read_file(args.get("overlay"));
+  const ParsedFlags& args = *parsed;
+  auto base = parse_file_or_die(args.value("base"));
+  auto overlay_text = read_file(args.value("overlay"));
   if (!overlay_text) {
-    std::cerr << "cannot open " << args.get("overlay") << "\n";
+    std::cerr << "cannot open " << args.value("overlay") << "\n";
     return 2;
   }
   support::DiagnosticEngine diags;
   dts::SourceManager sm;
   auto overlay =
-      dts::parse_overlay(*overlay_text, args.get("overlay"), sm, diags);
+      dts::parse_overlay(*overlay_text, args.value("overlay"), sm, diags);
   if (!overlay) {
     std::cerr << diags.render();
     return 1;
@@ -665,11 +745,11 @@ int cmd_overlay(const Args& args) {
   }
   std::string out = dts::print_dts(*base);
   if (args.has("out")) {
-    if (!write_file(args.get("out"), out)) {
-      std::cerr << "cannot write " << args.get("out") << "\n";
+    if (!write_file(args.value("out"), out)) {
+      std::cerr << "cannot write " << args.value("out") << "\n";
       return 2;
     }
-    std::cout << "wrote " << args.get("out") << "\n";
+    std::cout << "wrote " << args.value("out") << "\n";
   } else {
     std::cout << out;
   }
@@ -682,11 +762,13 @@ int usage() {
                "  check <file.dts>   run lint + cross-reference + syntactic\n"
                "                     + semantic checks (--format text|json|\n"
                "                     sarif, --no-crossref, --disable-rule,\n"
-               "                     --rule-severity; see docs/rules.md)\n"
+               "                     --rule-severity, --socket <sock>,\n"
+               "                     --profile <file>; see docs/rules.md)\n"
                "  generate           derive a product from a DTS product line\n"
                "  demo               run the paper's running example (--jobs N,\n"
                "                     --solver-timeout-ms N, --trace-json <file>,\n"
-               "                     --verbose, --no-plan, --cache-dir <dir>)\n"
+               "                     --verbose, --no-plan, --cache-dir <dir>,\n"
+               "                     --profile <file>)\n"
                "  products           enumerate products (--model <f.fm>)\n"
                "  analyze            feature-model analyses (--model <f.fm>)\n"
                "  allocate           VM allocation feasibility (--model, \n"
@@ -703,14 +785,13 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
-  Args args = parse_args(argc, argv);
-  if (cmd == "check") return cmd_check(args);
-  if (cmd == "generate") return cmd_generate(args);
-  if (cmd == "demo") return cmd_demo(args);
-  if (cmd == "products") return cmd_products(args);
-  if (cmd == "analyze") return cmd_analyze(args);
-  if (cmd == "allocate") return cmd_allocate(args);
-  if (cmd == "overlay") return cmd_overlay(args);
-  if (cmd == "configure") return cmd_configure(args);
+  if (cmd == "check") return cmd_check(argc, argv);
+  if (cmd == "generate") return cmd_generate(argc, argv);
+  if (cmd == "demo") return cmd_demo(argc, argv);
+  if (cmd == "products") return cmd_products(argc, argv);
+  if (cmd == "analyze") return cmd_analyze(argc, argv);
+  if (cmd == "allocate") return cmd_allocate(argc, argv);
+  if (cmd == "overlay") return cmd_overlay(argc, argv);
+  if (cmd == "configure") return cmd_configure(argc, argv);
   return usage();
 }

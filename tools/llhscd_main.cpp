@@ -1,9 +1,14 @@
 // llhscd — the persistent llhsc check daemon (docs/server.md). Serves
 // line-delimited JSON check/session/stats requests over a Unix-domain
-// socket; `llhsc check --serve <sock>` is the matching client.
+// socket; `llhsc check --socket <sock>` is the matching client.
 //
 //   llhscd --socket <path> [--jobs N] [--queue-limit N]
-//          [--store-capacity N] [--default-deadline-ms N] [--log <file>]
+//          [--store-capacity N] [--deadline-ms N] [--log-file <file>]
+//          [--profile <file>]
+//
+// --profile records per-request spans (admission wait / service time) plus
+// the stage/solver events of every check, and writes one Chrome-trace JSON
+// document at shutdown (docs/observability.md).
 //
 // Exit codes: 0 clean drain (signal or `shutdown` request), 2 usage or
 // setup failure.
@@ -11,63 +16,57 @@
 #include <iostream>
 #include <string>
 
-#include "server/server.hpp"
-#include "support/strings.hpp"
+#include "api/llhsc.hpp"
+#include "support/flags.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: llhscd --socket <path> [--jobs N] [--queue-limit N] "
-               "[--store-capacity N] [--default-deadline-ms N] "
-               "[--log <file>]\n";
+               "[--store-capacity N] [--deadline-ms N] [--log-file <file>] "
+               "[--profile <file>]\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  llhsc::server::ServerOptions options;
-  std::string log_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    auto uint_value = [&](const std::string& flag) -> uint64_t {
-      const char* v = value();
-      auto parsed =
-          v != nullptr ? llhsc::support::parse_integer(v) : std::nullopt;
-      if (!parsed) {
-        std::cerr << "bad " << flag << " value (want an unsigned integer)\n";
-        std::exit(2);
-      }
-      return *parsed;
-    };
-    if (arg == "--socket") {
-      const char* v = value();
-      if (v == nullptr) return usage();
-      options.socket_path = v;
-    } else if (arg == "--jobs") {
-      options.jobs = static_cast<unsigned>(uint_value("--jobs"));
-    } else if (arg == "--queue-limit") {
-      options.queue_limit = static_cast<size_t>(uint_value("--queue-limit"));
-    } else if (arg == "--store-capacity") {
-      options.store_capacity =
-          static_cast<size_t>(uint_value("--store-capacity"));
-    } else if (arg == "--default-deadline-ms") {
-      options.default_deadline_ms = uint_value("--default-deadline-ms");
-    } else if (arg == "--log") {
-      const char* v = value();
-      if (v == nullptr) return usage();
-      log_path = v;
-    } else {
-      std::cerr << "unknown option '" << arg << "'\n";
-      return usage();
-    }
+  using llhsc::support::FlagKind;
+  using llhsc::support::FlagSpec;
+  static const std::vector<FlagSpec> kFlags = {
+      {"socket"},
+      {"jobs", FlagKind::kUint},
+      {"queue-limit", FlagKind::kUint},
+      {"store-capacity", FlagKind::kUint},
+      {"deadline-ms", FlagKind::kUint, "default-deadline-ms"},
+      {"log-file", FlagKind::kString, "log"},
+      {"profile"},
+  };
+  const llhsc::support::ParsedFlags args =
+      llhsc::support::parse_flags(kFlags, argc, argv, 1);
+  for (const std::string& w : args.warnings) std::cerr << w << "\n";
+  if (!args.ok) {
+    std::cerr << args.error << "\n";
+    return usage();
   }
+  if (!args.positional.empty()) {
+    std::cerr << "unexpected argument '" << args.positional.front() << "'\n";
+    return usage();
+  }
+
+  llhsc::api::ServerOptions options;
+  options.socket_path = args.value("socket");
+  options.jobs = static_cast<unsigned>(args.uint_value("jobs", 0));
+  options.queue_limit =
+      static_cast<size_t>(args.uint_value("queue-limit", options.queue_limit));
+  options.store_capacity = static_cast<size_t>(
+      args.uint_value("store-capacity", options.store_capacity));
+  options.default_deadline_ms = args.uint_value("deadline-ms", 0);
+  options.profile_path = args.value("profile");
   if (options.socket_path.empty()) return usage();
 
   std::ofstream log_file;
+  const std::string log_path = args.value("log-file");
   if (!log_path.empty()) {
     log_file.open(log_path, std::ios::app);
     if (!log_file) {
@@ -77,6 +76,5 @@ int main(int argc, char** argv) {
     options.log = &log_file;
   }
 
-  llhsc::server::Server server(std::move(options));
-  return server.run();
+  return llhsc::api::run_server(options);
 }
