@@ -183,6 +183,35 @@ void BM_PipelineEightVmNoTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineEightVmNoTrace);
 
+// PR6 graph-overhead gate (tools/bench_pr6.sh): the planned eight-VM
+// workload with the device-graph stage disabled. Compared against
+// BM_PipelineEightVmPlanner/1 (identical work plus graph build, per-unit
+// graph rules, and the cross-unit exclusive-provider analysis) to bound
+// the dataflow layer's cost — it must stay on by default.
+void BM_PipelineEightVmNoGraph(benchmark::State& state) {
+  Fixture fx;
+  std::vector<core::VmSpec> vms;
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back({"vm" + std::to_string(i + 1),
+                   i % 2 == 0 ? core::fig1b_features()
+                              : core::fig1c_features()});
+  }
+  core::PipelineOptions opts;
+  opts.check_allocation = false;
+  opts.check_graph = false;
+  bool ok = false;
+  for (auto _ : state) {
+    core::Pipeline pipeline(fx.model, core::exclusive_cpus(fx.model), *fx.pl,
+                            fx.schemas, opts);
+    core::PipelineResult result = pipeline.run(vms);
+    ok = result.ok;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ok"] = ok ? 1 : 0;
+  state.SetLabel("planned-nograph");
+}
+BENCHMARK(BM_PipelineEightVmNoGraph);
+
 // Failure path: the omitted-d4 configuration (checkers find the collisions).
 void BM_PipelineFaultDetection(benchmark::State& state) {
   feature::FeatureModel model = feature::running_example_model();

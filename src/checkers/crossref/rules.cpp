@@ -388,6 +388,25 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"provider-orphan", FindingKind::kOrphanProvider,
        FindingSeverity::kWarning,
        "A #*-cells provider no phandle reference can reach."},
+      // Device-graph dataflow rules (checkers/graph/) — same catalog so the
+      // CLI's --disable-rule/--rule-severity and SARIF metadata cover them.
+      {"graph-provider-cycle", FindingKind::kProviderCycle,
+       FindingSeverity::kError,
+       "Provider dependencies (clocks, resets, ...) form a cycle."},
+      {"graph-status-propagation", FindingKind::kDisabledProviderDependency,
+       FindingSeverity::kError,
+       "An enabled consumer transitively depends on a disabled or missing "
+       "provider."},
+      {"graph-cells-arity", FindingKind::kCellsArityViolation,
+       FindingSeverity::kError,
+       "A typed dependency edge violates the provider's #*-cells arity "
+       "contract."},
+      {"graph-orphan-provider", FindingKind::kOrphanProvider,
+       FindingSeverity::kWarning,
+       "A referenced provider is only demanded by disabled consumers."},
+      {"graph-exclusive-provider", FindingKind::kExclusiveProviderClaim,
+       FindingSeverity::kError,
+       "Two units claim the same exclusive provider."},
   };
   return kCatalog;
 }
@@ -397,6 +416,62 @@ const RuleInfo* find_rule(std::string_view id) {
     if (r.id == id) return &r;
   }
   return nullptr;
+}
+
+std::optional<CrossRefOptions> parse_rule_options(std::string_view disable_rule,
+                                                  std::string_view rule_severity,
+                                                  std::string& error_text) {
+  auto valid_ids = [] {
+    std::string ids = " (valid ids: ";
+    bool first = true;
+    for (const RuleInfo& r : rule_catalog()) {
+      if (!first) ids += ", ";
+      first = false;
+      ids += r.id;
+    }
+    ids += ")";
+    return ids;
+  };
+
+  CrossRefOptions opts;
+  bool ok = true;
+  for (const std::string& id : support::split(disable_rule, ',')) {
+    auto t = support::trim(id);
+    if (t.empty()) continue;
+    if (find_rule(t) == nullptr) {
+      error_text += "unknown rule id '" + std::string(t) +
+                    "' in --disable-rule" + valid_ids() + "\n";
+      ok = false;
+      continue;
+    }
+    opts.disabled.insert(std::string(t));
+  }
+  for (const std::string& ov : support::split(rule_severity, ',')) {
+    auto t = support::trim(ov);
+    if (t.empty()) continue;
+    size_t eq = t.find('=');
+    std::string id(support::trim(
+        t.substr(0, eq == std::string_view::npos ? t.size() : eq)));
+    std::string sev = eq == std::string_view::npos
+                          ? std::string()
+                          : std::string(support::trim(t.substr(eq + 1)));
+    if (sev != "error" && sev != "warning") {
+      error_text += "bad --rule-severity entry '" + std::string(t) +
+                    "' (want <rule-id>=error|warning)\n";
+      ok = false;
+      continue;
+    }
+    if (find_rule(id) == nullptr) {
+      error_text += "unknown rule id '" + id + "' in --rule-severity" +
+                    valid_ids() + "\n";
+      ok = false;
+      continue;
+    }
+    opts.severity_overrides[id] = sev == "error" ? FindingSeverity::kError
+                                                 : FindingSeverity::kWarning;
+  }
+  if (!ok) return std::nullopt;
+  return opts;
 }
 
 const std::vector<PhandleArgsSpec>& phandle_args_specs() {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -62,6 +63,16 @@ struct CrossRefOptions {
     return disabled.find(std::string(id)) == disabled.end();
   }
 };
+
+/// Parses the CLI's `--disable-rule a,b` / `--rule-severity a=warning,...`
+/// comma lists, validating every id against the full rule_catalog() (the
+/// graph rules included). Unknown ids append a diagnostic to `error_text`
+/// that lists the valid ids and yield nullopt — callers exit 2. This is the
+/// single validation point shared by the CLI and the check service, so the
+/// two cannot drift.
+[[nodiscard]] std::optional<CrossRefOptions> parse_rule_options(
+    std::string_view disable_rule, std::string_view rule_severity,
+    std::string& error_text);
 
 class CrossRefChecker {
  public:

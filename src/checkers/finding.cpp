@@ -43,6 +43,11 @@ std::string_view to_string(FindingKind k) {
     case FindingKind::kMissingProviderCells: return "missing-provider-cells";
     case FindingKind::kInterruptTreeCycle: return "interrupt-tree-cycle";
     case FindingKind::kOrphanProvider: return "orphan-provider";
+    case FindingKind::kProviderCycle: return "provider-cycle";
+    case FindingKind::kDisabledProviderDependency:
+      return "disabled-provider-dependency";
+    case FindingKind::kExclusiveProviderClaim:
+      return "exclusive-provider-claim";
   }
   return "unknown";
 }
@@ -58,6 +63,13 @@ std::string Finding::render() const {
   os << ": " << message;
   if (!other_subject.empty()) os << " [other: " << other_subject << "]";
   if (!delta.empty()) os << " [introduced by delta '" << delta << "']";
+  for (const FlowStep& step : flow) {
+    os << "\n    via " << step.subject;
+    if (step.location.valid()) {
+      os << " (" << step.location.file << ':' << step.location.line << ')';
+    }
+    if (!step.note.empty()) os << ": " << step.note;
+  }
   return os.str();
 }
 

@@ -50,11 +50,26 @@ enum class FindingKind : uint8_t {
   kMissingProviderCells,   // referenced provider lacks its #*-cells property
   kInterruptTreeCycle,     // interrupt-parent chain loops
   kOrphanProvider,         // provider node no phandle reference can reach
+  // Device-graph dataflow (rule ids in checkers/graph/rules.hpp)
+  kProviderCycle,          // clock/reset/... provider dependencies loop
+  kDisabledProviderDependency,  // okay consumer depends on disabled provider
+  kExclusiveProviderClaim, // two VMs claim the same exclusive provider
 };
 
 [[nodiscard]] std::string_view to_string(FindingKind k);
 
 enum class FindingSeverity : uint8_t { kWarning, kError };
+
+/// One step of a defect path (a cycle member, a hop of a dependency chain).
+/// Rendered as SARIF codeFlows/relatedLocations and the JSON "flow" array;
+/// the text renderer prints one indented "via" line per step.
+struct FlowStep {
+  support::SourceLocation location;
+  /// Node path of this step.
+  std::string subject;
+  /// Role of the step in the path ("depends on /soc/clk via clocks").
+  std::string note;
+};
 
 struct Finding {
   FindingKind kind = FindingKind::kNoSchema;
@@ -79,6 +94,8 @@ struct Finding {
   uint64_t witness = 0;
   /// Human-readable explanation.
   std::string message;
+  /// Defect path for whole-graph findings (empty for single-site findings).
+  std::vector<FlowStep> flow;
 
   /// `rule` when set, else the kind name — the id reports key on.
   [[nodiscard]] std::string_view rule_id() const {

@@ -1,0 +1,125 @@
+// Worklist/fixpoint helpers for analyses over the DeviceGraph. Two pieces:
+//
+//   * Worklist — a FIFO with a dedup bitmap; the classic monotone-dataflow
+//     driver. Analyses seed it, then pop/propagate until empty (status taint
+//     runs it over reversed edges, demand reachability over forward edges).
+//   * tarjan_scc — iterative Tarjan (explicit stack, no recursion: a
+//     generated tree can chain thousands of nodes deep). Emits components
+//     in reverse-topological completion order; callers that need
+//     deterministic reporting anchor each component on its smallest member
+//     index, which is the pre-order position.
+//
+// Both work on index-based adjacency (node count + successor callback), so
+// tests can drive them with synthetic graphs without building trees.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace llhsc::checkers::graph {
+
+/// FIFO worklist over dense uint32_t node ids with membership dedup.
+class Worklist {
+ public:
+  explicit Worklist(size_t node_count) : queued_(node_count, false) {}
+
+  void push(uint32_t n) {
+    if (queued_[n]) return;
+    queued_[n] = true;
+    items_.push_back(n);
+  }
+
+  [[nodiscard]] bool empty() const { return head_ == items_.size(); }
+
+  uint32_t pop() {
+    uint32_t n = items_[head_++];
+    queued_[n] = false;
+    return n;
+  }
+
+ private:
+  std::vector<bool> queued_;
+  std::vector<uint32_t> items_;
+  size_t head_ = 0;
+};
+
+/// Runs a monotone fixpoint: pops nodes until quiescence; `step(n, wl)`
+/// applies the transfer function and pushes changed successors.
+template <typename Step>
+void run_to_fixpoint(Worklist& wl, Step&& step) {
+  while (!wl.empty()) {
+    uint32_t n = wl.pop();
+    step(n, wl);
+  }
+}
+
+/// Strongly connected components via iterative Tarjan. `successors(n)` must
+/// return an iterable of uint32_t. Returns the components (each a sorted
+/// list of member indices) in reverse-topological completion order.
+template <typename Successors>
+std::vector<std::vector<uint32_t>> tarjan_scc(size_t node_count,
+                                              Successors&& successors) {
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(node_count, kUnvisited);
+  std::vector<uint32_t> lowlink(node_count, 0);
+  std::vector<bool> on_stack(node_count, false);
+  std::vector<uint32_t> stack;
+  std::vector<std::vector<uint32_t>> components;
+  uint32_t next_index = 0;
+
+  // One DFS frame: the node plus how far through its successor list we are.
+  struct Frame {
+    uint32_t node;
+    size_t next_succ;
+  };
+  std::vector<Frame> frames;
+
+  for (uint32_t root = 0; root < node_count; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      uint32_t n = fr.node;
+      if (fr.next_succ == 0) {
+        index[n] = lowlink[n] = next_index++;
+        stack.push_back(n);
+        on_stack[n] = true;
+      }
+      bool descended = false;
+      auto succs = successors(n);
+      for (size_t i = fr.next_succ; i < succs.size(); ++i) {
+        uint32_t m = succs[i];
+        if (index[m] == kUnvisited) {
+          fr.next_succ = i + 1;
+          frames.push_back({m, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[m]) lowlink[n] = std::min(lowlink[n], index[m]);
+      }
+      if (descended) continue;
+      fr.next_succ = succs.size();
+      if (lowlink[n] == index[n]) {
+        std::vector<uint32_t> comp;
+        uint32_t m;
+        do {
+          m = stack.back();
+          stack.pop_back();
+          on_stack[m] = false;
+          comp.push_back(m);
+        } while (m != n);
+        std::sort(comp.begin(), comp.end());
+        components.push_back(std::move(comp));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        uint32_t parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[n]);
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace llhsc::checkers::graph

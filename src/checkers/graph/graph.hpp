@@ -1,0 +1,118 @@
+// Device-graph IR — the whole-tree dataflow view the per-edge cross-reference
+// rules cannot see. Built once per unit from the crossref::AnalysisContext
+// (one pre-order pass over the same indexes), it turns the DTS into a typed
+// property graph:
+//
+//   * one GraphNode per DT node, carrying its path, normalized status
+//     (okay / disabled, with ancestor disabling folded in — a node under a
+//     disabled bus is effectively disabled per the DT spec), provider role,
+//     and source/delta provenance;
+//   * one Edge per phandle+args tuple of every consumer property (`clocks`,
+//     `resets`, `power-domains`, `dmas`, `*-gpios`, `pwms`, …) plus one per
+//     `interrupts` tuple routed through the effective interrupt parent —
+//     each typed by the provider contract (`#clock-cells` -> kClock, …) and
+//     carrying the consumer property's source location and delta provenance,
+//     so a defect path renders as a SARIF code flow step by step.
+//
+// The graph is self-contained after build (paths and facts are copied out of
+// the context); only the dts::Node pointers alias the source tree, so the
+// tree must outlive the graph — the server's GraphArtifact keeps both.
+//
+// Analyses (checkers/graph/rules.hpp) run Tarjan SCC and worklist fixpoints
+// (checkers/graph/fixpoint.hpp) over this IR instead of re-walking the tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checkers/crossref/context.hpp"
+#include "dts/tree.hpp"
+#include "support/diagnostics.hpp"
+
+namespace llhsc::checkers::graph {
+
+/// The provider contract that types an edge (derived from the provider-side
+/// #*-cells property of the consumer property's spec).
+enum class EdgeKind : uint8_t {
+  kClock,
+  kInterrupt,
+  kPowerDomain,
+  kReset,
+  kDma,
+  kGpio,
+  kPwm,
+  kPhy,
+  kMailbox,
+  kIoChannel,
+  kThermalSensor,
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(EdgeKind k);
+/// Maps a provider cells property ("#clock-cells") to its edge kind.
+[[nodiscard]] EdgeKind edge_kind_for_cells(std::string_view cells_property);
+
+/// One consumer->provider dependency: entry `entry_index` of the consumer's
+/// `property`. Unresolved edges (dangling phandle) keep provider == kNoNode;
+/// truncated edges ran out of argument cells against the provider's arity.
+struct Edge {
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+
+  uint32_t consumer = kNoNode;
+  uint32_t provider = kNoNode;
+  EdgeKind kind = EdgeKind::kOther;
+  std::string property;        // consumer property name
+  size_t entry_index = 0;      // which tuple within the property
+  uint32_t phandle = 0;        // raw referenced phandle value (0 = structural)
+  uint32_t arity = 0;          // argument cells the provider demands
+  bool resolved = false;       // provider index is valid
+  bool truncated = false;      // specifier ran out of cells for `arity`
+  support::SourceLocation location;  // of the consumer property
+  std::string provenance;      // delta module of the consumer property
+};
+
+/// Normalized `status` (DT spec §2.3.4). Absent status means enabled.
+enum class NodeStatus : uint8_t { kOkay, kDisabled, kOther };
+
+struct GraphNode {
+  const dts::Node* node = nullptr;
+  std::string path;
+  NodeStatus status = NodeStatus::kOkay;
+  /// Own status, or any ancestor's, is "disabled" — the DT-effective state.
+  bool effectively_disabled = false;
+  /// Declares at least one #*-cells provider contract.
+  bool is_provider = false;
+  std::vector<uint32_t> out;  // edge indices where this node consumes
+  std::vector<uint32_t> in;   // edge indices where this node provides
+  support::SourceLocation location;
+  std::string provenance;
+};
+
+/// The typed property graph of one tree. Node order is the context's
+/// pre-order, edge order is (node pre-order, property order, entry order) —
+/// both deterministic, so analyses iterate without sorting.
+class DeviceGraph {
+ public:
+  /// Builds from a pre-built context (shared with the crossref/semantic
+  /// checkers when available).
+  [[nodiscard]] static DeviceGraph build(const crossref::AnalysisContext& ctx);
+  /// Convenience: builds a private context first.
+  [[nodiscard]] static DeviceGraph build(const dts::Tree& tree);
+
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const GraphNode& node(uint32_t index) const {
+    return nodes_[index];
+  }
+  [[nodiscard]] const Edge& edge(uint32_t index) const {
+    return edges_[index];
+  }
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace llhsc::checkers::graph

@@ -67,6 +67,23 @@ Json finding_json(const Finding& f) {
     }
   }
   j.set("message", Json::string(f.message));
+  if (!f.flow.empty()) {
+    Json flow = Json::array();
+    for (const FlowStep& step : f.flow) {
+      Json s = Json::object();
+      s.set("subject", Json::string(step.subject));
+      if (step.location.valid()) {
+        Json loc = Json::object();
+        loc.set("file", Json::string(step.location.file));
+        loc.set("line", Json::unsigned_integer(step.location.line));
+        loc.set("column", Json::unsigned_integer(step.location.column));
+        s.set("location", std::move(loc));
+      }
+      if (!step.note.empty()) s.set("note", Json::string(step.note));
+      flow.push(std::move(s));
+    }
+    j.set("flow", std::move(flow));
+  }
   return j;
 }
 
@@ -163,7 +180,44 @@ std::string to_sarif(const Findings& findings, std::string_view artifact_uri) {
     }
     os << "}, \"logicalLocations\": [{\"fullyQualifiedName\": ";
     append_escaped(os, f.subject);
-    os << "}]}]}";
+    os << "}]}]";
+    if (!f.flow.empty()) {
+      // The defect path, twice per the SARIF spec's division of labour:
+      // codeFlows for viewers that step through the path, relatedLocations
+      // for plain result listings.
+      auto location_body = [&](const FlowStep& step) {
+        os << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ";
+        append_escaped(os, step.location.valid()
+                               ? std::string_view(step.location.file)
+                               : artifact_uri);
+        os << "}";
+        if (step.location.valid()) {
+          os << ", \"region\": {\"startLine\": " << step.location.line;
+          if (step.location.column > 0) {
+            os << ", \"startColumn\": " << step.location.column;
+          }
+          os << "}";
+        }
+        os << "}, \"logicalLocations\": [{\"fullyQualifiedName\": ";
+        append_escaped(os, step.subject);
+        os << "}], \"message\": {\"text\": ";
+        append_escaped(os, step.note);
+        os << "}}";
+      };
+      os << ", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [";
+      for (size_t s = 0; s < f.flow.size(); ++s) {
+        os << (s > 0 ? ", " : "") << "{\"location\": ";
+        location_body(f.flow[s]);
+        os << "}";
+      }
+      os << "]}]}], \"relatedLocations\": [";
+      for (size_t s = 0; s < f.flow.size(); ++s) {
+        os << (s > 0 ? ", " : "");
+        location_body(f.flow[s]);
+      }
+      os << "]";
+    }
+    os << "}";
   }
   if (!findings.empty()) os << "\n      ";
   os << "]\n"

@@ -1,0 +1,113 @@
+#include "checkers/suppress.hpp"
+
+#include <algorithm>
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace llhsc::checkers {
+
+namespace {
+
+constexpr std::string_view kMarker = "llhsc-disable-next-line";
+
+}  // namespace
+
+void SuppressionIndex::add_source(std::string_view file,
+                                  std::string_view text) {
+  uint32_t line = 1;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view row = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    // Only the comment form counts — a marker inside a string stays inert.
+    size_t comment = row.find("//");
+    if (comment != std::string_view::npos) {
+      std::string_view rest = support::trim(row.substr(comment + 2));
+      if (support::starts_with(rest, kMarker)) {
+        std::string_view ids = support::trim(rest.substr(kMarker.size()));
+        std::set<std::string> ruleset;
+        for (const std::string& part : support::split(std::string(ids), ',')) {
+          for (const std::string& id : support::split_ws(part)) {
+            ruleset.insert(id);
+          }
+        }
+        // Empty set means "suppress everything on the next line".
+        lines_[{std::string(file), line + 1}] = std::move(ruleset);
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+bool SuppressionIndex::load_baseline(std::string_view json_text,
+                                     std::string& error) {
+  auto doc = support::Json::parse(json_text);
+  if (!doc || !doc->is_object()) {
+    error = "baseline is not a JSON object";
+    return false;
+  }
+  const support::Json& findings = doc->at("findings");
+  if (!findings.is_array()) {
+    error = "baseline has no \"findings\" array";
+    return false;
+  }
+  for (const support::Json& entry : findings.items()) {
+    if (!entry.is_object()) continue;
+    std::string rule = entry.at("rule").as_string();
+    std::string subject = entry.at("subject").as_string();
+    if (rule.empty()) {
+      error = "baseline entry without a \"rule\" id";
+      return false;
+    }
+    baseline_.insert({std::move(rule), std::move(subject)});
+  }
+  return true;
+}
+
+bool SuppressionIndex::suppressed(const Finding& f) const {
+  const std::string rule(f.rule_id());
+  if (baseline_.find({rule, f.subject}) != baseline_.end()) return true;
+  if (f.location.valid()) {
+    auto it = lines_.find({f.location.file, f.location.line});
+    if (it != lines_.end() &&
+        (it->second.empty() || it->second.count(rule) != 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t SuppressionIndex::apply(Findings& findings) const {
+  if (empty()) return 0;
+  size_t before = findings.size();
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [this](const Finding& f) {
+                                  return suppressed(f);
+                                }),
+                 findings.end());
+  return before - findings.size();
+}
+
+std::string SuppressionIndex::to_baseline(const Findings& findings) {
+  std::set<std::pair<std::string, std::string>> entries;
+  for (const Finding& f : findings) {
+    entries.insert({std::string(f.rule_id()), f.subject});
+  }
+  support::Json doc = support::Json::object();
+  doc.set("version", support::Json::integer(1));
+  support::Json list = support::Json::array();
+  for (const auto& [rule, subject] : entries) {
+    support::Json entry = support::Json::object();
+    entry.set("rule", support::Json::string(rule));
+    entry.set("subject", support::Json::string(subject));
+    list.push(std::move(entry));
+  }
+  doc.set("findings", std::move(list));
+  return doc.dump(support::Json::Style::kPretty) + "\n";
+}
+
+}  // namespace llhsc::checkers

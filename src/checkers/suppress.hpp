@@ -1,0 +1,63 @@
+// Finding suppression (docs/rules.md, "Suppressing findings"). Two layers,
+// both applied after the verdict is computed (and therefore after any
+// artifact-store cache hit) so suppression never pollutes cached verdicts:
+//
+//   * inline comments — `// llhsc-disable-next-line <rule-id>[, <rule-id>]`
+//     in a DTS source suppresses matching findings anchored on the next
+//     line of the same file. With no ids, every rule is suppressed there.
+//   * baselines — a JSON file of known findings, keyed by rule id plus the
+//     structural path (`subject`), accepted via `--baseline <file>`. A
+//     baseline lets a new rule land without failing existing trees; entries
+//     match any location, so line churn does not invalidate them.
+//
+// Both are honored by all checkers uniformly: the filter runs over the final
+// Findings list, not inside any one checker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "checkers/finding.hpp"
+
+namespace llhsc::checkers {
+
+class SuppressionIndex {
+ public:
+  /// Scans one source file for `// llhsc-disable-next-line` comments. The
+  /// comment may trail code; ids are comma- or space-separated.
+  void add_source(std::string_view file, std::string_view text);
+
+  /// Loads a baseline document:
+  ///   {"version": 1, "findings": [{"rule": "...", "subject": "..."}]}
+  /// Returns false (with `error` set) on malformed JSON or a missing
+  /// findings array; unknown extra fields are ignored so baselines survive
+  /// schema growth.
+  [[nodiscard]] bool load_baseline(std::string_view json_text,
+                                   std::string& error);
+
+  /// Removes every suppressed finding in place; returns how many.
+  size_t apply(Findings& findings) const;
+
+  [[nodiscard]] bool empty() const {
+    return lines_.empty() && baseline_.empty();
+  }
+
+  /// Serializes `findings` as a baseline document (the file --baseline
+  /// consumes), one entry per (rule, subject), deduplicated and sorted.
+  [[nodiscard]] static std::string to_baseline(const Findings& findings);
+
+ private:
+  [[nodiscard]] bool suppressed(const Finding& f) const;
+
+  /// (file, line) -> rule ids disabled there; empty set = all rules.
+  std::map<std::pair<std::string, uint32_t>, std::set<std::string>> lines_;
+  /// (rule id, subject) pairs from the baseline.
+  std::set<std::pair<std::string, std::string>> baseline_;
+};
+
+}  // namespace llhsc::checkers

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <functional>
 
+#include "checkers/graph/graph.hpp"
+#include "checkers/graph/rules.hpp"
 #include "dts/printer.hpp"
 #include "fdt/fdt.hpp"
 #include "obs/summary.hpp"
@@ -31,6 +33,9 @@ struct UnitResult {
   checkers::Findings findings;
   support::DiagnosticEngine diagnostics;
   std::vector<obs::Event> events;
+  /// The unit's device graph, kept past the per-unit stages so the merge
+  /// can run the cross-unit exclusive-provider analysis over VM graphs.
+  std::shared_ptr<const checkers::graph::DeviceGraph> graph;
 
   std::string dts_text;
   std::vector<uint8_t> dtb;
@@ -168,6 +173,17 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
         return;
       }
     }
+    if (check_this && options_.check_graph) {
+      if (!run_stage("graph", "stage.graph", [&] {
+            u.graph = std::make_shared<const checkers::graph::DeviceGraph>(
+                checkers::graph::DeviceGraph::build(*u.tree));
+            checkers::graph::GraphChecker checker{
+                checkers::graph::RuleOptions{}};
+            return checker.check(*u.graph);
+          })) {
+        return;
+      }
+    }
     if (check_this && options_.check_syntax) {
       if (!run_stage("syntactic", "stage.syntactic", [&] {
             checkers::SyntacticChecker syn(*schemas_, options_.backend);
@@ -269,7 +285,40 @@ PipelineResult Pipeline::run(const std::vector<VmSpec>& vms) {
     }
   }
 
+  // -- Cross-unit graph analysis over the VM graphs (platform excluded) --
+  // Serial by design, after the deterministic merge: its findings always
+  // follow every unit's, regardless of --jobs.
   const bool aborted = abort.load(std::memory_order_relaxed);
+  if (options_.check_graph && !aborted && vms.size() >= 2) {
+    std::vector<checkers::graph::UnitGraph> vm_graphs;
+    for (size_t idx = 0; idx < vms.size(); ++idx) {
+      if (units[idx].graph != nullptr) {
+        vm_graphs.push_back({vms[idx].name, units[idx].graph.get()});
+      }
+    }
+    if (vm_graphs.size() >= 2) {
+      obs::TraceSink cross_sink;
+      {
+        obs::ScopedSink sink_guard(&cross_sink);
+        obs::ScopedUnit unit_guard("*");
+        obs::ScopedScope scope_guard("graph");
+        obs::Span span("stage.graph-cross", "stage");
+        checkers::Findings cross =
+            checkers::graph::check_exclusive_providers(vm_graphs);
+        checkers::sort_by_location(cross);
+        obs::count("stage.findings", "stage",
+                   static_cast<int64_t>(cross.size()));
+        result.findings.insert(result.findings.end(), cross.begin(),
+                               cross.end());
+      }
+      std::vector<obs::Event> cross_events = cross_sink.take();
+      append_reduced_stages(cross_events, result.trace.stages);
+      result.events.insert(result.events.end(),
+                           std::make_move_iterator(cross_events.begin()),
+                           std::make_move_iterator(cross_events.end()));
+    }
+  }
+
   if (!aborted) {
     std::vector<baogen::VmConfig> vm_configs;
     vm_configs.reserve(result.vms.size());

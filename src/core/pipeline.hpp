@@ -44,6 +44,9 @@ struct PipelineOptions {
   bool check_semantics = true;
   /// dtc-style structural warnings on every generated DTS.
   bool check_lint = true;
+  /// Device-graph dataflow rules (checkers/graph/) on every generated DTS,
+  /// plus the cross-unit exclusive-provider analysis over the VM graphs.
+  bool check_graph = true;
   /// Also run the checkers on the derived platform DTS.
   bool check_platform = true;
   /// Emit DTB blobs for every generated DTS.

@@ -284,6 +284,35 @@ std::shared_ptr<const CheckArtifact> ArtifactStore::unit_check(
       was_hit, &StoreStats::unit_checks);
 }
 
+std::shared_ptr<const CheckArtifact> ArtifactStore::cross_check(
+    uint64_t key, const std::function<CheckArtifact()>& build, bool* was_hit) {
+  return get_or_build<CheckArtifact>(
+      checks_, key,
+      [&]() { return std::make_shared<const CheckArtifact>(build()); },
+      was_hit, &StoreStats::cross_checks);
+}
+
+std::shared_ptr<const GraphArtifact> ArtifactStore::graph(
+    uint64_t tree_key, const std::shared_ptr<const dts::Tree>& source,
+    bool* was_hit) {
+  // Salted so a graph key can never collide with the unit-check key derived
+  // from the same tree key.
+  const uint64_t key = fnv_combine(tree_key, 0x67726170U /*"grap"*/);
+  return get_or_build<GraphArtifact>(
+      graphs_, key,
+      [&]() -> std::shared_ptr<GraphArtifact> {
+        if (source == nullptr) return nullptr;
+        auto artifact = std::make_shared<GraphArtifact>();
+        artifact->key = key;
+        artifact->graph =
+            std::make_shared<const checkers::graph::DeviceGraph>(
+                checkers::graph::DeviceGraph::build(*source));
+        artifact->source = source;
+        return artifact;
+      },
+      was_hit, &StoreStats::graph_builds);
+}
+
 std::shared_ptr<const AllocationArtifact> ArtifactStore::allocation(
     uint64_t key, const std::function<AllocationArtifact()>& build,
     bool* was_hit) {

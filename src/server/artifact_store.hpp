@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "checkers/finding.hpp"
+#include "checkers/graph/graph.hpp"
 #include "delta/delta.hpp"
 #include "dts/parser.hpp"
 #include "dts/tree.hpp"
@@ -65,6 +66,8 @@ struct StoreStats {
   uint64_t product_line_builds = 0;  // core clones into ProductLine objects
   uint64_t derives = 0;       // composed-tree rebuilds actually executed
   uint64_t unit_checks = 0;   // per-unit checker runs actually executed
+  uint64_t graph_builds = 0;  // device-graph IR builds actually executed
+  uint64_t cross_checks = 0;  // cross-unit graph analyses actually executed
 };
 
 /// One parsed DTS with its include dependency edges.
@@ -111,6 +114,17 @@ struct ComposedArtifact {
   std::string dts_text;
   std::string diagnostics_text;
   bool derive_errors = false;
+};
+
+/// The device-graph IR of one tree (checkers/graph/graph.hpp), keyed by the
+/// tree's content key alone — the graph is option-independent, so every
+/// option set over the same tree shares one build. The graph's GraphNode
+/// entries alias the source tree's nodes; `source` pins that tree alive for
+/// the artifact's lifetime.
+struct GraphArtifact {
+  uint64_t key = 0;  // the tree/composed key, graph-salted
+  std::shared_ptr<const checkers::graph::DeviceGraph> graph;
+  std::shared_ptr<const dts::Tree> source;
 };
 
 /// The verdict of one checker run over one tree under one option set.
@@ -174,6 +188,17 @@ class ArtifactStore {
   std::shared_ptr<const CheckArtifact> unit_check(
       uint64_t key, const std::function<CheckArtifact()>& build,
       bool* was_hit = nullptr);
+  /// A cross-unit verdict (the session's exclusive-provider analysis). Same
+  /// cache as unit_check, but counted as `cross_checks` so the per-unit
+  /// incrementality evidence (`unit_checks`) stays a pure per-unit count.
+  std::shared_ptr<const CheckArtifact> cross_check(
+      uint64_t key, const std::function<CheckArtifact()>& build,
+      bool* was_hit = nullptr);
+  /// Builds (or reuses) the device graph of the tree whose content key is
+  /// `tree_key`, keeping `source` alive alongside it.
+  std::shared_ptr<const GraphArtifact> graph(
+      uint64_t tree_key, const std::shared_ptr<const dts::Tree>& source,
+      bool* was_hit = nullptr);
   std::shared_ptr<const AllocationArtifact> allocation(
       uint64_t key, const std::function<AllocationArtifact()>& build,
       bool* was_hit = nullptr);
@@ -225,6 +250,7 @@ class ArtifactStore {
   Cache<ProductLineArtifact> product_lines_;
   Cache<ComposedArtifact> composed_;
   Cache<CheckArtifact> checks_;
+  Cache<GraphArtifact> graphs_;
   Cache<AllocationArtifact> allocations_;
 
   mutable std::mutex stats_mutex_;

@@ -1,12 +1,15 @@
 #include "server/check_service.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 
 #include "checkers/crossref/rules.hpp"
+#include "checkers/graph/rules.hpp"
 #include "checkers/lint.hpp"
 #include "checkers/report.hpp"
 #include "checkers/semantic.hpp"
+#include "checkers/suppress.hpp"
 #include "checkers/syntactic.hpp"
 #include "dts/parser.hpp"
 #include "obs/obs.hpp"
@@ -30,44 +33,12 @@ smt::Backend resolve_backend(const CheckRequest& request,
 }
 
 /// The CLI's --disable-rule / --rule-severity mapping, error text included
-/// byte-for-byte. nullopt means reject with exit 2.
+/// byte-for-byte (one shared parser, checkers/crossref/rules.cpp). nullopt
+/// means reject with exit 2.
 std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
     const CheckRequest& request, std::string& error_text) {
-  checkers::crossref::CrossRefOptions opts;
-  bool ok = true;
-  for (const std::string& id : support::split(request.disable_rule, ',')) {
-    auto t = support::trim(id);
-    if (t.empty()) continue;
-    if (checkers::crossref::find_rule(t) == nullptr) {
-      error_text +=
-          "unknown rule id '" + std::string(t) + "' in --disable-rule\n";
-      ok = false;
-      continue;
-    }
-    opts.disabled.insert(std::string(t));
-  }
-  for (const std::string& ov : support::split(request.rule_severity, ',')) {
-    auto t = support::trim(ov);
-    if (t.empty()) continue;
-    size_t eq = t.find('=');
-    std::string id(support::trim(
-        t.substr(0, eq == std::string_view::npos ? t.size() : eq)));
-    std::string sev = eq == std::string_view::npos
-                          ? std::string()
-                          : std::string(support::trim(t.substr(eq + 1)));
-    if (checkers::crossref::find_rule(id) == nullptr ||
-        (sev != "error" && sev != "warning")) {
-      error_text += "bad --rule-severity entry '" + std::string(t) +
-                    "' (want <rule-id>=error|warning)\n";
-      ok = false;
-      continue;
-    }
-    opts.severity_overrides[id] = sev == "error"
-                                      ? checkers::FindingSeverity::kError
-                                      : checkers::FindingSeverity::kWarning;
-  }
-  if (!ok) return std::nullopt;
-  return opts;
+  return checkers::crossref::parse_rule_options(
+      request.disable_rule, request.rule_severity, error_text);
 }
 
 void render_outcome(const CheckRequest& request,
@@ -88,15 +59,17 @@ void render_outcome(const CheckRequest& request,
 }
 
 void append_stats_line(const CheckRequest& request, const CheckArtifact& art,
-                       CheckOutcome& out) {
-  if (!request.stats || !request.semantics) return;
+                       size_t suppressed, CheckOutcome& out) {
+  // With --no-semantics the solver counters are all zero, but the line still
+  // prints: the suppressed count is meaningful for every stage.
+  if (!request.stats) return;
   out.error_text += "semantic solver checks: " +
                     std::to_string(art.solver_checks) +
                     ", queries issued: " + std::to_string(art.queries_issued) +
                     ", queries pruned: " + std::to_string(art.queries_pruned) +
                     ", cache hits: " + std::to_string(art.cache_hits) +
                     ", cache errors: " + std::to_string(art.cache_errors) +
-                    "\n";
+                    ", suppressed: " + std::to_string(suppressed) + "\n";
 }
 
 }  // namespace
@@ -104,8 +77,8 @@ void append_stats_line(const CheckRequest& request, const CheckArtifact& art,
 uint64_t check_options_fingerprint(const CheckRequest& request) {
   std::ostringstream os;
   os << request.backend << '\n'
-     << request.lint << request.crossref << request.syntax << request.semantics
-     << '\n'
+     << request.lint << request.crossref << request.graph << request.syntax
+     << request.semantics << '\n'
      << request.disable_rule << '\n'
      << request.rule_severity << '\n'
      << support::fnv1a64(request.schemas_text) << '\n'
@@ -116,7 +89,8 @@ uint64_t check_options_fingerprint(const CheckRequest& request) {
 }
 
 CheckArtifact run_checkers(const dts::Tree& tree, const CheckRequest& request,
-                           const schema::SchemaSet* schemas) {
+                           const schema::SchemaSet* schemas,
+                           const checkers::graph::DeviceGraph* graph) {
   CheckArtifact art;
   std::string scratch;  // backend warning already emitted by run_check
   const smt::Backend backend = resolve_backend(request, scratch);
@@ -148,6 +122,17 @@ CheckArtifact run_checkers(const dts::Tree& tree, const CheckRequest& request,
         checkers::crossref::CrossRefChecker checker(
             xopts ? *xopts : checkers::crossref::CrossRefOptions{});
         return checker.check(tree);
+      });
+    }
+    if (request.graph) {
+      run_stage("graph", "stage.graph", [&] {
+        auto xopts = crossref_options_from(request, scratch);
+        checkers::graph::GraphChecker checker(
+            xopts ? *xopts : checkers::graph::RuleOptions{});
+        if (graph != nullptr) return checker.check(*graph);
+        const checkers::graph::DeviceGraph built =
+            checkers::graph::DeviceGraph::build(tree);
+        return checker.check(built);
       });
     }
     if (request.syntax && schemas != nullptr) {
@@ -199,6 +184,17 @@ CheckOutcome run_check(const CheckRequest& request, ArtifactStore* store) {
   if (!crossref_options_from(request, out.error_text)) {
     out.exit_code = 2;
     return out;
+  }
+  // Baseline validation is a usage check: a malformed file is exit 2 before
+  // any (potentially cached) verdict work happens.
+  checkers::SuppressionIndex suppressions;
+  if (!request.baseline_text.empty()) {
+    std::string error;
+    if (!suppressions.load_baseline(request.baseline_text, error)) {
+      out.error_text += "bad --baseline file: " + error + "\n";
+      out.exit_code = 2;
+      return out;
+    }
   }
 
   // Parse — identical failure contract to the CLI's parse_file_or_die:
@@ -264,9 +260,19 @@ CheckOutcome run_check(const CheckRequest& request, ArtifactStore* store) {
     verdict = store->unit_check(
         key,
         [&]() {
-          CheckArtifact art =
-              run_checkers(*tree_artifact->tree, request,
-                           request.syntax ? &schemas : nullptr);
+          // The device graph is its own keyed artifact (option-independent),
+          // fetched only when the verdict actually rebuilds — a cache-hit
+          // request never builds a graph.
+          std::shared_ptr<const GraphArtifact> graph_artifact;
+          if (request.graph) {
+            graph_artifact = store->graph(tree_artifact->key,
+                                          tree_artifact->tree);
+          }
+          CheckArtifact art = run_checkers(
+              *tree_artifact->tree, request,
+              request.syntax ? &schemas : nullptr,
+              graph_artifact != nullptr ? graph_artifact->graph.get()
+                                        : nullptr);
           art.key = key;
           return art;
         },
@@ -276,8 +282,39 @@ CheckOutcome run_check(const CheckRequest& request, ArtifactStore* store) {
         *tree_artifact->tree, request, request.syntax ? &schemas : nullptr));
   }
 
-  append_stats_line(request, *verdict, out);
-  render_outcome(request, verdict->findings, out);
+  // Suppression runs over a copy of the (possibly cached) verdict: inline
+  // `// llhsc-disable-next-line` comments from every source the findings
+  // touch, plus the baseline loaded above. Verdict artifacts stay pristine.
+  checkers::Findings findings = verdict->findings;
+  size_t suppressed = 0;
+  if (!findings.empty()) {
+    suppressions.add_source(request.path, request.source);
+    std::vector<std::string> scanned = {request.path};
+    for (const auto& [name, content] : request.includes) {
+      suppressions.add_source(name, content);
+      scanned.push_back(name);
+    }
+    for (const checkers::Finding& f : findings) {
+      if (!f.location.valid()) continue;
+      if (std::find(scanned.begin(), scanned.end(), f.location.file) !=
+          scanned.end()) {
+        continue;
+      }
+      scanned.push_back(f.location.file);
+      // Disk-resolved includes: the location names the include as the
+      // SourceManager registered it.
+      if (auto text = sources.load(f.location.file)) {
+        suppressions.add_source(f.location.file, *text);
+      }
+    }
+    suppressed = suppressions.apply(findings);
+    obs::count("suppress.filtered", "suppress",
+               static_cast<int64_t>(suppressed));
+  }
+
+  append_stats_line(request, *verdict, suppressed, out);
+  render_outcome(request, findings, out);
+  out.trace.suppressed = suppressed;
   out.trace.solver_checks = verdict->solver_checks;
   out.trace.queries_issued = verdict->queries_issued;
   out.trace.queries_pruned = verdict->queries_pruned;

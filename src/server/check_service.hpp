@@ -34,6 +34,7 @@ struct CheckRequest {
   std::string format = "text";  // text|json|sarif
   bool lint = true;
   bool crossref = true;
+  bool graph = true;  // device-graph dataflow rules (checkers/graph/)
   bool syntax = true;
   bool semantics = true;
   bool quiet = false;
@@ -47,6 +48,9 @@ struct CheckRequest {
   uint64_t solver_timeout_ms = 0;
   bool plan = true;
   std::string cache_dir;
+  /// Content of a --baseline file ("" = none). Applied after the verdict —
+  /// and therefore after any cache hit — so baselines never key verdicts.
+  std::string baseline_text;
 };
 
 /// What the request actually cost, for the daemon's per-request trace.
@@ -58,6 +62,8 @@ struct CheckTraceInfo {
   uint64_t queries_pruned = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_errors = 0;
+  /// Findings removed by inline disable comments or the baseline.
+  uint64_t suppressed = 0;
 };
 
 struct CheckOutcome {
@@ -78,11 +84,14 @@ struct CheckOutcome {
 /// the session layer caches per-unit verdicts under composed-tree keys.
 /// `schemas` may be null only when request.syntax is false. Crossref rule
 /// strings must already be valid (run_check validates; the session layer
-/// does not use crossref). Returns the artifact body (key left 0; the
-/// caller owns keying).
-[[nodiscard]] CheckArtifact run_checkers(const dts::Tree& tree,
-                                         const CheckRequest& request,
-                                         const schema::SchemaSet* schemas);
+/// does not use crossref). `graph` supplies a pre-built device graph for the
+/// graph stage (the store's keyed artifact); null builds one on demand when
+/// request.graph is set. Returns the artifact body (key left 0; the caller
+/// owns keying).
+[[nodiscard]] CheckArtifact run_checkers(
+    const dts::Tree& tree, const CheckRequest& request,
+    const schema::SchemaSet* schemas,
+    const checkers::graph::DeviceGraph* graph = nullptr);
 
 /// Canonical fingerprint of every request field that can change the
 /// *verdict* (format/quiet/stats excluded — they only change rendering).

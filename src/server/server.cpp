@@ -57,10 +57,12 @@ CheckRequest check_request_from(const Json& params) {
   if (params.has("format")) r.format = params.at("format").as_string();
   r.lint = params.at("lint").as_bool(true);
   r.crossref = params.at("crossref").as_bool(true);
+  r.graph = params.at("graph").as_bool(true);
   r.syntax = params.at("syntax").as_bool(true);
   r.semantics = params.at("semantics").as_bool(true);
   r.quiet = params.at("quiet").as_bool(false);
   r.stats = params.at("stats").as_bool(false);
+  r.baseline_text = params.at("baseline").as_string();
   if (params.has("backend")) r.backend = params.at("backend").as_string();
   r.schemas_text = params.at("schemas_text").as_string();
   r.schemas_path = params.at("schemas_path").as_string();
@@ -99,6 +101,7 @@ SessionRequest session_request_from(const Json& params) {
   }
   if (params.has("backend")) r.backend = params.at("backend").as_string();
   r.lint = params.at("lint").as_bool(true);
+  r.graph = params.at("graph").as_bool(true);
   r.syntax = params.at("syntax").as_bool(true);
   r.semantics = params.at("semantics").as_bool(true);
   r.schemas_text = params.at("schemas_text").as_string();
@@ -121,6 +124,7 @@ Json check_outcome_json(const CheckOutcome& outcome) {
   trace.set("cache_hits", Json::unsigned_integer(outcome.trace.cache_hits));
   trace.set("cache_errors",
             Json::unsigned_integer(outcome.trace.cache_errors));
+  trace.set("suppressed", Json::unsigned_integer(outcome.trace.suppressed));
 
   Json result = Json::object();
   result.set("exit_code", Json::integer(outcome.exit_code));
@@ -144,6 +148,8 @@ Json store_stats_json(const StoreStats& s) {
         Json::unsigned_integer(s.product_line_builds));
   j.set("derives", Json::unsigned_integer(s.derives));
   j.set("unit_checks", Json::unsigned_integer(s.unit_checks));
+  j.set("graph_builds", Json::unsigned_integer(s.graph_builds));
+  j.set("cross_checks", Json::unsigned_integer(s.cross_checks));
   return j;
 }
 

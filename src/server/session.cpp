@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "checkers/graph/rules.hpp"
 #include "checkers/resource_allocation.hpp"
 #include "dts/printer.hpp"
 #include "schema/builtin_schemas.hpp"
@@ -24,6 +25,8 @@ StoreStats stats_delta(const StoreStats& before, const StoreStats& after) {
       after.product_line_builds - before.product_line_builds;
   d.derives = after.derives - before.derives;
   d.unit_checks = after.unit_checks - before.unit_checks;
+  d.graph_builds = after.graph_builds - before.graph_builds;
+  d.cross_checks = after.cross_checks - before.cross_checks;
   return d;
 }
 
@@ -33,6 +36,7 @@ CheckRequest unit_check_request(const SessionRequest& request) {
   CheckRequest cr;
   cr.lint = request.lint;
   cr.crossref = false;
+  cr.graph = request.graph;
   cr.syntax = request.syntax;
   cr.semantics = request.semantics;
   cr.backend = request.backend;
@@ -171,6 +175,13 @@ SessionOutcome run_session_check(const SessionRequest& request,
   const delta::ProductLine& product_line = *pl->product_line;
   const std::vector<delta::DeltaModule>& modules = product_line.deltas();
 
+  struct ProductGraphInput {
+    std::string name;
+    uint64_t composed_key;
+    std::shared_ptr<const ComposedArtifact> composed;
+  };
+  std::vector<ProductGraphInput> product_graphs;
+
   for (const SessionProduct& product : units) {
     support::DiagnosticEngine order_diags;
     auto order = product_line.application_order(product.features, order_diags);
@@ -216,9 +227,18 @@ SessionOutcome run_session_check(const SessionRequest& request,
     auto verdict = store.unit_check(
         check_key,
         [&]() {
+          // The unit's device graph is a separate keyed artifact under the
+          // composed key: a one-delta edit re-derives exactly the affected
+          // units' composed trees, and therefore exactly their graphs.
+          std::shared_ptr<const GraphArtifact> graph_artifact;
+          if (unit_request.graph) {
+            graph_artifact = store.graph(composed_key, composed->tree);
+          }
           CheckArtifact art = run_checkers(
               *composed->tree, unit_request,
-              unit_request.syntax ? &schemas : nullptr);
+              unit_request.syntax ? &schemas : nullptr,
+              graph_artifact != nullptr ? graph_artifact->graph.get()
+                                        : nullptr);
           art.key = check_key;
           checkers::sort_by_location(art.findings);
           return art;
@@ -228,6 +248,52 @@ SessionOutcome run_session_check(const SessionRequest& request,
     unit.warnings = verdict->findings.size() - unit.errors;
     unit.report = checkers::render(verdict->findings);
     out.units.push_back(std::move(unit));
+
+    if (request.graph && product.name != "platform") {
+      product_graphs.push_back({product.name, composed_key, composed});
+    }
+  }
+
+  // -- Cross-unit graph analysis: two VMs claiming one exclusive provider.
+  // Cached under the fold of every product's composed key (order matters),
+  // so only a change to some product's tree recomputes it; the per-unit
+  // graphs it reads are the same keyed artifacts the unit checks built.
+  if (request.graph && product_graphs.size() >= 2) {
+    uint64_t cross_key = fnv_combine(
+        check_options_fingerprint(unit_request), 0x78756e69u /*"xuni"*/);
+    for (const ProductGraphInput& pg : product_graphs) {
+      cross_key = fnv_combine(support::fnv1a64(pg.name, cross_key),
+                              pg.composed_key);
+    }
+    bool cross_hit = false;
+    auto cross = store.cross_check(
+        cross_key,
+        [&]() {
+          CheckArtifact art;
+          art.key = cross_key;
+          std::vector<std::shared_ptr<const GraphArtifact>> artifacts;
+          std::vector<checkers::graph::UnitGraph> unit_graphs;
+          for (const ProductGraphInput& pg : product_graphs) {
+            auto ga = store.graph(pg.composed_key, pg.composed->tree);
+            if (ga == nullptr || ga->graph == nullptr) continue;
+            unit_graphs.push_back({pg.name, ga->graph.get()});
+            artifacts.push_back(std::move(ga));
+          }
+          art.findings = checkers::graph::check_exclusive_providers(
+              unit_graphs);
+          checkers::sort_by_location(art.findings);
+          return art;
+        },
+        &cross_hit);
+    if (!cross->findings.empty()) {
+      SessionUnitResult unit;
+      unit.name = "*graph*";
+      unit.check_cache_hit = cross_hit;
+      unit.errors = checkers::error_count(cross->findings);
+      unit.warnings = cross->findings.size() - unit.errors;
+      unit.report = checkers::render(cross->findings);
+      out.units.push_back(std::move(unit));
+    }
   }
 
   if (out.exit_code == 0) {

@@ -57,6 +57,7 @@ struct SessionRequest {
 
   std::string backend = "builtin";
   bool lint = true;
+  bool graph = true;  // device-graph rules, incl. the cross-unit analysis
   bool syntax = true;
   bool semantics = true;
   std::string schemas_text;  // "" = builtin schema set

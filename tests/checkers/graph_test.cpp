@@ -1,0 +1,506 @@
+// Device-graph IR + rules tests: graph construction facts (typed edges,
+// status folding, provider roles), one minimal negative DTS per graph rule,
+// registry behaviour (disable / severity override through the shared rule
+// catalog), the cross-unit exclusive-provider analysis, and an SCC property
+// test pitting iterative Tarjan against a naive reachability oracle on
+// deterministic pseudo-random graphs.
+#include "checkers/graph/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "checkers/graph/fixpoint.hpp"
+#include "checkers/graph/graph.hpp"
+#include "dts/parser.hpp"
+
+namespace llhsc::checkers::graph {
+namespace {
+
+std::unique_ptr<dts::Tree> parse_ok(std::string_view src) {
+  support::DiagnosticEngine de;
+  auto t = dts::parse_dts(src, "t.dts", de);
+  EXPECT_FALSE(de.has_errors()) << de.render();
+  return t;
+}
+
+Findings run(const dts::Tree& tree, RuleOptions options = {}) {
+  const DeviceGraph g = DeviceGraph::build(tree);
+  return GraphChecker(std::move(options)).check(g);
+}
+
+const Finding* find_by_rule(const Findings& fs, std::string_view rule) {
+  for (const Finding& f : fs) {
+    if (f.rule_id() == rule) return &f;
+  }
+  return nullptr;
+}
+
+const GraphNode* find_node(const DeviceGraph& g, std::string_view path) {
+  for (const GraphNode& n : g.nodes()) {
+    if (n.path == path) return &n;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction
+// ---------------------------------------------------------------------------
+
+TEST(DeviceGraphBuild, TypedEdgesAndProviderRoles) {
+  auto tree = parse_ok(R"(
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    clk: clock-controller@1000 { #clock-cells = <1>; };
+    rst: reset-controller@2000 { #reset-cells = <1>; };
+    uart@3000 {
+        clocks = <&clk 0>;
+        resets = <&rst 7>;
+    };
+};
+)");
+  const DeviceGraph g = DeviceGraph::build(*tree);
+
+  const GraphNode* clk = find_node(g, "/clock-controller@1000");
+  const GraphNode* uart = find_node(g, "/uart@3000");
+  ASSERT_NE(clk, nullptr);
+  ASSERT_NE(uart, nullptr);
+  EXPECT_TRUE(clk->is_provider);
+  EXPECT_FALSE(uart->is_provider);
+  ASSERT_EQ(uart->out.size(), 2u);
+  EXPECT_EQ(clk->in.size(), 1u);
+
+  const Edge& clock_edge = g.edge(uart->out[0]);
+  EXPECT_EQ(clock_edge.kind, EdgeKind::kClock);
+  EXPECT_EQ(clock_edge.property, "clocks");
+  EXPECT_TRUE(clock_edge.resolved);
+  EXPECT_FALSE(clock_edge.truncated);
+  EXPECT_EQ(clock_edge.arity, 1u);
+  EXPECT_EQ(g.node(clock_edge.provider).path, "/clock-controller@1000");
+
+  const Edge& reset_edge = g.edge(uart->out[1]);
+  EXPECT_EQ(reset_edge.kind, EdgeKind::kReset);
+  EXPECT_EQ(reset_edge.property, "resets");
+}
+
+TEST(DeviceGraphBuild, AncestorStatusFoldsIntoEffectiveDisabling) {
+  auto tree = parse_ok(R"(
+/ {
+    bus@1000 {
+        status = "disabled";
+        uart@1100 { };
+    };
+    uart@2000 { status = "okay"; };
+};
+)");
+  const DeviceGraph g = DeviceGraph::build(*tree);
+  const GraphNode* nested = find_node(g, "/bus@1000/uart@1100");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->status, NodeStatus::kOkay);  // own status is absent
+  EXPECT_TRUE(nested->effectively_disabled);     // ...but the bus is off
+  const GraphNode* top = find_node(g, "/uart@2000");
+  ASSERT_NE(top, nullptr);
+  EXPECT_FALSE(top->effectively_disabled);
+}
+
+TEST(DeviceGraphBuild, InterruptEdgesUseTheEffectiveParent) {
+  auto tree = parse_ok(R"(
+/ {
+    intc: interrupt-controller@1000 {
+        interrupt-controller;
+        #interrupt-cells = <2>;
+    };
+    explicit@2000 {
+        interrupt-parent = <&intc>;
+        interrupts = <5 4 6 4>;
+    };
+    soc {
+        interrupt-controller;
+        #interrupt-cells = <1>;
+        implicit@3000 { interrupts = <9>; };
+    };
+};
+)");
+  const DeviceGraph g = DeviceGraph::build(*tree);
+
+  const GraphNode* explicit_consumer = find_node(g, "/explicit@2000");
+  ASSERT_NE(explicit_consumer, nullptr);
+  ASSERT_EQ(explicit_consumer->out.size(), 2u);  // one edge per 2-cell tuple
+  for (uint32_t ei : explicit_consumer->out) {
+    const Edge& e = g.edge(ei);
+    EXPECT_EQ(e.kind, EdgeKind::kInterrupt);
+    EXPECT_TRUE(e.resolved);
+    EXPECT_EQ(g.node(e.provider).path, "/interrupt-controller@1000");
+  }
+
+  // No interrupt-parent: the nearest interrupt-controller ancestor provides.
+  const GraphNode* implicit_consumer = find_node(g, "/soc/implicit@3000");
+  ASSERT_NE(implicit_consumer, nullptr);
+  ASSERT_EQ(implicit_consumer->out.size(), 1u);
+  EXPECT_EQ(g.node(g.edge(implicit_consumer->out[0]).provider).path, "/soc");
+}
+
+TEST(DeviceGraphBuild, DanglingPhandleYieldsUnresolvedEdge) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <0>; };
+    uart@2000 { clocks = <&clk>, <0x99>; };
+};
+)");
+  const DeviceGraph g = DeviceGraph::build(*tree);
+  const GraphNode* uart = find_node(g, "/uart@2000");
+  ASSERT_NE(uart, nullptr);
+  ASSERT_EQ(uart->out.size(), 2u);
+  EXPECT_TRUE(g.edge(uart->out[0]).resolved);
+  const Edge& dangling = g.edge(uart->out[1]);
+  EXPECT_FALSE(dangling.resolved);
+  EXPECT_EQ(dangling.phandle, 0x99u);
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+TEST(GraphRules, CleanTreeHasNoFindings) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <1>; };
+    uart@2000 { clocks = <&clk 0>; };
+};
+)");
+  Findings f = run(*tree);
+  EXPECT_TRUE(f.empty()) << render(f);
+}
+
+TEST(GraphRules, ProviderCycleIsReportedOnceWithItsPath) {
+  auto tree = parse_ok(R"(
+/ {
+    a: clock-controller@1000 { #clock-cells = <0>; clocks = <&b>; };
+    b: clock-controller@2000 { #clock-cells = <0>; clocks = <&a>; };
+    uart@3000 { clocks = <&a>; };
+};
+)");
+  Findings f = run(*tree);
+  const Finding* cycle = find_by_rule(f, "graph-provider-cycle");
+  ASSERT_NE(cycle, nullptr) << render(f);
+  EXPECT_EQ(cycle->severity, FindingSeverity::kError);
+  EXPECT_EQ(cycle->subject, "/clock-controller@1000");  // smallest pre-order
+  ASSERT_EQ(cycle->flow.size(), 2u);  // a -> b -> a, one step per edge
+  // Exactly one cycle finding for the one component.
+  size_t cycles = 0;
+  for (const Finding& x : f) {
+    if (x.rule_id() == "graph-provider-cycle") ++cycles;
+  }
+  EXPECT_EQ(cycles, 1u);
+}
+
+TEST(GraphRules, SelfLoopIsACycle) {
+  auto tree = parse_ok(R"(
+/ {
+    a: clock-controller@1000 { #clock-cells = <0>; clocks = <&a>; };
+    uart@2000 { clocks = <&a>; };
+};
+)");
+  Findings f = run(*tree);
+  const Finding* cycle = find_by_rule(f, "graph-provider-cycle");
+  ASSERT_NE(cycle, nullptr) << render(f);
+  EXPECT_EQ(cycle->flow.size(), 1u);
+}
+
+TEST(GraphRules, StatusPropagationWalksTheChain) {
+  auto tree = parse_ok(R"(
+/ {
+    pll: clock-controller@1000 { #clock-cells = <0>; status = "disabled"; };
+    gate: clock-controller@2000 { #clock-cells = <0>; clocks = <&pll>; };
+    uart@3000 { clocks = <&gate>; };
+};
+)");
+  Findings f = run(*tree);
+  // Both the gate (1 hop) and the uart (2 hops) report.
+  size_t hits = 0;
+  for (const Finding& x : f) {
+    if (x.rule_id() == "graph-status-propagation") ++hits;
+  }
+  EXPECT_EQ(hits, 2u) << render(f);
+  bool saw_uart = false;
+  for (const Finding& x : f) {
+    if (x.rule_id() != "graph-status-propagation" || x.subject != "/uart@3000")
+      continue;
+    saw_uart = true;
+    EXPECT_NE(x.message.find("2 hop(s)"), std::string::npos) << x.render();
+    // chain edge, chain edge, disabled-provider terminator
+    ASSERT_EQ(x.flow.size(), 3u);
+    EXPECT_NE(x.flow.back().note.find("disabled"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_uart) << render(f);
+}
+
+TEST(GraphRules, DisabledConsumersAreExemptFromStatusPropagation) {
+  auto tree = parse_ok(R"(
+/ {
+    pll: clock-controller@1000 { #clock-cells = <0>; status = "disabled"; };
+    uart@2000 { status = "disabled"; clocks = <&pll>; };
+};
+)");
+  Findings f = run(*tree);
+  EXPECT_EQ(find_by_rule(f, "graph-status-propagation"), nullptr) << render(f);
+}
+
+TEST(GraphRules, MissingProviderTaintsConsumers) {
+  auto tree = parse_ok(R"(
+/ {
+    uart@2000 { clocks = <0x42>; };
+};
+)");
+  Findings f = run(*tree);
+  const Finding* miss = find_by_rule(f, "graph-status-propagation");
+  ASSERT_NE(miss, nullptr) << render(f);
+  EXPECT_NE(miss->message.find("missing provider"), std::string::npos);
+  EXPECT_NE(miss->message.find("66"), std::string::npos);  // phandle 0x42
+}
+
+TEST(GraphRules, CellsArityFlagsTruncatedTuples) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <2>; };
+    uart@2000 { clocks = <&clk 1>; };
+};
+)");
+  Findings f = run(*tree);
+  const Finding* arity = find_by_rule(f, "graph-cells-arity");
+  ASSERT_NE(arity, nullptr) << render(f);
+  EXPECT_EQ(arity->subject, "/uart@2000");
+  EXPECT_EQ(arity->other_subject, "/clock-controller@1000");
+  EXPECT_NE(arity->message.find("2-cell contract"), std::string::npos);
+  ASSERT_EQ(arity->flow.size(), 2u);  // consumer step + provider contract
+}
+
+TEST(GraphRules, OrphanProviderIsOnlyClaimedByDisabledConsumers) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <0>; };
+    uart@2000 { status = "disabled"; clocks = <&clk>; };
+};
+)");
+  Findings f = run(*tree);
+  const Finding* orphan = find_by_rule(f, "graph-orphan-provider");
+  ASSERT_NE(orphan, nullptr) << render(f);
+  EXPECT_EQ(orphan->severity, FindingSeverity::kWarning);
+  EXPECT_EQ(orphan->subject, "/clock-controller@1000");
+}
+
+TEST(GraphRules, DemandedProviderChainIsNotOrphaned) {
+  auto tree = parse_ok(R"(
+/ {
+    pll: clock-controller@1000 { #clock-cells = <0>; };
+    gate: clock-controller@2000 { #clock-cells = <0>; clocks = <&pll>; };
+    uart@3000 { clocks = <&gate>; };
+};
+)");
+  Findings f = run(*tree);
+  // Demand flows uart -> gate -> pll; neither provider is an orphan.
+  EXPECT_EQ(find_by_rule(f, "graph-orphan-provider"), nullptr) << render(f);
+}
+
+TEST(GraphRules, RulesHonorDisableAndSeverityOverride) {
+  auto tree = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <2>; };
+    uart@2000 { clocks = <&clk 1>; };
+};
+)");
+  RuleOptions disabled;
+  disabled.disabled.insert("graph-cells-arity");
+  Findings off = run(*tree, disabled);
+  EXPECT_EQ(find_by_rule(off, "graph-cells-arity"), nullptr);
+
+  RuleOptions demoted;
+  demoted.severity_overrides["graph-cells-arity"] =
+      FindingSeverity::kWarning;
+  Findings warned = run(*tree, demoted);
+  const Finding* f = find_by_rule(warned, "graph-cells-arity");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, FindingSeverity::kWarning);
+}
+
+TEST(GraphRules, AllGraphRuleIdsAreInTheSharedCatalog) {
+  for (const char* id :
+       {"graph-provider-cycle", "graph-status-propagation",
+        "graph-cells-arity", "graph-orphan-provider",
+        "graph-exclusive-provider"}) {
+    EXPECT_NE(crossref::find_rule(id), nullptr) << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-unit exclusive providers
+// ---------------------------------------------------------------------------
+
+TEST(GraphCrossUnit, TwoUnitsClaimingOneProviderConflict) {
+  auto vma = parse_ok(R"(
+/ {
+    dma: dma-controller@1000 { #dma-cells = <1>; };
+    eth@2000 { dmas = <&dma 0>; };
+};
+)");
+  auto vmb = parse_ok(R"(
+/ {
+    dma: dma-controller@1000 { #dma-cells = <1>; };
+    spi@3000 { dmas = <&dma 1>; };
+};
+)");
+  const DeviceGraph ga = DeviceGraph::build(*vma);
+  const DeviceGraph gb = DeviceGraph::build(*vmb);
+  Findings f = check_exclusive_providers({{"vma", &ga}, {"vmb", &gb}});
+  const Finding* x = find_by_rule(f, "graph-exclusive-provider");
+  ASSERT_NE(x, nullptr) << render(f);
+  EXPECT_EQ(x->subject, "/dma-controller@1000");
+  EXPECT_EQ(x->other_subject, "vma");
+  EXPECT_NE(x->message.find("'vma' and unit 'vmb'"), std::string::npos);
+  ASSERT_EQ(x->flow.size(), 2u);  // one claiming consumer per unit
+}
+
+TEST(GraphCrossUnit, SharedPropertyOptsOut) {
+  auto vma = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <0>; shared; };
+    uart@2000 { clocks = <&clk>; };
+};
+)");
+  auto vmb = parse_ok(R"(
+/ {
+    clk: clock-controller@1000 { #clock-cells = <0>; shared; };
+    uart@3000 { clocks = <&clk>; };
+};
+)");
+  const DeviceGraph ga = DeviceGraph::build(*vma);
+  const DeviceGraph gb = DeviceGraph::build(*vmb);
+  Findings f = check_exclusive_providers({{"vma", &ga}, {"vmb", &gb}});
+  EXPECT_TRUE(f.empty()) << render(f);
+}
+
+TEST(GraphCrossUnit, InterruptControllersAreNeverClaimed) {
+  // Interrupt controllers are virtualized per VM — two VMs wiring their
+  // interrupts through the same physical controller is the normal case.
+  auto vma = parse_ok(R"(
+/ {
+    intc: interrupt-controller@1000 {
+        interrupt-controller; #interrupt-cells = <1>;
+    };
+    uart@2000 { interrupt-parent = <&intc>; interrupts = <5>; };
+};
+)");
+  auto vmb = parse_ok(R"(
+/ {
+    intc: interrupt-controller@1000 {
+        interrupt-controller; #interrupt-cells = <1>;
+    };
+    uart@3000 { interrupt-parent = <&intc>; interrupts = <6>; };
+};
+)");
+  const DeviceGraph ga = DeviceGraph::build(*vma);
+  const DeviceGraph gb = DeviceGraph::build(*vmb);
+  Findings f = check_exclusive_providers({{"vma", &ga}, {"vmb", &gb}});
+  EXPECT_TRUE(f.empty()) << render(f);
+}
+
+// ---------------------------------------------------------------------------
+// SCC property test: Tarjan vs a naive reachability oracle
+// ---------------------------------------------------------------------------
+
+/// Naive SCC: m is in n's component iff n reaches m and m reaches n.
+std::vector<std::vector<uint32_t>> naive_scc(
+    size_t n, const std::vector<std::vector<uint32_t>>& adj) {
+  // DFS reachability per node.
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (uint32_t s = 0; s < n; ++s) {
+    std::vector<uint32_t> stack = {s};
+    reach[s][s] = true;
+    while (!stack.empty()) {
+      uint32_t cur = stack.back();
+      stack.pop_back();
+      for (uint32_t m : adj[cur]) {
+        if (!reach[s][m]) {
+          reach[s][m] = true;
+          stack.push_back(m);
+        }
+      }
+    }
+  }
+  std::vector<bool> done(n, false);
+  std::vector<std::vector<uint32_t>> comps;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (done[s]) continue;
+    std::vector<uint32_t> comp;
+    for (uint32_t m = s; m < n; ++m) {
+      if (reach[s][m] && reach[m][s]) {
+        comp.push_back(m);
+        done[m] = true;
+      }
+    }
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+/// Canonical form: each component sorted (tarjan_scc already sorts), the
+/// list sorted by first member.
+std::vector<std::vector<uint32_t>> canonical(
+    std::vector<std::vector<uint32_t>> comps) {
+  for (auto& c : comps) std::sort(c.begin(), c.end());
+  std::sort(comps.begin(), comps.end());
+  return comps;
+}
+
+TEST(TarjanScc, MatchesNaiveOracleOnRandomGraphs) {
+  // Deterministic LCG so failures reproduce byte-for-byte.
+  uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = 1 + next() % 24;
+    // Edge density sweeps from sparse to dense across rounds.
+    const size_t edges = next() % (n * 3 + 1);
+    std::vector<std::vector<uint32_t>> adj(n);
+    for (size_t i = 0; i < edges; ++i) {
+      adj[next() % n].push_back(next() % n);
+    }
+    auto got = canonical(
+        tarjan_scc(n, [&](uint32_t m) -> const std::vector<uint32_t>& {
+          return adj[m];
+        }));
+    auto want = canonical(naive_scc(n, adj));
+    ASSERT_EQ(got, want) << "round " << round << ", n=" << n;
+  }
+}
+
+TEST(TarjanScc, DeepChainDoesNotOverflowTheStack) {
+  // 100k-node chain: the explicit-stack implementation must not recurse.
+  const size_t n = 100000;
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) adj[i].push_back(i + 1);
+  auto comps = tarjan_scc(n, [&](uint32_t m) -> const std::vector<uint32_t>& {
+    return adj[m];
+  });
+  EXPECT_EQ(comps.size(), n);  // all singletons
+}
+
+TEST(Worklist, DeduplicatesAndDrainsFifo) {
+  Worklist wl(4);
+  wl.push(2);
+  wl.push(1);
+  wl.push(2);  // duplicate while queued: dropped
+  EXPECT_EQ(wl.pop(), 2u);
+  wl.push(2);  // re-push after pop: accepted
+  EXPECT_EQ(wl.pop(), 1u);
+  EXPECT_EQ(wl.pop(), 2u);
+  EXPECT_TRUE(wl.empty());
+}
+
+}  // namespace
+}  // namespace llhsc::checkers::graph

@@ -1,0 +1,181 @@
+// SuppressionIndex tests: inline `// llhsc-disable-next-line` comment
+// scanning (id lists, bare form, trailing-comment form, marker-in-string
+// inertness), baseline load/apply (including every documented error), and
+// the to_baseline round trip.
+#include "checkers/suppress.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::checkers {
+namespace {
+
+Finding make(std::string rule, std::string subject, std::string file = "a.dts",
+             uint32_t line = 10) {
+  Finding f;
+  f.rule = std::move(rule);
+  f.subject = std::move(subject);
+  f.location.file = std::move(file);
+  f.location.line = line;
+  f.location.column = 1;
+  f.message = "seeded";
+  return f;
+}
+
+TEST(Suppress, EmptyIndexSuppressesNothing) {
+  SuppressionIndex idx;
+  EXPECT_TRUE(idx.empty());
+  Findings fs = {make("graph-cells-arity", "/uart@2000")};
+  EXPECT_EQ(idx.apply(fs), 0u);
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(Suppress, CommentNamingTheRuleSuppressesTheNextLine) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts", R"(line one
+// llhsc-disable-next-line graph-cells-arity
+    clocks = <&clk>;
+)");
+  EXPECT_FALSE(idx.empty());
+  Findings fs = {make("graph-cells-arity", "/uart@2000", "a.dts", 3),
+                 make("graph-cells-arity", "/uart@2000", "a.dts", 4),
+                 make("graph-provider-cycle", "/uart@2000", "a.dts", 3)};
+  EXPECT_EQ(idx.apply(fs), 1u);  // the named rule on the guarded line only
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].location.line, 4u);
+  EXPECT_EQ(fs[1].rule, "graph-provider-cycle");
+}
+
+TEST(Suppress, BareCommentSuppressesEveryRule) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts", "// llhsc-disable-next-line\nclocks = <&clk>;\n");
+  Findings fs = {make("graph-cells-arity", "/u", "a.dts", 2),
+                 make("graph-provider-cycle", "/u", "a.dts", 2)};
+  EXPECT_EQ(idx.apply(fs), 2u);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(Suppress, IdListsSplitOnCommasAndWhitespace) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts",
+                 "// llhsc-disable-next-line graph-cells-arity, "
+                 "graph-orphan-provider graph-provider-cycle\nx;\n");
+  Findings fs = {make("graph-cells-arity", "/u", "a.dts", 2),
+                 make("graph-orphan-provider", "/u", "a.dts", 2),
+                 make("graph-provider-cycle", "/u", "a.dts", 2),
+                 make("graph-status-propagation", "/u", "a.dts", 2)};
+  EXPECT_EQ(idx.apply(fs), 3u);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "graph-status-propagation");
+}
+
+TEST(Suppress, CommentMayTrailCode) {
+  SuppressionIndex idx;
+  idx.add_source(
+      "a.dts",
+      "reg = <1>;  // llhsc-disable-next-line graph-cells-arity\nx;\n");
+  Findings fs = {make("graph-cells-arity", "/u", "a.dts", 2)};
+  EXPECT_EQ(idx.apply(fs), 1u);
+}
+
+TEST(Suppress, MarkerOutsideACommentIsInert) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts",
+                 "name = \"llhsc-disable-next-line graph-cells-arity\";\nx;\n");
+  Findings fs = {make("graph-cells-arity", "/u", "a.dts", 2)};
+  EXPECT_EQ(idx.apply(fs), 0u);
+}
+
+TEST(Suppress, CommentsAreScopedToTheirFile) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts", "// llhsc-disable-next-line\nx;\n");
+  Findings fs = {make("graph-cells-arity", "/u", "b.dts", 2)};
+  EXPECT_EQ(idx.apply(fs), 0u);
+}
+
+TEST(Suppress, InvalidLocationNeverMatchesAComment) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts", "// llhsc-disable-next-line\nx;\n");
+  Finding synthetic = make("graph-cells-arity", "/u");
+  synthetic.location = {};  // programmatic tree: no source position
+  Findings fs = {synthetic};
+  EXPECT_EQ(idx.apply(fs), 0u);
+}
+
+TEST(Suppress, BaselineMatchesRulePlusSubjectAnywhere) {
+  SuppressionIndex idx;
+  std::string error;
+  ASSERT_TRUE(idx.load_baseline(
+      R"({"version": 1, "findings": [
+            {"rule": "graph-cells-arity", "subject": "/uart@2000"}]})",
+      error))
+      << error;
+  // Line churn must not invalidate a baseline entry: different locations,
+  // same (rule, subject), all suppressed.
+  Findings fs = {make("graph-cells-arity", "/uart@2000", "a.dts", 3),
+                 make("graph-cells-arity", "/uart@2000", "b.dts", 99),
+                 make("graph-cells-arity", "/spi@3000", "a.dts", 3)};
+  EXPECT_EQ(idx.apply(fs), 2u);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].subject, "/spi@3000");
+}
+
+TEST(Suppress, BaselineErrorsAreReported) {
+  std::string error;
+  SuppressionIndex idx;
+  EXPECT_FALSE(idx.load_baseline("not json", error));
+  EXPECT_EQ(error, "baseline is not a JSON object");
+  EXPECT_FALSE(idx.load_baseline("[]", error));
+  EXPECT_EQ(error, "baseline is not a JSON object");
+  EXPECT_FALSE(idx.load_baseline(R"({"version": 1})", error));
+  EXPECT_EQ(error, "baseline has no \"findings\" array");
+  EXPECT_FALSE(idx.load_baseline(R"({"version": 1, "findings": [{}]})", error));
+  EXPECT_EQ(error, "baseline entry without a \"rule\" id");
+}
+
+TEST(Suppress, BaselineIgnoresUnknownFields) {
+  std::string error;
+  SuppressionIndex idx;
+  ASSERT_TRUE(idx.load_baseline(
+      R"({"version": 2, "tool": "llhsc", "findings": [
+            {"rule": "r", "subject": "/s", "note": "kept for humans"}]})",
+      error))
+      << error;
+  Findings fs = {make("r", "/s")};
+  EXPECT_EQ(idx.apply(fs), 1u);
+}
+
+TEST(Suppress, ToBaselineRoundTripsAndDeduplicates) {
+  Findings fs = {make("graph-cells-arity", "/uart@2000", "a.dts", 3),
+                 make("graph-cells-arity", "/uart@2000", "b.dts", 7),
+                 make("graph-orphan-provider", "/clk@1000", "a.dts", 1)};
+  std::string doc = SuppressionIndex::to_baseline(fs);
+
+  SuppressionIndex idx;
+  std::string error;
+  ASSERT_TRUE(idx.load_baseline(doc, error)) << error << "\n" << doc;
+  Findings again = fs;
+  EXPECT_EQ(idx.apply(again), fs.size());
+  EXPECT_TRUE(again.empty());
+
+  // Deduplicated: the two /uart@2000 findings collapse to one entry.
+  EXPECT_EQ(doc.find("\"/uart@2000\""), doc.rfind("\"/uart@2000\""));
+}
+
+TEST(Suppress, InlineAndBaselineLayersCompose) {
+  SuppressionIndex idx;
+  idx.add_source("a.dts", "// llhsc-disable-next-line graph-cells-arity\nx;\n");
+  std::string error;
+  ASSERT_TRUE(idx.load_baseline(
+      R"({"version": 1, "findings": [
+            {"rule": "graph-orphan-provider", "subject": "/clk@1000"}]})",
+      error));
+  Findings fs = {make("graph-cells-arity", "/u", "a.dts", 2),
+                 make("graph-orphan-provider", "/clk@1000", "b.dts", 40),
+                 make("graph-provider-cycle", "/u", "a.dts", 5)};
+  EXPECT_EQ(idx.apply(fs), 2u);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "graph-provider-cycle");
+}
+
+}  // namespace
+}  // namespace llhsc::checkers

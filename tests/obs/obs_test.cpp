@@ -199,7 +199,8 @@ TEST(ChromeTrace, GoldenEventNamesFromARealCheck) {
     }
   }
   const std::vector<std::string> expected = {
-      "stage.lint", "stage.crossref", "stage.syntactic", "stage.semantic"};
+      "stage.lint", "stage.crossref", "stage.graph", "stage.syntactic",
+      "stage.semantic"};
   EXPECT_EQ(stage_spans, expected);
 
   // The single source of truth: the outcome's trace counters ARE the

@@ -138,6 +138,91 @@ TEST(Session, IncludeEditRebuildsEveryUnit) {
   EXPECT_EQ(out.cost.unit_checks, 2u);
 }
 
+TEST(Session, GraphArtifactsRederiveOnlyForEditedUnits) {
+  ArtifactStore store;
+  SessionOutcome cold = run_session_check(base_request(), store);
+  EXPECT_EQ(cold.exit_code, 0) << cold.error_text;
+  EXPECT_EQ(cold.cost.graph_builds, 2u) << "one device graph per product";
+  EXPECT_EQ(cold.cost.cross_checks, 1u);
+
+  SessionOutcome warm = run_session_check(base_request(), store);
+  EXPECT_EQ(warm.cost.graph_builds, 0u) << "unchanged trees, cached graphs";
+  EXPECT_EQ(warm.cost.cross_checks, 0u);
+
+  // One-delta edit: only pb's composed tree changes, so only pb's graph
+  // artifact re-derives; the cross-unit verdict keys on both graphs and
+  // must re-run exactly once.
+  SessionRequest edited = base_request();
+  edited.deltas_source =
+      "delta da when fa {\n"
+      "    modifies uart@20000000 { clock-frequency = <1000000>; }\n"
+      "}\n"
+      "delta db when fb {\n"
+      "    modifies memory@40000000 { status = \"disabled\"; }\n"
+      "}\n";
+  SessionOutcome out = run_session_check(edited, store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  EXPECT_EQ(out.cost.derives, 1u);
+  EXPECT_EQ(out.cost.graph_builds, 1u) << "only pb's graph rebuilds";
+  EXPECT_EQ(out.cost.cross_checks, 1u);
+}
+
+TEST(Session, GraphDisabledBuildsNoGraphArtifacts) {
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.graph = false;
+  SessionOutcome out = run_session_check(request, store);
+  EXPECT_EQ(out.exit_code, 0) << out.error_text;
+  EXPECT_EQ(out.cost.graph_builds, 0u);
+  EXPECT_EQ(out.cost.cross_checks, 0u);
+}
+
+TEST(Session, CrossUnitConflictSurfacesAsGraphUnit) {
+  // Both products keep the same enabled uart claiming the same clock
+  // provider — the cross-unit exclusive-provider rule must report, as a
+  // synthetic "*graph*" unit after the per-product units.
+  constexpr const char* kClockedCore = R"(/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    clk: clock-controller@10000000 {
+        reg = <0x10000000 0x1000>;
+        #clock-cells = <0>;
+    };
+    uart0: uart@20000000 {
+        compatible = "ns16550a";
+        reg = <0x20000000 0x1000>;
+        clocks = <&clk>;
+    };
+};
+)";
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.core_source = kClockedCore;
+  request.lint = false;
+  request.syntax = false;
+  request.semantics = false;
+  SessionOutcome out = run_session_check(request, store);
+  EXPECT_EQ(out.exit_code, 1);
+  ASSERT_GE(out.units.size(), 3u);
+  const SessionUnitResult& cross = out.units.back();
+  EXPECT_EQ(cross.name, "*graph*");
+  EXPECT_EQ(cross.errors, 1u);
+  EXPECT_NE(cross.report.find("graph-exclusive-provider"), std::string::npos)
+      << cross.report;
+  EXPECT_NE(cross.report.find("'pa' and unit 'pb'"), std::string::npos)
+      << cross.report;
+
+  // The conflict verdict itself is cached: a warm rerun reports it again
+  // without re-running the analysis.
+  SessionOutcome warm = run_session_check(request, store);
+  EXPECT_EQ(warm.exit_code, 1);
+  EXPECT_EQ(warm.cost.cross_checks, 0u);
+  EXPECT_EQ(warm.units.back().name, "*graph*");
+  EXPECT_TRUE(warm.units.back().check_cache_hit);
+}
+
 TEST(Session, PlatformUnitIsUnionOfSelections) {
   ArtifactStore store;
   SessionRequest request = base_request();

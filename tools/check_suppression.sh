@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Suppression end-to-end at the CLI level: inline
+# `// llhsc-disable-next-line <rule-id>` comments and --baseline files must
+# silence exactly the named findings, and the --stats line must account for
+# them in its `suppressed:` counter.
+#
+# Scenarios over the seeded graph-arity example (one graph-cells-arity
+# finding, checked with every other stage off so the counts are exact):
+#   1. untouched input: the finding reports, suppressed: 0
+#   2. a disable-next-line comment naming the rule: clean exit, suppressed: 1
+#   3. a disable-next-line comment naming a different rule: still reports
+#   4. a bare disable-next-line comment (no ids): suppresses any rule
+#   5. a --baseline recording the finding: clean exit, suppressed: 1
+#   6. a malformed --baseline: exit 2 with a usage diagnostic
+# Usage: check_suppression.sh <llhsc-binary> <examples-data-dir>
+set -eu
+
+LLHSC="$1"
+DATA="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="--no-lint --no-crossref --no-syntax --no-semantics --stats"
+
+run() {
+    local input="$1"; shift
+    local status=0
+    # shellcheck disable=SC2086
+    "$LLHSC" check "$input" $FLAGS "$@" > "$TMP/out" 2> "$TMP/err" || status=$?
+    echo "$status"
+}
+
+# -- 1: the baseline finding fires --
+[ "$(run "$DATA/graph-arity.dts")" -eq 1 ]
+grep -q 'graph-cells-arity' "$TMP/out"
+grep -q 'suppressed: 0' "$TMP/err"
+
+# -- 2: inline suppression of the named rule --
+awk '/clocks = /{print "        // llhsc-disable-next-line graph-cells-arity"}1' \
+    "$DATA/graph-arity.dts" > "$TMP/suppressed.dts"
+[ "$(run "$TMP/suppressed.dts")" -eq 0 ]
+! grep -q 'graph-cells-arity' "$TMP/out"
+grep -q 'suppressed: 1' "$TMP/err"
+
+# -- 3: a comment naming some other rule does not suppress --
+awk '/clocks = /{print "        // llhsc-disable-next-line graph-provider-cycle"}1' \
+    "$DATA/graph-arity.dts" > "$TMP/other-rule.dts"
+[ "$(run "$TMP/other-rule.dts")" -eq 1 ]
+grep -q 'graph-cells-arity' "$TMP/out"
+
+# -- 4: a bare comment suppresses whatever fires on the next line --
+awk '/clocks = /{print "        // llhsc-disable-next-line"}1' \
+    "$DATA/graph-arity.dts" > "$TMP/bare.dts"
+[ "$(run "$TMP/bare.dts")" -eq 0 ]
+grep -q 'suppressed: 1' "$TMP/err"
+
+# -- 5: a baseline keyed by rule + structural path suppresses --
+cat > "$TMP/baseline.json" <<EOF
+{
+  "version": 1,
+  "findings": [
+    {"rule": "graph-cells-arity", "subject": "/uart@2000"}
+  ]
+}
+EOF
+[ "$(run "$DATA/graph-arity.dts" --baseline "$TMP/baseline.json")" -eq 0 ]
+! grep -q 'graph-cells-arity' "$TMP/out"
+grep -q 'suppressed: 1' "$TMP/err"
+
+# -- 6: a malformed baseline is a usage error, before any checking --
+echo '{"version": 1, "findings": [{}]}' > "$TMP/bad-baseline.json"
+[ "$(run "$DATA/graph-arity.dts" --baseline "$TMP/bad-baseline.json")" -eq 2 ]
+grep -q 'bad --baseline file' "$TMP/err"

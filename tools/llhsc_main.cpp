@@ -3,17 +3,20 @@
 //
 //   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3]
 //               [--format text|json|sarif] [--no-lint] [--no-crossref]
-//               [--no-syntax] [--no-semantics] [--disable-rule id,...]
-//               [--rule-severity id=error|warning,...] [--no-plan]
-//               [--cache-dir <dir>] [--stats] [--socket <sock>]
+//               [--no-graph] [--no-syntax] [--no-semantics]
+//               [--disable-rule id,...]
+//               [--rule-severity id=error|warning,...] [--baseline <file>]
+//               [--no-plan] [--cache-dir <dir>] [--stats] [--socket <sock>]
 //               [--profile <file>]
-//       Run the checkers on one DTS; exit 1 on errors. The cross-reference
-//       rule catalog is in docs/rules.md; --cache-dir persists semantic
-//       solver verdicts across runs (docs/performance.md), --no-plan
-//       disables the query planner, --stats prints the planner counters
-//       on stderr, --socket ships the request to a running llhscd,
-//       --profile writes a Chrome-trace JSON profile of the run
-//       (docs/observability.md).
+//       Run the checkers on one DTS; exit 1 on errors. The rule catalog
+//       (cross-reference + device-graph) is in docs/rules.md; --no-graph
+//       skips the device-graph dataflow rules, --baseline suppresses the
+//       findings recorded in a baseline JSON file (docs/rules.md),
+//       --cache-dir persists semantic solver verdicts across runs
+//       (docs/performance.md), --no-plan disables the query planner,
+//       --stats prints the planner counters on stderr, --socket ships the
+//       request to a running llhscd, --profile writes a Chrome-trace JSON
+//       profile of the run (docs/observability.md).
 //
 //   llhsc generate --core <core.dts> --deltas <file.deltas>
 //                  --features f1,f2,... [--out <dir>] [--name <vm>]
@@ -158,47 +161,16 @@ std::unique_ptr<dts::Tree> parse_file_or_die(const std::string& path) {
   return tree;
 }
 
-/// Maps --disable-rule / --rule-severity onto CrossRefOptions. Unknown rule
-/// ids are reported and rejected so typos don't silently disable nothing.
+/// Maps --disable-rule / --rule-severity onto CrossRefOptions through the
+/// one shared parser (checkers/crossref/rules.cpp) — unknown rule ids are
+/// rejected with the full catalog listed, and the CLI, the daemon, and
+/// run_check agree on the diagnostic byte-for-byte.
 std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
     const ParsedFlags& args) {
-  checkers::crossref::CrossRefOptions opts;
-  bool ok = true;
-  for (const std::string& id :
-       support::split(args.value("disable-rule"), ',')) {
-    auto t = support::trim(id);
-    if (t.empty()) continue;
-    if (checkers::crossref::find_rule(t) == nullptr) {
-      std::cerr << "unknown rule id '" << std::string(t)
-                << "' in --disable-rule\n";
-      ok = false;
-      continue;
-    }
-    opts.disabled.insert(std::string(t));
-  }
-  for (const std::string& ov :
-       support::split(args.value("rule-severity"), ',')) {
-    auto t = support::trim(ov);
-    if (t.empty()) continue;
-    size_t eq = t.find('=');
-    std::string id(support::trim(t.substr(0, eq == std::string_view::npos
-                                                 ? t.size()
-                                                 : eq)));
-    std::string sev = eq == std::string_view::npos
-                          ? std::string()
-                          : std::string(support::trim(t.substr(eq + 1)));
-    if (checkers::crossref::find_rule(id) == nullptr ||
-        (sev != "error" && sev != "warning")) {
-      std::cerr << "bad --rule-severity entry '" << std::string(t)
-                << "' (want <rule-id>=error|warning)\n";
-      ok = false;
-      continue;
-    }
-    opts.severity_overrides[id] = sev == "error"
-                                      ? checkers::FindingSeverity::kError
-                                      : checkers::FindingSeverity::kWarning;
-  }
-  if (!ok) return std::nullopt;
+  std::string error;
+  auto opts = checkers::crossref::parse_rule_options(
+      args.value("disable-rule"), args.value("rule-severity"), error);
+  std::cerr << error;
   return opts;
 }
 
@@ -226,6 +198,7 @@ int serve_check(const std::string& socket_path, api::CheckRequest request) {
   params.set("format", Json::string(request.format));
   params.set("lint", Json::boolean(request.lint));
   params.set("crossref", Json::boolean(request.crossref));
+  params.set("graph", Json::boolean(request.graph));
   params.set("syntax", Json::boolean(request.syntax));
   params.set("semantics", Json::boolean(request.semantics));
   params.set("quiet", Json::boolean(request.quiet));
@@ -239,6 +212,7 @@ int serve_check(const std::string& socket_path, api::CheckRequest request) {
              Json::unsigned_integer(request.solver_timeout_ms));
   params.set("plan", Json::boolean(request.plan));
   params.set("cache_dir", Json::string(request.cache_dir));
+  params.set("baseline", Json::string(request.baseline_text));
   Json req = Json::object();
   req.set("id", Json::integer(1));
   req.set("method", Json::string("check"));
@@ -311,9 +285,9 @@ int usage_check() {
   std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
                "[--backend builtin|z3] [--format text|json|sarif] "
                "[--no-lint] [--no-syntax] [--no-semantics] "
-               "[--no-crossref] [--disable-rule id,...] "
+               "[--no-crossref] [--no-graph] [--disable-rule id,...] "
                "[--rule-severity id=error|warning,...] "
-               "[--no-plan] [--cache-dir dir] [--stats] "
+               "[--baseline file] [--no-plan] [--cache-dir dir] [--stats] "
                "[--socket sock] [--profile file]\n";
   return 2;
 }
@@ -325,12 +299,14 @@ int cmd_check(int argc, char** argv) {
       {"format"},
       {"no-lint", FlagKind::kBool},
       {"no-crossref", FlagKind::kBool},
+      {"no-graph", FlagKind::kBool},
       {"no-syntax", FlagKind::kBool},
       {"no-semantics", FlagKind::kBool},
       {"quiet", FlagKind::kBool},
       {"stats", FlagKind::kBool},
       {"disable-rule"},
       {"rule-severity"},
+      {"baseline"},
       {"solver-timeout-ms", FlagKind::kUint},
       {"no-plan", FlagKind::kBool},
       {"cache-dir"},
@@ -367,6 +343,7 @@ int cmd_check(int argc, char** argv) {
   request.format = format;
   request.lint = !args.has("no-lint");
   request.crossref = !args.has("no-crossref");
+  request.graph = !args.has("no-graph");
   request.syntax = !args.has("no-syntax");
   request.semantics = !args.has("no-semantics");
   request.quiet = args.has("quiet");
@@ -384,6 +361,15 @@ int cmd_check(int argc, char** argv) {
   }
   request.disable_rule = args.value("disable-rule");
   request.rule_severity = args.value("rule-severity");
+  if (args.has("baseline")) {
+    auto text = read_file(args.value("baseline"));
+    if (!text) {
+      std::cerr << "cannot open baseline file " << args.value("baseline")
+                << "\n";
+      return 2;
+    }
+    request.baseline_text = std::move(*text);
+  }
   request.solver_timeout_ms = args.uint_value("solver-timeout-ms", 0);
   request.plan = !args.has("no-plan");
   request.cache_dir = args.value("cache-dir");
@@ -759,10 +745,11 @@ int cmd_overlay(int argc, char** argv) {
 int usage() {
   std::cerr << "llhsc — DeviceTree syntax and semantic checker\n"
                "commands:\n"
-               "  check <file.dts>   run lint + cross-reference + syntactic\n"
-               "                     + semantic checks (--format text|json|\n"
-               "                     sarif, --no-crossref, --disable-rule,\n"
-               "                     --rule-severity, --socket <sock>,\n"
+               "  check <file.dts>   run lint + cross-reference + device-graph\n"
+               "                     + syntactic + semantic checks (--format\n"
+               "                     text|json|sarif, --no-crossref, --no-graph,\n"
+               "                     --disable-rule, --rule-severity,\n"
+               "                     --baseline <file>, --socket <sock>,\n"
                "                     --profile <file>; see docs/rules.md)\n"
                "  generate           derive a product from a DTS product line\n"
                "  demo               run the paper's running example (--jobs N,\n"

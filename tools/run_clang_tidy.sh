@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Local clang-tidy runner over the production sources (src/, tools/,
+# bench/ — tests are exercised functionally, not linted). Uses the
+# repo-root .clang-tidy; new warnings fail (WarningsAsErrors covers every
+# enabled family).
+#
+# Usage: run_clang_tidy.sh [build-dir] [-- <extra clang-tidy args>]
+#   build-dir: a CMake build tree configured with
+#              -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (default: build)
+#
+# Gates gracefully: exits 0 with a notice when clang-tidy is not installed
+# (the sandbox image does not ship it; CI installs it), and exits 2 when
+# the build tree has no compile_commands.json to drive it with.
+set -eu
+
+BUILD_DIR="${1:-build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not found on PATH; skipping (install" \
+         "clang-tidy to run the static-analysis gate locally)" >&2
+    exit 0
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+    echo "run_clang_tidy: $DB not found — configure with" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+    exit 2
+fi
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+# Every production translation unit the compile database knows about.
+FILES="$(python3 - "$DB" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    for prefix in ("src/", "tools/", "bench/"):
+        i = f.find("/" + prefix)
+        if i != -1 and f.endswith(".cpp"):
+            print(f)
+            break
+EOF
+)"
+if [ -z "$FILES" ]; then
+    echo "run_clang_tidy: no production sources in $DB" >&2
+    exit 2
+fi
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+echo "$FILES" | tr ' ' '\n' | sort -u |
+    xargs -P "$JOBS" -n 1 clang-tidy -p "$BUILD_DIR" --quiet "$@"
+echo "run_clang_tidy: clean"
