@@ -97,6 +97,53 @@ void BM_SatRandom3Sat(benchmark::State& state) {
 }
 BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
 
+// Deadline-poll overhead: the same random 3-SAT workload with no deadline
+// (the poll is hoisted out of the search loop entirely), with a generous
+// wall-clock deadline (decimated clock reads: one per kDeadlinePollBudget
+// work units), and with a cancel token on top (same cadence, one extra
+// atomic load per poll). The three rows bounding each other is the evidence
+// that bounded solving is safe to leave on for every query.
+//   mode 0 — unlimited (hoisted poll)
+//   mode 1 — 60s deadline (never fires; decimated clock reads)
+//   mode 2 — 60s deadline + cancel token (never fires)
+void BM_SatDeadlinePolling(benchmark::State& state) {
+  constexpr int kVars = 100;
+  const int clauses = static_cast<int>(4.2 * kVars);
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> var_dist(0, kVars - 1);
+  std::uniform_int_distribution<int> sign(0, 1);
+  std::vector<std::vector<std::pair<int, bool>>> instance;
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<std::pair<int, bool>> c;
+    for (int j = 0; j < 3; ++j) c.emplace_back(var_dist(rng), sign(rng) == 1);
+    instance.push_back(std::move(c));
+  }
+  const int64_t mode = state.range(0);
+  support::CancelToken token = support::CancelToken::create();
+  for (auto _ : state) {
+    sat::Solver s;
+    if (mode == 1) {
+      s.set_deadline(support::Deadline::after_ms(60000));
+    } else if (mode == 2) {
+      s.set_deadline(support::Deadline::after_ms(60000).with_cancel(token));
+    }
+    std::vector<sat::Var> vars;
+    for (int i = 0; i < kVars; ++i) vars.push_back(s.new_var());
+    bool ok = true;
+    for (const auto& c : instance) {
+      std::vector<sat::Lit> lits;
+      for (auto [v, neg] : c) {
+        lits.push_back(sat::Lit(vars[static_cast<size_t>(v)], neg));
+      }
+      ok = s.add_clause(std::move(lits)) && ok;
+    }
+    benchmark::DoNotOptimize(ok ? s.solve() : sat::SolveResult::kUnsat);
+  }
+  const char* mode_name[] = {"unlimited", "deadline", "deadline+cancel"};
+  state.SetLabel(mode_name[mode]);
+}
+BENCHMARK(BM_SatDeadlinePolling)->Arg(0)->Arg(1)->Arg(2);
+
 // Bit-blasting: solve x + y == C with x < y, sweeping width.
 void BM_BitBlastAddition(benchmark::State& state) {
   uint32_t width = static_cast<uint32_t>(state.range(0));

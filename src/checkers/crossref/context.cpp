@@ -43,8 +43,8 @@ AnalysisContext::AnalysisContext(const dts::Tree& tree) : tree_(&tree) {
     if (const dts::Property* p = n.find_property("phandle")) {
       if (auto v = p->as_u32()) holders[*v].push_back(&n);
     }
-    for (const std::string& label : n.labels()) {
-      label_index_.emplace(label, &n);
+    for (support::Atom label : n.labels()) {
+      label_index_.emplace(label.str(), &n);
     }
   });
   for (auto& [value, nodes] : holders) {

@@ -9,14 +9,14 @@ namespace llhsc::checkers {
 namespace {
 
 Finding warn(FindingKind kind, std::string subject, std::string message,
-             std::string delta = {},
+             std::string_view delta = {},
              support::SourceLocation location = {}) {
   Finding f;
   f.kind = kind;
   f.severity = FindingSeverity::kWarning;
   f.subject = std::move(subject);
   f.message = std::move(message);
-  f.delta = std::move(delta);
+  f.delta = std::string(delta);
   f.location = std::move(location);
   return f;
 }

@@ -45,7 +45,7 @@ Json finding_json(const Finding& f) {
   j.set("subject", Json::string(f.subject));
   if (f.location.valid()) {
     Json loc = Json::object();
-    loc.set("file", Json::string(f.location.file));
+    loc.set("file", Json::string(f.location.file.str()));
     loc.set("line", Json::unsigned_integer(f.location.line));
     loc.set("column", Json::unsigned_integer(f.location.column));
     j.set("location", std::move(loc));
@@ -74,7 +74,7 @@ Json finding_json(const Finding& f) {
       s.set("subject", Json::string(step.subject));
       if (step.location.valid()) {
         Json loc = Json::object();
-        loc.set("file", Json::string(step.location.file));
+        loc.set("file", Json::string(step.location.file.str()));
         loc.set("line", Json::unsigned_integer(step.location.line));
         loc.set("column", Json::unsigned_integer(step.location.column));
         s.set("location", std::move(loc));

@@ -72,7 +72,7 @@ bool SuppressionIndex::suppressed(const Finding& f) const {
   const std::string rule(f.rule_id());
   if (baseline_.find({rule, f.subject}) != baseline_.end()) return true;
   if (f.location.valid()) {
-    auto it = lines_.find({f.location.file, f.location.line});
+    auto it = lines_.find({f.location.file.str(), f.location.line});
     if (it != lines_.end() &&
         (it->second.empty() || it->second.count(rule) != 0)) {
       return true;

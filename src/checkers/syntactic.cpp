@@ -20,7 +20,7 @@ uint32_t entry_stride(const dts::Tree& tree, const std::string& path,
 }
 
 std::string provenance_of(const dts::Property& p, const dts::Node& n) {
-  return !p.provenance.empty() ? p.provenance : n.provenance();
+  return (!p.provenance.empty() ? p.provenance : n.provenance()).str();
 }
 
 }  // namespace

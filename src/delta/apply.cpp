@@ -50,7 +50,7 @@ bool apply_adds(dts::Node& target, dts::Node&& fragment,
   std::vector<std::unique_ptr<dts::Node>> kids;
   while (!fragment.children().empty()) {
     // remove_child pops by name; take the first each round.
-    const std::string name = fragment.children().front()->name();
+    const support::Atom name = fragment.children().front()->name();
     if (target.find_child(name) != nullptr) {
       diags.error("delta-apply",
                   "delta '" + delta.name + "' adds node '" + name +

@@ -73,7 +73,7 @@ class DeltaParser {
             error("expected delta name after 'after'", dep.location);
             break;
           }
-          module.after.push_back(dep.text);
+          module.after.push_back(dep.text.str());
           if (lexer_.peek().kind == dts::TokenKind::kComma) {
             lexer_.next();
             continue;
@@ -146,7 +146,7 @@ class DeltaParser {
         if (target.empty() || target.back() != '/') target += '/';
         expect_segment = true;
       } else if (t.kind == dts::TokenKind::kDirective) {
-        std::string text = lexer_.next().text;
+        support::Atom text = lexer_.next().text;
         if (target.empty() || target.back() != '/') target += '/';
         target += text;
         target += '/';
@@ -264,7 +264,7 @@ class DeltaParser {
     }
     if (t.kind == dts::TokenKind::kIdent || t.kind == dts::TokenKind::kInt) {
       dts::Token name = lexer_.next();
-      return WhenExpr::feature(name.text);
+      return WhenExpr::feature(name.text.str());
     }
     dts::Token bad = lexer_.next();
     error("expected feature name in when-expression", bad.location);

@@ -15,6 +15,18 @@ bool is_ident_start(char c) {
 bool is_ident_char(char c) {
   return is_ident_start(c) || c == '@' || c == '?';
 }
+
+/// Fixed spellings interned once per process, so punctuation tokens never
+/// touch the intern table's locks.
+struct FixedAtoms {
+  support::Atom lbrace{"{"}, rbrace{"}"}, semi{";"}, equals{"="},
+      lbracket{"["}, rbracket{"]"}, lparen{"("}, rparen{")"}, comma{","},
+      shl{"<<"}, shr{">>"}, langle{"<"}, rangle{">"}, amp{"&"}, slash{"/"};
+};
+const FixedAtoms& fixed() {
+  static const FixedAtoms f;
+  return f;
+}
 }  // namespace
 
 Lexer::Lexer(std::string_view source, std::string filename,
@@ -25,7 +37,7 @@ Lexer::Lexer(std::string_view source, std::string filename,
       max_include_depth_(max_include_depth) {
   Buffer b;
   b.src = source;
-  b.filename = std::move(filename);
+  b.filename = support::Atom(filename);
   buffers_.push_back(std::move(b));
 }
 
@@ -99,12 +111,22 @@ void Lexer::skip_trivia() {
   }
 }
 
-Token Lexer::make(TokenKind kind, std::string text) {
+Token Lexer::make(TokenKind kind, support::Atom text) {
   Token t;
   t.kind = kind;
-  t.text = std::move(text);
+  t.text = text;
   t.location = here();
   return t;
+}
+
+/// The span of `src` consumed while `pred` holds — the allocation-free path
+/// for identifiers and digit runs, which are always contiguous in one buffer.
+template <typename Pred>
+std::string_view Lexer::take_while(Pred pred) {
+  const Buffer& b = buffers_.back();
+  size_t start = b.pos;
+  while (!at_end_of_buffer() && pred(cur())) advance();
+  return b.src.substr(start, buffers_.back().pos - start);
 }
 
 const Token& Lexer::peek() {
@@ -143,7 +165,7 @@ void Lexer::handle_include(const support::SourceLocation& loc) {
                   name.location);
     return;
   }
-  auto content = sources_->load(name.text);
+  auto content = sources_->load(name.text.str());
   if (!content) {
     diags_->error("dts-include", "cannot open include \"" + name.text + "\"",
                   name.location);
@@ -169,15 +191,15 @@ Token Lexer::lex_token() {
 
   char c = cur();
   switch (c) {
-    case '{': advance(); return at(make(TokenKind::kLBrace, "{"));
-    case '}': advance(); return at(make(TokenKind::kRBrace, "}"));
-    case ';': advance(); return at(make(TokenKind::kSemi, ";"));
-    case '=': advance(); return at(make(TokenKind::kEquals, "="));
-    case '[': advance(); return at(make(TokenKind::kLBracket, "["));
-    case ']': advance(); return at(make(TokenKind::kRBracket, "]"));
-    case '(': advance(); return at(make(TokenKind::kLParen, "("));
-    case ')': advance(); return at(make(TokenKind::kRParen, ")"));
-    case ',': advance(); return at(make(TokenKind::kComma, ","));
+    case '{': advance(); return at(make(TokenKind::kLBrace, fixed().lbrace));
+    case '}': advance(); return at(make(TokenKind::kRBrace, fixed().rbrace));
+    case ';': advance(); return at(make(TokenKind::kSemi, fixed().semi));
+    case '=': advance(); return at(make(TokenKind::kEquals, fixed().equals));
+    case '[': advance(); return at(make(TokenKind::kLBracket, fixed().lbracket));
+    case ']': advance(); return at(make(TokenKind::kRBracket, fixed().rbracket));
+    case '(': advance(); return at(make(TokenKind::kLParen, fixed().lparen));
+    case ')': advance(); return at(make(TokenKind::kRParen, fixed().rparen));
+    case ',': advance(); return at(make(TokenKind::kComma, fixed().comma));
     default: break;
   }
 
@@ -185,19 +207,19 @@ Token Lexer::lex_token() {
     if (ahead() == '<') {
       advance();
       advance();
-      return at(make(TokenKind::kArith, "<<"));
+      return at(make(TokenKind::kArith, fixed().shl));
     }
     advance();
-    return at(make(TokenKind::kLAngle, "<"));
+    return at(make(TokenKind::kLAngle, fixed().langle));
   }
   if (c == '>') {
     if (ahead() == '>') {
       advance();
       advance();
-      return at(make(TokenKind::kArith, ">>"));
+      return at(make(TokenKind::kArith, fixed().shr));
     }
     advance();
-    return at(make(TokenKind::kRAngle, ">"));
+    return at(make(TokenKind::kRAngle, fixed().rangle));
   }
 
   if (c == '"') {
@@ -229,31 +251,25 @@ Token Lexer::lex_token() {
       return at(make(TokenKind::kEnd));
     }
     advance();  // closing quote
-    return at(make(TokenKind::kString, std::move(payload)));
+    return at(make(TokenKind::kString, support::Atom(payload)));
   }
 
   if (c == '&') {
     advance();
-    std::string label;
+    std::string_view label;
     if (cur() == '{') {
       // &{/full/path}
       advance();
-      while (!at_end_of_buffer() && cur() != '}') {
-        label += cur();
-        advance();
-      }
+      label = take_while([](char ch) { return ch != '}'; });
       if (cur() == '}') advance();
     } else {
-      while (!at_end_of_buffer() && is_ident_char(cur())) {
-        label += cur();
-        advance();
-      }
+      label = take_while(is_ident_char);
     }
     if (label.empty()) {
       // bare '&' is a bitwise operator inside expressions
-      return at(make(TokenKind::kArith, "&"));
+      return at(make(TokenKind::kArith, fixed().amp));
     }
-    return at(make(TokenKind::kRef, std::move(label)));
+    return at(make(TokenKind::kRef, support::Atom(label)));
   }
 
   if (c == '/') {
@@ -263,66 +279,56 @@ Token Lexer::lex_token() {
     uint32_t save_line = top().line;
     uint32_t save_col = top().column;
     advance();
-    std::string word;
-    while (!at_end_of_buffer() &&
-           (std::isalnum(static_cast<unsigned char>(cur())) || cur() == '-')) {
-      word += cur();
-      advance();
-    }
+    std::string_view word = take_while([](char ch) {
+      return std::isalnum(static_cast<unsigned char>(ch)) || ch == '-';
+    });
     if (!word.empty() && cur() == '/') {
       advance();
       if (word == "include") {
         handle_include(loc);
         return lex_token();  // splice: next token comes from the include
       }
-      return at(make(TokenKind::kDirective, std::move(word)));
+      return at(make(TokenKind::kDirective, support::Atom(word)));
     }
     // Not a directive: rewind to just after '/'.
     top().pos = save_pos;
     top().line = save_line;
     top().column = save_col;
     advance();
-    return at(make(TokenKind::kSlash, "/"));
+    return at(make(TokenKind::kSlash, fixed().slash));
   }
 
   if (std::isdigit(static_cast<unsigned char>(c))) {
-    std::string digits;
-    while (!at_end_of_buffer() &&
-           std::isalnum(static_cast<unsigned char>(cur()))) {
-      digits += cur();
-      advance();
-    }
-    auto parsed = support::parse_integer(digits);
+    const Buffer& b = buffers_.back();
+    size_t start = b.pos;
+    std::string_view digits = take_while([](char ch) {
+      return std::isalnum(static_cast<unsigned char>(ch)) != 0;
+    });
+    auto parsed = support::parse_integer(std::string(digits));
     if (parsed) {
-      Token t = make(TokenKind::kInt, digits);
+      Token t = make(TokenKind::kInt, support::Atom(digits));
       t.value = *parsed;
       return at(std::move(t));
     }
     // A name like "2nd-bus" starts with a digit: continue as identifier.
-    while (!at_end_of_buffer() && is_ident_char(cur())) {
-      digits += cur();
-      advance();
-    }
-    return at(make(TokenKind::kIdent, std::move(digits)));
+    while (!at_end_of_buffer() && is_ident_char(cur())) advance();
+    std::string_view word = b.src.substr(start, buffers_.back().pos - start);
+    return at(make(TokenKind::kIdent, support::Atom(word)));
   }
 
   if (is_ident_start(c)) {
-    std::string word;
-    while (!at_end_of_buffer() && is_ident_char(cur())) {
-      word += cur();
-      advance();
-    }
+    std::string_view word = take_while(is_ident_char);
     if (cur() == ':') {
       advance();
-      return at(make(TokenKind::kLabel, std::move(word)));
+      return at(make(TokenKind::kLabel, support::Atom(word)));
     }
-    return at(make(TokenKind::kIdent, std::move(word)));
+    return at(make(TokenKind::kIdent, support::Atom(word)));
   }
 
   if (c == '+' || c == '-' || c == '*' || c == '%' || c == '|' || c == '^' ||
       c == '~' || c == '!') {
     advance();
-    return at(make(TokenKind::kArith, std::string(1, c)));
+    return at(make(TokenKind::kArith, support::Atom(std::string_view(&c, 1))));
   }
 
   diags_->error("dts-lex", std::string("unexpected character '") + c + "'", loc);

@@ -44,9 +44,13 @@ enum class TokenKind : uint8_t {
   kArith,       // + - * % << >> | & ^ ~ (inside expressions)
 };
 
+/// Trivially copyable: `text` is an interned atom (ident names, string
+/// payloads and directives repeat massively across a corpus) and the
+/// location's file name is interned too, so producing and copying tokens
+/// allocates nothing.
 struct Token {
   TokenKind kind = TokenKind::kEnd;
-  std::string text;       // raw text (ident name, string payload, directive)
+  support::Atom text;     // raw text (ident name, string payload, directive)
   uint64_t value = 0;     // kInt
   support::SourceLocation location;
 };
@@ -72,7 +76,7 @@ class Lexer {
     // indirection keeps the view stable when buffers_ reallocates.
     std::unique_ptr<std::string> owned;
     std::string_view src;
-    std::string filename;
+    support::Atom filename;  // interned once, so here() allocates nothing
     size_t pos = 0;
     uint32_t line = 1;
     uint32_t column = 1;
@@ -80,7 +84,11 @@ class Lexer {
 
   void skip_trivia();
   Token lex_token();
-  Token make(TokenKind kind, std::string text = {});
+  Token make(TokenKind kind, support::Atom text = {});
+  /// Advances while `pred(cur())` holds inside the current buffer and returns
+  /// the consumed span as a view into the buffer (no copy).
+  template <typename Pred>
+  std::string_view take_while(Pred pred);
   void handle_include(const support::SourceLocation& loc);
   [[nodiscard]] Buffer& top() { return buffers_.back(); }
   [[nodiscard]] char cur() const;

@@ -203,8 +203,8 @@ void add_symbols_node(Tree& tree) {
   std::vector<std::pair<std::string, std::string>> symbols;
   tree.visit([&](const std::string& path, const Node& node) {
     if (path == "/__symbols__") return;
-    for (const std::string& label : node.labels()) {
-      symbols.emplace_back(label, path);
+    for (support::Atom label : node.labels()) {
+      symbols.emplace_back(label.str(), path);
     }
   });
   Node& sym = tree.root().get_or_create_child("__symbols__");

@@ -89,7 +89,7 @@ class Parser {
             Node scratch("&" + t.text);
             parse_node_body(scratch);  // consume the body
           } else {
-            for (std::string& l : pending_labels_) target->add_label(std::move(l));
+            for (support::Atom l : pending_labels_) target->add_label(l);
             parse_node_body(*target);
           }
           pending_labels_.clear();
@@ -136,7 +136,7 @@ class Parser {
   }
 
   void parse_node_body(Node& node) {
-    std::vector<std::string> labels;
+    std::vector<support::Atom> labels;
     while (true) {
       Token t = lexer_.next();
       switch (t.kind) {
@@ -181,13 +181,13 @@ class Parser {
         case TokenKind::kInt: {
           // Either a property or a child node; disambiguate on next token.
           // (kInt covers names like "0" that lex numerically.)
-          std::string name = t.text;
+          support::Atom name = t.text;
           const Token& nxt = lexer_.peek();
           if (nxt.kind == TokenKind::kLBrace) {
             lexer_.next();  // consume {
             Node& child = node.get_or_create_child(name);
             if (!child.location().valid()) child.set_location(t.location);
-            for (std::string& l : labels) child.add_label(std::move(l));
+            for (support::Atom l : labels) child.add_label(l);
             labels.clear();
             parse_node_body(child);
             expect(TokenKind::kSemi, "';' after node");
@@ -208,9 +208,9 @@ class Parser {
     }
   }
 
-  Property parse_property(std::string name, support::SourceLocation loc) {
+  Property parse_property(support::Atom name, support::SourceLocation loc) {
     Property p;
-    p.name = std::move(name);
+    p.name = name;
     p.location = loc;
     Token t = lexer_.next();
     if (t.kind == TokenKind::kSemi) return p;  // boolean property
@@ -345,7 +345,7 @@ class Parser {
     return value;
   }
 
-  static int precedence(const std::string& op) {
+  static int precedence(std::string_view op) {
     if (op == "*" || op == "/" || op == "%") return 5;
     if (op == "+" || op == "-") return 4;
     if (op == "<<" || op == ">>") return 3;
@@ -359,7 +359,7 @@ class Parser {
     uint64_t lhs = parse_expr_unary();
     while (true) {
       const Token& t = lexer_.peek();
-      std::string op;
+      std::string_view op;
       if (t.kind == TokenKind::kArith) {
         op = t.text;
       } else if (t.kind == TokenKind::kIdent &&
@@ -416,7 +416,7 @@ class Parser {
         break;
       }
       // Hex pairs may lex as kInt ("00") or kIdent ("aa", "deadbeef").
-      const std::string& text = t.text;
+      const support::Atom text = t.text;
       if (text.size() % 2 != 0) {
         diags_->error("dts-parse",
                       "byte string element '" + text + "' has odd length",
@@ -425,7 +425,7 @@ class Parser {
       }
       bool ok = true;
       for (size_t i = 0; i < text.size(); i += 2) {
-        auto v = support::parse_integer("0x" + text.substr(i, 2));
+        auto v = support::parse_integer("0x" + std::string(text.substr(i, 2)));
         if (!v) {
           ok = false;
           break;
@@ -462,7 +462,7 @@ class Parser {
 
   Lexer& lexer_;
   support::DiagnosticEngine* diags_;
-  std::vector<std::string> pending_labels_;
+  std::vector<support::Atom> pending_labels_;
 };
 
 }  // namespace

@@ -80,7 +80,7 @@ void print_node_impl(std::ostringstream& os, const Node& node, int depth,
                      const PrintOptions& options) {
   std::string pad(static_cast<size_t>(depth) * options.indent, ' ');
   os << pad;
-  for (const std::string& label : node.labels()) os << label << ": ";
+  for (support::Atom label : node.labels()) os << label << ": ";
   os << node.name() << " {";
   if (options.provenance_comments && !node.provenance().empty()) {
     os << " /* delta: " << node.provenance() << " */";

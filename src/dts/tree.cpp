@@ -11,15 +11,15 @@ namespace llhsc::dts {
 
 // ---- Property ----
 
-Property Property::boolean(std::string name) {
+Property Property::boolean(Atom name) {
   Property p;
-  p.name = std::move(name);
+  p.name = name;
   return p;
 }
 
-Property Property::cells(std::string name, std::vector<uint64_t> values) {
+Property Property::cells(Atom name, std::vector<uint64_t> values) {
   Property p;
-  p.name = std::move(name);
+  p.name = name;
   std::vector<Cell> cs;
   cs.reserve(values.size());
   for (uint64_t v : values) cs.push_back(Cell::literal(v));
@@ -27,17 +27,17 @@ Property Property::cells(std::string name, std::vector<uint64_t> values) {
   return p;
 }
 
-Property Property::string(std::string name, std::string value) {
+Property Property::string(Atom name, Atom value) {
   Property p;
-  p.name = std::move(name);
-  p.chunks.push_back(Chunk::make_string(std::move(value)));
+  p.name = name;
+  p.chunks.push_back(Chunk::make_string(value));
   return p;
 }
 
-Property Property::strings(std::string name, std::vector<std::string> values) {
+Property Property::strings(Atom name, std::vector<std::string> values) {
   Property p;
-  p.name = std::move(name);
-  for (auto& v : values) p.chunks.push_back(Chunk::make_string(std::move(v)));
+  p.name = name;
+  for (auto& v : values) p.chunks.push_back(Chunk::make_string(v));
   return p;
 }
 
@@ -58,7 +58,7 @@ std::optional<std::string> Property::as_string() const {
   if (chunks.size() != 1 || chunks[0].kind != ChunkKind::kString) {
     return std::nullopt;
   }
-  return chunks[0].text;
+  return chunks[0].text.str();
 }
 
 std::optional<std::vector<std::string>> Property::as_string_list() const {
@@ -66,7 +66,7 @@ std::optional<std::vector<std::string>> Property::as_string_list() const {
   std::vector<std::string> out;
   for (const Chunk& c : chunks) {
     if (c.kind != ChunkKind::kString) return std::nullopt;
-    out.push_back(c.text);
+    out.push_back(c.text.str());
   }
   return out;
 }
@@ -82,13 +82,13 @@ std::optional<uint32_t> Property::as_u32() const {
 // ---- Node ----
 
 std::string_view Node::base_name() const {
-  std::string_view n = name_;
+  std::string_view n = name_.view();
   size_t at = n.find('@');
   return at == std::string_view::npos ? n : n.substr(0, at);
 }
 
 std::string_view Node::unit_address() const {
-  std::string_view n = name_;
+  std::string_view n = name_.view();
   size_t at = n.find('@');
   return at == std::string_view::npos ? std::string_view{} : n.substr(at + 1);
 }
@@ -154,7 +154,7 @@ Node& Node::add_child(std::unique_ptr<Node> child) {
 
 Node& Node::get_or_create_child(std::string_view name) {
   if (Node* existing = find_child(name)) return *existing;
-  return add_child(std::make_unique<Node>(std::string(name)));
+  return add_child(std::make_unique<Node>(Atom(name)));
 }
 
 bool Node::remove_child(std::string_view name) {
@@ -166,9 +166,9 @@ bool Node::remove_child(std::string_view name) {
   return true;
 }
 
-void Node::add_label(std::string label) {
+void Node::add_label(Atom label) {
   if (std::find(labels_.begin(), labels_.end(), label) == labels_.end()) {
-    labels_.push_back(std::move(label));
+    labels_.push_back(label);
   }
 }
 
@@ -183,8 +183,8 @@ void Node::merge_from(Node&& other) {
       children_.push_back(std::move(child));
     }
   }
-  for (std::string& l : other.labels_) add_label(std::move(l));
-  if (!other.provenance_.empty()) provenance_ = std::move(other.provenance_);
+  for (Atom l : other.labels_) add_label(l);
+  if (!other.provenance_.empty()) provenance_ = other.provenance_;
 }
 
 std::unique_ptr<Node> Node::clone() const {
@@ -249,7 +249,7 @@ Node* Tree::find_label(std::string_view label) {
   Node* found = nullptr;
   visit([&](const std::string&, Node& n) {
     if (found != nullptr) return;
-    for (const std::string& l : n.labels()) {
+    for (Atom l : n.labels()) {
       if (l == label) {
         found = &n;
         return;

@@ -10,6 +10,14 @@
 //   * merge semantics matching dtc: defining the same node twice merges the
 //     bodies, with later properties overriding earlier ones. The delta engine
 //     builds its `modifies` operation on top of this.
+//
+// All of the model's string payload — node names, property names, labels,
+// string values, label references, provenance ids — is interned
+// (support/intern.hpp): fields are support::Atom views into the process-wide
+// arena-backed table. A Cell is trivially copyable, a Chunk copy clones no
+// characters, and Node::clone()/merge_from() — the hot operations of delta
+// derivation — move pointer pairs instead of std::strings. Atoms are stable
+// for the process lifetime, so subtrees move between trees freely.
 #pragma once
 
 #include <cstdint>
@@ -21,18 +29,21 @@
 #include <vector>
 
 #include "support/diagnostics.hpp"
+#include "support/intern.hpp"
 
 namespace llhsc::dts {
+
+using support::Atom;
 
 /// One 32-bit cell inside <...>; either a literal or a reference to a label
 /// (resolved to a phandle during finalisation).
 struct Cell {
   uint64_t value = 0;       // literal (may exceed 32 bits before validation)
-  std::string ref;          // label name when is_ref
+  Atom ref;                 // label name when is_ref
   bool is_ref = false;
 
   static Cell literal(uint64_t v) { return Cell{v, {}, false}; }
-  static Cell reference(std::string label) { return Cell{0, std::move(label), true}; }
+  static Cell reference(Atom label) { return Cell{0, label, true}; }
   friend bool operator==(const Cell&, const Cell&) = default;
 };
 
@@ -42,7 +53,7 @@ enum class ChunkKind : uint8_t { kCells, kString, kBytes, kRef };
 struct Chunk {
   ChunkKind kind = ChunkKind::kCells;
   std::vector<Cell> cells;   // kCells
-  std::string text;          // kString / kRef (label name)
+  Atom text;                 // kString / kRef (label name)
   std::vector<uint8_t> bytes;  // kBytes
   /// Element width for kCells set by the /bits/ directive (8/16/32/64);
   /// 32 is the DTS default.
@@ -55,10 +66,10 @@ struct Chunk {
     c.element_bits = bits;
     return c;
   }
-  static Chunk make_string(std::string s) {
+  static Chunk make_string(Atom s) {
     Chunk c;
     c.kind = ChunkKind::kString;
-    c.text = std::move(s);
+    c.text = s;
     return c;
   }
   static Chunk make_bytes(std::vector<uint8_t> b) {
@@ -67,26 +78,26 @@ struct Chunk {
     c.bytes = std::move(b);
     return c;
   }
-  static Chunk make_ref(std::string label) {
+  static Chunk make_ref(Atom label) {
     Chunk c;
     c.kind = ChunkKind::kRef;
-    c.text = std::move(label);
+    c.text = label;
     return c;
   }
   friend bool operator==(const Chunk&, const Chunk&) = default;
 };
 
 struct Property {
-  std::string name;
+  Atom name;
   std::vector<Chunk> chunks;          // empty = boolean/presence property
   support::SourceLocation location;
-  std::string provenance;             // delta module id; empty = core
+  Atom provenance;                    // delta module id; empty = core
 
   /// Convenience constructors for programmatic tree building.
-  static Property boolean(std::string name);
-  static Property cells(std::string name, std::vector<uint64_t> values);
-  static Property string(std::string name, std::string value);
-  static Property strings(std::string name, std::vector<std::string> values);
+  static Property boolean(Atom name);
+  static Property cells(Atom name, std::vector<uint64_t> values);
+  static Property string(Atom name, Atom value);
+  static Property strings(Atom name, std::vector<std::string> values);
 
   // -- typed readers (nullopt when the shape does not match) --
   [[nodiscard]] bool is_boolean() const { return chunks.empty(); }
@@ -105,14 +116,14 @@ struct Property {
 class Node {
  public:
   Node() = default;
-  explicit Node(std::string name) : name_(std::move(name)) {}
+  explicit Node(Atom name) : name_(name) {}
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
   Node(Node&&) = default;
   Node& operator=(Node&&) = default;
 
-  [[nodiscard]] const std::string& name() const { return name_; }
-  void set_name(std::string n) { name_ = std::move(n); }
+  [[nodiscard]] Atom name() const { return name_; }
+  void set_name(Atom n) { name_ = n; }
 
   /// Node name without the unit address ("memory" for "memory@40000000").
   [[nodiscard]] std::string_view base_name() const;
@@ -138,14 +149,14 @@ class Node {
   Node& get_or_create_child(std::string_view name);
   bool remove_child(std::string_view name);
 
-  [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
-  void add_label(std::string label);
+  [[nodiscard]] const std::vector<Atom>& labels() const { return labels_; }
+  void add_label(Atom label);
 
   [[nodiscard]] const support::SourceLocation& location() const { return location_; }
   void set_location(support::SourceLocation loc) { location_ = std::move(loc); }
 
-  [[nodiscard]] const std::string& provenance() const { return provenance_; }
-  void set_provenance(std::string p) { provenance_ = std::move(p); }
+  [[nodiscard]] Atom provenance() const { return provenance_; }
+  void set_provenance(Atom p) { provenance_ = p; }
 
   /// Merges `other` into this node (dtc duplicate-definition semantics):
   /// properties override by name, children merge recursively, labels union.
@@ -163,12 +174,12 @@ class Node {
   [[nodiscard]] size_t subtree_size() const;
 
  private:
-  std::string name_;
+  Atom name_;
   std::vector<Property> properties_;
   std::vector<std::unique_ptr<Node>> children_;
-  std::vector<std::string> labels_;
+  std::vector<Atom> labels_;
   support::SourceLocation location_;
-  std::string provenance_;
+  Atom provenance_;
 };
 
 struct MemReserve {

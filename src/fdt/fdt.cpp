@@ -118,7 +118,7 @@ bool emit_node(const dts::Node& node, std::vector<uint8_t>& structure,
                bool is_root) {
   put_u32(structure, kTokBeginNode);
   // The root node's name is empty in DTB.
-  const std::string name = is_root ? std::string() : node.name();
+  const std::string name = is_root ? std::string() : node.name().str();
   structure.insert(structure.end(), name.begin(), name.end());
   structure.push_back(0);
   pad_to(structure, 4);
@@ -128,7 +128,7 @@ bool emit_node(const dts::Node& node, std::vector<uint8_t>& structure,
     if (!serialize_value(p, value, diags)) return false;
     put_u32(structure, kTokProp);
     put_u32(structure, static_cast<uint32_t>(value.size()));
-    put_u32(structure, strings.intern(p.name));
+    put_u32(structure, strings.intern(p.name.str()));
     structure.insert(structure.end(), value.begin(), value.end());
     pad_to(structure, 4);
   }

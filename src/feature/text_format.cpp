@@ -27,7 +27,7 @@ class ModelParser {
       return std::nullopt;
     }
     FeatureModel model;
-    FeatureId root = model.add_root(name.text);
+    FeatureId root = model.add_root(name.text.str());
     // Optional root group kind: "model X group xor { ... }".
     if (lexer_.peek().kind == dts::TokenKind::kIdent &&
         lexer_.peek().text == "group") {
@@ -121,7 +121,7 @@ class ModelParser {
     uint64_t hi_value = 0;
     bool have_hi = false;
     if (dots.kind == dts::TokenKind::kIdent &&
-        dots.text.rfind("..", 0) == 0) {
+        dots.text.starts_with("..")) {
       if (dots.text.size() > 2) {
         auto v = support::parse_integer(
             std::string_view(dots.text).substr(2));
@@ -160,7 +160,7 @@ class ModelParser {
     std::optional<GroupKind> group;
     std::optional<std::pair<uint32_t, uint32_t>> cardinality;
     while (lexer_.peek().kind == dts::TokenKind::kIdent) {
-      std::string word = lexer_.peek().text;
+      support::Atom word = lexer_.peek().text;
       if (word == "mandatory") {
         lexer_.next();
         mandatory = true;
@@ -192,7 +192,7 @@ class ModelParser {
         return false;
       }
     }
-    FeatureId id = model.add_feature(parent, name.text, mandatory,
+    FeatureId id = model.add_feature(parent, name.text.str(), mandatory,
                                      abstract_feature);
     if (group) model.set_group(id, *group);
     if (cardinality) {
@@ -217,7 +217,7 @@ class ModelParser {
     }
     if (!expect(dts::TokenKind::kSemi, "';' after constraint")) return false;
     pending_.push_back(
-        {lhs.text, rhs.text, kind.text == "requires", loc});
+        {lhs.text.str(), rhs.text.str(), kind.text == "requires", loc});
     return true;
   }
 

@@ -319,6 +319,49 @@ void Solver::clause_bump_activity(Clause& c) {
 
 void Solver::clause_decay_activity() { clause_inc_ /= clause_decay_; }
 
+void Solver::simplify(bool retain_learned) {
+  if (!ok_) return;
+  assert(decision_level() == 0);
+  if (decision_level() != 0) return;
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return;
+  }
+  ++stats_.simplifies;
+  // Level-0 reasons are never traversed by conflict analysis (it stops at
+  // level-0 variables), so clauses referenced as reasons on the level-0
+  // trail may be deleted — null the references to keep the invariant
+  // obvious.
+  for (Lit l : trail_) {
+    var_data_[static_cast<size_t>(l.var())].reason = kNoReason;
+  }
+  size_t retained = 0;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    Clause& c = clauses_[i];
+    if (c.deleted) continue;
+    bool drop = !retain_learned && c.learned;
+    if (!drop) {
+      for (Lit l : c.lits) {
+        if (value(l) == Value::kTrue) {
+          drop = true;  // satisfied at level 0: can never propagate again
+          break;
+        }
+      }
+    }
+    if (drop) {
+      detach_clause(static_cast<ClauseRef>(i));
+      if (c.learned && num_learned_ > 0) --num_learned_;
+      c.deleted = true;
+      c.lits.clear();
+      c.lits.shrink_to_fit();
+      ++stats_.simplify_removed;
+    } else if (c.learned) {
+      ++retained;
+    }
+  }
+  stats_.retained_learned = retained;
+}
+
 void Solver::reduce_db() {
   ++stats_.reductions;
   // Collect learned clause refs not currently used as reasons.
@@ -345,6 +388,7 @@ void Solver::reduce_db() {
     c.deleted = true;
     c.lits.clear();
     c.lits.shrink_to_fit();
+    if (num_learned_ > 0) --num_learned_;
   }
 }
 
@@ -374,16 +418,21 @@ SolveResult Solver::search_loop() {
     max_learnts_ = std::max(1000.0, static_cast<double>(problem_clauses) / 3.0);
   }
 
-  uint64_t steps_until_poll = kDeadlinePollInterval;
+  // Decimated deadline/cancellation polling: the unlimited case is hoisted
+  // out of the loop entirely; otherwise the clock is read every
+  // kDeadlinePollBudget budget units (conflicts are weighted
+  // kConflictPollCost, decisions 1 — see solver.hpp).
+  const bool poll_deadline = !deadline_.unlimited();
+  int64_t poll_budget = kDeadlinePollBudget;
   while (true) {
-    if (--steps_until_poll == 0) {
-      steps_until_poll = kDeadlinePollInterval;
-      if (deadline_.expired()) return SolveResult::kUnknown;
-    }
     ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
+      if (poll_deadline && (poll_budget -= kConflictPollCost) <= 0) {
+        poll_budget = kDeadlinePollBudget;
+        if (deadline_.expired()) return SolveResult::kUnknown;
+      }
       if (decision_level() == 0) {
         // A conflict below every assumption level means the clause database
         // alone is unsatisfiable — latch it, or the consumed trail would let
@@ -404,6 +453,7 @@ SolveResult Solver::search_loop() {
       } else {
         ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
         clauses_.push_back(Clause{learnt, 0.0, true, false});
+        ++num_learned_;
         clause_bump_activity(clauses_.back());
         attach_clause(cr);
         enqueue(learnt[0], cr);
@@ -412,6 +462,10 @@ SolveResult Solver::search_loop() {
       clause_decay_activity();
     } else {
       // No conflict.
+      if (poll_deadline && --poll_budget <= 0) {
+        poll_budget = kDeadlinePollBudget;
+        if (deadline_.expired()) return SolveResult::kUnknown;
+      }
       if (conflicts_this_restart >= conflicts_until_restart &&
           decision_level() > static_cast<int>(assumptions_.size())) {
         ++stats_.restarts;
@@ -421,11 +475,7 @@ SolveResult Solver::search_loop() {
         cancel_until(static_cast<int>(assumptions_.size()));
         continue;
       }
-      size_t learned_count = 0;
-      for (const Clause& c : clauses_) {
-        if (c.learned && !c.deleted) ++learned_count;
-      }
-      if (static_cast<double>(learned_count) >= max_learnts_ + trail_.size()) {
+      if (static_cast<double>(num_learned_) >= max_learnts_ + trail_.size()) {
         reduce_db();
         max_learnts_ *= 1.1;
       }

@@ -64,6 +64,13 @@ struct SolverStats {
   uint64_t learned_literals = 0;
   uint64_t minimized_literals = 0;
   uint64_t reductions = 0;
+  uint64_t simplifies = 0;
+  /// Clauses removed by simplify() because the level-0 trail satisfies them
+  /// (retired guards make their dependent clauses fall in this bucket).
+  uint64_t simplify_removed = 0;
+  /// Learned clauses still attached after the last simplify() — the ones
+  /// retained across assumption-guard retirement.
+  uint64_t retained_learned = 0;
 };
 
 /// Result of Solver::solve. kUnknown is only produced when a deadline was
@@ -90,11 +97,25 @@ class Solver {
   /// Solves the current formula under the given assumptions.
   SolveResult solve(const std::vector<Lit>& assumptions = {});
 
+  /// Level-0 housekeeping: propagates pending units, then removes every
+  /// clause the level-0 trail satisfies (detached and marked deleted).
+  /// After retiring an assumption guard with add_clause(~g), this sweeps
+  /// exactly the clauses that depended on the guard being assumable —
+  /// guard-independent learned clauses survive and keep pruning later
+  /// solve() calls. With retain_learned=false the entire learned-clause
+  /// database is dropped instead (the pre-retention behaviour, kept for
+  /// A/B benchmarking). Must be called at decision level 0.
+  void simplify(bool retain_learned = true);
+
   /// Bounds subsequent solve() calls: when the deadline expires mid-search,
   /// solve returns kUnknown instead of running on. A default-constructed
-  /// Deadline removes the limit. The deadline is polled in the CDCL search
-  /// loop every kDeadlinePollInterval iterations, so solve() overshoots the
-  /// budget by at most one poll interval's worth of work.
+  /// Deadline removes the limit entirely (the poll is hoisted out of the
+  /// search loop). The clock is read at most once every
+  /// kDeadlinePollBudget/kConflictPollCost conflicts — or kDeadlinePollBudget
+  /// decisions on conflict-free streaks — so solve() overshoots the budget by
+  /// at most one poll window's worth of work. A Deadline carrying a
+  /// support::CancelToken is observed at the same cadence, which is how
+  /// portfolio racing stops a losing builtin search.
   void set_deadline(const support::Deadline& deadline) { deadline_ = deadline; }
 
   /// After kSat: model value of a variable (kUndef only for never-used vars).
@@ -194,13 +215,22 @@ class Solver {
 
   std::vector<Lit> assumptions_;
   std::vector<Lit> core_;
-  static constexpr uint64_t kDeadlinePollInterval = 2048;
+  /// Deadline polling is decimated: each conflict costs kConflictPollCost
+  /// budget units, each decision costs 1, and the clock is read when
+  /// kDeadlinePollBudget units are spent — every 128 conflicts on
+  /// conflict-dense searches, every 8192 decisions on conflict-free ones.
+  static constexpr int64_t kDeadlinePollBudget = 8192;
+  static constexpr int64_t kConflictPollCost = 64;
   support::Deadline deadline_;
 
   // conflict-analysis scratch
   std::vector<uint8_t> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_toclear_;
+
+  /// Live learned-clause count, maintained incrementally so the search loop
+  /// never rescans the clause database to decide when to reduce.
+  size_t num_learned_ = 0;
 
   double var_inc_ = 1.0;
   double var_decay_ = 0.95;

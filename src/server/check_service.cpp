@@ -25,6 +25,7 @@ namespace {
 smt::Backend resolve_backend(const CheckRequest& request,
                              std::string& error_text) {
   if (request.backend == "z3") return smt::Backend::kZ3;
+  if (request.backend == "portfolio") return smt::Backend::kPortfolio;
   if (request.backend != "builtin") {
     error_text += "warning: unknown backend '" + request.backend +
                   "', using builtin\n";
@@ -300,11 +301,11 @@ CheckOutcome run_check(const CheckRequest& request, ArtifactStore* store) {
           scanned.end()) {
         continue;
       }
-      scanned.push_back(f.location.file);
+      scanned.push_back(f.location.file.str());
       // Disk-resolved includes: the location names the include as the
       // SourceManager registered it.
-      if (auto text = sources.load(f.location.file)) {
-        suppressions.add_source(f.location.file, *text);
+      if (auto text = sources.load(f.location.file.str())) {
+        suppressions.add_source(f.location.file.str(), *text);
       }
     }
     suppressed = suppressions.apply(findings);

@@ -142,8 +142,9 @@ SessionOutcome run_session_check(const SessionRequest& request,
       art.key = alloc_key;
       checkers::ResourceAllocationChecker rac(
           *model->model, exclusive,
-          request.backend == "z3" ? smt::Backend::kZ3
-                                  : smt::Backend::kBuiltin);
+          request.backend == "z3"          ? smt::Backend::kZ3
+          : request.backend == "portfolio" ? smt::Backend::kPortfolio
+                                           : smt::Backend::kBuiltin);
       std::vector<std::set<std::string>> features;
       features.reserve(request.products.size());
       for (const SessionProduct& p : request.products) {

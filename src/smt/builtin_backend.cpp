@@ -3,9 +3,11 @@
 // level k are guarded by that level's activation variable, which is assumed
 // during check() and permanently falsified on pop().
 #include <cassert>
+#include <cstdlib>
 #include <vector>
 
 #include "logic/cnf.hpp"
+#include "obs/obs.hpp"
 #include "sat/solver.hpp"
 #include "smt/solver.hpp"
 
@@ -18,7 +20,11 @@ class BuiltinBackend final : public SolverBackend {
   BuiltinBackend(logic::FormulaArena& formulas, logic::BvArena& bitvectors)
       : formulas_(&formulas),
         bitvectors_(&bitvectors),
-        encoder_(formulas, sat_, &bitvectors) {}
+        encoder_(formulas, sat_, &bitvectors),
+        // A/B escape hatch for benchmarking: with LLHSC_NO_CLAUSE_RETENTION
+        // set, simplify() drops every learned clause (the pre-retention
+        // behaviour) instead of keeping the guard-independent ones.
+        retain_learned_(std::getenv("LLHSC_NO_CLAUSE_RETENTION") == nullptr) {}
 
   void add(logic::Formula f) override {
     if (scopes_.empty()) {
@@ -44,6 +50,14 @@ class BuiltinBackend final : public SolverBackend {
     sat_.set_deadline(deadline);
   }
 
+  void prepare(std::span<const logic::Formula> assumptions) override {
+    // Forces Tseitin encoding + bit-blasting now (mutating the shared
+    // arenas); the subsequent check() hits the memoised literals.
+    for (logic::Formula f : assumptions) (void)encoder_.encode(f);
+  }
+
+  void simplify() override { sat_.simplify(retain_learned_); }
+
   CheckResult check(std::span<const logic::Formula> assumptions) override {
     std::vector<sat::Lit> assume(scopes_.begin(), scopes_.end());
     assume.reserve(scopes_.size() + assumptions.size());
@@ -53,7 +67,14 @@ class BuiltinBackend final : public SolverBackend {
       assumption_map_.emplace_back(l, f);
       assume.push_back(l);
     }
-    switch (sat_.solve(assume)) {
+    const uint64_t conflicts_before = sat_.stats().conflicts;
+    const sat::SolveResult r = sat_.solve(assume);
+    // Conflict accounting per check: how hard the CDCL search worked. The
+    // retention pipeline tests assert this drops when learned clauses
+    // survive guard retirement.
+    obs::count("solver.conflicts", "solver",
+               static_cast<int64_t>(sat_.stats().conflicts - conflicts_before));
+    switch (r) {
       case sat::SolveResult::kSat: return CheckResult::kSat;
       case sat::SolveResult::kUnsat: return CheckResult::kUnsat;
       case sat::SolveResult::kUnknown: return CheckResult::kUnknown;
@@ -96,6 +117,7 @@ class BuiltinBackend final : public SolverBackend {
   logic::CnfEncoder encoder_;
   std::vector<sat::Lit> scopes_;
   std::vector<std::pair<sat::Lit, logic::Formula>> assumption_map_;
+  bool retain_learned_;
 };
 
 }  // namespace

@@ -228,10 +228,15 @@ std::optional<QueryCache::Entry> QueryCache::lookup_uncounted(
     return std::nullopt;
   }
   entry.witness = std::stoull(witness_hex, nullptr, 16);
-  // Collision guard: the stored canonical text must match the probe.
+  // Collision guard: the stored canonical text must match the probe. A
+  // mismatch means two distinct queries share a 64-bit fingerprint — count
+  // it and fall through to the solver instead of replaying a wrong verdict.
   std::ostringstream body;
   body << in.rdbuf();
-  if (body.str() != canonical_text) return std::nullopt;
+  if (body.str() != canonical_text) {
+    obs::count("qcache.collisions", "qcache", 1);
+    return std::nullopt;
+  }
   return entry;
 }
 

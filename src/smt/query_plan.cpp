@@ -62,9 +62,10 @@ QueryPlanner::Outcome QueryPlanner::check(std::span<const logic::Formula> fs,
   if (outcome.result == CheckResult::kSat && witness_term.valid()) {
     outcome.witness = solver_->model_bv(witness_term);
   }
-  // Retire the guard: the implications become vacuous, so this query can
-  // never constrain (or slow down) a later one on the shared instance.
-  solver_->add(fa.mk_not(guard));
+  // Retire the guard: the implications become vacuous and the backend sweeps
+  // any learned clauses that depended on the guard, while keeping the
+  // guard-independent ones to prune later queries on the shared instance.
+  solver_->retire(guard);
 
   if (cache_enabled() && outcome.result != CheckResult::kUnknown) {
     cache_->store(key, {outcome.result, outcome.witness});

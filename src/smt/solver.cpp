@@ -9,11 +9,14 @@ std::unique_ptr<SolverBackend> make_builtin_backend(
     logic::FormulaArena& formulas, logic::BvArena& bitvectors);
 std::unique_ptr<SolverBackend> make_z3_backend(logic::FormulaArena& formulas,
                                                logic::BvArena& bitvectors);
+std::unique_ptr<SolverBackend> make_portfolio_backend(
+    logic::FormulaArena& formulas, logic::BvArena& bitvectors);
 
 std::string_view to_string(Backend b) {
   switch (b) {
     case Backend::kBuiltin: return "builtin";
     case Backend::kZ3: return "z3";
+    case Backend::kPortfolio: return "portfolio";
   }
   return "unknown";
 }
@@ -36,6 +39,9 @@ Solver::Solver(Backend backend)
     case Backend::kZ3:
       backend_ = make_z3_backend(formulas_, bitvectors_);
       break;
+    case Backend::kPortfolio:
+      backend_ = make_portfolio_backend(formulas_, bitvectors_);
+      break;
   }
 }
 
@@ -52,6 +58,11 @@ logic::BvTerm Solver::bv_var(const std::string& name, uint32_t width) {
 void Solver::add(logic::Formula f) { backend_->add(f); }
 void Solver::push() { backend_->push(); }
 void Solver::pop() { backend_->pop(); }
+
+void Solver::retire(logic::Formula guard) {
+  backend_->add(formulas_.mk_not(guard));
+  backend_->simplify();
+}
 
 void Solver::set_deadline(const support::Deadline& deadline) {
   deadline_ = deadline;
@@ -114,7 +125,7 @@ std::vector<logic::Formula> Solver::minimal_core(
 }
 
 std::vector<Backend> all_backends() {
-  return {Backend::kBuiltin, Backend::kZ3};
+  return {Backend::kBuiltin, Backend::kZ3, Backend::kPortfolio};
 }
 
 }  // namespace llhsc::smt

@@ -6,6 +6,11 @@
 //     ("the technique of bit-blasting is used by the Z3 theorem prover",
 //     paper §IV-C).
 //   - kZ3: the Z3 native C++ API — the backend the paper actually uses.
+//   - kPortfolio: races kBuiltin and kZ3 on the same query; the first
+//     definitive verdict (sat/unsat) wins and the loser is cancelled through
+//     support::Deadline's cancel token. Findings are byte-identical to
+//     either backend alone because witness terms are pinned at query
+//     construction (checkers/semantic.cpp).
 //
 // The checkers never talk to a backend directly; differential tests assert
 // both backends agree on every checker verdict.
@@ -25,7 +30,7 @@ namespace llhsc::smt {
 
 enum class CheckResult : uint8_t { kSat, kUnsat, kUnknown };
 
-enum class Backend : uint8_t { kBuiltin, kZ3 };
+enum class Backend : uint8_t { kBuiltin, kZ3, kPortfolio };
 
 [[nodiscard]] std::string_view to_string(Backend b);
 [[nodiscard]] std::string_view to_string(CheckResult r);
@@ -50,12 +55,32 @@ class SolverBackend {
   /// (builtin: polled in the CDCL search loop; z3: mapped to the solver's
   /// timeout parameter). A default Deadline removes the limit.
   virtual void set_deadline(const support::Deadline& deadline) = 0;
+  /// Pre-encodes `assumptions` (and everything they reach) into backend-local
+  /// form without solving. The builtin backend's Tseitin/bit-blasting step
+  /// creates fresh variables in the *shared* term arenas, so portfolio racing
+  /// calls prepare() on both backends sequentially before the race — the
+  /// racing check() calls then hit memoised encodings and never touch shared
+  /// state. Default no-op.
+  virtual void prepare(std::span<const logic::Formula> assumptions) {
+    (void)assumptions;
+  }
   virtual CheckResult check(std::span<const logic::Formula> assumptions) = 0;
   [[nodiscard]] virtual bool model_bool(logic::BoolVar v) = 0;
   [[nodiscard]] virtual uint64_t model_bv(logic::BvTerm t) = 0;
   /// After a kUnsat check with assumptions: the subset of those assumptions
   /// that conflicts with the asserted formulas (not necessarily minimal).
   [[nodiscard]] virtual std::vector<logic::Formula> unsat_core() = 0;
+  /// Housekeeping hook called after a guard literal is retired (asserted
+  /// false at the top level): backends drop state the retired guard poisons
+  /// while *retaining* everything independent of it. The builtin backend
+  /// maps this to sat::Solver::simplify(), which sweeps learned clauses
+  /// satisfied at level 0 out of the watch lists; Z3 manages its own learnt
+  /// store, so the default is a no-op.
+  virtual void simplify() {}
+  /// Asynchronously aborts an in-flight check() from another thread; the
+  /// interrupted check returns kUnknown. Default no-op (the builtin backend
+  /// is cancelled through the Deadline token instead).
+  virtual void interrupt() {}
 };
 
 /// The solver the rest of llhsc sees. Owns the term arenas and a backend.
@@ -80,6 +105,10 @@ class Solver {
   void add(logic::Formula f);
   void push();
   void pop();
+  /// Retires an assumption guard: asserts !guard and lets the backend sweep
+  /// guard-dependent learned clauses while keeping the guard-independent
+  /// ones for later check_assuming() calls (learned-clause retention).
+  void retire(logic::Formula guard);
   /// Wall-clock budget for each subsequent check; expired checks return
   /// kUnknown instead of blocking. Reset with a default Deadline.
   void set_deadline(const support::Deadline& deadline);

@@ -28,6 +28,21 @@ class Z3Backend final : public SolverBackend {
     deadline_ = deadline;
   }
 
+  void prepare(std::span<const logic::Formula> assumptions) override {
+    // Builds the Z3 exprs now, while the caller still guarantees exclusive
+    // access to the shared term arenas; check() then only reads the caches.
+    for (logic::Formula f : assumptions) (void)translate(f);
+  }
+
+  void interrupt() override {
+    // Solver-scoped interrupt, not ctx_.interrupt(): the context-level flag
+    // is only consumed by an *in-flight* interruptible procedure, so an
+    // interrupt landing just after check() returns would poison the context
+    // and make the next push()/add() throw "canceled". Z3_solver_interrupt
+    // targets the running check and is a no-op between checks.
+    Z3_solver_interrupt(ctx_, solver_);
+  }
+
   CheckResult check(std::span<const logic::Formula> assumptions) override {
     // Map the deadline onto Z3's per-check timeout. 4294967295 (UINT32_MAX)
     // is Z3's "no timeout" sentinel; an already-expired deadline still gets

@@ -1,0 +1,48 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace llhsc::support {
+
+void* Arena::allocate(size_t size, size_t align) {
+  if (size == 0) size = 1;
+  char* aligned = reinterpret_cast<char*>(
+      (reinterpret_cast<uintptr_t>(cur_) + (align - 1)) & ~(align - 1));
+  if (aligned == nullptr || aligned + size > end_) {
+    grow(size + align);
+    aligned = reinterpret_cast<char*>(
+        (reinterpret_cast<uintptr_t>(cur_) + (align - 1)) & ~(align - 1));
+  }
+  cur_ = aligned + size;
+  bytes_allocated_ += size;
+  return aligned;
+}
+
+std::string_view Arena::copy_string(std::string_view s) {
+  char* p = static_cast<char*>(allocate(s.size() + 1, 1));
+  if (!s.empty()) std::memcpy(p, s.data(), s.size());
+  p[s.size()] = '\0';
+  return {p, s.size()};
+}
+
+void Arena::grow(size_t min_bytes) {
+  size_t next = slabs_.empty()
+                    ? kFirstSlabBytes
+                    : std::min(slabs_.back().capacity * 2, kMaxSlabBytes);
+  next = std::max(next, min_bytes);
+  Slab slab{std::make_unique<char[]>(next), next};
+  cur_ = slab.data.get();
+  end_ = cur_ + next;
+  bytes_reserved_ += next;
+  slabs_.push_back(std::move(slab));
+}
+
+void Arena::reset() {
+  slabs_.clear();
+  cur_ = end_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace llhsc::support

@@ -1,0 +1,66 @@
+// Bump-pointer slab allocator in the LLVM BumpPtrAllocator lineage
+// (SNIPPETS.md Snippet 1): allocation is a pointer increment inside the
+// current slab, slabs grow geometrically, and everything is released at once
+// when the arena dies. Nothing allocated from an Arena is individually freed
+// and no destructors run, so only trivially-destructible payloads belong
+// here — llhsc uses it as the backing store for interned strings
+// (support/intern.hpp), which is what the DTS front end's token, name and
+// string-value storage sits on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace llhsc::support {
+
+class Arena {
+ public:
+  /// First slab size; subsequent slabs double up to kMaxSlabBytes.
+  static constexpr size_t kFirstSlabBytes = 4096;
+  static constexpr size_t kMaxSlabBytes = 1u << 20;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `size` bytes aligned to `align` (a power of two). Oversized
+  /// requests get a dedicated slab and never waste bump space.
+  void* allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  /// The copy is NUL-terminated one past the view (handy for C APIs).
+  std::string_view copy_string(std::string_view s);
+
+  /// Releases every slab; all outstanding pointers become invalid.
+  void reset();
+
+  struct Stats {
+    size_t slabs = 0;
+    size_t bytes_allocated = 0;  // requested by callers
+    size_t bytes_reserved = 0;   // sum of slab capacities
+  };
+  [[nodiscard]] Stats stats() const {
+    return {slabs_.size(), bytes_allocated_, bytes_reserved_};
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+  };
+
+  void grow(size_t min_bytes);
+
+  std::vector<Slab> slabs_;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace llhsc::support

@@ -1,12 +1,46 @@
 // A wall-clock budget threaded through long-running solver calls. Default
 // constructed deadlines never expire, so call sites can pass one
 // unconditionally and only pay the clock read when a limit was requested.
+//
+// A deadline can additionally carry a shared *cancel token*: expired() turns
+// true the moment any thread sets the token, independent of the clock. This
+// is how portfolio racing stops the losing backend — the winner flips the
+// token and the loser's search loop notices at its next poll.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 namespace llhsc::support {
+
+/// Shared cancellation flag. Copyable handle; all copies observe the same
+/// flag. A default-constructed token is detached and never fires.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  [[nodiscard]] static CancelToken create() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  [[nodiscard]] bool valid() const { return flag_ != nullptr; }
+
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
 
 class Deadline {
  public:
@@ -22,14 +56,30 @@ class Deadline {
     return d;
   }
 
-  [[nodiscard]] bool unlimited() const { return !limited_; }
+  /// This deadline plus a cancel token: the result also expires once `token`
+  /// fires. The wall-clock limit (if any) is preserved.
+  [[nodiscard]] Deadline with_cancel(CancelToken token) const {
+    Deadline d = *this;
+    d.cancel_ = std::move(token);
+    return d;
+  }
+
+  [[nodiscard]] const CancelToken& cancel_token() const { return cancel_; }
+
+  /// True when nothing can ever expire this deadline — lets search loops
+  /// hoist the poll entirely. A deadline carrying a cancel token is not
+  /// unlimited even without a clock limit.
+  [[nodiscard]] bool unlimited() const { return !limited_ && !cancel_.valid(); }
 
   [[nodiscard]] bool expired() const {
+    if (cancel_.cancelled()) return true;
     return limited_ && std::chrono::steady_clock::now() >= at_;
   }
 
-  /// Milliseconds left: UINT64_MAX when unlimited, 0 when expired.
+  /// Milliseconds left on the clock limit: UINT64_MAX when no clock limit,
+  /// 0 when expired or cancelled.
   [[nodiscard]] uint64_t remaining_ms() const {
+    if (cancel_.cancelled()) return 0;
     if (!limited_) return UINT64_MAX;
     auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
                     at_ - std::chrono::steady_clock::now())
@@ -40,6 +90,7 @@ class Deadline {
  private:
   std::chrono::steady_clock::time_point at_{};
   bool limited_ = false;
+  CancelToken cancel_;
 };
 
 }  // namespace llhsc::support

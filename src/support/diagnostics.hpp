@@ -11,12 +11,17 @@
 #include <string_view>
 #include <vector>
 
+#include "support/intern.hpp"
+
 namespace llhsc::support {
 
 /// A position inside a source file. Lines and columns are 1-based; a value
 /// of 0 means "unknown" (e.g. diagnostics raised on synthesized trees).
+/// The file name is an interned Atom: every token and every tree node carries
+/// a location, and interning makes copying one a pointer-pair copy instead of
+/// a std::string clone.
 struct SourceLocation {
-  std::string file;
+  Atom file;
   uint32_t line = 0;
   uint32_t column = 0;
 

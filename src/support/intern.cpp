@@ -1,0 +1,60 @@
+#include "support/intern.hpp"
+
+#include <mutex>
+#include <ostream>
+#include <unordered_set>
+
+#include "support/arena.hpp"
+
+namespace llhsc::support {
+
+namespace {
+
+constexpr size_t kShardCount = 16;  // power of two
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_set<std::string_view> strings;
+  Arena arena;
+  size_t bytes = 0;
+};
+
+struct Table {
+  Shard shards[kShardCount];
+};
+
+Table& table() {
+  static Table* t = new Table;  // immortal: atoms must outlive static dtors
+  return *t;
+}
+
+}  // namespace
+
+std::string_view intern(std::string_view s) {
+  // The canonical empty atom is the empty view itself, so default-constructed
+  // Atoms and interned "" share identity.
+  if (s.empty()) return {};
+  size_t h = std::hash<std::string_view>{}(s);
+  Shard& shard = table().shards[h & (kShardCount - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.strings.find(s);
+  if (it != shard.strings.end()) return *it;
+  std::string_view stored = shard.arena.copy_string(s);
+  shard.strings.insert(stored);
+  shard.bytes += stored.size();
+  return stored;
+}
+
+InternStats intern_stats() {
+  InternStats out;
+  for (Shard& shard : table().shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.strings += shard.strings.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Atom a) { return os << a.view(); }
+
+}  // namespace llhsc::support

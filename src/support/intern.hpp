@@ -1,0 +1,136 @@
+// Process-wide string interning for the DTS front end. Node names, property
+// names, label names, string property values and file names form a small,
+// heavily repeated vocabulary ("reg", "compatible", "#address-cells", the
+// same .dts file name on every token…); storing each distinct spelling once
+// in an arena and passing 16-byte views around removes the per-token /
+// per-property std::string traffic that dominated cold-parse allocation.
+//
+// Atom is the unit of that scheme: a string_view whose storage is guaranteed
+// to live in the global intern table (stable for the process lifetime, so
+// Atoms may be copied across trees, threads and sessions freely). Atoms can
+// only be created by interning — every constructor copies unseen text into
+// the table — which is what makes the unchecked view safe: an Atom can never
+// dangle.
+//
+// The table is sharded (hash-partitioned mutexes) so the parallel per-VM
+// pipeline can intern concurrently. Distinct strings accumulate for the
+// process lifetime by design; the vocabulary of a DeviceTree workload is
+// closed, and a long-lived llhscd pays a few KB per genuinely new spelling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace llhsc::support {
+
+/// Interns `s`: returns a view of the canonical, process-lifetime copy.
+[[nodiscard]] std::string_view intern(std::string_view s);
+
+struct InternStats {
+  size_t strings = 0;
+  size_t bytes = 0;  // payload bytes held by the table's arenas
+};
+[[nodiscard]] InternStats intern_stats();
+
+class Atom {
+ public:
+  constexpr Atom() = default;
+  Atom(std::string_view s) : view_(intern(s)) {}          // NOLINT(google-explicit-constructor)
+  Atom(const char* s) : Atom(std::string_view(s)) {}      // NOLINT(google-explicit-constructor)
+  Atom(const std::string& s) : Atom(std::string_view(s)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr std::string_view view() const { return view_; }
+  constexpr operator std::string_view() const { return view_; }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] std::string str() const { return std::string(view_); }
+
+  // string_view forwarding surface, so call sites read unchanged.
+  [[nodiscard]] constexpr bool empty() const { return view_.empty(); }
+  [[nodiscard]] constexpr size_t size() const { return view_.size(); }
+  [[nodiscard]] constexpr const char* data() const { return view_.data(); }
+  [[nodiscard]] constexpr auto begin() const { return view_.begin(); }
+  [[nodiscard]] constexpr auto end() const { return view_.end(); }
+  [[nodiscard]] constexpr char front() const { return view_.front(); }
+  [[nodiscard]] constexpr char back() const { return view_.back(); }
+  [[nodiscard]] constexpr char operator[](size_t i) const { return view_[i]; }
+  [[nodiscard]] constexpr std::string_view substr(
+      size_t pos, size_t n = std::string_view::npos) const {
+    return view_.substr(pos, n);
+  }
+  [[nodiscard]] constexpr size_t find(char c, size_t pos = 0) const {
+    return view_.find(c, pos);
+  }
+  [[nodiscard]] constexpr size_t find(std::string_view s, size_t pos = 0) const {
+    return view_.find(s, pos);
+  }
+  [[nodiscard]] constexpr size_t rfind(char c,
+                                       size_t pos = std::string_view::npos) const {
+    return view_.rfind(c, pos);
+  }
+  [[nodiscard]] constexpr bool starts_with(std::string_view s) const {
+    return view_.starts_with(s);
+  }
+  [[nodiscard]] constexpr bool ends_with(std::string_view s) const {
+    return view_.ends_with(s);
+  }
+
+  /// Interned atoms with equal content share storage, so identity decides.
+  friend constexpr bool operator==(Atom a, Atom b) {
+    return a.view_.data() == b.view_.data() && a.view_.size() == b.view_.size();
+  }
+  friend constexpr bool operator==(Atom a, std::string_view b) {
+    return a.view_ == b;
+  }
+  friend constexpr bool operator==(std::string_view a, Atom b) {
+    return a == b.view_;
+  }
+  friend bool operator==(Atom a, const std::string& b) { return a.view_ == b; }
+  friend bool operator==(const std::string& a, Atom b) { return a == b.view_; }
+  friend constexpr bool operator==(Atom a, const char* b) {
+    return a.view_ == std::string_view(b);
+  }
+  friend constexpr bool operator==(const char* a, Atom b) {
+    return std::string_view(a) == b.view_;
+  }
+  friend constexpr auto operator<=>(Atom a, Atom b) {
+    return a.view_.compare(b.view_) <=> 0;
+  }
+
+  // Concatenation yields std::string, like string_view would if it could.
+  friend std::string operator+(const std::string& a, Atom b) {
+    std::string out;
+    out.reserve(a.size() + b.size());
+    out.append(a).append(b.view_);
+    return out;
+  }
+  friend std::string operator+(Atom a, const std::string& b) {
+    std::string out;
+    out.reserve(a.size() + b.size());
+    out.append(a.view_).append(b);
+    return out;
+  }
+  friend std::string operator+(const char* a, Atom b) {
+    return std::string(a) + b;
+  }
+  friend std::string operator+(Atom a, const char* b) {
+    std::string out(a.view_);
+    out.append(b);
+    return out;
+  }
+
+ private:
+  std::string_view view_;
+};
+
+std::ostream& operator<<(std::ostream& os, Atom a);
+
+}  // namespace llhsc::support
+
+template <>
+struct std::hash<llhsc::support::Atom> {
+  size_t operator()(llhsc::support::Atom a) const noexcept {
+    return std::hash<std::string_view>{}(a.view());
+  }
+};

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "checkers/report.hpp"
 #include "core/running_example.hpp"
+#include "obs/obs.hpp"
 #include "fdt/fdt.hpp"
 #include "schema/builtin_schemas.hpp"
 
@@ -448,6 +450,61 @@ TEST_P(PipelineTest, WarmCacheSecondRunIssuesZeroQueries) {
   EXPECT_EQ(checkers::render(cold.findings), checkers::render(warm.findings));
   EXPECT_EQ(checkers::report_json(cold.findings),
             checkers::report_json(warm.findings));
+}
+
+// Learned-clause retention acceptance: on the eight-VM workload the report
+// must be byte-identical with retention on (default), with retention
+// disabled (the pre-retention solver, via LLHSC_NO_CLAUSE_RETENTION), and
+// under the portfolio backend — while retention never *increases* the CDCL
+// conflict work the builtin solver reports per check.
+TEST(PipelineRetentionTest, EightVmReportStableAndConflictsDoNotGrow) {
+  feature::FeatureModel model = feature::running_example_model();
+  schema::SchemaSet schemas = schema::builtin_schemas();
+  support::DiagnosticEngine diags;
+  auto pl = running_example_product_line(diags);
+  ASSERT_NE(pl, nullptr) << diags.render();
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back({"vm" + std::to_string(i),
+                   i % 2 == 0 ? fig1b_features() : fig1c_features()});
+  }
+  auto run_with = [&](smt::Backend backend) {
+    PipelineOptions opts;
+    opts.backend = backend;
+    opts.check_allocation = false;
+    Pipeline pipeline(model, exclusive_cpus(model), *pl, schemas, opts);
+    return pipeline.run(vms);
+  };
+  auto conflicts_of = [](const PipelineResult& r) {
+    int64_t n = 0;
+    for (const obs::Event& e : r.events) {
+      if (e.kind == obs::Event::Kind::kCounter &&
+          e.name == "solver.conflicts") {
+        n += e.delta;
+      }
+    }
+    return n;
+  };
+
+  PipelineResult retained = run_with(smt::Backend::kBuiltin);
+  ASSERT_EQ(::setenv("LLHSC_NO_CLAUSE_RETENTION", "1", 1), 0);
+  PipelineResult dropped = run_with(smt::Backend::kBuiltin);
+  ::unsetenv("LLHSC_NO_CLAUSE_RETENTION");
+  PipelineResult portfolio = run_with(smt::Backend::kPortfolio);
+
+  // Verdict transparency: retention and racing are pure optimisations.
+  EXPECT_EQ(checkers::render(retained.findings),
+            checkers::render(dropped.findings));
+  EXPECT_EQ(checkers::report_json(retained.findings),
+            checkers::report_json(dropped.findings));
+  EXPECT_EQ(checkers::render(retained.findings),
+            checkers::render(portfolio.findings));
+  EXPECT_EQ(retained.ok, dropped.ok);
+  EXPECT_EQ(retained.ok, portfolio.ok);
+
+  // Keeping guard-independent learned clauses can only prune later queries
+  // on the shared per-unit solver instance, never add work.
+  EXPECT_LE(conflicts_of(retained), conflicts_of(dropped));
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, PipelineTest,

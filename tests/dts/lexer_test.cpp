@@ -100,8 +100,8 @@ TEST(Lexer, IncludeSplicesTokens) {
   while (true) {
     Token t = lexer.next();
     if (t.kind == TokenKind::kEnd) break;
-    texts.push_back(t.text);
-    files.push_back(t.location.file);
+    texts.push_back(t.text.str());
+    files.push_back(t.location.file.str());
   }
   EXPECT_FALSE(de.has_errors()) << de.render();
   EXPECT_EQ(texts, (std::vector<std::string>{"a", "b", "c", "d"}));

@@ -85,7 +85,7 @@ TEST(Node, MergePropertiesChildrenLabels) {
   ASSERT_NE(kid, nullptr);
   EXPECT_EQ(kid->find_property("x")->as_u32(), 10u);
   EXPECT_EQ(kid->find_property("y")->as_u32(), 20u);
-  EXPECT_EQ(a.labels(), (std::vector<std::string>{"l1", "l2"}));
+  EXPECT_EQ(a.labels(), (std::vector<support::Atom>{"l1", "l2"}));
   EXPECT_EQ(a.children().size(), 1u);
 }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <random>
+#include <thread>
 
 namespace llhsc::sat {
 namespace {
@@ -384,6 +385,182 @@ TEST(SatSolver, UnlimitedDeadlineNeverReturnsUnknown) {
   Var x = s.new_var();
   s.add_clause(Lit::positive(x));
   s.set_deadline(support::Deadline::after_ms(60000));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+// ---- Learned-clause retention across guard retirement ----
+
+// A hard-but-satisfiable random 3-SAT instance near the phase transition:
+// enough conflicts to populate the learned-clause database.
+void add_hard_sat_instance(Solver& s, std::vector<Var>& vars) {
+  std::mt19937 rng(7);
+  constexpr int kVars = 24;
+  constexpr int kClauses = 96;
+  std::uniform_int_distribution<int> var_dist(0, kVars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  for (int i = 0; i < kVars; ++i) vars.push_back(s.new_var());
+  int added = 0;
+  while (added < kClauses) {
+    int a = var_dist(rng), b = var_dist(rng), c = var_dist(rng);
+    if (a == b || b == c || a == c) continue;
+    if (s.add_clause(Lit(vars[a], sign_dist(rng) == 1),
+                     Lit(vars[b], sign_dist(rng) == 1),
+                     Lit(vars[c], sign_dist(rng) == 1))) {
+      ++added;
+    }
+  }
+}
+
+TEST(SatSolverRetention, SimplifyKeepsGuardIndependentLearnedClauses) {
+  Solver s;
+  std::vector<Var> vars;
+  add_hard_sat_instance(s, vars);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  ASSERT_GT(s.stats().conflicts, 0u) << "instance too easy to learn anything";
+
+  // Guarded clauses, as the query planner issues them: (~g | c). None of the
+  // learned clauses above mention g — they were derived before g existed.
+  Var g = s.new_var();
+  s.add_clause(Lit::negative(g), Lit::positive(vars[0]));
+  s.add_clause(Lit::negative(g), Lit::positive(vars[1]), Lit::positive(vars[2]));
+
+  // Retire the guard and sweep: the two guarded clauses are satisfied by ~g
+  // at level 0 and go; the guard-independent learned clauses stay.
+  ASSERT_TRUE(s.add_clause(Lit::negative(g)));
+  s.simplify();
+  EXPECT_EQ(s.stats().simplifies, 1u);
+  EXPECT_GE(s.stats().simplify_removed, 2u);
+  EXPECT_GT(s.stats().retained_learned, 0u)
+      << "guard-independent learned clauses must survive retirement";
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverRetention, SimplifySweepsGuardDependentLearnedClauses) {
+  // Every original clause is guarded, so every learned clause is a
+  // consequence of g and must carry ~g: retiring g sweeps the whole
+  // database, retained_learned == 0.
+  Solver s;
+  Var g = s.new_var();
+  constexpr int P = 5, H = 4;
+  std::vector<std::vector<Var>> p(P, std::vector<Var>(H));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < P; ++i) {
+    std::vector<Lit> clause{Lit::negative(g)};
+    for (int h = 0; h < H; ++h) clause.push_back(Lit::positive(p[i][h]));
+    s.add_clause(std::move(clause));
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int i = 0; i < P; ++i) {
+      for (int j = i + 1; j < P; ++j) {
+        s.add_clause(Lit::negative(g), Lit::negative(p[i][h]),
+                     Lit::negative(p[j][h]));
+      }
+    }
+  }
+  ASSERT_EQ(s.solve({Lit::positive(g)}), SolveResult::kUnsat);
+  ASSERT_GT(s.stats().conflicts, 0u);
+
+  ASSERT_TRUE(s.add_clause(Lit::negative(g)));
+  s.simplify();
+  EXPECT_GT(s.stats().simplify_removed, 0u);
+  EXPECT_EQ(s.stats().retained_learned, 0u)
+      << "every learned clause depended on the retired guard";
+  // With the guard retired the formula is vacuous again.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverRetention, SimplifyWithoutRetentionDropsAllLearned) {
+  Solver s;
+  std::vector<Var> vars;
+  add_hard_sat_instance(s, vars);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  ASSERT_GT(s.stats().conflicts, 0u);
+
+  s.simplify(/*retain_learned=*/false);
+  EXPECT_EQ(s.stats().retained_learned, 0u);
+  // Correctness is unaffected either way — learned clauses are consequences.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverRetention, RetainedClausesReduceLaterSearchWork) {
+  // Two identical solvers diverge only in simplify(retain): the retaining
+  // one re-solves the (restarted) instance with at most as many conflicts.
+  auto run = [](bool retain) {
+    Solver s;
+    std::vector<Var> vars;
+    add_hard_sat_instance(s, vars);
+    // Force real search on the re-solve: assume the complement of the first
+    // model's polarity on a few variables so saved phases do not trivialise
+    // the second run.
+    EXPECT_EQ(s.solve(), SolveResult::kSat);
+    s.simplify(retain);
+    std::vector<Lit> flip;
+    for (int i = 0; i < 6; ++i) {
+      flip.push_back(Lit(vars[i], s.model_bool(vars[i])));
+    }
+    const uint64_t before = s.stats().conflicts;
+    (void)s.solve(flip);
+    return s.stats().conflicts - before;
+  };
+  const uint64_t with_retention = run(true);
+  const uint64_t without_retention = run(false);
+  EXPECT_LE(with_retention, without_retention)
+      << "retained learned clauses must not increase search work";
+}
+
+// ---- Cancellation through the deadline token ----
+
+TEST(SatSolver, CancelTokenStopsSearchFromAnotherThread) {
+  // 24-bit multiplication commutativity via pigeonhole-style hard instance:
+  // use a big pigeonhole that cannot finish quickly, then cancel it.
+  Solver s;
+  constexpr int P = 12, H = 11;
+  std::vector<std::vector<Var>> p(P, std::vector<Var>(H));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < P; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < H; ++h) clause.push_back(Lit::positive(p[i][h]));
+    s.add_clause(std::move(clause));
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int i = 0; i < P; ++i) {
+      for (int j = i + 1; j < P; ++j) {
+        s.add_clause(Lit::negative(p[i][h]), Lit::negative(p[j][h]));
+      }
+    }
+  }
+  support::CancelToken cancel = support::CancelToken::create();
+  s.set_deadline(support::Deadline().with_cancel(cancel));
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.cancel();
+  });
+  SolveResult r = s.solve();
+  canceller.join();
+  // Either the search was cancelled (kUnknown) or it legitimately finished
+  // under 50ms (kUnsat); both are sound, a hang is the failure mode.
+  EXPECT_TRUE(r == SolveResult::kUnknown || r == SolveResult::kUnsat);
+  // A cancelled solver is reusable once the token is cleared.
+  s.set_deadline(support::Deadline());
+  Solver fresh;
+  Var x = fresh.new_var();
+  fresh.add_clause(Lit::positive(x));
+  EXPECT_EQ(fresh.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, AlreadyCancelledTokenYieldsUnknown) {
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  s.add_clause(Lit::positive(x), Lit::positive(y));
+  support::CancelToken cancel = support::CancelToken::create();
+  cancel.cancel();
+  s.set_deadline(support::Deadline().with_cancel(cancel));
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  s.set_deadline(support::Deadline());
   EXPECT_EQ(s.solve(), SolveResult::kSat);
 }
 

@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "obs/obs.hpp"
 #include "smt/query_cache.hpp"
 
 namespace llhsc::smt {
@@ -143,6 +146,48 @@ TEST(QueryCacheTest, BackendsUseDisjointNamespaces) {
     EXPECT_FALSE(z3_cache.lookup(text).has_value())
         << "a z3 cache must not replay builtin verdicts";
   }
+}
+
+TEST(QueryCacheTest, FingerprintCollisionFallsThroughToTheSolver) {
+  // Forge a collision: plant a valid entry whose *file name* matches probe
+  // B's 64-bit fingerprint but whose stored canonical text is probe A. The
+  // collision guard must reject the replay (returning a miss, so the caller
+  // falls through to the solver) and count it.
+  const std::string dir = fresh_cache_dir("collision");
+  QueryCache cache(dir, Backend::kBuiltin);
+  ASSERT_TRUE(cache.enabled());
+  const std::string text_a = "probe A\n[1 f0]\nw -\n";
+  const std::string text_b = "probe B\n[2 f0]\nw -\n";
+  ASSERT_NE(query_fingerprint(text_a), query_fingerprint(text_b));
+
+  std::ostringstream name;
+  name << std::hex << query_fingerprint(text_b);
+  const std::string forged = dir + "/qc1-builtin/" + name.str() + ".qc";
+  {
+    std::ofstream out(forged, std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out << "llhsc-qc 1 sat 42\n" << text_a;
+  }
+
+  obs::TraceSink sink;
+  {
+    obs::ScopedSink guard(&sink);
+    EXPECT_FALSE(cache.lookup(text_b).has_value())
+        << "a colliding entry must never replay the wrong verdict";
+    // A properly-stored entry for the same text is a legitimate hit — the
+    // guard only fires on content mismatch, not on every lookup.
+    cache.store(text_a, {CheckResult::kSat, 42});
+    auto hit = cache.lookup(text_a);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->result, CheckResult::kSat);
+  }
+  int64_t collisions = 0;
+  for (const obs::Event& e : sink.snapshot()) {
+    if (e.kind == obs::Event::Kind::kCounter && e.name == "qcache.collisions") {
+      collisions += e.delta;
+    }
+  }
+  EXPECT_EQ(collisions, 1);
 }
 
 TEST(QueryCacheTest, EmptyDirectoryDisablesCache) {

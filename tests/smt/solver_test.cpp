@@ -354,20 +354,32 @@ TEST_P(SmtBackendTest, AddAfterPopOfUnsatScope) {
   EXPECT_EQ(s.check(), CheckResult::kSat);
 }
 
-// An expired deadline turns any query into kUnknown without touching the
-// asserted formula; clearing it restores normal service.
-TEST_P(SmtBackendTest, ExpiredDeadlineYieldsUnknown) {
+// An expired deadline degrades a query gracefully without touching the
+// asserted formula. The builtin solver polls the deadline deterministically
+// (at entry, then decimated), so it must answer kUnknown; z3's timeout
+// parameter is advisory — its timer thread can starve under load and the
+// check may still land a verdict. The instance is satisfiable (the constant
+// is odd, so any odd x determines a y mod 2^64), which pins what that
+// verdict may be: never kUnsat.
+TEST_P(SmtBackendTest, ExpiredDeadlineDegradesGracefully) {
   Solver s(GetParam());
   auto& bv = s.bitvectors();
   auto x = s.bv_var("x", 64);
   auto y = s.bv_var("y", 64);
-  // 64-bit semiprime factoring: far beyond a 0ms budget on any backend.
+  // 64-bit factoring: far beyond a 0ms budget on any backend.
   s.add(bv.eq(bv.bv_mul(x, y), bv.bv_const(0xffffffffffffffc5ull, 64)));
   s.add(bv.ugt(x, bv.bv_const(1, 64)));
   s.add(bv.ugt(y, bv.bv_const(1, 64)));
   s.set_deadline(support::Deadline::after_ms(0));
-  EXPECT_EQ(s.check(), CheckResult::kUnknown);
-  EXPECT_EQ(s.stats().unknown_results, 1u);
+  const CheckResult r = s.check();
+  if (GetParam() == Backend::kBuiltin) {
+    EXPECT_EQ(r, CheckResult::kUnknown);
+  } else {
+    EXPECT_NE(r, CheckResult::kUnsat);
+  }
+  if (r == CheckResult::kUnknown) {
+    EXPECT_EQ(s.stats().unknown_results, 1u);
+  }
 }
 
 // A hard query under a small budget must come back kUnknown in roughly the

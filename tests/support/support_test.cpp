@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "support/arena.hpp"
 #include "support/diagnostics.hpp"
+#include "support/intern.hpp"
 #include "support/strings.hpp"
 
 namespace llhsc::support {
@@ -131,6 +138,141 @@ TEST(Diagnostics, Clear) {
   de.clear();
   EXPECT_FALSE(de.has_errors());
   EXPECT_TRUE(de.diagnostics().empty());
+}
+
+// ---- Arena ----
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(Arena, CopyStringIsStableAcrossSlabGrowth) {
+  Arena arena;
+  std::string_view first = arena.copy_string("the first string");
+  // Force several slab growths; `first` must not move.
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 4000; ++i) {
+    views.push_back(arena.copy_string("padding-" + std::to_string(i)));
+  }
+  EXPECT_EQ(first, "the first string");
+  EXPECT_EQ(views[123], "padding-123");
+  EXPECT_EQ(views[3999], "padding-3999");
+  EXPECT_GT(arena.stats().slabs, 1u) << "test must actually grow the arena";
+  // The copy is NUL-terminated one past the view, for C APIs.
+  EXPECT_EQ(first.data()[first.size()], '\0');
+}
+
+TEST(Arena, OversizedAllocationGetsItsOwnSlab) {
+  Arena arena;
+  const Arena::Stats before = arena.stats();
+  void* big = arena.allocate(Arena::kMaxSlabBytes + 1024, 16);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GT(arena.stats().slabs, before.slabs);
+  // Bump allocation continues to work after the dedicated slab.
+  std::string_view s = arena.copy_string("after the big one");
+  EXPECT_EQ(s, "after the big one");
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena arena;
+  (void)arena.copy_string("soon gone");
+  EXPECT_GT(arena.stats().bytes_allocated, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.stats().slabs, 0u);
+  EXPECT_EQ(arena.stats().bytes_allocated, 0u);
+  EXPECT_EQ(arena.copy_string("fresh"), "fresh");
+}
+
+// ---- Interning / Atom ----
+
+TEST(Intern, EqualStringsShareStorage) {
+  // Build the spellings at runtime so the compiler cannot pool the literals.
+  std::string a = std::string("node") + "-name";
+  std::string b = std::string("node-") + "name";
+  std::string_view ia = intern(a);
+  std::string_view ib = intern(b);
+  EXPECT_EQ(ia, ib);
+  EXPECT_EQ(ia.data(), ib.data()) << "equal content must intern to one copy";
+  std::string_view other = intern("different");
+  EXPECT_NE(ia.data(), other.data());
+}
+
+TEST(Intern, EmptyStringIsTheDetachedAtom) {
+  Atom empty("");
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty, Atom());
+  EXPECT_EQ(empty, Atom(std::string()));
+}
+
+TEST(Intern, AtomIdentityEqualityMatchesContent) {
+  Atom a(std::string("compatible"));
+  Atom b(std::string("compat") + "ible");
+  Atom c("status");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, std::string_view("compatible"));
+  EXPECT_EQ(a, std::string("compatible"));
+  EXPECT_EQ(a, "compatible");
+  EXPECT_EQ(std::hash<Atom>{}(a), std::hash<Atom>{}(b));
+  EXPECT_LT(a, c);  // lexicographic via <=>
+}
+
+TEST(Intern, AtomSurvivesSourceStringDestruction) {
+  Atom a;
+  {
+    std::string temp = "short-lived-" + std::to_string(12345);
+    a = Atom(temp);
+  }
+  EXPECT_EQ(a, "short-lived-12345");
+  EXPECT_EQ(a.str(), "short-lived-12345");
+}
+
+TEST(Intern, ConcatenationAndForwardingSurface) {
+  Atom name("uart@20000000");
+  EXPECT_EQ("node " + name, "node uart@20000000");
+  EXPECT_EQ(name + "!", "uart@20000000!");
+  EXPECT_EQ(name.find('@'), 4u);
+  EXPECT_EQ(name.substr(0, 4), "uart");
+  EXPECT_TRUE(name.starts_with("uart"));
+  EXPECT_TRUE(name.ends_with("0000"));
+  EXPECT_EQ(name.front(), 'u');
+  EXPECT_EQ(name.back(), '0');
+}
+
+TEST(Intern, ConcurrentInterningConverges) {
+  // Hammer the sharded table from several threads with an overlapping
+  // vocabulary; every thread must observe identical canonical pointers.
+  constexpr int kThreads = 4;
+  constexpr int kWords = 200;
+  std::vector<std::vector<const char*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      seen[t].reserve(kWords);
+      for (int i = 0; i < kWords; ++i) {
+        Atom a("concurrent-word-" + std::to_string(i));
+        seen[t].push_back(a.data());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[0], seen[t]) << "thread " << t << " saw different storage";
+  }
+  InternStats stats = intern_stats();
+  EXPECT_GE(stats.strings, static_cast<size_t>(kWords));
+  EXPECT_GT(stats.bytes, 0u);
 }
 
 }  // namespace

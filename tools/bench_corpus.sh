@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Cold-path trajectory gate (PR8): benches the cold check path at two
+# levels and composes BENCH_pr8.json.
+#
+#   1. Eight-VM planned pipeline, cold (BM_PipelineEightVmPlanner/1 — no
+#      query cache, every semantic query really runs). When a baseline
+#      build directory is given, the two binaries run in three interleaved
+#      rounds and the gate fails unless the current pooled-min time beats
+#      the baseline pooled min by >= 10% — the PR8 acceptance bar, and the
+#      regression bar every later PR inherits (a later PR that slows the
+#      cold path below the recorded baseline ratio fails CI here).
+#   2. The example corpus through the real CLI: every .dts under
+#      examples/data checked cold (fresh --cache-dir) and warm (second run
+#      against the populated cache). The warm pass must report
+#      "queries issued: 0" for every file — the PR3 warm-run guarantee,
+#      re-asserted here because retention and the arena front end both
+#      touch the machinery under it.
+#
+# Pooled minima over interleaved rounds via tools/bench_lib.sh (see there
+# for why that estimator, not medians, holds up on noisy shared runners).
+#
+# Usage: bench_corpus.sh <build-dir> [out.json] [baseline-build-dir]
+#   baseline-build-dir: a build of the pre-PR8 tree (CI builds it from the
+#   pinned baseline commit in a git worktree). Without it the cross-build
+#   gate is skipped and the corpus rows are informational.
+set -eu
+
+BUILD="$1"
+OUT="${2:-BENCH_pr8.json}"
+BASELINE="${3:-}"
+DATA="$(dirname "$0")/../examples/data"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+. "$(dirname "$0")/bench_lib.sh"
+
+# -- eight-VM cold pipeline, current vs (optional) baseline, interleaved --
+run_eight_vm() {
+    "$1/bench/bench_pipeline" \
+        --benchmark_filter='BM_PipelineEightVmPlanner/1$' \
+        --benchmark_repetitions=3 \
+        --benchmark_format=json
+}
+for round in 1 2 3; do
+    run_eight_vm "$BUILD" > "$TMP/current-$round.json"
+    if [ -n "$BASELINE" ]; then
+        run_eight_vm "$BASELINE" > "$TMP/baseline-$round.json"
+    fi
+done
+
+bench_collect_samples "$TMP"/current-{1,2,3}.json > "$TMP/current.json"
+if [ -n "$BASELINE" ]; then
+    bench_collect_samples "$TMP"/baseline-{1,2,3}.json > "$TMP/baseline.json"
+else
+    echo '{"context": {}, "samples": {}}' > "$TMP/baseline.json"
+fi
+
+# -- example corpus through the CLI, cold and warm --
+corpus_cmd() {
+    # $1: llhsc binary  $2: cache dir ("fresh" allocates a new one per run)
+    printf 'cd=%q\nif [ "$cd" = fresh ]; then cd=$(mktemp -d); fi\n' "$2"
+    printf 'for f in %q/*.dts; do\n' "$DATA"
+    printf '  %q check "$f" --cache-dir "$cd" >/dev/null 2>&1; s=$?\n' "$1"
+    printf '  [ "$s" -le 1 ] || exit "$s"\ndone\n'
+}
+corpus_cmd "$BUILD/tools/llhsc" fresh > "$TMP/cold.sh"
+CORPUS_COLD_MS="$(bench_time_ms 5 bash "$TMP/cold.sh")"
+
+WARM_DIR="$TMP/qc-warm"
+corpus_cmd "$BUILD/tools/llhsc" "$WARM_DIR" > "$TMP/warm.sh"
+bash "$TMP/warm.sh"   # populate the cache once, untimed
+CORPUS_WARM_MS="$(bench_time_ms 5 bash "$TMP/warm.sh")"
+
+CORPUS_BASELINE_COLD_MS=""
+if [ -n "$BASELINE" ]; then
+    corpus_cmd "$BASELINE/tools/llhsc" fresh > "$TMP/base-cold.sh"
+    CORPUS_BASELINE_COLD_MS="$(bench_time_ms 5 bash "$TMP/base-cold.sh")"
+fi
+
+# Warm-run guarantee: with the cache populated, no file issues a query.
+for f in "$DATA"/*.dts; do
+    status=0
+    "$BUILD/tools/llhsc" check "$f" --cache-dir "$WARM_DIR" --stats \
+        > /dev/null 2> "$TMP/stats.err" || status=$?
+    [ "$status" -le 1 ]
+    if ! grep -q 'queries issued: 0,' "$TMP/stats.err"; then
+        echo "warm check of $f still issued solver queries:" >&2
+        cat "$TMP/stats.err" >&2
+        exit 1
+    fi
+done
+
+python3 - "$TMP/current.json" "$TMP/baseline.json" "$OUT" \
+    "$CORPUS_COLD_MS" "$CORPUS_WARM_MS" "$CORPUS_BASELINE_COLD_MS" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+
+cur_all = current["samples"].get("BM_PipelineEightVmPlanner")
+if not cur_all:
+    sys.exit(f"missing benchmark rows, got {sorted(current['samples'])}")
+cur = min(cur_all)
+
+base_all = baseline["samples"].get("BM_PipelineEightVmPlanner")
+base = min(base_all) if base_all else None
+improvement = (1.0 - cur / base) if base else None
+
+corpus_cold_ms = float(sys.argv[4])
+corpus_warm_ms = float(sys.argv[5])
+corpus_base_cold_ms = float(sys.argv[6]) if sys.argv[6] else None
+
+result = {
+    "pr": 8,
+    "workload": "cold eight-VM planned pipeline (alternating Fig. 1b / "
+                "Fig. 1c, no query cache) vs pre-PR8 baseline build, plus "
+                "the examples/data corpus through the CLI cold and warm",
+    "context": current["context"],
+    "eight_vm_cold": {
+        "current_min_us": cur,
+        "current_samples_us": [round(t, 1) for t in cur_all],
+        "baseline_min_us": base,
+        "baseline_samples_us": (
+            [round(t, 1) for t in base_all] if base_all else None),
+        "improvement_pct": (
+            round(improvement * 100.0, 2) if improvement is not None
+            else None),
+        "improved_at_least_10pct": (
+            improvement >= 0.10 if improvement is not None else None),
+    },
+    "corpus_cli": {
+        "files": "examples/data/*.dts",
+        "cold_min_ms": corpus_cold_ms,
+        "warm_min_ms": corpus_warm_ms,
+        "baseline_cold_min_ms": corpus_base_cold_ms,
+        "cold_improvement_pct": (
+            round((1.0 - corpus_cold_ms / corpus_base_cold_ms) * 100.0, 2)
+            if corpus_base_cold_ms else None),
+        "warm_zero_queries": True,
+    },
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+if improvement is None:
+    print("no baseline build given; cross-build gate skipped",
+          file=sys.stderr)
+elif improvement < 0.10:
+    sys.exit(f"cold eight-VM check is only {improvement * 100.0:.2f}% "
+             "faster than the baseline build, the bar is 10%")
+EOF
+
+echo "wrote $OUT"

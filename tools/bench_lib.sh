@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Shared benchmark-gate plumbing for tools/bench_pr*.sh and bench_corpus.sh.
+#
+# Every gate in this repo uses the same estimator: run the benchmark binary
+# in several *interleaved* rounds (A B, A B, A B — not A A A then B B B),
+# pool every iteration sample per benchmark, and compare pooled *minima*.
+# Scheduler/load noise on shared CI runners is strictly additive and
+# bursty, so a burst would have to cover every round of every contender to
+# bias a pooled minimum — medians of a single run flap at the few-percent
+# scale these gates operate at.
+#
+# Source this file; do not execute it.
+
+# bench_interleaved_rounds <outdir> <name> <rounds> <binary> [args...]
+#
+# Runs <binary> <args...> --benchmark_repetitions=3 --benchmark_format=json
+# <rounds> times, writing <outdir>/<name>-<round>.json for each round.
+# Callers interleave contenders by putting them in one --benchmark_filter.
+bench_interleaved_rounds() {
+    local outdir="$1" name="$2" rounds="$3" binary="$4"
+    shift 4
+    local round
+    for round in $(seq 1 "$rounds"); do
+        "$binary" "$@" \
+            --benchmark_repetitions=3 \
+            --benchmark_format=json > "$outdir/$name-$round.json"
+    done
+}
+
+# bench_collect_samples <round.json>...
+#
+# Pools iteration samples from google-benchmark JSON reports and emits a
+# single JSON object on stdout:
+#   {"context": {...}, "samples": {"<run_name base>": [us, us, ...]}}
+# run_type != "iteration" rows (aggregates) are skipped; run names are
+# keyed on the part before the first "/" so arg sweeps pool per benchmark.
+# Times are converted ns -> us.
+bench_collect_samples() {
+    python3 - "$@" <<'EOF'
+import json, sys
+
+samples = {}
+context = {}
+for path in sys.argv[1:]:
+    with open(path) as f:
+        report = json.load(f)
+    context = report.get("context", context)
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        base = b["run_name"].split("/")[0]
+        samples.setdefault(base, []).append(b["real_time"] / 1e3)  # ns -> us
+json.dump({"context": context, "samples": samples}, sys.stdout)
+EOF
+}
+
+# bench_time_ms <repeat> <cmd> [args...]
+#
+# Wall-clock gate helper for whole-process workloads (the llhsc CLI over
+# the example corpus): runs the command <repeat> times and prints the
+# minimum wall time in milliseconds. The command's stdout/stderr are
+# discarded; a non-zero exit up to 1 is tolerated (llhsc exits 1 when a
+# check finds real errors, which the corpus intentionally contains).
+bench_time_ms() {
+    local repeat="$1"
+    shift
+    python3 - "$repeat" "$@" <<'EOF'
+import subprocess, sys, time
+
+repeat = int(sys.argv[1])
+cmd = sys.argv[2:]
+best = None
+for _ in range(repeat):
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL)
+    elapsed = (time.monotonic() - t0) * 1e3
+    if proc.returncode > 1:
+        sys.exit(f"{cmd} exited {proc.returncode}")
+    if best is None or elapsed < best:
+        best = elapsed
+print(f"{best:.3f}")
+EOF
+}

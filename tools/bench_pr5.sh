@@ -5,10 +5,8 @@
 # BENCH_pr5.json. Fails if the *minimum* tracing-on time exceeds the
 # minimum tracing-off time by more than 2% — instrumentation must stay free
 # enough to leave on by default. Minima pooled over three interleaved
-# binary runs, not medians of one: scheduler/load noise on shared CI
-# runners is strictly additive and bursty, so this is the estimator that
-# does not flap at the 2% scale (a burst would have to cover every traced
-# phase of every round to bias it).
+# binary runs via tools/bench_lib.sh (see there for why pooled minima, not
+# medians, are the estimator that does not flap at the 2% scale).
 # Usage: bench_pr5.sh <build-dir> [out.json]
 set -eu
 
@@ -17,28 +15,19 @@ OUT="${2:-BENCH_pr5.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for round in 1 2 3; do
-    "$BUILD/bench/bench_pipeline" \
-        --benchmark_filter='BM_PipelineEightVmPlanner/1$|BM_PipelineEightVmNoTrace' \
-        --benchmark_repetitions=3 \
-        --benchmark_format=json > "$TMP/pipeline-$round.json"
-done
+. "$(dirname "$0")/bench_lib.sh"
 
-python3 - "$TMP"/pipeline-1.json "$TMP"/pipeline-2.json \
-    "$TMP"/pipeline-3.json "$OUT" <<'EOF'
+bench_interleaved_rounds "$TMP" pipeline 3 "$BUILD/bench/bench_pipeline" \
+    --benchmark_filter='BM_PipelineEightVmPlanner/1$|BM_PipelineEightVmNoTrace'
+
+bench_collect_samples "$TMP"/pipeline-{1,2,3}.json > "$TMP/samples.json"
+
+python3 - "$TMP/samples.json" "$OUT" <<'EOF'
 import json, sys
 
-samples = {}
-context = {}
-for path in sys.argv[1:4]:
-    with open(path) as f:
-        report = json.load(f)
-    context = report.get("context", context)
-    for b in report.get("benchmarks", []):
-        if b.get("run_type") != "iteration":
-            continue
-        base = b["run_name"].split("/")[0]
-        samples.setdefault(base, []).append(b["real_time"] / 1e3)  # ns -> us
+with open(sys.argv[1]) as f:
+    pooled = json.load(f)
+samples = pooled["samples"]
 
 traced_all = samples.get("BM_PipelineEightVmPlanner")
 untraced_all = samples.get("BM_PipelineEightVmNoTrace")
@@ -53,7 +42,7 @@ result = {
     "pr": 5,
     "workload": "planned eight-VM pipeline (alternating Fig. 1b / Fig. 1c), "
                 "span capture on vs obs::set_enabled(false)",
-    "context": context,
+    "context": pooled["context"],
     "summary": {
         "traced_min_us": traced,
         "untraced_min_us": untraced,
@@ -63,7 +52,7 @@ result = {
         "tracing_overhead_at_most_2pct": overhead <= 0.02,
     },
 }
-with open(sys.argv[4], "w") as f:
+with open(sys.argv[2], "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
 

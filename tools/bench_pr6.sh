@@ -5,9 +5,8 @@
 # the minimum graph-on time exceeds the minimum graph-off time by more than
 # 5% — the IR build, the four per-unit rules, and the cross-unit analysis
 # together must stay cheap enough to run on every check. Minima pooled over
-# three interleaved binary runs (same estimator as bench_pr5.sh: additive
-# bursty CI noise cannot bias a pooled minimum without covering every
-# round).
+# three interleaved binary runs via tools/bench_lib.sh (additive bursty CI
+# noise cannot bias a pooled minimum without covering every round).
 # Usage: bench_pr6.sh <build-dir> [out.json]
 set -eu
 
@@ -16,28 +15,19 @@ OUT="${2:-BENCH_pr6.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for round in 1 2 3; do
-    "$BUILD/bench/bench_pipeline" \
-        --benchmark_filter='BM_PipelineEightVmPlanner/1$|BM_PipelineEightVmNoGraph' \
-        --benchmark_repetitions=3 \
-        --benchmark_format=json > "$TMP/pipeline-$round.json"
-done
+. "$(dirname "$0")/bench_lib.sh"
 
-python3 - "$TMP"/pipeline-1.json "$TMP"/pipeline-2.json \
-    "$TMP"/pipeline-3.json "$OUT" <<'EOF'
+bench_interleaved_rounds "$TMP" pipeline 3 "$BUILD/bench/bench_pipeline" \
+    --benchmark_filter='BM_PipelineEightVmPlanner/1$|BM_PipelineEightVmNoGraph'
+
+bench_collect_samples "$TMP"/pipeline-{1,2,3}.json > "$TMP/samples.json"
+
+python3 - "$TMP/samples.json" "$OUT" <<'EOF'
 import json, sys
 
-samples = {}
-context = {}
-for path in sys.argv[1:4]:
-    with open(path) as f:
-        report = json.load(f)
-    context = report.get("context", context)
-    for b in report.get("benchmarks", []):
-        if b.get("run_type") != "iteration":
-            continue
-        base = b["run_name"].split("/")[0]
-        samples.setdefault(base, []).append(b["real_time"] / 1e3)  # ns -> us
+with open(sys.argv[1]) as f:
+    pooled = json.load(f)
+samples = pooled["samples"]
 
 graphed_all = samples.get("BM_PipelineEightVmPlanner")
 ungraphed_all = samples.get("BM_PipelineEightVmNoGraph")
@@ -52,7 +42,7 @@ result = {
     "pr": 6,
     "workload": "planned eight-VM pipeline (alternating Fig. 1b / Fig. 1c), "
                 "device-graph stage on vs check_graph=false",
-    "context": context,
+    "context": pooled["context"],
     "summary": {
         "graph_on_min_us": graphed,
         "graph_off_min_us": ungraphed,
@@ -62,7 +52,7 @@ result = {
         "graph_overhead_at_most_5pct": overhead <= 0.05,
     },
 }
-with open(sys.argv[4], "w") as f:
+with open(sys.argv[2], "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
 

@@ -1,7 +1,7 @@
 // llhsc — the command-line tool. Thin driver over the public api::
 // facade (src/api/llhsc.hpp):
 //
-//   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3]
+//   llhsc check <file.dts> [--schemas <file.yaml>] [--backend builtin|z3|portfolio]
 //               [--format text|json|sarif] [--no-lint] [--no-crossref]
 //               [--no-graph] [--no-syntax] [--no-semantics]
 //               [--disable-rule id,...]
@@ -116,6 +116,7 @@ std::optional<ParsedFlags> parse_or_report(const std::vector<FlagSpec>& specs,
 smt::Backend backend_from(const ParsedFlags& args) {
   std::string name = args.value("backend", "builtin");
   if (name == "z3") return smt::Backend::kZ3;
+  if (name == "portfolio") return smt::Backend::kPortfolio;
   if (name != "builtin") {
     std::cerr << "warning: unknown backend '" << name << "', using builtin\n";
   }
@@ -283,7 +284,7 @@ int serve_check(const std::string& socket_path, api::CheckRequest request) {
 
 int usage_check() {
   std::cerr << "usage: llhsc check <file.dts> [--schemas f.yaml] "
-               "[--backend builtin|z3] [--format text|json|sarif] "
+               "[--backend builtin|z3|portfolio] [--format text|json|sarif] "
                "[--no-lint] [--no-syntax] [--no-semantics] "
                "[--no-crossref] [--no-graph] [--disable-rule id,...] "
                "[--rule-severity id=error|warning,...] "
