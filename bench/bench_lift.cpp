@@ -1,0 +1,104 @@
+// PR9 — lifted family-based checking vs per-product enumeration on the
+// synthetic SPL (n independent optional features, one delta each, dev1
+// overlapping dev0). Three rows:
+//   lifted-4096      one solver conversation over the 2^12 family
+//   enumerated-4096  derive + semantic-check every one of the 4096 products
+//   lifted-1M        the 2^20 family, which enumeration cannot touch
+// The lifted rows export the engine shape (components/patterns/slices) and
+// a one-shot differential verdict so tools/bench_pr9.sh can assert the
+// speedup is over *equal* verdicts, not a cheaper analysis.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "checkers/semantic.hpp"
+#include "feature/analysis.hpp"
+#include "lift/differential.hpp"
+#include "lift/lift.hpp"
+#include "lift/synthetic.hpp"
+#include "smt/solver.hpp"
+#include "support/diagnostics.hpp"
+
+using namespace llhsc;
+
+namespace {
+
+lift::LiftOptions lifted_options() {
+  lift::LiftOptions opts;
+  opts.backend = smt::Backend::kBuiltin;
+  opts.max_configs = 4;
+  return opts;
+}
+
+void BM_LiftedFamily(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const lift::SyntheticSpl spl = lift::make_synthetic_spl(n, true);
+  const lift::LiftOptions opts = lifted_options();
+  lift::LiftedResult result;
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    result = lift::check_family(*spl.line, spl.model, opts, diags);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ok"] = result.ok ? 1 : 0;
+  state.counters["findings"] = static_cast<double>(result.findings.size());
+  state.counters["components"] = static_cast<double>(result.components);
+  state.counters["patterns"] = static_cast<double>(result.patterns);
+  state.counters["slices"] = static_cast<double>(result.slices);
+  // One untimed differential over the full family: the speedup row below is
+  // only meaningful if the verdicts are identical product-for-product.
+  if (n <= 12) {
+    lift::DifferentialOptions dopts;
+    dopts.max_products = uint64_t{1} << n;
+    const lift::DifferentialReport diff = lift::compare_with_enumeration(
+        *spl.line, spl.model, result, opts, dopts);
+    state.counters["differential_equal"] =
+        diff.equal && !diff.capped ? 1 : 0;
+    state.counters["differential_products"] =
+        static_cast<double>(diff.products);
+  }
+  state.SetLabel("lifted-2^" + std::to_string(n));
+}
+BENCHMARK(BM_LiftedFamily)->Arg(12)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_EnumeratedFamily(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const lift::SyntheticSpl spl = lift::make_synthetic_spl(n, true);
+  checkers::SemanticChecker checker(smt::Backend::kBuiltin, {});
+  uint64_t products = 0;
+  uint64_t findings = 0;
+  for (auto _ : state) {
+    products = 0;
+    findings = 0;
+    smt::Solver solver(smt::Backend::kBuiltin);
+    feature::enumerate_products(
+        spl.model, solver,
+        [&](const feature::Selection& sel) {
+          std::set<std::string> names;
+          for (uint32_t i = 0; i < sel.size(); ++i) {
+            if (sel[i]) {
+              names.insert(spl.model.feature(feature::FeatureId{i}).name);
+            }
+          }
+          support::DiagnosticEngine diags;
+          std::unique_ptr<dts::Tree> tree = spl.line->derive(names, diags);
+          if (tree != nullptr) {
+            ++products;
+            findings += checker.check(*tree).size();
+          }
+          return true;
+        },
+        uint64_t{1} << n);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["products"] = static_cast<double>(products);
+  state.counters["findings"] = static_cast<double>(findings);
+  state.SetLabel("enumerated-2^" + std::to_string(n));
+}
+BENCHMARK(BM_EnumeratedFamily)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -28,6 +28,7 @@ std::string_view to_string(FindingKind k) {
     case FindingKind::kSizeOverflow: return "size-overflow";
     case FindingKind::kZeroSizeRegion: return "zero-size-region";
     case FindingKind::kInterruptCollision: return "interrupt-collision";
+    case FindingKind::kClockCollision: return "clock-collision";
     case FindingKind::kSolverTimeout: return "solver-timeout";
     case FindingKind::kCacheUnavailable: return "cache-unavailable";
     case FindingKind::kNameConvention: return "name-convention";
@@ -48,6 +49,8 @@ std::string_view to_string(FindingKind k) {
       return "disabled-provider-dependency";
     case FindingKind::kExclusiveProviderClaim:
       return "exclusive-provider-claim";
+    case FindingKind::kDeriveFailure: return "derive-failure";
+    case FindingKind::kEnumerationCapped: return "enumeration-capped";
   }
   return "unknown";
 }

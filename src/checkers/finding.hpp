@@ -33,6 +33,7 @@ enum class FindingKind : uint8_t {
   kSizeOverflow,           // base + size wraps around the address space
   kZeroSizeRegion,         // region with size 0 (warning)
   kInterruptCollision,     // two devices claim the same interrupt line
+  kClockCollision,         // two devices assign the same clock of a provider
   kSolverTimeout,          // a solver query exceeded its deadline
   kCacheUnavailable,       // --cache-dir unusable; checks ran uncached
   // Lint (dtc-style structural warnings)
@@ -54,6 +55,9 @@ enum class FindingKind : uint8_t {
   kProviderCycle,          // clock/reset/... provider dependencies loop
   kDisabledProviderDependency,  // okay consumer depends on disabled provider
   kExclusiveProviderClaim, // two VMs claim the same exclusive provider
+  // Family-based (lifted) product-line checking (src/lift)
+  kDeriveFailure,          // a class of configurations fails delta derivation
+  kEnumerationCapped,      // product enumeration stopped at --max-products
 };
 
 [[nodiscard]] std::string_view to_string(FindingKind k);

@@ -43,70 +43,6 @@ uint64_t combine_cells(const std::vector<uint64_t>& cells, size_t offset,
   return value;
 }
 
-/// The value the solver's w-bit encoding actually sees (bv_const truncates).
-uint64_t mask_to(uint64_t value, uint32_t width) {
-  return width >= 64 ? value : (value & ((1ull << width) - 1));
-}
-
-/// Mirror of the solver's uadd_overflow verdict on masked base/size: true
-/// iff base + size >= 2^width, in which case [base, base+size) is empty in
-/// the w-bit encoding (the end wraps to or below the base) and the region
-/// cannot overlap anything.
-bool region_wraps(uint64_t base_m, uint64_t size_m, uint32_t width) {
-  if (size_m == 0) return false;
-  if (width >= 64) return base_m > UINT64_MAX - size_m;
-  return base_m + size_m >= (1ull << width);
-}
-
-Finding zero_size_finding(const MemRegion& r) {
-  Finding f;
-  f.kind = FindingKind::kZeroSizeRegion;
-  f.severity = FindingSeverity::kWarning;
-  f.subject = r.path;
-  f.property = "reg";
-  f.delta = r.provenance;
-  f.location = r.location;
-  f.base_a = r.base;
-  f.message = "region at " + support::hex(r.base) + " has size 0";
-  return f;
-}
-
-Finding wrap_finding(const MemRegion& r, uint32_t width) {
-  Finding f;
-  f.kind = FindingKind::kSizeOverflow;
-  f.subject = r.path;
-  f.property = "reg";
-  f.delta = r.provenance;
-  f.location = r.location;
-  f.base_a = r.base;
-  f.size_a = r.size;
-  f.message = "region " + support::hex(r.base) + "+" + support::hex(r.size) +
-              " wraps around the " + std::to_string(width) +
-              "-bit address space";
-  return f;
-}
-
-Finding overlap_finding(const MemRegion& a, const MemRegion& b,
-                        uint64_t witness) {
-  Finding f;
-  f.kind = FindingKind::kAddressOverlap;
-  f.subject = a.path + "[" + std::to_string(a.entry_index) + "]";
-  f.other_subject = b.path + "[" + std::to_string(b.entry_index) + "]";
-  // Blame the most recent delta involved (b's provenance wins when both
-  // have one — later deltas modify earlier state).
-  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
-  f.location = a.location;
-  f.base_a = a.base;
-  f.size_a = a.size;
-  f.base_b = b.base;
-  f.size_b = b.size;
-  f.witness = witness;
-  f.message = "regions " + support::hex(a.base) + "+" + support::hex(a.size) +
-              " and " + support::hex(b.base) + "+" + support::hex(b.size) +
-              " overlap (witness address " + support::hex(witness) + ")";
-  return f;
-}
-
 /// Extracts the regions of one node's reg through the shared context: the
 /// governing cells come from ctx.reg_cells (nearest-ancestor resolution) and
 /// the CPU-view base from ctx.translate (composition of every ancestor
@@ -210,6 +146,94 @@ bool overlap_is_fault(RegionClass a, RegionClass b) {
   return true;
 }
 
+uint64_t mask_address(uint64_t value, uint32_t width) {
+  return width >= 64 ? value : (value & ((1ull << width) - 1));
+}
+
+bool region_wraps(uint64_t base_m, uint64_t size_m, uint32_t width) {
+  if (size_m == 0) return false;
+  if (width >= 64) return base_m > UINT64_MAX - size_m;
+  return base_m + size_m >= (1ull << width);
+}
+
+Finding zero_size_finding(const MemRegion& r) {
+  Finding f;
+  f.kind = FindingKind::kZeroSizeRegion;
+  f.severity = FindingSeverity::kWarning;
+  f.subject = r.path;
+  f.property = "reg";
+  f.delta = r.provenance;
+  f.location = r.location;
+  f.base_a = r.base;
+  f.message = "region at " + support::hex(r.base) + " has size 0";
+  return f;
+}
+
+Finding wrap_finding(const MemRegion& r, uint32_t width) {
+  Finding f;
+  f.kind = FindingKind::kSizeOverflow;
+  f.subject = r.path;
+  f.property = "reg";
+  f.delta = r.provenance;
+  f.location = r.location;
+  f.base_a = r.base;
+  f.size_a = r.size;
+  f.message = "region " + support::hex(r.base) + "+" + support::hex(r.size) +
+              " wraps around the " + std::to_string(width) +
+              "-bit address space";
+  return f;
+}
+
+Finding overlap_finding(const MemRegion& a, const MemRegion& b,
+                        uint64_t witness) {
+  Finding f;
+  f.kind = FindingKind::kAddressOverlap;
+  f.subject = a.path + "[" + std::to_string(a.entry_index) + "]";
+  f.other_subject = b.path + "[" + std::to_string(b.entry_index) + "]";
+  // Blame the most recent delta involved (b's provenance wins when both
+  // have one — later deltas modify earlier state).
+  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+  f.location = a.location;
+  f.base_a = a.base;
+  f.size_a = a.size;
+  f.base_b = b.base;
+  f.size_b = b.size;
+  f.witness = witness;
+  f.message = "regions " + support::hex(a.base) + "+" + support::hex(a.size) +
+              " and " + support::hex(b.base) + "+" + support::hex(b.size) +
+              " overlap (witness address " + support::hex(witness) + ")";
+  return f;
+}
+
+Finding interrupt_collision_finding(const IrqClaim& a, const IrqClaim& b) {
+  Finding f;
+  f.kind = FindingKind::kInterruptCollision;
+  f.subject = b.path;
+  f.property = "interrupts";
+  f.other_subject = a.path;
+  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+  f.location = b.location;
+  f.base_a = b.tuple.empty() ? 0 : b.tuple[0];
+  f.message = "interrupt line " + std::to_string(f.base_a) +
+              " already claimed by " + a.path;
+  return f;
+}
+
+Finding clock_collision_finding(const ClockClaim& a, const ClockClaim& b) {
+  Finding f;
+  f.kind = FindingKind::kClockCollision;
+  f.subject = b.path;
+  f.property = "assigned-clocks";
+  f.other_subject = a.path;
+  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
+  f.location = b.location;
+  f.base_a = b.tuple.empty() ? 0 : b.tuple[0];
+  f.message = "clock " + std::to_string(f.base_a) +
+              " of provider phandle " + std::to_string(b.provider_phandle) +
+              " already assigned by " + a.path;
+  return f;
+}
+
 std::vector<MemRegion> extract_regions(const dts::Tree& tree, Findings& out) {
   crossref::AnalysisContext ctx(tree);
   return extract_regions(ctx, out);
@@ -232,18 +256,145 @@ std::vector<MemRegion> extract_regions(const crossref::AnalysisContext& ctx,
   return regions;
 }
 
-/// One claim per `interrupts` tuple of one node. Tuples are compared
-/// whole (all #interrupt-cells cells), tuple[0] is the line named in
-/// findings (matching the single-cell message format).
-struct SemanticChecker::IrqClaim {
-  std::string path;
-  std::string provenance;
-  support::SourceLocation location;
-  uint32_t parent_phandle = 0;
-  size_t entry_index = 0;
-  std::vector<uint64_t> tuple;       // cells, masked to 32 bits
-  std::vector<logic::BvTerm> terms;  // created on first solver use
-};
+std::vector<IrqClaim> collect_interrupt_claims(const dts::Tree& tree) {
+  // Pass 1: phandle -> #interrupt-cells, to know each claim's tuple stride.
+  std::unordered_map<uint32_t, uint32_t> interrupt_cells;
+  tree.visit([&](const std::string&, const dts::Node& node) {
+    const dts::Property* ph = node.find_property("phandle");
+    if (ph == nullptr) return;
+    auto phv = ph->as_u32();
+    if (!phv) return;
+    uint32_t ic = 1;
+    if (const dts::Property* icp = node.find_property("#interrupt-cells")) {
+      ic = icp->as_u32().value_or(1);
+    }
+    interrupt_cells[*phv] = ic == 0 ? 1 : ic;
+  });
+
+  // Pass 2: walk with interrupt-parent inheritance (a node without its own
+  // interrupt-parent uses the nearest ancestor's, per the DT spec).
+  std::vector<IrqClaim> claims;
+  std::function<void(const dts::Node&, const std::string&, uint32_t)> walk =
+      [&](const dts::Node& node, const std::string& path, uint32_t parent) {
+        if (const dts::Property* ip = node.find_property("interrupt-parent")) {
+          parent = ip->as_u32().value_or(0);
+        }
+        const dts::Property* irq = node.find_property("interrupts");
+        if (irq != nullptr) {
+          auto cells = irq->as_cells();
+          if (cells && !cells->empty()) {
+            size_t stride = 1;
+            auto it = interrupt_cells.find(parent);
+            if (it != interrupt_cells.end()) stride = it->second;
+            for (size_t off = 0, e = 0; off < cells->size();
+                 off += stride, ++e) {
+              IrqClaim claim;
+              claim.path = path;
+              claim.provenance = !irq->provenance.empty() ? irq->provenance
+                                                          : node.provenance();
+              claim.location =
+                  irq->location.valid() ? irq->location : node.location();
+              claim.parent_phandle = parent;
+              claim.entry_index = e;
+              const size_t n = std::min(stride, cells->size() - off);
+              claim.tuple.reserve(n);
+              for (size_t k = 0; k < n; ++k) {
+                claim.tuple.push_back((*cells)[off + k] & 0xffffffffull);
+              }
+              claims.push_back(std::move(claim));
+            }
+          }
+        }
+        for (const auto& child : node.children()) {
+          const std::string child_path = path == "/"
+                                             ? "/" + child->name()
+                                             : path + "/" + child->name();
+          walk(*child, child_path, parent);
+        }
+      };
+  walk(tree.root(), "/", 0);
+  return claims;
+}
+
+std::vector<ClockClaim> collect_clock_claims(const dts::Tree& tree) {
+  // Pass 1: phandle -> #clock-cells. A provider without #clock-cells is a
+  // single-clock provider (specifier length 0) per the clock bindings.
+  std::unordered_map<uint32_t, uint32_t> clock_cells;
+  tree.visit([&](const std::string&, const dts::Node& node) {
+    const dts::Property* ph = node.find_property("phandle");
+    if (ph == nullptr) return;
+    auto phv = ph->as_u32();
+    if (!phv) return;
+    uint32_t cc = 0;
+    if (const dts::Property* ccp = node.find_property("#clock-cells")) {
+      cc = ccp->as_u32().value_or(0);
+    }
+    clock_cells[*phv] = cc;
+  });
+
+  // Pass 2: one claim per assigned-clocks entry. The stride is per-entry —
+  // one phandle cell plus that provider's #clock-cells — so a property can
+  // legally mix providers of different arity. An entry naming an unknown
+  // phandle ends the parse of that property: the stride past it is
+  // unknowable, and the dangling reference is the cross-reference rules'
+  // finding, not ours.
+  std::vector<ClockClaim> claims;
+  tree.visit([&](const std::string& path, const dts::Node& node) {
+    const dts::Property* ac = node.find_property("assigned-clocks");
+    if (ac == nullptr) return;
+    auto cells = ac->as_cells();
+    if (!cells || cells->empty()) return;
+    size_t off = 0, e = 0;
+    while (off < cells->size()) {
+      const uint32_t phandle =
+          static_cast<uint32_t>((*cells)[off] & 0xffffffffull);
+      auto it = clock_cells.find(phandle);
+      if (it == clock_cells.end()) break;
+      const size_t cc = it->second;
+      ClockClaim claim;
+      claim.path = path;
+      claim.provenance =
+          !ac->provenance.empty() ? ac->provenance : node.provenance();
+      claim.location = ac->location.valid() ? ac->location : node.location();
+      claim.provider_phandle = phandle;
+      claim.entry_index = e;
+      const size_t n = std::min(cc, cells->size() - off - 1);
+      claim.tuple.reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        claim.tuple.push_back((*cells)[off + 1 + k] & 0xffffffffull);
+      }
+      claims.push_back(std::move(claim));
+      off += 1 + cc;
+      ++e;
+    }
+  });
+  return claims;
+}
+
+OverlapQuery build_overlap_query(smt::Solver& solver, const MemRegion& a,
+                                 const MemRegion& b, uint32_t width,
+                                 const std::string& ns) {
+  auto& fa = solver.formulas();
+  auto& bv = solver.bitvectors();
+  OverlapQuery q;
+  q.x = bv.bv_var(ns + ".x", width);
+  auto in_range = [&](const MemRegion& r) {
+    auto base_t = bv.bv_const(r.base, width);
+    auto end_t = bv.bv_add(base_t, bv.bv_const(r.size, width));
+    // base <= x < base + size; the wrap case is reported separately, and
+    // for wrapped regions the conjunction below under-approximates.
+    return fa.mk_and(bv.uge(q.x, base_t), bv.ult(q.x, end_t));
+  };
+  q.formulas.push_back(in_range(a));
+  q.formulas.push_back(in_range(b));
+  // Witness pin (see header): the larger masked base is in the intersection
+  // iff the intersection is non-empty, so this keeps the query
+  // equisatisfiable while fixing the model value every backend reports.
+  const uint64_t pin =
+      std::max(mask_address(a.base, width), mask_address(b.base, width));
+  q.formulas.push_back(bv.eq(q.x, bv.bv_const(pin, width)));
+  return q;
+}
 
 SemanticChecker::SemanticChecker(smt::Backend backend, SemanticOptions options)
     : options_(options),
@@ -305,6 +456,10 @@ Findings SemanticChecker::check(const dts::Tree& tree) {
     Findings irq = check_interrupts(tree);
     out.insert(out.end(), irq.begin(), irq.end());
   }
+  if (options_.check_clocks) {
+    Findings clk = check_clocks(tree);
+    out.insert(out.end(), clk.begin(), clk.end());
+  }
   return out;
 }
 
@@ -313,106 +468,10 @@ Findings SemanticChecker::check_regions(const std::vector<MemRegion>& regions) {
   return check_regions_impl(regions);
 }
 
-SemanticChecker::OverlapQuery SemanticChecker::build_overlap_query(
-    const MemRegion& a, const MemRegion& b) {
-  auto& fa = solver_.formulas();
-  auto& bv = solver_.bitvectors();
-  const uint32_t width = options_.address_bits;
-  OverlapQuery q;
+OverlapQuery SemanticChecker::next_overlap_query(const MemRegion& a,
+                                                 const MemRegion& b) {
   const std::string ns = "ov" + std::to_string(fresh_counter_++);
-  q.x = bv.bv_var(ns + ".x", width);
-  auto in_range = [&](const MemRegion& r) {
-    auto base_t = bv.bv_const(r.base, width);
-    auto end_t = bv.bv_add(base_t, bv.bv_const(r.size, width));
-    // base <= x < base + size; the wrap case is reported separately, and
-    // for wrapped regions the conjunction below under-approximates.
-    return fa.mk_and(bv.uge(q.x, base_t), bv.ult(q.x, end_t));
-  };
-  q.formulas.push_back(in_range(a));
-  q.formulas.push_back(in_range(b));
-  // Witness pin (see header): the larger masked base is in the intersection
-  // iff the intersection is non-empty, so this keeps the query
-  // equisatisfiable while fixing the model value every backend reports.
-  const uint64_t pin =
-      std::max(mask_to(a.base, width), mask_to(b.base, width));
-  q.formulas.push_back(bv.eq(q.x, bv.bv_const(pin, width)));
-  return q;
-}
-
-std::vector<SemanticChecker::IrqClaim> SemanticChecker::collect_irq_claims(
-    const dts::Tree& tree) {
-  // Pass 1: phandle -> #interrupt-cells, to know each claim's tuple stride.
-  std::unordered_map<uint32_t, uint32_t> interrupt_cells;
-  tree.visit([&](const std::string&, const dts::Node& node) {
-    const dts::Property* ph = node.find_property("phandle");
-    if (ph == nullptr) return;
-    auto phv = ph->as_u32();
-    if (!phv) return;
-    uint32_t ic = 1;
-    if (const dts::Property* icp = node.find_property("#interrupt-cells")) {
-      ic = icp->as_u32().value_or(1);
-    }
-    interrupt_cells[*phv] = ic == 0 ? 1 : ic;
-  });
-
-  // Pass 2: walk with interrupt-parent inheritance (a node without its own
-  // interrupt-parent uses the nearest ancestor's, per the DT spec).
-  std::vector<IrqClaim> claims;
-  std::function<void(const dts::Node&, const std::string&, uint32_t)> walk =
-      [&](const dts::Node& node, const std::string& path, uint32_t parent) {
-        if (const dts::Property* ip = node.find_property("interrupt-parent")) {
-          parent = ip->as_u32().value_or(0);
-        }
-        const dts::Property* irq = node.find_property("interrupts");
-        if (irq != nullptr) {
-          auto cells = irq->as_cells();
-          if (cells && !cells->empty()) {
-            size_t stride = 1;
-            auto it = interrupt_cells.find(parent);
-            if (it != interrupt_cells.end()) stride = it->second;
-            for (size_t off = 0, e = 0; off < cells->size();
-                 off += stride, ++e) {
-              IrqClaim claim;
-              claim.path = path;
-              claim.provenance = !irq->provenance.empty() ? irq->provenance
-                                                          : node.provenance();
-              claim.location =
-                  irq->location.valid() ? irq->location : node.location();
-              claim.parent_phandle = parent;
-              claim.entry_index = e;
-              const size_t n = std::min(stride, cells->size() - off);
-              claim.tuple.reserve(n);
-              for (size_t k = 0; k < n; ++k) {
-                claim.tuple.push_back((*cells)[off + k] & 0xffffffffull);
-              }
-              claims.push_back(std::move(claim));
-            }
-          }
-        }
-        for (const auto& child : node.children()) {
-          const std::string child_path = path == "/"
-                                             ? "/" + child->name()
-                                             : path + "/" + child->name();
-          walk(*child, child_path, parent);
-        }
-      };
-  walk(tree.root(), "/", 0);
-  return claims;
-}
-
-void SemanticChecker::emit_irq_finding(const IrqClaim& a, const IrqClaim& b,
-                                       Findings& out) {
-  Finding f;
-  f.kind = FindingKind::kInterruptCollision;
-  f.subject = b.path;
-  f.property = "interrupts";
-  f.other_subject = a.path;
-  f.delta = !b.provenance.empty() ? b.provenance : a.provenance;
-  f.location = b.location;
-  f.base_a = b.tuple.empty() ? 0 : b.tuple[0];
-  f.message = "interrupt line " + std::to_string(f.base_a) +
-              " already claimed by " + a.path;
-  out.push_back(std::move(f));
+  return build_overlap_query(solver_, a, b, options_.address_bits, ns);
 }
 
 // Interrupt uniqueness through the solver (the paper's conclusions name
@@ -429,15 +488,18 @@ void SemanticChecker::emit_irq_finding(const IrqClaim& a, const IrqClaim& b,
 Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
   Findings out;
   auto& bv = solver_.bitvectors();
-  std::vector<IrqClaim> claims = collect_irq_claims(tree);
+  std::vector<IrqClaim> claims = collect_interrupt_claims(tree);
 
-  auto ensure_terms = [&](IrqClaim& c) {
-    if (!c.terms.empty()) return;
+  // Solver terms per claim, created on first use (terms are a solver-side
+  // concern; the claims themselves stay plain data shared with src/lift).
+  std::vector<std::vector<logic::BvTerm>> terms(claims.size());
+  auto ensure_terms = [&](size_t i) {
+    if (!terms[i].empty() || claims[i].tuple.empty()) return;
     const std::string ns = "irq" + std::to_string(fresh_counter_++);
-    c.terms.reserve(c.tuple.size());
-    for (size_t k = 0; k < c.tuple.size(); ++k) {
-      c.terms.push_back(
-          bv.bv_var(ns + "." + c.path + "." + std::to_string(k), 32));
+    terms[i].reserve(claims[i].tuple.size());
+    for (size_t k = 0; k < claims[i].tuple.size(); ++k) {
+      terms[i].push_back(
+          bv.bv_var(ns + "." + claims[i].path + "." + std::to_string(k), 32));
     }
   };
   auto comparable = [](const IrqClaim& a, const IrqClaim& b) {
@@ -448,10 +510,10 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
   if (!options_.plan) {
     // Exhaustive: fix every claim's cells globally, then one query per
     // comparable pair.
-    for (IrqClaim& c : claims) {
-      ensure_terms(c);
-      for (size_t k = 0; k < c.tuple.size(); ++k) {
-        solver_.add(bv.eq(c.terms[k], bv.bv_const(c.tuple[k], 32)));
+    for (size_t i = 0; i < claims.size(); ++i) {
+      ensure_terms(i);
+      for (size_t k = 0; k < claims[i].tuple.size(); ++k) {
+        solver_.add(bv.eq(terms[i][k], bv.bv_const(claims[i].tuple[k], 32)));
       }
     }
     for (size_t i = 0; i < claims.size(); ++i) {
@@ -462,7 +524,7 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
         std::vector<logic::Formula> same;
         same.reserve(a.tuple.size());
         for (size_t k = 0; k < a.tuple.size(); ++k) {
-          same.push_back(bv.eq(a.terms[k], b.terms[k]));
+          same.push_back(bv.eq(terms[i][k], terms[j][k]));
         }
         smt::CheckResult irq_r = solver_.check_assuming(same);
         if (query_timed_out(irq_r,
@@ -470,7 +532,9 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
                             out)) {
           return out;
         }
-        if (irq_r == smt::CheckResult::kSat) emit_irq_finding(a, b, out);
+        if (irq_r == smt::CheckResult::kSat) {
+          out.push_back(interrupt_collision_finding(a, b));
+        }
       }
     }
     return out;
@@ -505,18 +569,18 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
   planner_.note_pruned(comparable_pairs - candidates.size());
 
   for (const auto& [i, j] : candidates) {
-    IrqClaim& a = claims[i];
-    IrqClaim& b = claims[j];
-    ensure_terms(a);
-    ensure_terms(b);
+    const IrqClaim& a = claims[i];
+    const IrqClaim& b = claims[j];
+    ensure_terms(i);
+    ensure_terms(j);
     // Self-contained query (cache-portable): the cell fixings ride along
     // instead of being asserted globally.
     std::vector<logic::Formula> fs;
     fs.reserve(a.tuple.size() * 3);
     for (size_t k = 0; k < a.tuple.size(); ++k) {
-      fs.push_back(bv.eq(a.terms[k], bv.bv_const(a.tuple[k], 32)));
-      fs.push_back(bv.eq(b.terms[k], bv.bv_const(b.tuple[k], 32)));
-      fs.push_back(bv.eq(a.terms[k], b.terms[k]));
+      fs.push_back(bv.eq(terms[i][k], bv.bv_const(a.tuple[k], 32)));
+      fs.push_back(bv.eq(terms[j][k], bv.bv_const(b.tuple[k], 32)));
+      fs.push_back(bv.eq(terms[i][k], terms[j][k]));
     }
     smt::QueryPlanner::Outcome o = planner_.check(fs);
     if (query_timed_out(o.result,
@@ -524,7 +588,118 @@ Findings SemanticChecker::check_interrupts(const dts::Tree& tree) {
                         out)) {
       return out;
     }
-    if (o.result == smt::CheckResult::kSat) emit_irq_finding(a, b, out);
+    if (o.result == smt::CheckResult::kSat) {
+      out.push_back(interrupt_collision_finding(a, b));
+    }
+  }
+  return out;
+}
+
+// Clock-assignment uniqueness, the same query shape generalised from the
+// interrupt check (ROADMAP item 4's "generalise to clock providers"): two
+// assigned-clocks entries collide iff they name the same provider AND their
+// specifier tuples are equal. The provider equality rides along in the
+// formulas so every query is self-contained and non-empty even for
+// zero-cell providers (two pins of a single-clock provider still collide).
+// Planned mode buckets on (provider, tuple) with the exact pruned count,
+// exhaustive mode issues every comparable pair — findings byte-identical.
+Findings SemanticChecker::check_clocks(const dts::Tree& tree) {
+  Findings out;
+  auto& bv = solver_.bitvectors();
+  std::vector<ClockClaim> claims = collect_clock_claims(tree);
+
+  // One provider term + tuple terms per claim, created on first use.
+  std::vector<std::vector<logic::BvTerm>> terms(claims.size());
+  auto ensure_terms = [&](size_t i) {
+    if (!terms[i].empty()) return;
+    const std::string ns = "clk" + std::to_string(fresh_counter_++);
+    terms[i].reserve(claims[i].tuple.size() + 1);
+    terms[i].push_back(bv.bv_var(ns + "." + claims[i].path + ".ph", 32));
+    for (size_t k = 0; k < claims[i].tuple.size(); ++k) {
+      terms[i].push_back(
+          bv.bv_var(ns + "." + claims[i].path + "." + std::to_string(k), 32));
+    }
+  };
+  auto comparable = [](const ClockClaim& a, const ClockClaim& b) {
+    return a.provider_phandle == b.provider_phandle &&
+           a.tuple.size() == b.tuple.size();
+  };
+  auto query_formulas = [&](size_t i, size_t j) {
+    const ClockClaim& a = claims[i];
+    const ClockClaim& b = claims[j];
+    std::vector<logic::Formula> fs;
+    fs.reserve((a.tuple.size() + 1) * 3);
+    fs.push_back(
+        bv.eq(terms[i][0], bv.bv_const(a.provider_phandle, 32)));
+    fs.push_back(
+        bv.eq(terms[j][0], bv.bv_const(b.provider_phandle, 32)));
+    fs.push_back(bv.eq(terms[i][0], terms[j][0]));
+    for (size_t k = 0; k < a.tuple.size(); ++k) {
+      fs.push_back(bv.eq(terms[i][k + 1], bv.bv_const(a.tuple[k], 32)));
+      fs.push_back(bv.eq(terms[j][k + 1], bv.bv_const(b.tuple[k], 32)));
+      fs.push_back(bv.eq(terms[i][k + 1], terms[j][k + 1]));
+    }
+    return fs;
+  };
+
+  if (!options_.plan) {
+    for (size_t i = 0; i < claims.size(); ++i) {
+      for (size_t j = i + 1; j < claims.size(); ++j) {
+        const ClockClaim& a = claims[i];
+        const ClockClaim& b = claims[j];
+        if (!comparable(a, b)) continue;
+        ensure_terms(i);
+        ensure_terms(j);
+        smt::CheckResult clk_r = solver_.check_assuming(query_formulas(i, j));
+        if (query_timed_out(clk_r,
+                            "clock check of " + a.path + " vs " + b.path,
+                            out)) {
+          return out;
+        }
+        if (clk_r == smt::CheckResult::kSat) {
+          out.push_back(clock_collision_finding(a, b));
+        }
+      }
+    }
+    return out;
+  }
+
+  std::map<std::pair<uint32_t, std::vector<uint64_t>>, std::vector<size_t>>
+      buckets;
+  std::map<std::pair<uint32_t, size_t>, uint64_t> comparable_group_sizes;
+  for (size_t i = 0; i < claims.size(); ++i) {
+    buckets[{claims[i].provider_phandle, claims[i].tuple}].push_back(i);
+    ++comparable_group_sizes[{claims[i].provider_phandle,
+                              claims[i].tuple.size()}];
+  }
+  uint64_t comparable_pairs = 0;
+  for (const auto& [key, n] : comparable_group_sizes) {
+    comparable_pairs += n * (n - 1) / 2;
+  }
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (const auto& [key, members] : buckets) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        candidates.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  planner_.note_pruned(comparable_pairs - candidates.size());
+
+  for (const auto& [i, j] : candidates) {
+    const ClockClaim& a = claims[i];
+    const ClockClaim& b = claims[j];
+    ensure_terms(i);
+    ensure_terms(j);
+    smt::QueryPlanner::Outcome o = planner_.check(query_formulas(i, j));
+    if (query_timed_out(o.result,
+                        "clock check of " + a.path + " vs " + b.path, out)) {
+      return out;
+    }
+    if (o.result == smt::CheckResult::kSat) {
+      out.push_back(clock_collision_finding(a, b));
+    }
   }
   return out;
 }
@@ -569,7 +744,7 @@ Findings SemanticChecker::check_regions_exhaustive(
       const MemRegion& b = regions[j];
       if (a.size == 0 || b.size == 0) continue;
       if (!overlap_is_fault(a.region_class, b.region_class)) continue;
-      OverlapQuery q = build_overlap_query(a, b);
+      OverlapQuery q = next_overlap_query(a, b);
       solver_.push();
       for (logic::Formula f : q.formulas) solver_.add(f);
       smt::CheckResult overlap_r = solver_.check();
@@ -597,8 +772,8 @@ Findings SemanticChecker::check_regions_planned(
   // zeroed out so the sweep-line prefilter agrees with the encoding.
   std::vector<MemRegion> shadow = regions;
   for (MemRegion& s : shadow) {
-    s.base = mask_to(s.base, width);
-    s.size = mask_to(s.size, width);
+    s.base = mask_address(s.base, width);
+    s.size = mask_address(s.size, width);
   }
 
   for (size_t i = 0; i < regions.size(); ++i) {
@@ -638,7 +813,7 @@ Findings SemanticChecker::check_regions_planned(
   for (const OverlapPair& pair : candidates) {
     const MemRegion& a = regions[pair.first];
     const MemRegion& b = regions[pair.second];
-    OverlapQuery q = build_overlap_query(a, b);
+    OverlapQuery q = next_overlap_query(a, b);
     smt::QueryPlanner::Outcome o = planner_.check(q.formulas, q.x);
     if (query_timed_out(o.result,
                         "overlap check of " + a.path + " vs " + b.path,

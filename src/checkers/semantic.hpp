@@ -58,6 +58,79 @@ struct MemRegion {
 /// True when an overlap between the two classes is a fault.
 [[nodiscard]] bool overlap_is_fault(RegionClass a, RegionClass b);
 
+/// The value the solver's w-bit encoding actually sees (bv_const truncates).
+[[nodiscard]] uint64_t mask_address(uint64_t value, uint32_t width);
+
+/// Mirror of the solver's uadd_overflow verdict on masked base/size: true
+/// iff base + size >= 2^width, in which case [base, base+size) is empty in
+/// the w-bit encoding (the end wraps to or below the base) and the region
+/// cannot overlap anything.
+[[nodiscard]] bool region_wraps(uint64_t base_m, uint64_t size_m,
+                                uint32_t width);
+
+/// One claim per `interrupts` tuple of one node. Tuples are compared
+/// whole (all #interrupt-cells cells), tuple[0] is the line named in
+/// findings (matching the single-cell message format).
+struct IrqClaim {
+  std::string path;
+  std::string provenance;
+  support::SourceLocation location;
+  uint32_t parent_phandle = 0;
+  size_t entry_index = 0;
+  std::vector<uint64_t> tuple;  // cells, masked to 32 bits
+};
+
+/// One claim per `assigned-clocks` entry of one node: the consumer pins the
+/// clock (provider, specifier-tuple). Entries stride per-provider — one
+/// phandle cell plus the provider's #clock-cells specifier cells. Entries
+/// whose provider phandle is unknown are skipped (the stride is unknowable;
+/// the cross-reference rules report the dangling phandle).
+struct ClockClaim {
+  std::string path;
+  std::string provenance;
+  support::SourceLocation location;
+  uint32_t provider_phandle = 0;
+  size_t entry_index = 0;
+  std::vector<uint64_t> tuple;  // specifier cells, masked to 32 bits
+};
+
+/// Collects one claim per `interrupts` tuple (stride = the interrupt
+/// parent's #interrupt-cells), resolving interrupt-parent by inheritance.
+[[nodiscard]] std::vector<IrqClaim> collect_interrupt_claims(
+    const dts::Tree& tree);
+
+/// Collects one claim per `assigned-clocks` entry (stride = 1 phandle cell +
+/// the provider's #clock-cells).
+[[nodiscard]] std::vector<ClockClaim> collect_clock_claims(
+    const dts::Tree& tree);
+
+// -- Finding builders, shared verbatim by the per-product checker and the
+// -- lifted family engine so both report byte-identical defects.
+[[nodiscard]] Finding zero_size_finding(const MemRegion& r);
+[[nodiscard]] Finding wrap_finding(const MemRegion& r, uint32_t width);
+[[nodiscard]] Finding overlap_finding(const MemRegion& a, const MemRegion& b,
+                                      uint64_t witness);
+[[nodiscard]] Finding interrupt_collision_finding(const IrqClaim& a,
+                                                  const IrqClaim& b);
+[[nodiscard]] Finding clock_collision_finding(const ClockClaim& a,
+                                              const ClockClaim& b);
+
+/// The formula-(7) query for one region pair. The witness is pinned to
+/// max(base_a, base_b) (masked to `width`): for concrete non-wrapping
+/// intervals that address is in the intersection iff the intersection is
+/// non-empty, so the pin is equisatisfiable and makes the reported witness
+/// independent of backend, batching, and model heuristics. `ns` namespaces
+/// the witness variable (callers pass a fresh counter-derived prefix).
+struct OverlapQuery {
+  std::vector<logic::Formula> formulas;
+  logic::BvTerm x;
+};
+[[nodiscard]] OverlapQuery build_overlap_query(smt::Solver& solver,
+                                               const MemRegion& a,
+                                               const MemRegion& b,
+                                               uint32_t width,
+                                               const std::string& ns);
+
 struct SemanticOptions {
   /// Address space width in bits for the SMT encoding.
   uint32_t address_bits = 64;
@@ -66,6 +139,10 @@ struct SemanticOptions {
   /// Memory banks from the same memory node are allowed to be adjacent but
   /// not overlapping (always checked); devices never may overlap anything.
   bool check_interrupts = true;
+  /// Check `assigned-clocks` uniqueness: two consumers pinning the same
+  /// (provider, specifier) clock is a configuration fault, same shape as the
+  /// interrupt-line check.
+  bool check_clocks = true;
   /// Wall-clock budget in ms for one check() call's solver work (0 =
   /// unlimited). When the budget runs out, the remaining queries are skipped
   /// and one kSolverTimeout error finding reports how many were dropped —
@@ -120,27 +197,14 @@ class SemanticChecker {
   }
 
  private:
-  struct IrqClaim;
-  struct OverlapQuery {
-    std::vector<logic::Formula> formulas;
-    logic::BvTerm x;
-  };
-
   Findings check_interrupts(const dts::Tree& tree);
+  Findings check_clocks(const dts::Tree& tree);
   Findings check_regions_impl(const std::vector<MemRegion>& regions);
   Findings check_regions_exhaustive(const std::vector<MemRegion>& regions);
   Findings check_regions_planned(const std::vector<MemRegion>& regions);
-  /// The formula-(7) query for one region pair, shared by both paths. The
-  /// witness is pinned to max(base_a, base_b) (masked to address_bits):
-  /// for concrete non-wrapping intervals that address is in the
-  /// intersection iff the intersection is non-empty, so the pin is
-  /// equisatisfiable and makes the reported witness independent of
-  /// backend, batching, and model heuristics.
-  OverlapQuery build_overlap_query(const MemRegion& a, const MemRegion& b);
-  /// Collects one claim per `interrupts` tuple (stride = the interrupt
-  /// parent's #interrupt-cells), resolving interrupt-parent by inheritance.
-  std::vector<IrqClaim> collect_irq_claims(const dts::Tree& tree);
-  void emit_irq_finding(const IrqClaim& a, const IrqClaim& b, Findings& out);
+  /// Member shim over the free build_overlap_query: supplies the solver and
+  /// a fresh_counter_-derived namespace.
+  OverlapQuery next_overlap_query(const MemRegion& a, const MemRegion& b);
   /// Starts one check() call's solver budget from options_.solver_timeout_ms.
   void arm_deadline();
   /// True when the last query was cut off; records a kSolverTimeout finding

@@ -1,24 +1,23 @@
 // Delta application: resolves operation targets against the tree and applies
-// adds/modifies/removes with provenance stamping.
+// adds/modifies/removes with provenance stamping. Optionally records each
+// delta's footprint (DeltaEffects) so derive() and the lift engine can
+// reason about which deltas race on which paths.
 #include "delta/delta.hpp"
 
 namespace llhsc::delta {
 
 namespace {
 
+std::string path_join(const std::string& parent, std::string_view name) {
+  return parent == "/" ? "/" + std::string(name)
+                       : parent + "/" + std::string(name);
+}
+
 /// Resolves a target to a node: absolute paths go through Tree::find;
 /// bare names search the whole tree for a unique (base-)name match.
 dts::Node* resolve_target(dts::Tree& tree, const std::string& target) {
-  if (!target.empty() && target[0] == '/') return tree.find(target);
-  dts::Node* match = nullptr;
-  bool ambiguous = false;
-  tree.visit([&](const std::string&, dts::Node& n) {
-    if (n.name() == target || n.base_name() == target) {
-      if (match != nullptr && match != &n) ambiguous = true;
-      if (match == nullptr) match = &n;
-    }
-  });
-  return ambiguous ? nullptr : match;
+  std::vector<dts::Node*> candidates = resolve_target_candidates(tree, target);
+  return candidates.size() == 1 ? candidates.front() : nullptr;
 }
 
 /// Recursively stamps a fragment with the delta's name before it enters the
@@ -27,6 +26,26 @@ void stamp(dts::Node& node, const std::string& delta_name) {
   node.set_provenance(delta_name);
   for (dts::Property& p : node.properties()) p.provenance = delta_name;
   for (const auto& c : node.children()) stamp(*c, delta_name);
+}
+
+/// Records what merging `fragment` into `target` touches: property writes at
+/// each level, plus creation of fragment children the target lacks. Nested
+/// content of a created child is implied by its `creates` root.
+void record_modify_effects(const dts::Node* target, const dts::Node& fragment,
+                           const std::string& path, DeltaEffects& fx) {
+  for (const dts::Property& p : fragment.properties()) {
+    fx.writes.emplace_back(path, std::string(p.name));
+  }
+  for (const auto& child : fragment.children()) {
+    const dts::Node* existing =
+        target != nullptr ? target->find_child(child->name()) : nullptr;
+    const std::string child_path = path_join(path, child->name());
+    if (existing == nullptr) {
+      fx.creates.push_back(child_path);
+    } else {
+      record_modify_effects(existing, *child, child_path, fx);
+    }
+  }
 }
 
 /// adds: every fragment child must be new; fragment properties must be new.
@@ -69,9 +88,23 @@ bool apply_adds(dts::Node& target, dts::Node&& fragment,
 
 }  // namespace
 
+std::vector<dts::Node*> resolve_target_candidates(dts::Tree& tree,
+                                                  const std::string& target) {
+  std::vector<dts::Node*> out;
+  if (!target.empty() && target[0] == '/') {
+    if (dts::Node* n = tree.find(target)) out.push_back(n);
+    return out;
+  }
+  tree.visit([&](const std::string&, dts::Node& n) {
+    if (n.name() == target || n.base_name() == target) out.push_back(&n);
+  });
+  return out;
+}
+
 bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
-                 support::DiagnosticEngine& diags) {
+                 support::DiagnosticEngine& diags, DeltaEffects* effects) {
   bool ok = true;
+  if (effects != nullptr) effects->delta = delta.name;
   for (const Operation& op : delta.operations) {
     switch (op.kind) {
       case OpKind::kAdds: {
@@ -86,6 +119,16 @@ bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
         }
         auto fragment = op.body ? op.body->clone() : nullptr;
         if (!fragment) break;
+        if (effects != nullptr) {
+          const std::string path = tree.path_of(*target);
+          effects->targets.push_back(path);
+          for (const dts::Property& p : fragment->properties()) {
+            effects->writes.emplace_back(path, std::string(p.name));
+          }
+          for (const auto& child : fragment->children()) {
+            effects->creates.push_back(path_join(path, child->name()));
+          }
+        }
         stamp(*fragment, delta.name);
         if (!apply_adds(*target, std::move(*fragment), delta, op, diags)) {
           ok = false;
@@ -104,6 +147,11 @@ bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
         }
         auto fragment = op.body ? op.body->clone() : nullptr;
         if (!fragment) break;
+        if (effects != nullptr) {
+          const std::string path = tree.path_of(*target);
+          effects->targets.push_back(path);
+          record_modify_effects(target, *fragment, path, *effects);
+        }
         stamp(*fragment, delta.name);
         fragment->set_name(target->name());
         // merge_from would overwrite the *target's* provenance with the
@@ -123,6 +171,10 @@ bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
         }
         // Find the parent by path.
         std::string path = tree.path_of(*target);
+        if (effects != nullptr) {
+          effects->targets.push_back(path);
+          effects->removes.push_back(path);
+        }
         size_t slash = path.find_last_of('/');
         std::string parent_path = slash == 0 ? "/" : path.substr(0, slash);
         dts::Node* parent = tree.find(parent_path);
@@ -146,6 +198,11 @@ bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
           ok = false;
           break;
         }
+        if (effects != nullptr) {
+          const std::string path = tree.path_of(*target);
+          effects->targets.push_back(path);
+          effects->writes.emplace_back(path, op.property_name);
+        }
         if (!target->remove_property(op.property_name)) {
           diags.error("delta-apply",
                       "delta '" + delta.name + "' removes missing property '" +
@@ -157,6 +214,7 @@ bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
       }
     }
   }
+  if (effects != nullptr && !ok) effects->failed = true;
   return ok;
 }
 

@@ -129,7 +129,13 @@ std::vector<const DeltaModule*> ProductLine::active_deltas(
 std::optional<std::vector<const DeltaModule*>> ProductLine::application_order(
     const std::set<std::string>& selected_features,
     support::DiagnosticEngine& diags) const {
-  std::vector<const DeltaModule*> active = active_deltas(selected_features);
+  return linearize(active_deltas(selected_features), diags);
+}
+
+std::optional<std::vector<const DeltaModule*>> ProductLine::linearize(
+    const std::vector<const DeltaModule*>& subset,
+    support::DiagnosticEngine& diags) const {
+  const std::vector<const DeltaModule*>& active = subset;
 
   // Kahn's algorithm with declaration-order tiebreak: the ready delta that
   // appears earliest in `active` (declaration order) goes next, giving a
@@ -188,10 +194,28 @@ std::unique_ptr<dts::Tree> ProductLine::derive(
   auto order = application_order(selected_features, diags);
   if (!order) return nullptr;
   auto tree = core_->clone();
+  std::vector<const DeltaModule*> applied;
+  std::vector<DeltaEffects> effects;
+  bool ok = true;
   for (const DeltaModule* d : *order) {
-    if (!apply_delta(*tree, *d, diags)) return nullptr;
+    applied.push_back(d);
+    effects.emplace_back();
+    if (!apply_delta(*tree, *d, diags, &effects.back())) {
+      ok = false;
+      break;
+    }
   }
-  return tree;
+  // Order-sensitivity audit over the applied prefix: two unordered deltas
+  // racing on the same path mean the declaration-order tiebreak, not the
+  // author, picked this product's content. Warn deterministically (the lift
+  // engine emits the same diagnostic for every co-activatable pair).
+  for (const AmbiguousPair& p : find_unordered_conflicts(applied, effects)) {
+    diags.warning("delta-order",
+                  "deltas '" + p.a + "' and '" + p.b + "' " + p.detail +
+                      " but neither is ordered 'after' the other; "
+                      "declaration order decides the outcome");
+  }
+  return ok ? std::move(tree) : nullptr;
 }
 
 }  // namespace llhsc::delta

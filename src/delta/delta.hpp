@@ -85,6 +85,47 @@ struct DeltaModule {
   support::SourceLocation location;
 };
 
+/// Footprint of one applied delta, recorded during application when a
+/// recorder is supplied: which (path, property) pairs it wrote or removed,
+/// which subtree roots it created or removed, and where its operation
+/// targets resolved. find_unordered_conflicts turns two footprints into an
+/// order-sensitivity verdict; the lift engine (src/lift) reuses the same
+/// data to scope presence conditions.
+struct DeltaEffects {
+  std::string delta;  // module name
+  /// (node path, property name) pairs written or removed.
+  std::vector<std::pair<std::string, std::string>> writes;
+  /// Roots of subtrees this delta created (nested content is implied).
+  std::vector<std::string> creates;
+  /// Roots of subtrees this delta removed.
+  std::vector<std::string> removes;
+  /// Resolved operation target paths (successful resolutions only).
+  std::vector<std::string> targets;
+  /// True when any operation failed (missing target, add collision, ...).
+  bool failed = false;
+};
+
+/// One order-sensitive, unordered delta pair: applying `a` and `b` in
+/// different orders yields different trees (or different failures), yet no
+/// direct `after` edge connects them — so the declaration-order tiebreak,
+/// not the author, decides the outcome.
+struct AmbiguousPair {
+  std::string a;       // earlier delta in the analysed order
+  std::string b;       // later delta
+  std::string detail;  // what the two deltas race on
+};
+
+/// Detects order-sensitive unordered pairs among `order` (with matching
+/// `effects`, as recorded by apply_delta): write-write on the same
+/// (path, property), creation of the same node, a removal racing any touch
+/// of the removed subtree, and an operation targeting a node another delta
+/// creates. Pairs connected by a direct `after` edge are ordered and
+/// skipped. Deterministic: pairs come out in (i, j) order of `order`, one
+/// entry per pair (first matching rule wins).
+[[nodiscard]] std::vector<AmbiguousPair> find_unordered_conflicts(
+    const std::vector<const DeltaModule*>& order,
+    const std::vector<DeltaEffects>& effects);
+
 /// Core DTS + deltas. Owns its trees.
 class ProductLine {
  public:
@@ -98,6 +139,15 @@ class ProductLine {
   [[nodiscard]] std::vector<const DeltaModule*> active_deltas(
       const std::set<std::string>& selected_features) const;
 
+  /// Linearises an explicit subset of this line's deltas respecting `after`
+  /// (declaration order breaks ties; edges to deltas outside `subset` impose
+  /// no constraint — DOP semantics). Reports cycles and unknown `after`
+  /// targets; nullopt on error. The lift engine orders per-pattern delta
+  /// subsets through this without synthesising a feature selection.
+  [[nodiscard]] std::optional<std::vector<const DeltaModule*>> linearize(
+      const std::vector<const DeltaModule*>& subset,
+      support::DiagnosticEngine& diags) const;
+
   /// Linearises active deltas respecting `after` (declaration order breaks
   /// ties). Reports cycles and unknown `after` targets; nullopt on error.
   [[nodiscard]] std::optional<std::vector<const DeltaModule*>> application_order(
@@ -105,7 +155,9 @@ class ProductLine {
       support::DiagnosticEngine& diags) const;
 
   /// Applies the ordered deltas to a clone of the core. Returns nullptr when
-  /// activation/ordering/application failed (details in diags).
+  /// activation/ordering/application failed (details in diags). Unordered
+  /// order-sensitive delta pairs among the applied set are reported as
+  /// "delta-order" warnings (see find_unordered_conflicts).
   [[nodiscard]] std::unique_ptr<dts::Tree> derive(
       const std::set<std::string>& selected_features,
       support::DiagnosticEngine& diags) const;
@@ -117,9 +169,19 @@ class ProductLine {
 
 /// Applies one delta to a tree in place. Used by derive() and directly by
 /// tests. Returns false on failed operations (missing targets, add
-/// collisions); diagnostics name the delta.
+/// collisions); diagnostics name the delta. When `effects` is non-null the
+/// delta's footprint is recorded into it (see DeltaEffects).
 bool apply_delta(dts::Tree& tree, const DeltaModule& delta,
-                 support::DiagnosticEngine& diags);
+                 support::DiagnosticEngine& diags,
+                 DeltaEffects* effects = nullptr);
+
+/// All nodes in `tree` matching a delta operation target: the single node at
+/// an absolute path, or every node whose name or base name equals a bare
+/// name. apply_delta resolves through this (and fails on multiple matches);
+/// the lift engine uses the candidate list to detect resolutions that would
+/// be ambiguous somewhere in the family.
+[[nodiscard]] std::vector<dts::Node*> resolve_target_candidates(
+    dts::Tree& tree, const std::string& target);
 
 /// Parses the delta-module language of paper Listing 4. Returns the modules
 /// in declaration order; parse errors are reported and the affected module

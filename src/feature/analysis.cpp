@@ -103,9 +103,17 @@ uint64_t enumerate_products(
     const FeatureModel& model, smt::Solver& solver,
     const std::function<bool(const Selection&)>& on_product,
     uint64_t max_products) {
+  return enumerate_products(model, solver, on_product, max_products, nullptr);
+}
+
+uint64_t enumerate_products(
+    const FeatureModel& model, smt::Solver& solver,
+    const std::function<bool(const Selection&)>& on_product,
+    uint64_t max_products, bool* capped) {
   solver.push();
   Encoding enc = encode(model, solver);
   auto& fa = solver.formulas();
+  if (capped != nullptr) *capped = false;
   uint64_t found = 0;
   while (found < max_products) {
     if (solver.check() != smt::CheckResult::kSat) break;
@@ -123,6 +131,12 @@ uint64_t enumerate_products(
     }
     solver.add(fa.mk_or(diff));
     if (!keep_going) break;
+  }
+  // The cap only counts as tripped when a further product actually exists —
+  // one extra check, paid only on the cap boundary.
+  if (capped != nullptr && found == max_products &&
+      solver.check() == smt::CheckResult::kSat) {
+    *capped = true;
   }
   solver.pop();
   return found;

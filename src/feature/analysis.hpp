@@ -54,6 +54,16 @@ uint64_t enumerate_products(const FeatureModel& model, smt::Solver& solver,
                             const std::function<bool(const Selection&)>& on_product,
                             uint64_t max_products = UINT64_MAX);
 
+/// Same enumeration, but reports whether `max_products` cut it short:
+/// `*capped` is set iff the cap was reached with at least one further valid
+/// product left unenumerated (decided by one extra solver check, so a model
+/// with exactly `max_products` products is not flagged). Products stream
+/// through the callback one at a time — nothing is materialised, so a 2^20
+/// family costs one Selection of working memory, not 2^20.
+uint64_t enumerate_products(const FeatureModel& model, smt::Solver& solver,
+                            const std::function<bool(const Selection&)>& on_product,
+                            uint64_t max_products, bool* capped);
+
 /// Features that can never be selected in any product.
 [[nodiscard]] std::vector<FeatureId> dead_features(const FeatureModel& model,
                                                    smt::Solver& solver);

@@ -1,0 +1,44 @@
+// Differential harness: proves a LiftedResult equal to brute-force
+// per-product enumeration. For every valid configuration (streamed, capped
+// at max_products) the harness derives the product, runs the per-product
+// SemanticChecker, and compares the finding multiset against the lifted
+// findings whose conditions the configuration satisfies. Keys normalise
+// pairwise-finding orientation (the delta linearisation can flip which
+// region is "first" between a slice and a full product) and drop
+// provenance/location/message, which legitimately differ between a slice
+// tree and the full product tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lift/lift.hpp"
+
+namespace llhsc::lift {
+
+struct DifferentialOptions {
+  /// Cap on enumerated products; hitting it adds a kEnumerationCapped note
+  /// and reports `capped` (the comparison still covers every product seen).
+  uint64_t max_products = 4096;
+};
+
+struct DifferentialReport {
+  bool equal = false;
+  bool capped = false;
+  uint64_t products = 0;
+  /// Human-readable discrepancies, capped at 16.
+  std::vector<std::string> mismatches;
+  /// Advisory notes (currently: the capped-enumeration warning).
+  checkers::Findings notes;
+};
+
+/// Compares `lifted` (produced by check_family with `lopts`) against
+/// per-product enumeration of the same line/model using the same backend
+/// and checker options.
+[[nodiscard]] DifferentialReport compare_with_enumeration(
+    const delta::ProductLine& line, const feature::FeatureModel& model,
+    const LiftedResult& lifted, const LiftOptions& lopts,
+    const DifferentialOptions& dopts = {});
+
+}  // namespace llhsc::lift

@@ -1,0 +1,47 @@
+#include "lift/synthetic.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "dts/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace llhsc::lift {
+
+SyntheticSpl make_synthetic_spl(uint32_t n, bool with_overlap) {
+  SyntheticSpl spl;
+  feature::FeatureId root = spl.model.add_root("synth");
+  for (uint32_t i = 0; i < n; ++i) {
+    spl.model.add_feature(root, "f" + std::to_string(i));
+  }
+
+  support::DiagnosticEngine diags;
+  auto core = dts::parse_dts(
+      "/dts-v1/;\n/ { #address-cells = <1>; #size-cells = <1>; };\n",
+      "synthetic-core.dts", diags);
+
+  std::string delta_src;
+  for (uint32_t i = 0; i < n; ++i) {
+    // dev1 collides with dev0's [0x10000000, +0x1000) window when asked to;
+    // everything else gets its own 16 MiB stride (fits 32 bits for n <= 24).
+    const uint64_t base = (with_overlap && i == 1)
+                              ? 0x10000800ull
+                              : 0x10000000ull + 0x1000000ull * i;
+    char hex[20];
+    std::snprintf(hex, sizeof hex, "0x%llx",
+                  static_cast<unsigned long long>(base));
+    const std::string id = std::to_string(i);
+    delta_src += "delta dev" + id + " when (f" + id + ") {\n";
+    delta_src += "  adds binding / {\n";
+    delta_src += "    dev" + id + "@" + (hex + 2) + " {\n";
+    delta_src += "      reg = <" + std::string(hex) + " 0x1000>;\n";
+    delta_src += "    };\n  }\n}\n";
+  }
+  std::vector<delta::DeltaModule> deltas =
+      delta::parse_deltas(delta_src, "synthetic.deltas", diags);
+  spl.line =
+      std::make_unique<delta::ProductLine>(std::move(core), std::move(deltas));
+  return spl;
+}
+
+}  // namespace llhsc::lift

@@ -1,0 +1,25 @@
+// Synthetic product lines for lifted-vs-enumeration benches and tests: n
+// optional independent features f0..f{n-1}, each guarding one delta that
+// adds one device with one reg entry — 2^n products, n singleton components.
+// With `with_overlap`, dev1's region collides with dev0's, so the family
+// has exactly one address-overlap finding under condition dev0 && dev1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "delta/delta.hpp"
+#include "feature/model.hpp"
+
+namespace llhsc::lift {
+
+struct SyntheticSpl {
+  std::unique_ptr<delta::ProductLine> line;
+  feature::FeatureModel model;
+};
+
+/// Builds the n-feature synthetic SPL described above. `n` must be >= 1
+/// (and <= 24 to keep every region inside 32-bit space).
+[[nodiscard]] SyntheticSpl make_synthetic_spl(uint32_t n, bool with_overlap);
+
+}  // namespace llhsc::lift

@@ -292,6 +292,14 @@ std::shared_ptr<const CheckArtifact> ArtifactStore::cross_check(
       was_hit, &StoreStats::cross_checks);
 }
 
+std::shared_ptr<const CheckArtifact> ArtifactStore::lifted_check(
+    uint64_t key, const std::function<CheckArtifact()>& build, bool* was_hit) {
+  return get_or_build<CheckArtifact>(
+      checks_, key,
+      [&]() { return std::make_shared<const CheckArtifact>(build()); },
+      was_hit, &StoreStats::lifted_checks);
+}
+
 std::shared_ptr<const GraphArtifact> ArtifactStore::graph(
     uint64_t tree_key, const std::shared_ptr<const dts::Tree>& source,
     bool* was_hit) {

@@ -68,6 +68,7 @@ struct StoreStats {
   uint64_t unit_checks = 0;   // per-unit checker runs actually executed
   uint64_t graph_builds = 0;  // device-graph IR builds actually executed
   uint64_t cross_checks = 0;  // cross-unit graph analyses actually executed
+  uint64_t lifted_checks = 0;  // family-based lifted analyses actually executed
 };
 
 /// One parsed DTS with its include dependency edges.
@@ -192,6 +193,13 @@ class ArtifactStore {
   /// cache as unit_check, but counted as `cross_checks` so the per-unit
   /// incrementality evidence (`unit_checks`) stays a pure per-unit count.
   std::shared_ptr<const CheckArtifact> cross_check(
+      uint64_t key, const std::function<CheckArtifact()>& build,
+      bool* was_hit = nullptr);
+  /// A family-based lifted verdict (src/lift): one analysis covers every
+  /// configuration, cached under the composed family key (core + every
+  /// delta module + model + options). Same cache as unit_check, counted as
+  /// `lifted_checks`.
+  std::shared_ptr<const CheckArtifact> lifted_check(
       uint64_t key, const std::function<CheckArtifact()>& build,
       bool* was_hit = nullptr);
   /// Builds (or reuses) the device graph of the tree whose content key is

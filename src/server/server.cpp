@@ -96,6 +96,8 @@ SessionRequest session_request_from(const Json& params) {
   }
   r.check_platform = params.at("check_platform").as_bool(false);
   r.check_allocation = params.at("check_allocation").as_bool(false);
+  r.check_lifted = params.at("check_lifted").as_bool(false);
+  r.lifted_max_configs = params.at("lifted_max_configs").as_uint(8);
   for (const Json& f : params.at("exclusive").items()) {
     r.exclusive.push_back(f.as_string());
   }
@@ -150,6 +152,7 @@ Json store_stats_json(const StoreStats& s) {
   j.set("unit_checks", Json::unsigned_integer(s.unit_checks));
   j.set("graph_builds", Json::unsigned_integer(s.graph_builds));
   j.set("cross_checks", Json::unsigned_integer(s.cross_checks));
+  j.set("lifted_checks", Json::unsigned_integer(s.lifted_checks));
   return j;
 }
 

@@ -4,6 +4,7 @@
 
 #include "checkers/graph/rules.hpp"
 #include "checkers/resource_allocation.hpp"
+#include "lift/lift.hpp"
 #include "dts/printer.hpp"
 #include "schema/builtin_schemas.hpp"
 #include "schema/yaml_lite.hpp"
@@ -27,6 +28,7 @@ StoreStats stats_delta(const StoreStats& before, const StoreStats& after) {
   d.unit_checks = after.unit_checks - before.unit_checks;
   d.graph_builds = after.graph_builds - before.graph_builds;
   d.cross_checks = after.cross_checks - before.cross_checks;
+  d.lifted_checks = after.lifted_checks - before.lifted_checks;
   return d;
 }
 
@@ -159,6 +161,66 @@ SessionOutcome run_session_check(const SessionRequest& request,
     unit.errors = checkers::error_count(alloc->findings);
     unit.warnings = alloc->findings.size() - unit.errors;
     unit.report = checkers::render(alloc->findings);
+    out.units.push_back(std::move(unit));
+  }
+
+  // -- Lifted family analysis: one unit whose verdict covers EVERY
+  // configuration. The key composes the core, every delta module in
+  // declaration order (the family depends on all of them — there is no
+  // per-product subset to scope to), the model, and the lifted options, so
+  // editing any input re-runs exactly one family analysis and everything
+  // else stays cached.
+  if (request.check_lifted) {
+    if (request.model_source.empty()) {
+      out.error_text += "check_lifted requires a feature model\n";
+      out.exit_code = 2;
+      return finish();
+    }
+    auto model = store.model(request.model_source, request.model_name);
+    if (model->parse_errors || model->model == nullptr) {
+      out.error_text += model->diagnostics_text;
+      out.exit_code = 1;
+      return finish();
+    }
+    std::ostringstream ks;
+    ks << request.backend << '\n' << request.lifted_max_configs << '\n';
+    for (const std::string& name : request.exclusive) ks << name << ' ';
+    uint64_t lifted_key =
+        fnv_combine(support::fnv1a64(ks.str()), 0x6c696674u /*"lift"*/);
+    lifted_key = fnv_combine(lifted_key, pl->key);
+    lifted_key = fnv_combine(lifted_key, model->key);
+    SessionUnitResult unit;
+    unit.name = "*lifted*";
+    auto verdict = store.lifted_check(
+        lifted_key,
+        [&]() {
+          CheckArtifact art;
+          art.key = lifted_key;
+          lift::LiftOptions opts;
+          opts.backend = request.backend == "z3" ? smt::Backend::kZ3
+                         : request.backend == "portfolio"
+                             ? smt::Backend::kPortfolio
+                             : smt::Backend::kBuiltin;
+          opts.max_configs = request.lifted_max_configs;
+          opts.exclusive_features = request.exclusive;
+          support::DiagnosticEngine diags;
+          lift::LiftedResult lifted = lift::check_family(
+              *pl->product_line, *model->model, opts, diags);
+          art.findings = lift::flatten(lifted);
+          if (!lifted.ok) {
+            checkers::Finding refused;
+            refused.kind = checkers::FindingKind::kDeriveFailure;
+            refused.subject = "*lifted*";
+            refused.message =
+                "lifted analysis incomplete or refused: " + diags.render();
+            art.findings.push_back(std::move(refused));
+          }
+          return art;
+        },
+        &unit.check_cache_hit);
+    unit.errors = checkers::error_count(verdict->findings);
+    unit.warnings = verdict->findings.size() - unit.errors;
+    unit.report = checkers::render(verdict->findings);
     out.units.push_back(std::move(unit));
   }
 

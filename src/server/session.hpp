@@ -53,6 +53,14 @@ struct SessionRequest {
   bool check_platform = false;
   /// Run the resource-allocation check over all products (needs a model).
   bool check_allocation = false;
+  /// Run the family-based lifted analysis over the WHOLE product line in
+  /// one solver conversation (needs a model; docs/lifting.md). The verdict
+  /// is one "*lifted*" unit covering every configuration, cached under the
+  /// composed key of core + every delta module + model + options, so an
+  /// edit to any of them re-runs exactly one family analysis.
+  bool check_lifted = false;
+  /// Cap on each lifted finding's configuration-class expansion.
+  uint64_t lifted_max_configs = 8;
   std::vector<std::string> exclusive;  // exclusive feature names
 
   std::string backend = "builtin";

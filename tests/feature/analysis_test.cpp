@@ -188,6 +188,26 @@ TEST_P(AnalysisTest, RunningExampleEnumerationMatchesBruteForce) {
   EXPECT_EQ(brute, 12u);
 }
 
+TEST_P(AnalysisTest, CappedEnumerationReportsTruncation) {
+  FeatureModel m = running_example_model();
+  smt::Solver solver(GetParam());
+  // 12 products: a cap of 5 is hit with products left over...
+  uint64_t streamed = 0;
+  bool capped = false;
+  uint64_t n = enumerate_products(
+      m, solver, [&](const Selection&) { ++streamed; return true; }, 5,
+      &capped);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(streamed, 5u);
+  EXPECT_TRUE(capped);
+  // ...while a cap of exactly 12 drains the family and is NOT flagged.
+  capped = true;
+  n = enumerate_products(
+      m, solver, [&](const Selection&) { return true; }, 12, &capped);
+  EXPECT_EQ(n, 12u);
+  EXPECT_FALSE(capped);
+}
+
 TEST_P(AnalysisTest, RunningExampleCrossConstraintsEnforced) {
   FeatureModel m = running_example_model();
   smt::Solver solver(GetParam());

@@ -255,5 +255,64 @@ TEST(Session, AllocationRequiresModel) {
   EXPECT_NE(out.error_text.find("feature model"), std::string::npos);
 }
 
+constexpr const char* kLiftedModel =
+    "model T {\n"
+    "  fa;\n"
+    "  fb;\n"
+    "}\n";
+
+SessionRequest lifted_request() {
+  SessionRequest r = base_request();
+  r.products.clear();
+  r.model_source = kLiftedModel;
+  r.model_name = "t.fm";
+  r.check_lifted = true;
+  return r;
+}
+
+TEST(SessionLifted, RequiresModel) {
+  ArtifactStore store;
+  SessionRequest request = base_request();
+  request.check_lifted = true;
+  SessionOutcome out = run_session_check(request, store);
+  EXPECT_EQ(out.exit_code, 2);
+  EXPECT_NE(out.error_text.find("feature model"), std::string::npos);
+}
+
+TEST(SessionLifted, FamilyVerdictIsOneCachedUnit) {
+  ArtifactStore store;
+  SessionOutcome cold = run_session_check(lifted_request(), store);
+  EXPECT_EQ(cold.exit_code, 0) << cold.error_text;
+  ASSERT_EQ(cold.units.size(), 1u);
+  EXPECT_EQ(cold.units[0].name, "*lifted*");
+  EXPECT_FALSE(cold.units[0].check_cache_hit);
+  EXPECT_EQ(cold.cost.lifted_checks, 1u);
+  // No product is ever derived or individually checked.
+  EXPECT_EQ(cold.cost.derives, 0u);
+  EXPECT_EQ(cold.cost.unit_checks, 0u);
+
+  SessionOutcome warm = run_session_check(lifted_request(), store);
+  ASSERT_EQ(warm.units.size(), 1u);
+  EXPECT_TRUE(warm.units[0].check_cache_hit);
+  EXPECT_EQ(warm.cost.lifted_checks, 0u);
+}
+
+TEST(SessionLifted, EditingAnyDeltaInvalidatesTheFamilyVerdict) {
+  ArtifactStore store;
+  (void)run_session_check(lifted_request(), store);
+  SessionRequest edited = lifted_request();
+  edited.deltas_source =
+      "delta da when fa {\n"
+      "    modifies uart@20000000 { clock-frequency = <2000000>; }\n"
+      "}\n"
+      "delta db when fb {\n"
+      "    modifies memory@40000000 { status = \"okay\"; }\n"
+      "}\n";
+  SessionOutcome out = run_session_check(edited, store);
+  ASSERT_EQ(out.units.size(), 1u);
+  EXPECT_FALSE(out.units[0].check_cache_hit);
+  EXPECT_EQ(out.cost.lifted_checks, 1u);
+}
+
 }  // namespace
 }  // namespace llhsc::server

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Benchmark smoke for lifted family-based checking (PR9): runs bench_lift's
+# lifted-vs-enumeration rows on the synthetic SPL and composes
+# BENCH_pr9.json. Fails unless the lifted check of the 2^12-product family
+# is >=5x faster than enumerating and checking every product, the one-shot
+# differential confirmed the verdicts identical over all 4096 products, and
+# the 2^20 family completed without enumeration (patterns stay linear in n).
+# Usage: bench_pr9.sh <build-dir> [out.json]
+set -eu
+
+BUILD="$1"
+OUT="${2:-BENCH_pr9.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_lift" \
+    --benchmark_filter='BM_(Lifted|Enumerated)Family' \
+    --benchmark_format=json > "$TMP/lift.json"
+
+python3 - "$TMP/lift.json" "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+rows = []
+for b in report.get("benchmarks", []):
+    rows.append({
+        "name": b["name"],
+        "label": b.get("label", ""),
+        "real_time_ms": b["real_time"] * TO_MS[b.get("time_unit", "ns")],
+        "ok": int(b.get("ok", -1)),
+        "findings": int(b.get("findings", -1)),
+        "components": int(b.get("components", -1)),
+        "patterns": int(b.get("patterns", -1)),
+        "differential_equal": int(b.get("differential_equal", -1)),
+        "differential_products": int(b.get("differential_products", -1)),
+        "products": int(b.get("products", -1)),
+    })
+
+by_label = {r["label"]: r for r in rows}
+lifted = by_label.get("lifted-2^12", {})
+enum_ = by_label.get("enumerated-2^12", {})
+large = by_label.get("lifted-2^20", {})
+speedup = (enum_.get("real_time_ms", 0) / lifted["real_time_ms"]
+           if lifted.get("real_time_ms") else 0.0)
+
+result = {
+    "pr": 9,
+    "workload": "synthetic SPL (n independent optional features, one "
+                "device delta each, dev1 overlapping dev0): lifted "
+                "family check vs full product enumeration",
+    "context": report.get("context", {}),
+    "rows": rows,
+    "summary": {
+        "lifted_2p12_ms": lifted.get("real_time_ms"),
+        "enumerated_2p12_ms": enum_.get("real_time_ms"),
+        "lifted_speedup": round(speedup, 1),
+        "lifted_speedup_at_least_5x": speedup >= 5.0,
+        "differential_equal_over_4096_products":
+            lifted.get("differential_equal") == 1,
+        "lifted_2p20_ms": large.get("real_time_ms"),
+        "lifted_2p20_patterns": large.get("patterns"),
+    },
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+if speedup < 5.0:
+    sys.exit(f"lifted family check is only {speedup:.1f}x faster than "
+             "enumeration, expected >=5x")
+if lifted.get("differential_equal") != 1:
+    sys.exit("lifted verdicts did not match per-product enumeration over "
+             "the 2^12 family")
+if lifted.get("differential_products") != 4096:
+    sys.exit("differential covered "
+             f"{lifted.get('differential_products')} products, expected "
+             "all 4096")
+if large.get("ok") != 1:
+    sys.exit("2^20 family analysis did not complete ok")
+if not 0 < large.get("patterns", 0) <= 64:
+    sys.exit(f"2^20 family needed {large.get('patterns')} activation "
+             "patterns — expected linear in n (<=64), not enumeration")
+for r in rows:
+    if r["ok"] == 0:
+        sys.exit(f"{r['name']} reported a refused (not-ok) analysis")
+EOF
+
+echo "wrote $OUT"

@@ -64,6 +64,8 @@
 #include "feature/configurator.hpp"
 #include "feature/multivm.hpp"
 #include "feature/text_format.hpp"
+#include "lift/differential.hpp"
+#include "lift/lift.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/obs.hpp"
 #include "schema/builtin_schemas.hpp"
@@ -289,8 +291,79 @@ int usage_check() {
                "[--no-crossref] [--no-graph] [--disable-rule id,...] "
                "[--rule-severity id=error|warning,...] "
                "[--baseline file] [--no-plan] [--cache-dir dir] [--stats] "
-               "[--socket sock] [--profile file]\n";
+               "[--socket sock] [--profile file]\n"
+               "       llhsc check <core.dts> --lifted --deltas <f.deltas> "
+               "--model <f.fm> [--backend b] [--exclusive f1,f2,...] "
+               "[--max-configs N] [--differential N] [--stats]\n";
   return 2;
+}
+
+/// `llhsc check --lifted`: family-based checking of core+deltas+model in one
+/// solver conversation (docs/lifting.md). Exit 1 on findings with error
+/// severity or a refused/incomplete family, 0 otherwise.
+int run_lifted_check(const ParsedFlags& args) {
+  if (!args.has("deltas") || !args.has("model")) {
+    std::cerr << "--lifted needs --deltas and --model\n";
+    return 2;
+  }
+  const std::string core_path = args.positional[0];
+  auto core_text = read_file(core_path);
+  auto delta_text = read_file(args.value("deltas"));
+  auto model_text = read_file(args.value("model"));
+  if (!core_text || !delta_text || !model_text) {
+    std::cerr << "cannot open core, deltas, or model file\n";
+    return 2;
+  }
+  support::DiagnosticEngine diags;
+  dts::SourceManager sm;
+  size_t slash = core_path.find_last_of('/');
+  sm.set_base_directory(slash == std::string::npos
+                            ? "."
+                            : core_path.substr(0, slash));
+  auto core = dts::parse_dts(*core_text, core_path, sm, diags);
+  auto deltas = delta::parse_deltas(*delta_text, args.value("deltas"), diags);
+  auto model =
+      feature::parse_model(*model_text, args.value("model"), diags);
+  if (core == nullptr || !model || diags.has_errors()) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  delta::ProductLine line(std::move(core), std::move(deltas));
+
+  lift::LiftOptions opts;
+  opts.backend = backend_from(args);
+  opts.max_configs = args.uint_value("max-configs", 8);
+  for (const std::string& f : support::split(args.value("exclusive"), ',')) {
+    auto t = support::trim(f);
+    if (!t.empty()) opts.exclusive_features.emplace_back(t);
+  }
+  lift::LiftedResult result = lift::check_family(line, *model, opts, diags);
+  std::cerr << diags.render();
+  checkers::Findings flat = lift::flatten(result);
+  std::cout << checkers::render(flat);
+  if (args.has("stats")) {
+    std::cerr << "family: " << result.components << " components, "
+              << result.patterns << " patterns, " << result.slices
+              << " slices, " << result.obligations << " obligations, "
+              << result.solver_checks << " solver checks\n";
+  }
+  if (args.has("differential")) {
+    lift::DifferentialOptions dopts;
+    dopts.max_products = args.uint_value("differential", 4096);
+    lift::DifferentialReport report = lift::compare_with_enumeration(
+        line, *model, result, opts, dopts);
+    for (const checkers::Finding& note : report.notes) {
+      std::cerr << "note: " << note.message << "\n";
+    }
+    std::cerr << "differential: " << report.products << " products, "
+              << (report.equal ? "equal" : "MISMATCH") << "\n";
+    for (const std::string& m : report.mismatches) {
+      std::cerr << "  " << m << "\n";
+    }
+    if (!report.equal) return 1;
+  }
+  if (!result.ok) return 1;
+  return checkers::error_count(flat) > 0 ? 1 : 0;
 }
 
 int cmd_check(int argc, char** argv) {
@@ -313,11 +386,18 @@ int cmd_check(int argc, char** argv) {
       {"cache-dir"},
       {"socket", FlagKind::kString, "serve"},
       {"profile"},
+      {"lifted", FlagKind::kBool},
+      {"deltas"},
+      {"model"},
+      {"exclusive"},
+      {"max-configs", FlagKind::kUint},
+      {"differential", FlagKind::kUint},
   };
   auto parsed = parse_or_report(kFlags, argc, argv);
   if (!parsed) return usage_check();
   const ParsedFlags& args = *parsed;
   if (args.positional.empty()) return usage_check();
+  if (args.has("lifted")) return run_lifted_check(args);
   // Fast-fail validation in the CLI's historical order (format, then rule
   // lists, then I/O); run_check re-validates, but by then these are clean.
   const std::string format = args.value("format", "text");
@@ -566,7 +646,10 @@ feature::FeatureModel model_from(const ParsedFlags& args) {
 
 int cmd_products(int argc, char** argv) {
   static const std::vector<FlagSpec> kFlags = {
-      {"model"}, {"count-only", FlagKind::kBool}, {"backend"},
+      {"model"},
+      {"count-only", FlagKind::kBool},
+      {"backend"},
+      {"max-products", FlagKind::kUint},
   };
   auto parsed = parse_or_report(kFlags, argc, argv);
   if (!parsed) return 2;
@@ -577,19 +660,30 @@ int cmd_products(int argc, char** argv) {
     std::cout << feature::count_products(model, solver) << "\n";
     return 0;
   }
+  // Products stream through the callback — a 2^20 family never materialises
+  // more than one Selection. The cap turns "enumerate everything" into a
+  // bounded sample with an explicit truncation warning.
   uint64_t n = 0;
-  feature::enumerate_products(model, solver, [&](const feature::Selection& sel) {
-    std::cout << "product " << ++n << ":";
-    for (uint32_t i = 0; i < model.size(); ++i) {
-      const feature::Feature& f = model.feature(feature::FeatureId{i});
-      if (sel[i] && !f.abstract_feature && f.children.empty()) {
-        std::cout << ' ' << f.name;
-      }
-    }
-    std::cout << "\n";
-    return true;
-  });
+  bool capped = false;
+  feature::enumerate_products(
+      model, solver,
+      [&](const feature::Selection& sel) {
+        std::cout << "product " << ++n << ":";
+        for (uint32_t i = 0; i < model.size(); ++i) {
+          const feature::Feature& f = model.feature(feature::FeatureId{i});
+          if (sel[i] && !f.abstract_feature && f.children.empty()) {
+            std::cout << ' ' << f.name;
+          }
+        }
+        std::cout << "\n";
+        return true;
+      },
+      args.uint_value("max-products", UINT64_MAX), &capped);
   std::cout << n << " valid products\n";
+  if (capped) {
+    std::cerr << "warning: enumeration-capped: stopped at --max-products="
+              << n << " with more valid products remaining\n";
+  }
   return 0;
 }
 
@@ -751,13 +845,16 @@ int usage() {
                "                     text|json|sarif, --no-crossref, --no-graph,\n"
                "                     --disable-rule, --rule-severity,\n"
                "                     --baseline <file>, --socket <sock>,\n"
-               "                     --profile <file>; see docs/rules.md)\n"
+               "                     --profile <file>; see docs/rules.md);\n"
+               "                     --lifted checks a whole product line\n"
+               "                     (--deltas, --model; docs/lifting.md)\n"
                "  generate           derive a product from a DTS product line\n"
                "  demo               run the paper's running example (--jobs N,\n"
                "                     --solver-timeout-ms N, --trace-json <file>,\n"
                "                     --verbose, --no-plan, --cache-dir <dir>,\n"
                "                     --profile <file>)\n"
-               "  products           enumerate products (--model <f.fm>)\n"
+               "  products           enumerate products (--model <f.fm>,\n"
+               "                     --max-products N)\n"
                "  analyze            feature-model analyses (--model <f.fm>)\n"
                "  allocate           VM allocation feasibility (--model, \n"
                "                     --exclusive f1,f2, --vms N)\n"
