@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "obs/obs.hpp"
+#include "support/file_lock.hpp"
 
 namespace llhsc::smt {
 
@@ -243,6 +244,14 @@ std::optional<QueryCache::Entry> QueryCache::lookup_uncounted(
 void QueryCache::store(const std::string& canonical_text, const Entry& entry) {
   if (!enabled_ || entry.result == CheckResult::kUnknown) return;
   const std::string path = entry_path(query_fingerprint(canonical_text));
+  // Single-writer discipline for the cross-process shared cache: the rename
+  // below is already atomic (readers never see a torn entry and stay
+  // lock-free), so the flock's job is to serialise concurrent daemon workers
+  // publishing the same directory — and, being kernel-owned, it is released
+  // automatically if the holder is kill -9'd mid-write
+  // (tools/check_crash_recovery.sh asserts that release).
+  const support::FileLock writer_lock =
+      support::FileLock::exclusive(version_dir_ + "/.writer.lock");
   static std::atomic<uint64_t> write_counter{0};
   const std::string tmp =
       path + ".tmp" + std::to_string(write_counter.fetch_add(1)) + "-" +

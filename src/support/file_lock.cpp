@@ -1,0 +1,63 @@
+#include "support/file_lock.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace llhsc::support {
+
+namespace {
+
+int open_and_flock(const std::string& path, int operation) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) return -1;
+  int rc;
+  do {
+    rc = ::flock(fd, operation);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+FileLock FileLock::exclusive(const std::string& path) {
+  FileLock lock;
+  lock.fd_ = open_and_flock(path, LOCK_EX);
+  return lock;
+}
+
+FileLock FileLock::try_exclusive(const std::string& path) {
+  FileLock lock;
+  lock.fd_ = open_and_flock(path, LOCK_EX | LOCK_NB);
+  return lock;
+}
+
+FileLock::~FileLock() { unlock(); }
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    unlock();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileLock::unlock() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // releases the flock
+    fd_ = -1;
+  }
+}
+
+}  // namespace llhsc::support

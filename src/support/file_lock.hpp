@@ -1,0 +1,47 @@
+// RAII advisory file lock over flock(2). The multi-process daemon uses it
+// for single-writer discipline on shared on-disk stores (the qc1 query
+// cache): writers serialise on a sidecar `.lock` file while readers stay
+// lock-free — the stores already publish entries with atomic renames, so a
+// reader can never observe a torn entry; the lock only stops two writers
+// from wasting work on the same entry and gives crash recovery a clean
+// story. flock locks are owned by the open file description: a `kill -9`'d
+// holder releases the lock the moment the kernel closes its fds, so a dead
+// worker can never wedge the cache (asserted by tools/check_crash_recovery.sh
+// via try_exclusive()).
+#pragma once
+
+#include <string>
+
+namespace llhsc::support {
+
+class FileLock {
+ public:
+  /// An unlocked, detached lock.
+  FileLock() = default;
+
+  /// Opens (creating if absent) `path` and blocks until an exclusive
+  /// advisory lock is granted. locked() is false only if the open itself
+  /// failed — callers treat that as "proceed unlocked", matching the cache's
+  /// best-effort write discipline.
+  [[nodiscard]] static FileLock exclusive(const std::string& path);
+
+  /// Non-blocking variant: locked() is false when another process holds the
+  /// lock (or the open failed).
+  [[nodiscard]] static FileLock try_exclusive(const std::string& path);
+
+  ~FileLock();
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  [[nodiscard]] bool locked() const { return fd_ >= 0; }
+
+  /// Releases early (idempotent).
+  void unlock();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace llhsc::support

@@ -1,0 +1,140 @@
+// The public API surface, exercised exactly as an external embedder would:
+// only <api/llhsc.hpp> is included (tools/check_api_includes.sh pins the
+// include graph to std-only), version macros gate compilation, error codes
+// round-trip through their wire names, and the check/session entry points
+// honour the byte-identity and incrementality contracts of docs/api.md.
+#include "api/llhsc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace llhsc::api {
+namespace {
+
+static_assert(LLHSC_API_VERSION == 200,
+              "this test suite pins API generation 2.0");
+static_assert(LLHSC_API_VERSION_MAJOR == 2 && LLHSC_API_VERSION_MINOR == 0);
+#if LLHSC_API_VERSION < 200
+#error "the composite macro must be usable in preprocessor conditionals"
+#endif
+
+constexpr const char* kCleanBoard = R"(/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    uart0: uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+};
+)";
+
+constexpr const char* kClashingBoard = R"(/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x1000000>; };
+    uart@40000000 { compatible = "ns16550a"; reg = <0x40000000 0x1000>; };
+};
+)";
+
+CheckRequest board_request(const char* source) {
+  CheckRequest request;
+  request.path = "board.dts";
+  request.source = source;
+  return request;
+}
+
+TEST(ApiSurface, ErrorCodesRoundTripTheirWireNames) {
+  const ErrorCode all[] = {
+      ErrorCode::kOk,           ErrorCode::kFindings,
+      ErrorCode::kUsage,        ErrorCode::kBadRequest,
+      ErrorCode::kTooLarge,     ErrorCode::kOverloaded,
+      ErrorCode::kQuotaExceeded, ErrorCode::kShuttingDown,
+      ErrorCode::kDeadlineExceeded, ErrorCode::kWorkerFailed,
+  };
+  for (ErrorCode code : all) {
+    EXPECT_EQ(error_code_from_wire(error_code_name(code)), code)
+        << error_code_name(code);
+  }
+  // Unknown wire strings classify conservatively as caller error.
+  EXPECT_EQ(error_code_from_wire("no_such_code"), ErrorCode::kUsage);
+
+  EXPECT_EQ(exit_code_of(ErrorCode::kOk), 0);
+  EXPECT_EQ(exit_code_of(ErrorCode::kFindings), 1);
+  EXPECT_EQ(exit_code_of(ErrorCode::kUsage), 2);
+  EXPECT_EQ(exit_code_of(ErrorCode::kWorkerFailed), 2);
+  EXPECT_EQ(error_code_of_exit(0), ErrorCode::kOk);
+  EXPECT_EQ(error_code_of_exit(1), ErrorCode::kFindings);
+  EXPECT_EQ(error_code_of_exit(2), ErrorCode::kUsage);
+}
+
+TEST(ApiSurface, RunCheckVerdictsAndStatusClassification) {
+  CheckResult clean = run_check(board_request(kCleanBoard));
+  EXPECT_EQ(clean.exit_code, 0) << clean.error_text;
+  EXPECT_EQ(clean.status, ErrorCode::kOk);
+  EXPECT_EQ(clean.errors, 0u);
+  EXPECT_FALSE(clean.output.empty());
+
+  CheckResult clash = run_check(board_request(kClashingBoard));
+  EXPECT_EQ(clash.exit_code, 1) << clash.output;
+  EXPECT_EQ(clash.status, ErrorCode::kFindings);
+  EXPECT_GT(clash.errors, 0u) << "the uart/memory overlap must surface";
+}
+
+TEST(ApiSurface, CheckStoreTurnsRepeatsIntoHitsWithIdenticalBytes) {
+  CheckResult oneshot = run_check(board_request(kCleanBoard));
+
+  CheckStore store;
+  CheckResult cold = run_check(board_request(kCleanBoard), store);
+  EXPECT_FALSE(cold.trace.check_cache_hit);
+  CheckResult warm = run_check(board_request(kCleanBoard), store);
+  EXPECT_TRUE(warm.trace.tree_cache_hit);
+  EXPECT_TRUE(warm.trace.check_cache_hit);
+
+  // The store is an accelerator, never a different checker.
+  EXPECT_EQ(cold.output, oneshot.output);
+  EXPECT_EQ(warm.output, oneshot.output);
+  EXPECT_EQ(warm.exit_code, oneshot.exit_code);
+  EXPECT_EQ(warm.error_text, oneshot.error_text);
+
+  StoreStats stats = store.stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.unit_checks, 1u);
+  EXPECT_EQ(stats.unit_checks, 1u) << "the warm run must not re-check";
+}
+
+TEST(ApiSurface, RunSessionReportsIncrementalCost) {
+  SessionRequest request;
+  request.core_source = kCleanBoard;
+  request.core_name = "core.dts";
+  request.deltas_source =
+      "delta da when fa {\n"
+      "    modifies uart@20000000 { clock-frequency = <1000000>; }\n"
+      "}\n";
+  request.deltas_name = "t.deltas";
+  request.products.push_back({"pa", {"fa"}});
+
+  CheckStore store;
+  SessionResult cold = run_session(request, store);
+  EXPECT_EQ(cold.exit_code, 0) << cold.error_text;
+  EXPECT_EQ(cold.status, ErrorCode::kOk);
+  ASSERT_EQ(cold.units.size(), 1u);
+  EXPECT_EQ(cold.units[0].name, "pa");
+  EXPECT_EQ(cold.cost.derives, 1u);
+  EXPECT_EQ(cold.cost.unit_checks, 1u);
+
+  SessionResult warm = run_session(request, store);
+  EXPECT_EQ(warm.exit_code, 0) << warm.error_text;
+  ASSERT_EQ(warm.units.size(), 1u);
+  EXPECT_TRUE(warm.units[0].composed_cache_hit);
+  EXPECT_TRUE(warm.units[0].check_cache_hit);
+  EXPECT_EQ(warm.cost.derives, 0u) << "warm session must not re-derive";
+  EXPECT_EQ(warm.cost.unit_checks, 0u);
+  EXPECT_EQ(warm.units[0].report, cold.units[0].report);
+}
+
+TEST(ApiSurface, ProtocolVersionMatchesTheApiGeneration) {
+  EXPECT_EQ(protocol_version(), 2);
+  EXPECT_EQ(protocol_version(), LLHSC_API_VERSION_MAJOR);
+}
+
+}  // namespace
+}  // namespace llhsc::api

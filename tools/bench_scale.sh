@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Horizontal-scaling gate for the PR10 worker-pool daemon: drives a
+# 1-worker and a 4-worker llhscd with the bench_scale client load (8
+# concurrent clients, solver-backed, cache-defeating check requests) in
+# interleaved rounds, pools the per-leg best throughput (the pooled-min
+# wall-clock estimator of tools/bench_lib.sh), and composes
+# BENCH_pr10.json. On a >=4-CPU host the multi-worker leg must be >=2x the
+# 1-worker leg; on smaller hosts (CI containers are often 1-CPU) the
+# numbers are still recorded but the ratio gate is not enforced —
+# forked workers cannot beat one worker without cores to run on.
+# Every request of every round must be served with zero failures
+# regardless of host size; that part always gates.
+# Usage: bench_scale.sh <build-dir> [out.json]
+set -eu
+
+BUILD="$1"
+OUT="${2:-BENCH_pr10.json}"
+TMP="$(mktemp -d)"
+ROUNDS=3
+CLIENTS=8
+REQUESTS=6
+MULTI_WORKERS=4
+
+# shellcheck source=bench_lib.sh
+. "$(dirname "$0")/bench_lib.sh"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+    for pid in "${PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# Both daemons stay up for the whole run so the interleaved rounds hit
+# warm, directly comparable processes.
+start_daemon() {
+    local leg="$1" workers="$2"
+    "$BUILD/tools/llhscd" --socket "$TMP/$leg.sock" --workers "$workers" \
+        --jobs 1 --log-file "$TMP/$leg.log" &
+    PIDS+=("$!")
+    for _ in $(seq 1 200); do
+        [ -S "$TMP/$leg.sock" ] && return 0
+        sleep 0.05
+    done
+    echo "[$leg] daemon never bound its socket" >&2
+    exit 1
+}
+start_daemon w1 1
+start_daemon "w$MULTI_WORKERS" "$MULTI_WORKERS"
+
+# Interleaved rounds: w1, wN, w1, wN ... Each round gets a distinct --tag
+# so no request body ever repeats and no cache layer can serve a verdict.
+tag=0
+for round in $(seq 1 "$ROUNDS"); do
+    for leg in w1 "w$MULTI_WORKERS"; do
+        tag=$((tag + 1))
+        "$BUILD/bench/bench_scale" --socket "$TMP/$leg.sock" \
+            --clients "$CLIENTS" --requests "$REQUESTS" --tag "$tag" \
+            > "$TMP/$leg-$round.json" \
+            || { echo "[$leg round $round] load driver reported failures" >&2
+                 cat "$TMP/$leg-$round.json" >&2
+                 exit 1; }
+    done
+done
+
+python3 - "$TMP" "$OUT" "$ROUNDS" "$CLIENTS" "$REQUESTS" \
+    "$MULTI_WORKERS" <<'EOF'
+import json, os, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+rounds, clients, requests = int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+multi = int(sys.argv[6])
+cpus = os.cpu_count() or 1
+expected = clients * requests
+
+rows = []
+best = {}
+for leg in ("w1", f"w{multi}"):
+    for rnd in range(1, rounds + 1):
+        with open(os.path.join(tmp, f"{leg}-{rnd}.json")) as f:
+            row = json.load(f)
+        row["leg"], row["round"] = leg, rnd
+        if row["failures"] != 0 or row["served"] != expected:
+            sys.exit(f"[{leg} round {rnd}] {row['served']}/{expected} "
+                     f"served, {row['failures']} failures")
+        rows.append(row)
+        # Pooled minimum wall time == pooled maximum throughput: additive
+        # scheduler noise cannot bias it unless it hits every round.
+        if leg not in best or row["wall_ms"] < best[leg]["wall_ms"]:
+            best[leg] = row
+
+speedup = best[f"w{multi}"]["rps"] / best["w1"]["rps"]
+gate_enforced = cpus >= 4
+result = {
+    "pr": 10,
+    "workload": f"{clients} concurrent clients x {requests} cache-defeating "
+                "solver-backed check requests over the Unix socket, "
+                f"1-worker vs {multi}-worker llhscd (--jobs 1 each), "
+                f"{rounds} interleaved rounds, pooled-best throughput",
+    "context": {"num_cpus": cpus},
+    "rows": rows,
+    "summary": {
+        "w1_best_rps": round(best["w1"]["rps"], 3),
+        f"w{multi}_best_rps": round(best[f"w{multi}"]["rps"], 3),
+        "multi_worker_speedup": round(speedup, 2),
+        "gate_enforced": gate_enforced,
+        "gate_threshold": 2.0,
+    },
+}
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(f"w1 {best['w1']['rps']:.1f} rps, w{multi} "
+      f"{best[f'w{multi}']['rps']:.1f} rps, speedup {speedup:.2f}x "
+      f"({cpus} cpus, gate {'ON' if gate_enforced else 'off'})")
+if gate_enforced and speedup < 2.0:
+    sys.exit(f"multi-worker speedup {speedup:.2f}x < 2.0x on a "
+             f"{cpus}-cpu host")
+EOF
+
+echo "wrote $OUT"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# The public API must be self-owned: a translation unit that includes only
+# <api/llhsc.hpp> must compile on its own and must not drag in any header
+# from src/server/ (or the other internal layers) through the include
+# graph. This is the structural guarantee behind the API stability policy
+# in docs/api.md — internal refactors cannot leak into the public surface.
+# Usage: check_api_includes.sh <src-dir> [c++ compiler]
+set -eu
+
+SRC="$1"
+CXX="${2:-${CXX:-c++}}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/surface.cpp" <<'EOF'
+#include "api/llhsc.hpp"
+
+static_assert(LLHSC_API_VERSION == 200,
+              "public API version drifted without a headline bump");
+
+int main() {
+  llhsc::api::CheckRequest request;
+  request.path = "/dev/null";
+  return llhsc::api::exit_code_of(llhsc::api::ErrorCode::kOk);
+}
+EOF
+
+# 1. Standalone compile: the header needs nothing but the standard library.
+"$CXX" -std=c++20 -I "$SRC" -fsyntax-only -Wall -Werror "$TMP/surface.cpp" \
+    || { echo "api/llhsc.hpp does not compile standalone" >&2; exit 1; }
+
+# 2. Include graph: no internal layer may be reachable from the public
+#    header. -MM lists every non-system header the TU pulls in.
+"$CXX" -std=c++20 -I "$SRC" -MM "$TMP/surface.cpp" > "$TMP/deps.mk"
+for layer in server/ smt/ checks/ core/ support/ obs/; do
+    if grep -q "$layer" "$TMP/deps.mk"; then
+        echo "public header reaches internal layer '$layer':" >&2
+        tr ' ' '\n' < "$TMP/deps.mk" | grep "$layer" >&2
+        exit 1
+    fi
+done
+
+# 3. And the header itself carries no llhsc-internal includes in source
+#    form either (belt and braces against -MM resolution surprises).
+if grep -En '#include *"(server|smt|checks|core|support|obs)/' \
+    "$SRC/api/llhsc.hpp"; then
+    echo "api/llhsc.hpp textually includes an internal header" >&2
+    exit 1
+fi
+
+echo "public API include graph is clean (std-only)"

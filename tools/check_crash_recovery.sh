@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Crash recovery end-to-end: a 2-worker llhscd serves a sustained burst of
+# cached checks while one worker is kill -9'd mid-load. Every request must
+# still be answered — byte-identical to the one-shot CLI, or a clean
+# worker_failed error after the one retry — the supervisor must respawn the
+# worker (healthz alive==2, restarts>=1, death + respawn in the log), the
+# dead worker's flock on the shared qc1 store must be released by the
+# kernel (probed with a non-blocking flock), the store itself must still
+# serve byte-identical warm results, and SIGTERM must still drain cleanly.
+# Usage: check_crash_recovery.sh <llhsc> <llhscd> <examples-data-dir>
+set -eu
+
+LLHSC="$1"
+LLHSCD="$2"
+DATA="$3"
+TMP="$(mktemp -d)"
+SOCK="$TMP/d.sock"
+LOG="$TMP/llhscd.log"
+CACHE="$TMP/cache"
+# d3-truncation.dts is the corpus file whose checks reach the SMT solver,
+# so serving it with --cache-dir exercises the shared on-disk qc1 store
+# (and its flock) from both workers.
+DTS="$DATA/d3-truncation.dts"
+
+DAEMON_PID=""
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+[ -f "$DTS" ] || { echo "missing corpus file $DTS" >&2; exit 1; }
+
+# Reference bytes from the one-shot CLI (its own cache dir: the daemon's
+# shared store must not be able to change the answer, only its latency).
+REF_STATUS=0
+"$LLHSC" check "$DTS" --format json --cache-dir "$TMP/refcache" \
+    > "$TMP/ref.out" 2> "$TMP/ref.err" || REF_STATUS=$?
+
+"$LLHSCD" --socket "$SOCK" --jobs 2 --workers 2 --log-file "$LOG" &
+DAEMON_PID=$!
+for _ in $(seq 1 200); do
+    [ -S "$SOCK" ] && grep -q "listening on" "$LOG" 2>/dev/null && break
+    sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+
+# healthz <sock> <field...>: prints the requested workers.* fields.
+healthz() {
+    python3 - "$@" <<'PYEOF'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.settimeout(10.0)
+s.sendall(b'{"id": 1, "method": "healthz"}\n')
+buf = b""
+while b"\n" not in buf:
+    chunk = s.recv(65536)
+    assert chunk, "daemon closed the healthz connection"
+    buf += chunk
+reply = json.loads(buf.split(b"\n", 1)[0])
+assert reply["ok"] is True, reply
+workers = reply["result"]["workers"]
+for field in sys.argv[2:]:
+    value = workers[field]
+    if isinstance(value, list):
+        print(" ".join(str(v) for v in value))
+    else:
+        print(value)
+PYEOF
+}
+
+# Sustained load: 6 clients x 12 served checks against the shared cache.
+client() {
+    local i="$1" j st
+    for j in $(seq 1 12); do
+        st=0
+        "$LLHSC" check "$DTS" --format json --socket "$SOCK" \
+            --cache-dir "$CACHE" \
+            > "$TMP/c$i.$j.out" 2> "$TMP/c$i.$j.err" || st=$?
+        echo "$st" > "$TMP/c$i.$j.st"
+    done
+}
+CLIENT_PIDS=()
+for i in $(seq 1 6); do
+    client "$i" &
+    CLIENT_PIDS+=("$!")
+done
+
+# Mid-burst, kill -9 one worker (pid taken from healthz, so this also pins
+# the workers.pids surface).
+sleep 0.3
+VICTIM="$(healthz "$SOCK" pids | awk '{print $1}')"
+[ -n "$VICTIM" ] || { echo "healthz reported no worker pids" >&2; exit 1; }
+kill -9 "$VICTIM"
+
+for pid in "${CLIENT_PIDS[@]}"; do
+    wait "$pid" || { echo "a client driver itself failed" >&2; exit 1; }
+done
+
+# Every one of the 72 requests is accounted for: identical bytes, or a
+# clean worker_failed error. Nothing lost, nothing corrupted.
+served=0
+failed_over=0
+for stf in "$TMP"/c*.st; do
+    base="${stf%.st}"
+    st="$(cat "$stf")"
+    if [ "$st" = "$REF_STATUS" ] && cmp -s "$base.out" "$TMP/ref.out"; then
+        served=$((served + 1))
+    elif [ "$st" = 2 ] && grep -q "worker_failed" "$base.err"; then
+        failed_over=$((failed_over + 1))
+    else
+        echo "request $base unaccounted for: exit $st" \
+             "(expected $REF_STATUS + identical bytes, or worker_failed)" >&2
+        sed -n '1,5p' "$base.err" >&2
+        exit 1
+    fi
+done
+[ "$served" -ge 1 ] || { echo "no request was ever served" >&2; exit 1; }
+echo "burst: $served identical, $failed_over clean worker_failed"
+
+# The supervisor noticed the death and respawned: healthz converges back to
+# 2 live workers with at least one restart on record.
+recovered=0
+for _ in $(seq 1 200); do
+    read -r ALIVE RESTARTS <<EOF
+$(healthz "$SOCK" alive restarts | tr '\n' ' ')
+EOF
+    if [ "$ALIVE" = 2 ] && [ "$RESTARTS" -ge 1 ]; then
+        recovered=1
+        break
+    fi
+    sleep 0.05
+done
+[ "$recovered" = 1 ] \
+    || { echo "healthz never showed alive=2 restarts>=1" >&2; exit 1; }
+grep -q "died (status" "$LOG" \
+    || { echo "no worker death recorded in the log" >&2; exit 1; }
+[ "$(grep -c "worker w[0-9]* pid" "$LOG")" -ge 3 ] \
+    || { echo "no respawn recorded in the log" >&2; exit 1; }
+
+# The killed worker's flock must have been released by the kernel: a
+# non-blocking exclusive flock on every writer lock must succeed.
+python3 - "$CACHE" <<'PYEOF'
+import fcntl, glob, sys
+locks = glob.glob(sys.argv[1] + "/qc*/.writer.lock")
+assert locks, "the burst never created a writer lock in the shared cache"
+for path in locks:
+    with open(path, "r+") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        fcntl.flock(handle, fcntl.LOCK_UN)
+print(f"{len(locks)} writer lock(s) free after kill -9")
+PYEOF
+
+# The shared store survived the crash: a warm served check still matches
+# the one-shot CLI byte for byte.
+WARM_STATUS=0
+"$LLHSC" check "$DTS" --format json --socket "$SOCK" --cache-dir "$CACHE" \
+    > "$TMP/warm.out" 2> "$TMP/warm.err" || WARM_STATUS=$?
+[ "$WARM_STATUS" = "$REF_STATUS" ] \
+    || { echo "warm post-crash exit $WARM_STATUS != $REF_STATUS" >&2; exit 1; }
+cmp -s "$TMP/warm.out" "$TMP/ref.out" \
+    || { echo "warm post-crash stdout diverged" >&2; exit 1; }
+
+# And SIGTERM still drains cleanly.
+status=0
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] \
+    || { echo "daemon exited $status on SIGTERM, expected 0" >&2; exit 1; }
+grep -q "drained" "$LOG" \
+    || { echo "no drain handshake after recovery" >&2; exit 1; }
+
+echo "crash recovery held: kill -9 survived, flock released, store intact"

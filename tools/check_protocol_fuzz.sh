@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Protocol fuzz regression (capped): feeds the checked-in seed corpus of
+# malformed / truncated / type-confused / oversized request lines — plus
+# mid-request disconnects and truncated-prefix mutations of every seed — to
+# a live llhscd over both the Unix socket and TCP, in both the in-process
+# and the forked-worker deployment, and asserts the daemon neither crashes
+# nor hangs: every full line gets a well-formed JSON reply (or an explicit
+# connection close), the daemon still answers ping afterwards, and SIGTERM
+# still drains cleanly. Seeds live in tests/server/fuzz_seeds/.
+# Usage: check_protocol_fuzz.sh <llhscd> <seed-dir>
+set -eu
+
+LLHSCD="$1"
+SEEDS="$2"
+TMP="$(mktemp -d)"
+
+DAEMON_PID=""
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+[ -d "$SEEDS" ] || { echo "no seed dir $SEEDS" >&2; exit 1; }
+SEED_COUNT="$(ls "$SEEDS"/*.txt | wc -l)"
+[ "$SEED_COUNT" -ge 10 ] \
+    || { echo "seed corpus too small: $SEED_COUNT files" >&2; exit 1; }
+
+run_leg() {
+    local leg="$1" workers="$2"
+    local sock="$TMP/$leg.sock" log="$TMP/$leg.log"
+    # A small --max-line-bytes so the oversized-line path is cheap to hit.
+    "$LLHSCD" --socket "$sock" --listen 127.0.0.1:0 --jobs 2 \
+        --workers "$workers" --max-line-bytes 65536 --log-file "$log" &
+    DAEMON_PID=$!
+    for _ in $(seq 1 200); do
+        [ -S "$sock" ] && grep -q "listening on" "$log" 2>/dev/null && break
+        sleep 0.05
+    done
+    [ -S "$sock" ] || { echo "[$leg] daemon never bound $sock" >&2; exit 1; }
+    local port
+    port="$(grep -o 'tcp port [0-9]*' "$log" | head -n 1 | grep -o '[0-9]*$')"
+
+    python3 - "$sock" "$port" "$SEEDS" "$leg" <<'PYEOF'
+import glob, json, os, socket, sys, time
+
+sock_path, port, seed_dir, leg = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+
+def connect(transport):
+    if transport == "unix":
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(sock_path)
+    else:
+        s = socket.create_connection(("127.0.0.1", port))
+    s.settimeout(10.0)
+    return s
+
+buffers = {}
+
+def recv_line(s):
+    """One response line (buffered per socket), or None on clean close /
+    "TIMEOUT" on a hang."""
+    data = buffers.get(s, b"")
+    try:
+        while b"\n" not in data:
+            chunk = s.recv(65536)
+            if not chunk:
+                buffers[s] = data
+                return None
+            data += chunk
+    except socket.timeout:
+        buffers[s] = data
+        return "TIMEOUT"
+    line, rest = data.split(b"\n", 1)
+    buffers[s] = rest
+    return line
+
+def assert_ping(transport):
+    s = connect(transport)
+    s.sendall(b'{"id": 424242, "method": "ping"}\n')
+    line = recv_line(s)
+    s.close()
+    assert line not in (None, "TIMEOUT"), f"[{leg}/{transport}] ping lost"
+    reply = json.loads(line)
+    assert reply["ok"] is True and reply["id"] == 424242, reply
+
+failures = []
+seeds = sorted(glob.glob(os.path.join(seed_dir, "*.txt")))
+for transport in ("unix", "tcp"):
+    for path in seeds:
+        raw = open(path, "rb").read()
+        if not raw.endswith(b"\n"):
+            raw += b"\n"
+        # 1. The full seed, followed by a ping probe: the first reply must
+        #    be well-formed JSON (the seed's error, or the probe's pong when
+        #    the seed is skippable, e.g. an empty line) or the daemon may
+        #    close the connection explicitly — never a hang, never death.
+        s = connect(transport)
+        s.sendall(raw + b'{"id": 31337, "method": "ping"}\n')
+        line = recv_line(s)
+        if line == "TIMEOUT":
+            failures.append(f"{transport}:{os.path.basename(path)} hung")
+        elif line is not None:
+            try:
+                reply = json.loads(line)
+                if "ok" not in reply:
+                    failures.append(
+                        f"{transport}:{os.path.basename(path)} malformed reply")
+            except ValueError:
+                failures.append(
+                    f"{transport}:{os.path.basename(path)} non-JSON reply")
+        s.close()
+        # 2. Mid-request disconnect: half the seed, no newline, then close.
+        s = connect(transport)
+        s.sendall(raw[: max(1, len(raw) // 2)].rstrip(b"\n"))
+        s.close()
+    # 3. Oversized line (over the leg's 64 KiB cap) must be rejected as
+    #    too_large and the connection must resync at the newline.
+    s = connect(transport)
+    s.sendall(b"x" * 200000 + b"\n" + b'{"id": 5, "method": "ping"}\n')
+    line = recv_line(s)
+    assert line not in (None, "TIMEOUT"), f"[{leg}/{transport}] too_large lost"
+    reply = json.loads(line)
+    assert reply["ok"] is False and reply["error"]["code"] == "too_large", reply
+    line = recv_line(s)
+    assert line not in (None, "TIMEOUT"), f"[{leg}/{transport}] resync lost"
+    assert json.loads(line)["ok"] is True
+    s.close()
+    # 4. Slow-loris: a request dribbled byte by byte still completes.
+    s = connect(transport)
+    for b in b'{"id": 6, "method": "ping"}\n':
+        s.sendall(bytes([b]))
+    line = recv_line(s)
+    assert line not in (None, "TIMEOUT"), f"[{leg}/{transport}] loris lost"
+    assert json.loads(line)["ok"] is True
+    s.close()
+    # After the barrage the daemon must still serve.
+    assert_ping(transport)
+
+if failures:
+    print("\n".join(failures))
+    sys.exit(1)
+print(f"[{leg}] {len(seeds)} seeds x unix+tcp survived")
+PYEOF
+
+    # Clean drain after the barrage.
+    local status=0
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || status=$?
+    DAEMON_PID=""
+    [ "$status" -eq 0 ] \
+        || { echo "[$leg] daemon exited $status on SIGTERM" >&2; exit 1; }
+    grep -q "drained" "$log" \
+        || { echo "[$leg] no drain handshake after fuzzing" >&2; exit 1; }
+}
+
+run_leg inproc 0
+run_leg workers 2
+
+echo "protocol fuzz pass survived ($SEED_COUNT seeds, 2 deployments, 2 transports)"

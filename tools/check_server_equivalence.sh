@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # The daemon's headline guarantee, enforced end-to-end: for every DTS in the
-# example corpus and every output format, `llhsc check --socket <sock>` must
+# example corpus and every output format, a served `llhsc check` must
 # produce byte-identical stdout, byte-identical stderr and the same exit
 # code as the one-shot `llhsc check` — the daemon is a cache, never a
-# different checker. Also asserts that --profile (on both client and daemon)
-# produces parseable Chrome-trace JSON without disturbing the equivalence.
-# Finishes by SIGTERMing the daemon and requiring a clean drain: exit 0,
-# socket unlinked, the drain handshake in the log.
+# different checker. The guarantee is checked over the full deployment
+# matrix: the in-process default, then {Unix socket, TCP} x {1, 4 worker
+# processes}. The default leg also asserts that --profile (on both client
+# and daemon) produces parseable Chrome-trace JSON without disturbing the
+# equivalence. Every leg finishes by SIGTERMing the daemon and requiring a
+# clean drain: exit 0, socket unlinked, the drain handshake in the log.
+#
+# LLHSC_EQUIV_MATRIX=0 skips the worker/TCP legs (the TSan CI leg runs only
+# the in-process default: TSan cannot follow a fork that starts threads).
 # Usage: check_server_equivalence.sh <llhsc> <llhscd> <examples-data-dir> [log]
 set -eu
 
@@ -15,82 +20,126 @@ LLHSCD="$2"
 DATA="$3"
 TMP="$(mktemp -d)"
 LOG="${4:-$TMP/llhscd.log}"
-SOCK="$TMP/d.sock"
+MATRIX="${LLHSC_EQUIV_MATRIX:-1}"
 
+DAEMON_PID=""
 cleanup() {
-    [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
     rm -rf "$TMP"
 }
 trap cleanup EXIT
 
+SOCK=""
+TCP_PORT=""
+LEG_LOG=""
+
+# start_daemon <leg-name> <workers> [extra llhscd args...]
+start_daemon() {
+    local leg="$1" workers="$2"
+    shift 2
+    SOCK="$TMP/$leg.sock"
+    LEG_LOG="$TMP/$leg.log"
+    "$LLHSCD" --socket "$SOCK" --listen 127.0.0.1:0 --jobs 2 \
+        --workers "$workers" --log-file "$LEG_LOG" "$@" &
+    DAEMON_PID=$!
+    for _ in $(seq 1 200); do
+        [ -S "$SOCK" ] && grep -q "listening on" "$LEG_LOG" 2>/dev/null && break
+        sleep 0.05
+    done
+    [ -S "$SOCK" ] || { echo "[$leg] daemon never bound $SOCK" >&2; exit 1; }
+    TCP_PORT="$(grep -o 'tcp port [0-9]*' "$LEG_LOG" | head -n 1 \
+        | grep -o '[0-9]*$')"
+    [ -n "$TCP_PORT" ] || { echo "[$leg] no TCP port in log" >&2; exit 1; }
+}
+
+# stop_daemon <leg-name>: SIGTERM, clean drain asserted.
+stop_daemon() {
+    local leg="$1" status=0
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || status=$?
+    DAEMON_PID=""
+    if [ "$status" -ne 0 ]; then
+        echo "[$leg] daemon exited $status on SIGTERM, expected 0" >&2
+        exit 1
+    fi
+    if [ -e "$SOCK" ]; then
+        echo "[$leg] daemon left $SOCK behind after drain" >&2
+        exit 1
+    fi
+    grep -q "drained" "$LEG_LOG" \
+        || { echo "[$leg] no drain handshake in log" >&2; exit 1; }
+}
+
+# compare <leg> <transport> <dts> [check args...]: served vs one-shot bytes.
+compare() {
+    local leg="$1" transport="$2" dts="$3"
+    shift 3
+    local name; name="$(basename "$dts")"
+    local direct_status=0 served_status=0
+    local -a serve_flag
+    if [ "$transport" = tcp ]; then
+        serve_flag=(--tcp "127.0.0.1:$TCP_PORT")
+    else
+        serve_flag=(--socket "$SOCK")
+    fi
+    "$LLHSC" check "$dts" "$@" \
+        > "$TMP/direct.out" 2> "$TMP/direct.err" || direct_status=$?
+    "$LLHSC" check "$dts" "$@" "${serve_flag[@]}" \
+        > "$TMP/served.out" 2> "$TMP/served.err" || served_status=$?
+    if [ "$direct_status" -ne "$served_status" ]; then
+        echo "[$leg/$transport] exit mismatch on $name $*:" \
+             "direct=$direct_status served=$served_status" >&2
+        exit 1
+    fi
+    diff "$TMP/direct.out" "$TMP/served.out" \
+        || { echo "[$leg/$transport] stdout diverged on $name $*" >&2; exit 1; }
+    diff "$TMP/direct.err" "$TMP/served.err" \
+        || { echo "[$leg/$transport] stderr diverged on $name $*" >&2; exit 1; }
+}
+
+# sweep <leg> <transport>: the full corpus x option matrix, plus one warm
+# repeat (served from cache, still byte-identical).
+sweep() {
+    local leg="$1" transport="$2"
+    local checked=0
+    for dts in "$DATA"/*.dts; do
+        for fmt in text json sarif; do
+            compare "$leg" "$transport" "$dts" --format "$fmt"
+        done
+        compare "$leg" "$transport" "$dts" --stats
+        checked=$((checked + 1))
+    done
+    [ "$checked" -ge 2 ] \
+        || { echo "[$leg] corpus too small: $checked files" >&2; exit 1; }
+    local first; first="$(ls "$DATA"/*.dts | head -n 1)"
+    compare "$leg" "$transport" "$first" --stats
+    echo "[$leg/$transport] equivalence held on $checked inputs x 4 option sets"
+}
+
+# --- Default leg: in-process daemon, Unix socket, with profiling. ---------
+SOCK="$TMP/d.sock"
+LEG_LOG="$LOG"
 "$LLHSCD" --socket "$SOCK" --jobs 2 --log-file "$LOG" \
     --profile "$TMP/daemon-profile.json" &
 DAEMON_PID=$!
-
-# Wait for the socket to come up (the daemon binds before serving).
 for _ in $(seq 1 200); do
     [ -S "$SOCK" ] && break
     sleep 0.05
 done
 [ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
 
-compare() {
-    local dts="$1"; shift
-    local name; name="$(basename "$dts")"
-    local direct_status=0 served_status=0
-    "$LLHSC" check "$dts" "$@" \
-        > "$TMP/direct.out" 2> "$TMP/direct.err" || direct_status=$?
-    "$LLHSC" check "$dts" "$@" --socket "$SOCK" \
-        > "$TMP/served.out" 2> "$TMP/served.err" || served_status=$?
-    if [ "$direct_status" -ne "$served_status" ]; then
-        echo "exit mismatch on $name $*: direct=$direct_status" \
-             "served=$served_status" >&2
-        exit 1
-    fi
-    diff "$TMP/direct.out" "$TMP/served.out" \
-        || { echo "stdout diverged on $name $*" >&2; exit 1; }
-    diff "$TMP/direct.err" "$TMP/served.err" \
-        || { echo "stderr diverged on $name $*" >&2; exit 1; }
-}
-
-CHECKED=0
-for dts in "$DATA"/*.dts; do
-    for fmt in text json sarif; do
-        compare "$dts" --format "$fmt"
-    done
-    # --stats exercises the planner-counter line (trace replay on the warm
-    # path must reproduce it byte-for-byte, cache-hit or not).
-    compare "$dts" --stats
-    CHECKED=$((CHECKED + 1))
-done
-[ "$CHECKED" -ge 2 ] || { echo "corpus too small: $CHECKED files" >&2; exit 1; }
-
-# A warm repeat stays byte-identical even though it is served from cache.
-first="$(ls "$DATA"/*.dts | head -n 1)"
-compare "$first" --stats
+sweep default unix
 
 # --profile must not disturb the equivalence, and both the client-side and
 # the (deferred, daemon-side) profiles must be valid JSON.
-compare "$first" --stats --profile "$TMP/client-profile.json"
+first="$(ls "$DATA"/*.dts | head -n 1)"
+compare default unix "$first" --stats --profile "$TMP/client-profile.json"
 python3 -m json.tool "$TMP/client-profile.json" > /dev/null \
     || { echo "client --profile is not valid JSON" >&2; exit 1; }
 grep -q '"traceEvents"' "$TMP/client-profile.json" \
     || { echo "client profile has no traceEvents" >&2; exit 1; }
 
-# Clean drain: SIGTERM, exit 0, socket gone, handshake logged.
-kill -TERM "$DAEMON_PID"
-DRAIN_STATUS=0
-wait "$DAEMON_PID" || DRAIN_STATUS=$?
-DAEMON_PID=""
-if [ "$DRAIN_STATUS" -ne 0 ]; then
-    echo "daemon exited $DRAIN_STATUS on SIGTERM, expected 0" >&2
-    exit 1
-fi
-if [ -e "$SOCK" ]; then
-    echo "daemon left $SOCK behind after drain" >&2
-    exit 1
-fi
-grep -q "drained" "$LOG" || { echo "no drain handshake in log" >&2; exit 1; }
+stop_daemon default
 
 # The daemon writes its profile at drain: per-request spans plus the stage/
 # solver events of every check it ran.
@@ -101,4 +150,16 @@ python3 -m json.tool "$TMP/daemon-profile.json" > /dev/null \
 grep -q '"request.service"' "$TMP/daemon-profile.json" \
     || { echo "daemon profile has no request.service spans" >&2; exit 1; }
 
-echo "equivalence held on $CHECKED inputs x 4 option sets"
+# --- Matrix legs: {unix, tcp} x {1, 4 workers}. ---------------------------
+if [ "$MATRIX" = 1 ]; then
+    for workers in 1 4; do
+        start_daemon "w$workers" "$workers"
+        sweep "w$workers" unix
+        sweep "w$workers" tcp
+        stop_daemon "w$workers"
+    done
+else
+    echo "matrix legs skipped (LLHSC_EQUIV_MATRIX=$MATRIX)"
+fi
+
+echo "server equivalence matrix held"

@@ -7,16 +7,17 @@
 //               [--disable-rule id,...]
 //               [--rule-severity id=error|warning,...] [--baseline <file>]
 //               [--no-plan] [--cache-dir <dir>] [--stats] [--socket <sock>]
-//               [--profile <file>]
+//               [--tcp host:port] [--tenant <name>] [--profile <file>]
 //       Run the checkers on one DTS; exit 1 on errors. The rule catalog
 //       (cross-reference + device-graph) is in docs/rules.md; --no-graph
 //       skips the device-graph dataflow rules, --baseline suppresses the
 //       findings recorded in a baseline JSON file (docs/rules.md),
 //       --cache-dir persists semantic solver verdicts across runs
 //       (docs/performance.md), --no-plan disables the query planner,
-//       --stats prints the planner counters on stderr, --socket ships the
-//       request to a running llhscd, --profile writes a Chrome-trace JSON
-//       profile of the run (docs/observability.md).
+//       --stats prints the planner counters on stderr, --socket / --tcp
+//       ship the request to a running llhscd over its Unix or TCP listener
+//       (--tenant names the admission-quota tenant), --profile writes a
+//       Chrome-trace JSON profile of the run (docs/observability.md).
 //
 //   llhsc generate --core <core.dts> --deltas <file.deltas>
 //                  --features f1,f2,... [--out <dir>] [--name <vm>]
@@ -37,10 +38,13 @@
 //
 //   llhsc products
 //       Enumerate the valid products of the running-example feature model.
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -177,10 +181,71 @@ std::optional<checkers::crossref::CrossRefOptions> crossref_options_from(
   return opts;
 }
 
-/// Ships a check request to a running llhscd over its Unix socket and
+/// Connects to a daemon: `tcp_spec` ("host:port" / ":port" / "port",
+/// numeric IPv4 or "localhost") wins over `socket_path`. Returns -1 with a
+/// message on stderr on failure.
+int connect_daemon(const std::string& socket_path,
+                   const std::string& tcp_spec) {
+  if (!tcp_spec.empty()) {
+    std::string host = "127.0.0.1";
+    std::string port_text = tcp_spec;
+    const size_t colon = tcp_spec.rfind(':');
+    if (colon != std::string::npos) {
+      if (colon > 0) host = tcp_spec.substr(0, colon);
+      port_text = tcp_spec.substr(colon + 1);
+    }
+    if (host == "localhost" || host.empty() || host == "0.0.0.0") {
+      host = "127.0.0.1";
+    }
+    const int port = std::atoi(port_text.c_str());
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (port <= 0 || port > 65535 ||
+        ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      std::cerr << "bad --tcp endpoint '" << tcp_spec << "'\n";
+      return -1;
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::cerr << "cannot create socket: " << std::strerror(errno) << "\n";
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      std::cerr << "cannot connect to " << tcp_spec << ": "
+                << std::strerror(errno) << "\n";
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "cannot create socket: " << std::strerror(errno) << "\n";
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long: " << socket_path << "\n";
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::cerr << "cannot connect to " << socket_path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Ships a check request to a running llhscd (Unix socket or TCP) and
 /// replays the response's stdout/stderr/exit code locally. The daemon runs
-/// the same server::run_check the local path does, so the bytes match.
-int serve_check(const std::string& socket_path, api::CheckRequest request) {
+/// the same check implementation the local path does, so the bytes match.
+int serve_check(const std::string& socket_path, const std::string& tcp_spec,
+                const std::string& tenant, api::CheckRequest request) {
   namespace fs = std::filesystem;
   using support::Json;
   // The daemon's cwd is not ours: any path it must touch goes absolute.
@@ -220,26 +285,11 @@ int serve_check(const std::string& socket_path, api::CheckRequest request) {
   req.set("id", Json::integer(1));
   req.set("method", Json::string("check"));
   req.set("params", std::move(params));
+  if (!tenant.empty()) req.set("tenant", Json::string(tenant));
 
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::cerr << "cannot create socket: " << std::strerror(errno) << "\n";
-    return 2;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    std::cerr << "socket path too long: " << socket_path << "\n";
-    ::close(fd);
-    return 2;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::cerr << "cannot connect to " << socket_path << ": "
-              << std::strerror(errno) << "\n";
-    ::close(fd);
-    return 2;
-  }
+  const std::string where = tcp_spec.empty() ? socket_path : tcp_spec;
+  int fd = connect_daemon(socket_path, tcp_spec);
+  if (fd < 0) return 2;
   std::string line = req.dump();
   line += '\n';
   size_t off = 0;
@@ -247,7 +297,7 @@ int serve_check(const std::string& socket_path, api::CheckRequest request) {
     ssize_t n = ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      std::cerr << "cannot send request to " << socket_path << "\n";
+      std::cerr << "cannot send request to " << where << "\n";
       ::close(fd);
       return 2;
     }
@@ -264,19 +314,20 @@ int serve_check(const std::string& socket_path, api::CheckRequest request) {
   ::close(fd);
   size_t newline = reply.find('\n');
   if (newline == std::string::npos) {
-    std::cerr << "no response from " << socket_path << "\n";
+    std::cerr << "no response from " << where << "\n";
     return 2;
   }
   auto response = Json::parse(reply.substr(0, newline));
   if (!response || !response->is_object()) {
-    std::cerr << "malformed response from " << socket_path << "\n";
+    std::cerr << "malformed response from " << where << "\n";
     return 2;
   }
   if (!response->at("ok").as_bool(false)) {
     const Json& error = response->at("error");
     std::cerr << "daemon error (" << error.at("code").as_string()
               << "): " << error.at("message").as_string() << "\n";
-    return 2;
+    return api::exit_code_of(
+        api::error_code_from_wire(error.at("code").as_string()));
   }
   const Json& result = response->at("result");
   std::cout << result.at("stdout").as_string();
@@ -291,7 +342,8 @@ int usage_check() {
                "[--no-crossref] [--no-graph] [--disable-rule id,...] "
                "[--rule-severity id=error|warning,...] "
                "[--baseline file] [--no-plan] [--cache-dir dir] [--stats] "
-               "[--socket sock] [--profile file]\n"
+               "[--socket sock] [--tcp host:port] [--tenant name] "
+               "[--profile file]\n"
                "       llhsc check <core.dts> --lifted --deltas <f.deltas> "
                "--model <f.fm> [--backend b] [--exclusive f1,f2,...] "
                "[--max-configs N] [--differential N] [--stats]\n";
@@ -385,6 +437,8 @@ int cmd_check(int argc, char** argv) {
       {"no-plan", FlagKind::kBool},
       {"cache-dir"},
       {"socket", FlagKind::kString, "serve"},
+      {"tcp"},
+      {"tenant"},
       {"profile"},
       {"lifted", FlagKind::kBool},
       {"deltas"},
@@ -464,10 +518,14 @@ int cmd_check(int argc, char** argv) {
   {
     std::optional<obs::ScopedSink> sink_guard;
     if (!profile_path.empty()) sink_guard.emplace(&profile_sink);
-    if (args.has("socket")) {
+    if (args.has("socket") || args.has("tcp")) {
       obs::Span span("client.request", "client");
-      if (span.active()) span.arg("socket", args.value("socket"));
-      code = serve_check(args.value("socket"), std::move(request));
+      if (span.active()) {
+        span.arg("socket", args.has("tcp") ? args.value("tcp")
+                                           : args.value("socket"));
+      }
+      code = serve_check(args.value("socket"), args.value("tcp"),
+                         args.value("tenant"), std::move(request));
     } else {
       api::CheckResult outcome = api::run_check(request);
       std::cout << outcome.output;
